@@ -1,0 +1,35 @@
+"""Ablations for the design decisions in DESIGN.md §5.
+
+* backends — hierarchical vectorised classification vs paper-literal
+  R-tree range queries (identical answers, different constants);
+* theorem3 — subset test (ours) vs the pseudocode's equality test
+  (subset prunes at least as much).
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_backends, ablation_theorem3
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_backends(benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: ablation_backends(profile), iterations=1, rounds=1)
+    record_experiment(result, chart_x="n_customers",
+                      chart_series=("vector_s", "rtree_s"))
+    for row in result.rows:
+        assert row["vector_score"] == pytest.approx(row["rtree_score"])
+    # The vector backend is the default because it wins.
+    last = result.rows[-1]
+    assert last["vector_s"] < last["rtree_s"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_theorem3(benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: ablation_theorem3(profile), iterations=1, rounds=1)
+    record_experiment(result)
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert by_mode["subset"]["score"] == pytest.approx(
+        by_mode["equality"]["score"])
+    assert by_mode["subset"]["splits"] <= by_mode["equality"]["splits"]

@@ -1,0 +1,24 @@
+"""Figure 8 — effect of the intersection-point threshold ``m``.
+
+Paper: MaxFirst's runtime is essentially flat in ``m`` (50K uniform
+customers, 500 sites); the result never changes.
+"""
+
+import pytest
+
+from repro.bench.figures import fig08_effect_of_m
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_effect_of_m(benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: fig08_effect_of_m(profile), iterations=1, rounds=1)
+    record_experiment(result, chart_x="m", chart_series=("maxfirst_s",))
+
+    times = [row["maxfirst_s"] for row in result.rows]
+    scores = {round(row["score"], 9) for row in result.rows}
+    # The answer is invariant in m ...
+    assert len(scores) == 1
+    # ... and runtime stays within a small band (paper: flat line).
+    assert max(times) <= 4.0 * min(times), \
+        f"m unexpectedly changes runtime: {times}"

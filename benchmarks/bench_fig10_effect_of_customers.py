@@ -1,0 +1,50 @@
+"""Figure 10 — effect of |O| on runtime (a: uniform, b: normal).
+
+Paper shape: both solvers slow down as customers increase; MaxOverlap's
+curve rises much faster (quadratic pair counts) and the gap reaches 2-3
+orders of magnitude at the top of the sweep; MaxFirst scales near-
+linearly.
+"""
+
+import pytest
+
+from conftest import assert_scores_agree, comparable_rows
+
+from repro.bench.figures import fig10_effect_of_customers
+
+
+def _run(distribution, benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: fig10_effect_of_customers(distribution, profile),
+        iterations=1, rounds=1)
+    record_experiment(result, chart_x="n_customers",
+                      chart_series=("maxfirst_s", "maxoverlap_s"))
+    assert_scores_agree(result.rows)
+
+    both = comparable_rows(result.rows)
+    assert both, "no point where both solvers ran"
+    # Shape 1: MaxFirst wins at the largest comparable size, by a
+    # widening factor.
+    last = both[-1]
+    assert last["maxoverlap_s"] > last["maxfirst_s"], \
+        "MaxFirst must win at scale"
+    if len(both) >= 2:
+        first_ratio = both[0]["maxoverlap_s"] / both[0]["maxfirst_s"]
+        last_ratio = last["maxoverlap_s"] / last["maxfirst_s"]
+        assert last_ratio > first_ratio, "the gap must widen with |O|"
+    # Shape 2: MaxOverlap's growth outpaces MaxFirst's across the sweep.
+    if len(both) >= 2:
+        mo_growth = both[-1]["maxoverlap_s"] / both[0]["maxoverlap_s"]
+        mf_growth = both[-1]["maxfirst_s"] / max(both[0]["maxfirst_s"],
+                                                 1e-9)
+        assert mo_growth > mf_growth
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_uniform(benchmark, profile, record_experiment):
+    _run("uniform", benchmark, profile, record_experiment)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_normal(benchmark, profile, record_experiment):
+    _run("normal", benchmark, profile, record_experiment)

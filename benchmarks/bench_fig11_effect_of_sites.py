@@ -1,0 +1,40 @@
+"""Figure 11 — effect of |P| on runtime (a: uniform, b: normal).
+
+Paper shape: both solvers get FASTER as sites increase (smaller NLCs,
+less overlap), and the drop is steeper under the uniform distribution.
+"""
+
+import pytest
+
+from conftest import assert_scores_agree, comparable_rows
+
+from repro.bench.figures import fig11_effect_of_sites
+
+
+def _run(distribution, benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: fig11_effect_of_sites(distribution, profile),
+        iterations=1, rounds=1)
+    record_experiment(result, chart_x="n_sites",
+                      chart_series=("maxfirst_s", "maxoverlap_s"))
+    assert_scores_agree(result.rows)
+
+    # Shape: runtimes trend downward from the fewest to the most sites.
+    mo = [row["maxoverlap_s"] for row in result.rows
+          if row["maxoverlap_s"]]
+    if len(mo) >= 2:
+        assert mo[-1] < mo[0], \
+            f"MaxOverlap should speed up with more sites: {mo}"
+    mf = [row["maxfirst_s"] for row in result.rows]
+    assert mf[-1] < 4.0 * mf[0], "MaxFirst must not blow up with |P|"
+    return result
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_uniform(benchmark, profile, record_experiment):
+    _run("uniform", benchmark, profile, record_experiment)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_normal(benchmark, profile, record_experiment):
+    _run("normal", benchmark, profile, record_experiment)

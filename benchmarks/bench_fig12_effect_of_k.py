@@ -1,0 +1,48 @@
+"""Figure 12 — effect of k (a) and of the probability model series (b).
+
+Paper shape, 12(a): both solvers slow with k; MaxOverlap deteriorates so
+fast its curve is left incomplete ("needs days") — reproduced here by the
+pair-budget skip.  12(b): the M1 and M2 curves nearly coincide — runtime
+is governed by k, not by the probability values.
+"""
+
+import pytest
+
+from conftest import assert_scores_agree
+
+from repro.bench.figures import fig12a_effect_of_k, fig12b_probability_models
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12a_effect_of_k(benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: fig12a_effect_of_k(profile), iterations=1, rounds=1)
+    record_experiment(result, chart_x="k",
+                      chart_series=("maxfirst_s", "maxoverlap_s"))
+    assert_scores_agree(result.rows)
+
+    mf = [row["maxfirst_s"] for row in result.rows]
+    # MaxFirst slows with k but stays feasible across the sweep.
+    assert mf[-1] >= mf[0] * 0.5
+    # MaxOverlap deteriorates faster wherever it ran.
+    ran = [row for row in result.rows if row["maxoverlap_s"]]
+    if len(ran) >= 2:
+        mo_growth = ran[-1]["maxoverlap_s"] / ran[0]["maxoverlap_s"]
+        mf_growth = (ran[-1]["maxfirst_s"]
+                     / max(ran[0]["maxfirst_s"], 1e-9))
+        assert mo_growth >= mf_growth * 0.5  # never dramatically better
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12b_probability_models(benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: fig12b_probability_models(profile), iterations=1,
+        rounds=1)
+    record_experiment(result, chart_x="k", chart_series=("m1_s", "m2_s"))
+
+    # Shape: the two series stay close at every k (paper: "the two lines
+    # are close").
+    for row in result.rows:
+        hi = max(row["m1_s"], row["m2_s"])
+        lo = min(row["m1_s"], row["m2_s"])
+        assert hi <= 5.0 * lo, f"M1/M2 diverge at k={row['k']}: {row}"

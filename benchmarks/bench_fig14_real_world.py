@@ -1,0 +1,45 @@
+"""Figure 14 — real-world datasets (UX, NE substitutes), |P|/|O| sweep.
+
+Paper shape: both solvers slow down as the site ratio shrinks from 1/50
+to 1/500, but MaxOverlap degrades ~100x while MaxFirst only ~3x.
+The datasets are seeded substitutes with Table III cardinalities
+(DESIGN.md §4).
+"""
+
+import pytest
+
+from conftest import assert_scores_agree, comparable_rows
+
+from repro.bench.figures import fig14_real_world
+
+
+def _run(dataset, benchmark, profile, record_experiment):
+    result = benchmark.pedantic(
+        lambda: fig14_real_world(dataset, profile), iterations=1,
+        rounds=1)
+    record_experiment(result, chart_x="ratio",
+                      chart_series=("maxfirst_s", "maxoverlap_s"))
+    assert_scores_agree(result.rows)
+
+    # Shape: MaxFirst degrades far more slowly than MaxOverlap as the
+    # ratio shrinks (rows are ordered largest ratio first).
+    both = comparable_rows(result.rows)
+    if len(both) >= 2:
+        mo_growth = both[-1]["maxoverlap_s"] / both[0]["maxoverlap_s"]
+        mf_growth = (both[-1]["maxfirst_s"]
+                     / max(both[0]["maxfirst_s"], 1e-9))
+        assert mo_growth > mf_growth, \
+            f"MaxOverlap should degrade faster: mo x{mo_growth:.1f} " \
+            f"vs mf x{mf_growth:.1f}"
+    # MaxFirst completes every point.
+    assert all(row["maxfirst_s"] for row in result.rows)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14a_ux(benchmark, profile, record_experiment):
+    _run("ux", benchmark, profile, record_experiment)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14b_ne(benchmark, profile, record_experiment):
+    _run("ne", benchmark, profile, record_experiment)

@@ -1,0 +1,53 @@
+"""Extension bench: the exact L1 sweep solver's scaling.
+
+Not a paper figure — the L1 variant is this library's extension (DESIGN
+§6).  Records how the compressed-grid sweep scales with |O| (quadratic in
+cells, heavily vectorised) and cross-checks the L1 optimum stays within
+the structural bounds shared with the L2 solver.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.runner import ExperimentResult
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.l1.solver import solve_l1
+
+
+@pytest.mark.benchmark(group="l1")
+def test_l1_sweep_scaling(benchmark, profile, record_experiment):
+    sizes = [n for n in profile.customers_sweep if n <= 8_000][:4]
+
+    def run():
+        result = ExperimentResult(
+            "l1_sweep_scaling", meta={"profile": profile.name,
+                                      "n_sites": profile.n_sites})
+        for n in sizes:
+            customers, sites = synthetic_instance(
+                n, profile.n_sites, "uniform", seed=profile.seeds[0])
+            problem = MaxBRkNNProblem(customers, sites, k=1)
+            start = time.perf_counter()
+            l1 = solve_l1(problem)
+            l1_s = time.perf_counter() - start
+            start = time.perf_counter()
+            l2 = MaxFirst().solve(problem)
+            l2_s = time.perf_counter() - start
+            result.add_row(n_customers=n, l1_sweep_s=l1_s,
+                           l2_maxfirst_s=l2_s, l1_score=l1.score,
+                           l2_score=l2.score, cells=l1.cell_count)
+        return result
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    record_experiment(result, chart_x="n_customers",
+                      chart_series=("l1_sweep_s", "l2_maxfirst_s"))
+
+    for row in result.rows:
+        # Different metrics, same structural bounds: at least the best
+        # single customer, at most all of them.
+        assert 1.0 - 1e-9 <= row["l1_score"] <= row["n_customers"]
+        assert 1.0 - 1e-9 <= row["l2_score"] <= row["n_customers"]
+        # The sweep's cell count is quadratic-bounded: (2n+..)^2.
+        assert row["cells"] <= (2 * row["n_customers"] + 2) ** 2

@@ -1,0 +1,70 @@
+"""Shared fixtures for the paper-figure benchmarks.
+
+Scale is controlled by ``REPRO_SCALE`` (``tiny`` / ``small`` / ``paper``;
+default ``small`` — see ``repro.bench.config``).  Every benchmark writes
+its data table to ``benchmarks/results/<experiment>.txt`` so the numbers
+cited in EXPERIMENTS.md are regenerated artifacts, not copy-paste.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.config import get_profile
+from repro.bench.report import ascii_chart, format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir, profile):
+    """Persist an ExperimentResult table (and chart) and echo it."""
+
+    def _record(result, chart_x: str | None = None,
+                chart_series: tuple[str, ...] = ()) -> None:
+        lines = [f"# {result.experiment} (profile: {profile.name})"]
+        for key, value in result.meta.items():
+            lines.append(f"#   {key}: {value}")
+        lines.append(format_table(result.rows))
+        if chart_x and chart_series and len(result.rows) > 1:
+            series = {name: [row.get(name) for row in result.rows]
+                      for name in chart_series}
+            lines.append("")
+            lines.append(ascii_chart(
+                [row[chart_x] for row in result.rows], series,
+                title=f"{result.experiment} (log scale)"))
+        text = "\n".join(lines)
+        path = results_dir / f"{result.experiment}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def comparable_rows(rows):
+    """Rows where both solvers actually ran."""
+    return [row for row in rows
+            if row.get("maxfirst_s") and row.get("maxoverlap_s")]
+
+
+def assert_scores_agree(rows):
+    for row in rows:
+        if row.get("maxoverlap_score") is None:
+            continue
+        a, b = row["maxfirst_score"], row["maxoverlap_score"]
+        assert abs(a - b) <= 1e-6 * max(1.0, abs(a)), \
+            f"solver scores disagree: {row}"

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so the
+package installs in fully offline environments where pip cannot fetch the
+``wheel`` backend required for PEP 660 editable installs
+(``python setup.py develop`` only needs setuptools).
+"""
+
+from setuptools import setup
+
+setup()

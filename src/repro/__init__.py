@@ -1,0 +1,78 @@
+"""MaxFirst for MaxBRkNN — a full reproduction of Zhou et al., ICDE 2011.
+
+Given customer objects ``O`` and service sites ``P``, a MaxBRkNN query
+finds the region(s) where opening a new service site attracts the maximum
+total customer influence, where each customer patronises its ``k`` nearest
+sites with rank-dependent probabilities and carries an importance weight.
+
+Quick start::
+
+    import repro
+
+    result = repro.find_optimal_regions(
+        customers, sites, k=2, probability=[0.8, 0.2])
+    print(result.score, result.optimal_location())
+
+Public surface
+--------------
+* :func:`find_optimal_regions` / :func:`find_optimal_location` — one-call
+  solvers (MaxFirst under the hood).
+* :class:`MaxBRkNNProblem` — validated instance specification.
+* :class:`MaxFirst` — the paper's algorithm with its full control surface.
+* :class:`MaxOverlap` — the state-of-the-art baseline the paper compares
+  against (Wong et al., PVLDB 2009).
+* :class:`ProbabilityModel` — uniform / linear (M1) / harmonic (M2) /
+  custom rank-probability models.
+* :class:`InfluenceEvaluator` — score candidate locations against an
+  instance.
+* :mod:`repro.datasets` — the paper's synthetic and (substituted)
+  real-world workloads.
+* :mod:`repro.geometry` / :mod:`repro.index` — the from-scratch geometric
+  and spatial-index substrates.
+"""
+
+from repro.baselines import (MaxOverlap, MaxOverlapResult, MaxOverlapStats,
+                             grid_search, reference_solve)
+from repro.core import (InfluenceBreakdown, InfluenceEvaluator,
+                        InfluenceSet, MaxBRkNNProblem, MaxBRkNNResult,
+                        MaxFirst, MaxFirstStats, NewSiteImpact,
+                        OptimalRegion, ProbabilityModel, brknn_of_site,
+                        build_nlcs, find_optimal_location,
+                        find_optimal_regions, impact_of_new_site,
+                        influence_at, knn_sites, site_influence,
+                        verify_result)
+from repro.geometry import ArcRegion, Circle, Point, Rect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArcRegion",
+    "Circle",
+    "InfluenceBreakdown",
+    "InfluenceEvaluator",
+    "InfluenceSet",
+    "MaxBRkNNProblem",
+    "MaxBRkNNResult",
+    "MaxFirst",
+    "MaxFirstStats",
+    "MaxOverlap",
+    "MaxOverlapResult",
+    "MaxOverlapStats",
+    "NewSiteImpact",
+    "OptimalRegion",
+    "Point",
+    "ProbabilityModel",
+    "Rect",
+    "__version__",
+    "brknn_of_site",
+    "build_nlcs",
+    "find_optimal_location",
+    "find_optimal_regions",
+    "grid_search",
+    "impact_of_new_site",
+    "influence_at",
+    "knn_sites",
+    "reference_solve",
+    "site_influence",
+    "verify_result",
+]

@@ -1,0 +1,26 @@
+"""Baseline and reference solvers.
+
+* :class:`~repro.baselines.maxoverlap.MaxOverlap` — the state-of-the-art
+  comparator from the paper (Wong et al., PVLDB 2009), reimplemented from
+  the pipeline description in Section II: region-to-point transformation
+  over NLC intersection points.
+* :mod:`~repro.baselines.reference` — an exact but brute-force solver used
+  as ground truth by the test suite.
+* :mod:`~repro.baselines.gridsearch` — dense-sampling approximation, a
+  sanity baseline with a tunable accuracy/cost dial.
+"""
+
+from repro.baselines.gridsearch import GridSearchResult, grid_search
+from repro.baselines.maxoverlap import (MaxOverlap, MaxOverlapResult,
+                                        MaxOverlapStats)
+from repro.baselines.reference import ReferenceSolution, reference_solve
+
+__all__ = [
+    "GridSearchResult",
+    "MaxOverlap",
+    "MaxOverlapResult",
+    "MaxOverlapStats",
+    "ReferenceSolution",
+    "grid_search",
+    "reference_solve",
+]

@@ -1,0 +1,26 @@
+"""Benchmark harness: the experiments of Section VI, re-runnable.
+
+* :mod:`~repro.bench.config` — scale profiles (Table II parameters at
+  ``paper`` scale; proportionally scaled-down grids for CI).
+* :mod:`~repro.bench.runner` — timed experiment execution helpers.
+* :mod:`~repro.bench.figures` — one function per paper figure/table that
+  produces the figure's data series.
+* :mod:`~repro.bench.report` — text tables and log-scale ASCII charts.
+
+The pytest-benchmark entry points live in ``benchmarks/`` at the repo
+root; each wraps one function from :mod:`~repro.bench.figures`.
+"""
+
+from repro.bench.config import ScaleProfile, get_profile
+from repro.bench.report import ascii_chart, format_table
+from repro.bench.runner import ExperimentResult, SolverTiming, run_solvers
+
+__all__ = [
+    "ExperimentResult",
+    "ScaleProfile",
+    "SolverTiming",
+    "ascii_chart",
+    "format_table",
+    "get_profile",
+    "run_solvers",
+]

@@ -1,0 +1,104 @@
+"""Benchmark scale profiles.
+
+The paper's parameter grid (Table II) assumes a 2008-era C++ testbed; this
+reproduction runs pure Python.  Three profiles keep every experiment's
+*shape* while making the default run practical:
+
+* ``tiny`` — smoke scale, seconds per figure (CI-friendly).
+* ``small`` — the default: the paper's grid scaled down ~10x in ``|O|``
+  and ~5x in ``|P|``, which preserves the ``|O|/|P|`` regime the paper
+  studies (NLC size and overlap are governed by that ratio).
+* ``paper`` — the literal Table II grid; expect MaxOverlap points to take
+  a long time (that observation *is* Figure 10).
+
+Select with the ``REPRO_SCALE`` environment variable or pass a profile
+explicitly.  MaxOverlap points whose predicted pair count exceeds
+``maxoverlap_pair_budget`` are skipped and reported as such — mirroring
+the paper's own incomplete MaxOverlap curve in Figure 12(a) ("MaxOverlap
+needs days").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """One benchmark scale: default instance sizes plus sweep grids."""
+
+    name: str
+    # Table II defaults.
+    n_customers: int
+    n_sites: int
+    k: int
+    # Sweep grids (Figures 8, 10, 11, 12).
+    customers_sweep: tuple[int, ...]
+    sites_sweep: tuple[int, ...]
+    k_sweep: tuple[int, ...]
+    m_sweep: tuple[int, ...]
+    prob_k_sweep: tuple[int, ...]
+    # Figure 14: real-world dataset sizes and |P|/|O| ratios.
+    ux_points: int
+    ne_points: int
+    ratio_denominators: tuple[int, ...]
+    # Pair-count budget above which a MaxOverlap point is skipped.
+    maxoverlap_pair_budget: int
+    seeds: tuple[int, ...] = field(default=(11,))
+
+
+_PROFILES = {
+    "tiny": ScaleProfile(
+        name="tiny",
+        n_customers=800, n_sites=40, k=1,
+        customers_sweep=(200, 400, 800),
+        sites_sweep=(20, 40, 80),
+        k_sweep=(1, 2, 4),
+        m_sweep=(1, 2, 4, 8),
+        prob_k_sweep=(1, 2, 4),
+        ux_points=2_000, ne_points=4_000,
+        ratio_denominators=(10, 20, 50),
+        maxoverlap_pair_budget=600_000,
+    ),
+    "small": ScaleProfile(
+        name="small",
+        n_customers=5_000, n_sites=100, k=1,
+        customers_sweep=(1_000, 2_000, 4_000, 8_000, 10_000),
+        sites_sweep=(25, 50, 100, 200),
+        k_sweep=(1, 2, 4, 8),
+        m_sweep=(1, 2, 4, 8, 16),
+        prob_k_sweep=(1, 5, 10, 15),
+        ux_points=19_499, ne_points=30_000,
+        ratio_denominators=(50, 100, 200, 500),
+        maxoverlap_pair_budget=6_000_000,
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        n_customers=50_000, n_sites=500, k=1,
+        customers_sweep=(10_000, 25_000, 50_000, 75_000, 100_000),
+        sites_sweep=(100, 250, 500, 750, 1_000),
+        k_sweep=(1, 3, 6, 9, 12, 15),
+        m_sweep=(1, 2, 4, 8, 16),
+        prob_k_sweep=(1, 5, 10, 15),
+        ux_points=19_499, ne_points=123_593,
+        ratio_denominators=(50, 100, 200, 500),
+        maxoverlap_pair_budget=60_000_000,
+    ),
+}
+
+
+def get_profile(name: str | None = None) -> ScaleProfile:
+    """Resolve a profile by name, default, or ``REPRO_SCALE``."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale profile {name!r}; "
+            f"expected one of {sorted(_PROFILES)}") from None
+
+
+def profile_names() -> tuple[str, ...]:
+    return tuple(sorted(_PROFILES))

@@ -1,0 +1,121 @@
+"""Plain-text reporting: aligned tables and log-scale ASCII charts.
+
+The harness has no plotting dependency; every paper figure is emitted as a
+table (the numbers EXPERIMENTS.md records) plus an ASCII chart that makes
+the figure's *shape* — slopes, gaps, crossovers — visible in a terminal or
+CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                 floatfmt: str = ".4g") -> str:
+    """Render dict rows as an aligned text table.
+
+    ``None`` cells render as ``-`` (used for skipped MaxOverlap points).
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[cell(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table))
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(val.rjust(w) for val, w in zip(line, widths))
+        for line in table)
+    return f"{header}\n{rule}\n{body}"
+
+
+def ascii_chart(x_values: Sequence, series: Mapping[str, Iterable],
+                width: int = 64, height: int = 16, log_y: bool = True,
+                title: str = "") -> str:
+    """A rough scatter/line chart in ASCII, optionally log-scale in y.
+
+    ``series`` maps a label to y-values aligned with ``x_values``;
+    ``None`` y-values (skipped points) are left out.  Each series draws
+    with its own marker; the y-axis prints the decade/value ticks on the
+    left.
+    """
+    markers = "*o+x#@%&"
+    points: list[tuple[int, float, str]] = []  # (x index, y, marker)
+    for s_idx, (label, ys) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for i, y in enumerate(ys):
+            if y is None:
+                continue
+            y = float(y)
+            if log_y and y <= 0:
+                continue
+            points.append((i, y, marker))
+    if not points:
+        return f"{title}\n(no data)"
+
+    ys_all = [p[1] for p in points]
+    if log_y:
+        lo = math.log10(min(ys_all))
+        hi = math.log10(max(ys_all))
+    else:
+        lo = min(ys_all)
+        hi = max(ys_all)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n_x = max(len(x_values), 2)
+    for i, y, marker in points:
+        col = round(i * (width - 1) / (n_x - 1))
+        yv = math.log10(y) if log_y else y
+        row = round((yv - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    def ytick(row: int) -> str:
+        yv = lo + (height - 1 - row) / (height - 1) * (hi - lo)
+        value = 10 ** yv if log_y else yv
+        return f"{value:9.3g} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        prefix = ytick(row) if row % 4 == 0 or row == height - 1 else (
+            " " * 9 + " |")
+        lines.append(prefix + "".join(grid[row]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    labels = "  ".join(str(x) for x in x_values)
+    lines.append(" " * 11 + labels[:width + 8])
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(series))
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def speedup_summary(rows: Sequence[Mapping], fast_key: str,
+                    slow_key: str) -> str:
+    """One-line geometric-mean speedup over rows where both ran."""
+    ratios = []
+    for row in rows:
+        fast = row.get(fast_key)
+        slow = row.get(slow_key)
+        if fast and slow:
+            ratios.append(slow / fast)
+    if not ratios:
+        return "speedup: n/a (no comparable points)"
+    geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return (f"speedup ({slow_key}/{fast_key}): geo-mean {geo:.1f}x over "
+            f"{len(ratios)} points (max {max(ratios):.1f}x)")

@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-maxbrknn solve --customers o.csv --sites p.csv -k 2 \
+        --probability 0.8,0.2
+    repro-maxbrknn generate --kind uniform -n 1000 -o points.csv --seed 7
+    repro-maxbrknn bench --figure fig10a --scale tiny
+
+``solve`` prints the optimum, its regions and the Phase I statistics;
+``bench`` regenerates one paper figure as a table and ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench import figures as _figures
+from repro.bench.config import get_profile, profile_names
+from repro.bench.report import ascii_chart, format_table
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.baselines.maxoverlap import MaxOverlap
+from repro.datasets.loader import load_points_csv, save_points_csv
+from repro.datasets.realworld import make_ne, make_ux
+from repro.datasets.synthetic import (clustered_points, normal_points,
+                                      uniform_points)
+
+_FIGURES = {
+    "fig8": lambda p: _figures.fig08_effect_of_m(p),
+    "fig10a": lambda p: _figures.fig10_effect_of_customers("uniform", p),
+    "fig10b": lambda p: _figures.fig10_effect_of_customers("normal", p),
+    "fig11a": lambda p: _figures.fig11_effect_of_sites("uniform", p),
+    "fig11b": lambda p: _figures.fig11_effect_of_sites("normal", p),
+    "fig12a": lambda p: _figures.fig12a_effect_of_k(p),
+    "fig12b": lambda p: _figures.fig12b_probability_models(p),
+    "fig13a": lambda p: _figures.fig13_pruning("uniform", p),
+    "fig13b": lambda p: _figures.fig13_pruning("normal", p),
+    "fig14a": lambda p: _figures.fig14_real_world("ux", p),
+    "fig14b": lambda p: _figures.fig14_real_world("ne", p),
+    "ablation-backends": lambda p: _figures.ablation_backends(p),
+    "ablation-theorem3": lambda p: _figures.ablation_theorem3(p),
+}
+
+_GENERATORS = {
+    "uniform": lambda n, seed: uniform_points(n, seed),
+    "normal": lambda n, seed: normal_points(n, seed),
+    "clustered": lambda n, seed: clustered_points(n, seed=seed),
+    "ux": lambda n, seed: make_ux(n, seed=seed),
+    "ne": lambda n, seed: make_ne(n, seed=seed),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    parser.print_help()
+    return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-maxbrknn",
+        description="MaxFirst for MaxBRkNN (ICDE 2011 reproduction)")
+    sub = parser.add_subparsers(dest="command")
+
+    solve = sub.add_parser("solve", help="solve a MaxBRkNN instance")
+    solve.add_argument("--customers", required=True,
+                       help="CSV of customer points (x,y)")
+    solve.add_argument("--sites", required=True,
+                       help="CSV of service-site points (x,y)")
+    solve.add_argument("-k", type=int, default=1,
+                       help="number of nearest sites per customer")
+    solve.add_argument("--probability", default=None,
+                       help="comma-separated model, e.g. 0.8,0.2 "
+                            "(default: uniform)")
+    solve.add_argument("--weights", default=None,
+                       help="CSV with one weight per customer (first "
+                            "column)")
+    solve.add_argument("--solver", choices=("maxfirst", "maxoverlap"),
+                       default="maxfirst")
+    solve.add_argument("--top-t", type=int, default=1,
+                       help="return the t best-scoring distinct regions "
+                            "(MaxFirst only)")
+    solve.add_argument("--metric", choices=("l2", "l1"), default="l2",
+                       help="distance metric: Euclidean (default) or "
+                            "Manhattan (exact rectilinear sweep)")
+
+    gen = sub.add_parser("generate", help="generate a point dataset")
+    gen.add_argument("--kind", choices=sorted(_GENERATORS),
+                     default="uniform")
+    gen.add_argument("-n", type=int, required=True)
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="re-run one paper figure")
+    bench.add_argument("--figure", choices=sorted(_FIGURES), required=True)
+    bench.add_argument("--scale", choices=profile_names(), default=None)
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    customers = load_points_csv(args.customers)
+    sites = load_points_csv(args.sites)
+    probability = None
+    if args.probability:
+        probability = [float(p) for p in args.probability.split(",")]
+    weights = None
+    if args.weights:
+        weights = np.loadtxt(args.weights, delimiter=",", skiprows=0,
+                             usecols=0, ndmin=1)
+    problem = MaxBRkNNProblem(customers=customers, sites=sites, k=args.k,
+                              weights=weights, probability=probability)
+    if args.metric == "l1":
+        from repro.l1 import solve_l1
+        result = solve_l1(problem)
+        print(f"L1 optimum: score {result.score:.6g} attained in "
+              f"{len(result.regions)} region(s)")
+        for i, region in enumerate(result.regions):
+            x, y = region.representative_point()
+            print(f"  region {i}: area {region.area:.6g}, e.g. location "
+                  f"({x:.6g}, {y:.6g})")
+        return 0
+    if args.solver == "maxfirst":
+        result = MaxFirst(top_t=args.top_t).solve(problem)
+    else:
+        result = MaxOverlap().solve(problem)
+    print(result.summary())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    points = _GENERATORS[args.kind](args.n, args.seed)
+    save_points_csv(args.output, points)
+    print(f"wrote {points.shape[0]} points to {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    profile = get_profile(args.scale)
+    result = _FIGURES[args.figure](profile)
+    print(f"# {result.experiment}  (profile: {profile.name})")
+    for key, value in result.meta.items():
+        print(f"#   {key}: {value}")
+    print(format_table(result.rows))
+    numeric = [k for k, v in result.rows[0].items()
+               if isinstance(v, (int, float)) and k.endswith("_s")]
+    if numeric and len(result.rows) > 1:
+        x_key = next(iter(result.rows[0]))
+        print()
+        print(ascii_chart(
+            [row[x_key] for row in result.rows],
+            {k: [row.get(k) for row in result.rows] for k in numeric},
+            title=f"{result.experiment} (seconds, log scale)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Core MaxBRkNN machinery: problem model, NLCs, MaxFirst, influence.
+
+Import the public names from :mod:`repro` directly; this package holds the
+implementation modules:
+
+* :mod:`~repro.core.problem` — instance specification and validation.
+* :mod:`~repro.core.probability` — probability models (Section III).
+* :mod:`~repro.core.nlc` — NLC construction (pre-processing).
+* :mod:`~repro.core.bounds` — quadrant classification backends.
+* :mod:`~repro.core.maxfirst` — Algorithm 1 (Phase I) and the solver.
+* :mod:`~repro.core.region` — Algorithm 2 (Phase II).
+* :mod:`~repro.core.influence` — influence queries over an instance.
+* :mod:`~repro.core.api` — one-call convenience entry points.
+"""
+
+from repro.core.api import find_optimal_location, find_optimal_regions
+from repro.core.influence import (InfluenceBreakdown, InfluenceEvaluator,
+                                  influence_at)
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs, knn_distances, nlc_space
+from repro.core.probability import ProbabilityModel
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.queries import (InfluenceSet, NewSiteImpact, brknn_of_site,
+                                impact_of_new_site, knn_sites,
+                                site_influence)
+from repro.core.quadrant import MaxFirstStats, Quadrant
+from repro.core.region import OptimalRegion, compute_optimal_region
+from repro.core.result import MaxBRkNNResult
+from repro.core.verify import VerificationReport, verify_result
+
+__all__ = [
+    "InfluenceBreakdown",
+    "InfluenceEvaluator",
+    "InfluenceSet",
+    "NewSiteImpact",
+    "MaxBRkNNProblem",
+    "MaxBRkNNResult",
+    "MaxFirst",
+    "MaxFirstStats",
+    "OptimalRegion",
+    "ProbabilityModel",
+    "Quadrant",
+    "VerificationReport",
+    "brknn_of_site",
+    "build_nlcs",
+    "compute_optimal_region",
+    "find_optimal_location",
+    "find_optimal_regions",
+    "impact_of_new_site",
+    "influence_at",
+    "knn_distances",
+    "knn_sites",
+    "nlc_space",
+    "site_influence",
+    "verify_result",
+]

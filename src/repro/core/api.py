@@ -1,0 +1,55 @@
+"""Top-level convenience API.
+
+The one-call entry points a downstream user reaches for first; the full
+control surface lives on :class:`~repro.core.maxfirst.MaxFirst` and
+:class:`~repro.core.problem.MaxBRkNNProblem`.
+"""
+
+from __future__ import annotations
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.result import MaxBRkNNResult
+from repro.geometry.point import Point
+
+
+def find_optimal_regions(customers, sites, k: int = 1, weights=None,
+                         probability=None, **solver_options
+                         ) -> MaxBRkNNResult:
+    """Solve a (generalized) MaxBRkNN instance with MaxFirst.
+
+    Parameters
+    ----------
+    customers, sites:
+        ``(n, 2)`` / ``(m, 2)`` array-likes of planar locations.
+    k:
+        Customers consider their ``k`` nearest service sites.
+    weights:
+        Optional per-customer importance.
+    probability:
+        ``None`` (classic MaxBRkNN: equal probabilities), a
+        :class:`~repro.core.probability.ProbabilityModel`, a probability
+        sequence such as ``[0.8, 0.2]``, or one model per customer.
+    solver_options:
+        Forwarded to :class:`~repro.core.maxfirst.MaxFirst`
+        (``m_threshold``, ``backend``, ``top_t``, ...).
+
+    >>> result = find_optimal_regions([(0, 0), (1, 0)], [(4, 4), (-4, 4)])
+    >>> round(result.score, 6)
+    2.0
+
+    Both customers lie far from either site, so a new site between them
+    wins both.
+    """
+    problem = MaxBRkNNProblem(customers=customers, sites=sites, k=k,
+                              weights=weights, probability=probability)
+    return MaxFirst(**solver_options).solve(problem)
+
+
+def find_optimal_location(customers, sites, k: int = 1, weights=None,
+                          probability=None, **solver_options) -> Point:
+    """Like :func:`find_optimal_regions` but returns one concrete optimal
+    location (a representative point of the best region)."""
+    result = find_optimal_regions(customers, sites, k=k, weights=weights,
+                                  probability=probability, **solver_options)
+    return result.optimal_location()

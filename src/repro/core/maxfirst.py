@@ -1,0 +1,516 @@
+"""MaxFirst — Algorithm 1 (Phase I) and the full two-phase solver.
+
+Phase I recursively partitions the data space into quadrants, always
+expanding the quadrant with the largest upper bound ``m̂ax``.  A quadrant is
+
+* **split** while its ``m̂ax`` exceeds the best proven lower bound
+  ``MaxMin`` (or equals it but the quadrant is not yet consistent and no
+  found region explains it),
+* **pruned** by Theorem 2 when ``m̂ax < MaxMin``,
+* **pruned** by Theorem 3 when its intersecting NLCs are a subset of a
+  found region's covering NLCs (its optimal region was already discovered),
+* **accepted** when it is *consistent* (``m̂ax == m̂in``) at the maximum.
+
+Phase II (:mod:`repro.core.region`) grows each accepted quadrant into the
+actual optimal region.
+
+Region semantics and the intersection-point problem
+---------------------------------------------------
+The problem asks for *maximal consistent regions* (full-dimensional), so
+the optimum is the essential supremum of ``total_score`` — a point where
+many circumferences merely meet does not count (see
+:mod:`repro.core.scoring`).  ``Q.I`` therefore uses open-disk
+intersection: a disk grazing a quadrant at a boundary point is excluded.
+This is what lets quadrants next to a circle-coincidence point become
+consistent, exactly as the paper's termination proof requires.
+
+When every NLC in ``Q.I - Q.C`` passes through one common point ``p``
+inside ``Q`` (Algorithm 1's intersection-point problem — pervasive in
+practice, because every customer's ``k``-th NLC passes through its
+``k``-th nearest site), the regular centre split makes slow progress.
+Following the pseudocode we detect the situation after ``m`` consecutive
+splits that leave ``Q.I`` and ``m̂in`` unchanged and split at ``p``; the
+through-circles then graze the children only at their corner ``p`` and
+drop out of their ``Q.I`` sets.  A resolution guard force-closes quadrants
+below float resolution (near-coincidences tighter than the predicate
+noise floor); it reports the quadrant's proven lower bound and counts the
+event in ``stats.resolution_closed``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import time
+
+import numpy as np
+
+from repro.core.bounds import make_backend
+from repro.core.nlc import build_nlcs, nlc_space
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.quadrant import Quadrant, _MutableStats
+from repro.core.refine import refine_quadrant
+from repro.core.region import compute_optimal_region
+from repro.core.result import MaxBRkNNResult
+from repro.geometry.intersection import disks_common_point
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+# Theorem 3 is load-bearing: without it, quadrants straddling a found
+# region's boundary re-split forever (the boundary is a curve — its
+# tessellation grows exponentially with depth), so there is no "off" mode.
+_THEOREM3_MODES = ("subset", "equality")
+
+
+class MaxFirst:
+    """The MaxFirst solver for the generalized MaxBRkNN problem.
+
+    Parameters
+    ----------
+    m_threshold:
+        The paper's ``m``: consecutive same-frontier splits tolerated
+        before checking for the intersection-point problem.  Any positive
+        value is correct; Figure 8 shows performance is insensitive to it
+        (paper default: 4).
+    backend:
+        ``"vector"`` (hierarchical numpy classification, default) or
+        ``"rtree"`` (paper-literal R-tree range queries).
+    theorem3:
+        ``"subset"`` (default; the full strength of Theorem 3) or
+        ``"equality"`` (the literal pseudocode test ``Q'.C == Q.I``).
+        Theorem 3 cannot be disabled: it is what terminates the
+        tessellation along a found region's boundary.
+    top_t:
+        Return the ``t`` best *score tiers* of distinct consistent regions
+        instead of only the maximum (an extension; ``top_t=1`` is the
+        paper's algorithm).  Every location in a returned region attains
+        at least that region's score; tiers below the maximum may be
+        plateaus adjacent to a better region.  With ``top_t > 1`` the
+        Theorem 2 threshold is the ``t``-th best consistent score found so
+        far (conservative but exact), and found-region pruning runs on
+        every pop.
+    tie_tol:
+        Relative tolerance for score-equality tests (floating point stands
+        in for the paper's exact reals).
+    resolution_fraction:
+        The solver's geometric resolution as a fraction of the space
+        extent: quadrants whose smaller dimension reaches it are closed
+        with their proven lower bound (counted in
+        ``stats.resolution_closed``), and disk/quadrant overlaps thinner
+        than it are treated as non-overlaps (the graze tolerance).
+        Features below the resolution — 1e-9 of the data extent by
+        default — are beyond any physical siting decision.
+    degeneracy_depth:
+        Quadrants at or beyond this depth always run the degeneracy
+        machinery (common-point detection and compatibility refinement)
+        on every split.  The paper's same-frontier counter alone starves
+        when many degenerate spots interleave in the heap; depth is a
+        robust secondary trigger — healthy searches rarely exceed depth
+        ~16, degeneracy chases exceed 25.
+    nlc_method / keep_zero_score_nlcs:
+        Passed through to :func:`repro.core.nlc.build_nlcs`.
+    max_iterations:
+        Safety valve on heap pops; ``None`` derives a generous bound from
+        the instance size.
+    """
+
+    def __init__(self, m_threshold: int = 4, backend: str = "vector",
+                 theorem3: str = "subset", top_t: int = 1,
+                 tie_tol: float = 1e-9,
+                 resolution_fraction: float = 1e-9,
+                 degeneracy_depth: int = 20,
+                 nlc_method: str = "auto",
+                 keep_zero_score_nlcs: bool = False,
+                 max_iterations: int | None = None) -> None:
+        if m_threshold < 1:
+            raise ValueError("m_threshold must be positive")
+        if degeneracy_depth < 1:
+            raise ValueError("degeneracy_depth must be positive")
+        if theorem3 not in _THEOREM3_MODES:
+            raise ValueError(
+                f"theorem3 must be one of {_THEOREM3_MODES}, got {theorem3!r}")
+        if top_t < 1:
+            raise ValueError("top_t must be positive")
+        if tie_tol < 0 or resolution_fraction < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.m_threshold = m_threshold
+        self.backend_name = backend
+        self.theorem3 = theorem3
+        self.top_t = top_t
+        self.tie_tol = tie_tol
+        self.resolution_fraction = resolution_fraction
+        self.degeneracy_depth = degeneracy_depth
+        self.nlc_method = nlc_method
+        self.keep_zero_score_nlcs = keep_zero_score_nlcs
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, problem: MaxBRkNNProblem) -> MaxBRkNNResult:
+        """Run the full pipeline: NLC construction, Phase I, Phase II."""
+        t0 = time.perf_counter()
+        nlcs = build_nlcs(problem, method=self.nlc_method,
+                          keep_zero_score=self.keep_zero_score_nlcs)
+        t1 = time.perf_counter()
+        if len(nlcs) == 0:
+            # Legal degenerate instance (e.g. all weights zero): nothing
+            # can score anywhere.
+            return MaxBRkNNResult(
+                score=0.0, regions=(), nlcs=nlcs,
+                space=problem.data_bounds(),
+                stats=_MutableStats().freeze(),
+                timings={"nlc": t1 - t0, "phase1": 0.0, "phase2": 0.0})
+        result = self.solve_nlcs(nlcs)
+        result.timings["nlc"] = t1 - t0
+        return result
+
+    def solve_nlcs(self, nlcs: CircleSet,
+                   space: Rect | None = None) -> MaxBRkNNResult:
+        """Solve over an explicit NLC set (skips pre-processing).
+
+        ``space`` defaults to the bounding box of the NLCs — no location
+        outside it can score above zero.
+        """
+        if len(nlcs) == 0:
+            raise ValueError("cannot solve over an empty NLC set")
+        if space is None:
+            space = nlc_space(nlcs)
+
+        t0 = time.perf_counter()
+        accepted, max_min, stats = self._phase1(nlcs, space)
+        t1 = time.perf_counter()
+
+        tol = self.tie_tol * max(1.0, abs(max_min))
+        regions = []
+        seen_covers: set[tuple[int, ...]] = set()
+        for quad in accepted:
+            if quad.min_hat < max_min - tol and self.top_t == 1:
+                continue  # superseded (defensive; see module docstring)
+            key = quad.cover_key()
+            if key in seen_covers:
+                continue
+            seen_covers.add(key)
+            regions.append(compute_optimal_region(
+                quad.rect, quad.containing, nlcs, score=quad.min_hat))
+        regions.sort(key=lambda r: -r.score)
+        if self.top_t > 1:
+            regions = _keep_top_t(regions, self.top_t, tol)
+        t2 = time.perf_counter()
+
+        return MaxBRkNNResult(
+            score=max_min, regions=tuple(regions), nlcs=nlcs, space=space,
+            stats=stats.freeze(),
+            timings={"phase1": t1 - t0, "phase2": t2 - t1})
+
+    # ------------------------------------------------------------------ #
+    # Phase I
+    # ------------------------------------------------------------------ #
+
+    def _phase1(self, nlcs: CircleSet,
+                space: Rect) -> tuple[list[Quadrant], float, _MutableStats]:
+        stats = _MutableStats()
+        resolution = max(space.width, space.height) * self.resolution_fraction
+        # The geometric resolution doubles as the graze tolerance of the
+        # quadrant predicates (see CircleSet.classify_rect): overlaps
+        # thinner than the resolution are treated as non-overlaps.
+        backend = make_backend(self.backend_name, nlcs,
+                               graze_tol=resolution)
+        limit = self.max_iterations
+        if limit is None:
+            limit = 400 * len(nlcs) + 200_000
+
+        counter = itertools.count()  # heap tie-breaker
+        heap: list[tuple[float, int, Quadrant]] = []
+        max_min = 0.0
+        # For top_t > 1 the Theorem 2 threshold is the t-th best consistent
+        # score (tracked as a min-heap of the best t); for top_t == 1 it is
+        # the paper's MaxMin (raised by any quadrant's m̂in).
+        frontier: list[float] = []
+        accepted: list[Quadrant] = []
+        found_covers: list[frozenset[int]] = []
+
+        def push(quad: Quadrant) -> None:
+            nonlocal max_min
+            stats.generated += 1
+            stats.max_depth = max(stats.max_depth, quad.depth)
+            if self.top_t == 1:
+                if quad.min_hat > max_min:
+                    max_min = quad.min_hat
+            heapq.heappush(heap, (-quad.max_hat, next(counter), quad))
+
+        root = backend.classify(space, backend.root_candidates(), depth=0)
+        push(root)
+
+        prev_split: Quadrant | None = None
+        same_frontier_count = 0
+        pops = 0
+
+        # Set REPRO_MAXFIRST_DEBUG=<N> to log search progress every N pops
+        # (diagnosing slow convergence on adversarial instances).
+        debug = int(os.environ.get("REPRO_MAXFIRST_DEBUG", "0"))
+        while heap:
+            pops += 1
+            if debug and pops % debug == 0:
+                top = heap[0][2]
+                print(f"[maxfirst] pops={pops} heap={len(heap)} "
+                      f"maxmin={max_min:.4f} top(max={top.max_hat:.4f} "
+                      f"min={top.min_hat:.4f} depth={top.depth} "
+                      f"width={top.rect.width:.2e} "
+                      f"nI={len(top.intersecting)}) "
+                      f"accepted={len(accepted)}")
+            if pops > limit:
+                raise RuntimeError(
+                    f"MaxFirst did not converge within {limit} iterations "
+                    f"(heap size {len(heap)}, MaxMin {max_min}); this "
+                    "indicates a degenerate instance below the resolution "
+                    "guard — raise resolution_fraction or max_iterations")
+            _, _, quad = heapq.heappop(heap)
+            tol = self.tie_tol * max(1.0, abs(max_min))
+
+            if quad.max_hat < max_min - tol:
+                stats.pruned_theorem2 += 1  # Theorem 2
+                continue
+
+            if quad.max_hat <= max_min + tol:
+                # m̂ax == MaxMin: Theorem-3 prune, result, or keep
+                # splitting.  The Theorem 3 test runs before the
+                # consistency test (the pseudocode orders them the other
+                # way): a consistent quadrant of an already-found region
+                # has Q.I equal to that region's cover, so testing
+                # Q.I ⊆ cover first prunes the thousands of duplicate
+                # acceptances that interior quadrants of a large optimal
+                # region would otherwise produce, and a *new* tied region
+                # can never be subset-pruned (equal positive score sums
+                # force equal covers).
+                if self._theorem3_prunes(quad, found_covers):
+                    stats.pruned_theorem3 += 1
+                    continue
+                if quad.min_hat >= quad.max_hat - tol:
+                    self._accept(quad, accepted, found_covers, frontier,
+                                 stats)
+                    if self.top_t > 1:
+                        max_min = self._top_t_threshold(frontier)
+                    continue
+            elif self.top_t > 1:
+                # In top-t mode the Theorem 2 threshold stays low until t
+                # distinct regions exist, so — unlike the t=1 pseudocode —
+                # found-region pruning and acceptance must fire on every
+                # pop or the area around each found region is tessellated
+                # to machine precision.
+                if self._theorem3_prunes(quad, found_covers):
+                    stats.pruned_theorem3 += 1
+                    continue
+                if quad.min_hat >= quad.max_hat - tol:
+                    self._accept(quad, accepted, found_covers, frontier,
+                                 stats)
+                    max_min = self._top_t_threshold(frontier)
+                    continue
+
+            # --- split ------------------------------------------------ #
+            # Close at the resolution floor.  The test is on the SMALLER
+            # dimension: point splits can produce sliver quadrants whose
+            # aspect ratio center-splitting preserves, and a sliver
+            # thinner than the resolution cannot host a feature above the
+            # resolution — whatever optimal region crosses it extends
+            # into (and is found via) its full-size neighbours.
+            if min(quad.rect.width, quad.rect.height) <= resolution:
+                stats.resolution_closed += 1
+                # Accepted with its proven lower bound as the score; the
+                # resolution_closed counter flags the imprecision.
+                self._accept(quad, accepted, found_covers, frontier,
+                             stats)
+                if self.top_t > 1:
+                    max_min = self._top_t_threshold(frontier)
+                continue
+
+            if prev_split is not None and quad.same_frontier(prev_split):
+                same_frontier_count += 1
+            else:
+                same_frontier_count = 0
+
+            # Degeneracy handling fires on the paper's trigger (m
+            # consecutive same-frontier splits), on depth (interleaved
+            # pops starve the global counter when many degenerate spots
+            # coexist), and immediately for re-queued refined quadrants.
+            split_point = None
+            triggered = (quad.refined
+                         or same_frontier_count >= self.m_threshold
+                         or quad.depth >= self.degeneracy_depth)
+            if triggered:
+                stats.intersection_checks += 1
+                split_point = self._common_point_inside(quad, nlcs, space)
+                if same_frontier_count >= self.m_threshold:
+                    same_frontier_count = 0
+                if split_point is None:
+                    action, requeue = self._refinement_action(
+                        quad, nlcs, max_min, tol, resolution,
+                        found_covers, stats)
+                    if action == "prune":
+                        prev_split = quad
+                        continue
+                    if action == "requeue":
+                        prev_split = quad
+                        heapq.heappush(
+                            heap,
+                            (-requeue.max_hat, next(counter), requeue))
+                        continue
+
+            prev_split = quad
+            stats.splits += 1
+            if split_point is not None:
+                px, py = split_point
+                stats.point_splits += 1
+                children = quad.rect.split_at(px, py)
+            else:
+                children = quad.rect.split_center()
+            for child_rect in children:
+                if child_rect == quad.rect:
+                    # split_at on a boundary point can echo the quadrant
+                    # itself; recurse through the centre instead.
+                    for sub in quad.rect.split_center():
+                        push(backend.classify(sub, quad.intersecting,
+                                              quad.depth + 1))
+                    continue
+                push(backend.classify(child_rect, quad.intersecting,
+                                      quad.depth + 1))
+
+        if self.top_t == 1:
+            final = max_min
+        else:
+            final = max((q.min_hat for q in accepted), default=0.0)
+        return accepted, final, stats
+
+    # ------------------------------------------------------------------ #
+
+    def _accept(self, quad: Quadrant, accepted: list[Quadrant],
+                found_covers: list[frozenset[int]], frontier: list[float],
+                stats: _MutableStats) -> None:
+        stats.results += 1
+        accepted.append(quad)
+        cover = frozenset(int(i) for i in quad.containing)
+        duplicate_cover = cover in found_covers
+        if not duplicate_cover:
+            found_covers.append(cover)
+        if self.top_t > 1 and not duplicate_cover:
+            # Only distinct regions advance the top-t frontier: two
+            # quadrants of one region must not consume two frontier slots.
+            score = quad.min_hat
+            if len(frontier) < self.top_t:
+                heapq.heappush(frontier, score)
+            elif score > frontier[0]:
+                heapq.heapreplace(frontier, score)
+
+    def _top_t_threshold(self, frontier: list[float]) -> float:
+        """Theorem 2 threshold in top-t mode: prune only below the t-th
+        best consistent score found so far (0 until t regions exist)."""
+        if len(frontier) < self.top_t:
+            return 0.0
+        return frontier[0]
+
+    def _refinement_action(self, quad: Quadrant, nlcs: CircleSet,
+                           max_min: float, tol: float, resolution: float,
+                           found_covers: list[frozenset[int]],
+                           stats: _MutableStats
+                           ) -> tuple[str, Quadrant | None]:
+        """Compatibility refinement (see :mod:`repro.core.refine`).
+
+        Returns ``("prune", None)`` when the quadrant is finished — its
+        refined upper bound is below the Theorem 2 threshold, or every
+        compatible subset that could still tie the optimum extends a
+        found cover (its region is already discovered: the mechanism that
+        terminates the tessellation of cusps between tangent NLCs).
+        Returns ``("requeue", quadrant)`` when the refined bound tightened
+        ``m̂ax`` to the MaxMin plateau but the blocking regions are not
+        found yet: the re-queued copy sits behind same-priority genuine
+        work (FIFO tie-break), so the blocking regions get discovered
+        first and the next pop prunes.  ``("split", None)`` otherwise.
+        """
+        stats.refinement_checks += 1
+        refinement = refine_quadrant(
+            nlcs, quad.boundary_only, quad.rect,
+            base_score=quad.min_hat, value_floor=max_min - tol,
+            tol=resolution)
+        if refinement is None:
+            return ("split", None)
+        if refinement.refined_max < max_min - tol:
+            stats.pruned_refined += 1
+            return ("prune", None)
+        if (refinement.complete
+                and refinement.refined_max <= max_min + tol
+                and refinement.top_cliques):
+            containing = frozenset(int(i) for i in quad.containing)
+            covered = all(
+                any((containing | frozenset(clique)) <= cover
+                    for cover in found_covers)
+                for clique in refinement.top_cliques)
+            if covered:
+                stats.pruned_refined += 1
+                return ("prune", None)
+            if (not quad.refined
+                    and refinement.refined_max < quad.max_hat - tol):
+                # One re-queue per quadrant: if the blocking regions are
+                # still unfound on the second pop (e.g. a pairwise-
+                # compatible clique with empty common intersection —
+                # Helly failure — whose region never materialises), fall
+                # through to a regular split, which shrinks the rectangle
+                # and tightens the next refinement.
+                requeue = Quadrant(
+                    rect=quad.rect, intersecting=quad.intersecting,
+                    containing_mask=quad.containing_mask,
+                    max_hat=refinement.refined_max,
+                    min_hat=quad.min_hat, depth=quad.depth, refined=True)
+                return ("requeue", requeue)
+            return ("split", None)
+        if refinement.refined_max < quad.max_hat - tol:
+            # Above the plateau but tighter than m̂ax: re-queue once with
+            # the better priority so ordering reflects reality.
+            if not quad.refined:
+                requeue = Quadrant(
+                    rect=quad.rect, intersecting=quad.intersecting,
+                    containing_mask=quad.containing_mask,
+                    max_hat=refinement.refined_max,
+                    min_hat=quad.min_hat, depth=quad.depth, refined=True)
+                return ("requeue", requeue)
+        return ("split", None)
+
+    def _theorem3_prunes(self, quad: Quadrant,
+                         found_covers: list[frozenset[int]]) -> bool:
+        if not found_covers:
+            return False
+        inter = frozenset(int(i) for i in quad.intersecting)
+        if self.theorem3 == "equality":
+            return any(inter == cover for cover in found_covers)
+        return any(inter <= cover for cover in found_covers)
+
+    def _common_point_inside(self, quad: Quadrant, nlcs: CircleSet,
+                             space: Rect) -> tuple[float, float] | None:
+        """The intersection-point detector (Algorithm 1 line 26).
+
+        Returns a point strictly inside the quadrant where every NLC in
+        ``Q.I - Q.C`` meets, or ``None``.
+        """
+        boundary = quad.boundary_only
+        if len(boundary) < 2:
+            return None
+        circles = nlcs.circles(boundary)
+        tol = max(space.width, space.height) * 1e-9
+        p = disks_common_point(circles, tol=tol)
+        if p is None:
+            return None
+        rect = quad.rect
+        if not (rect.xmin < p.x < rect.xmax and rect.ymin < p.y < rect.ymax):
+            return None
+        return (p.x, p.y)
+
+
+def _keep_top_t(regions: list, top_t: int, tol: float) -> list:
+    """Regions whose score ties one of the ``top_t`` best distinct scores."""
+    distinct: list[float] = []
+    for region in regions:  # already sorted descending
+        if not distinct or distinct[-1] - region.score > tol:
+            distinct.append(region.score)
+        if len(distinct) > top_t:
+            break
+    cutoff = distinct[min(top_t, len(distinct)) - 1] - tol
+    return [r for r in regions if r.score >= cutoff]

@@ -1,0 +1,115 @@
+"""Problem specification for (generalized) MaxBRkNN.
+
+A :class:`MaxBRkNNProblem` bundles the customer objects ``O`` (with
+weights), the service sites ``P``, the neighbourhood size ``k`` and the
+probability model(s).  It validates everything once so the solvers can
+assume clean input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.probability import ProbabilityModel, resolve_models
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class MaxBRkNNProblem:
+    """An instance of the generalized MaxBRkNN problem.
+
+    Parameters
+    ----------
+    customers:
+        ``(n, 2)`` array-like of customer object locations (the set ``O``).
+    sites:
+        ``(m, 2)`` array-like of existing service site locations (``P``).
+    k:
+        Customers consider their ``k`` nearest service sites.  Requires
+        ``k <= m`` (the ``k``-th nearest site must exist).
+    weights:
+        Optional per-customer importance ``w(o) >= 0``; defaults to 1.
+    probability:
+        ``None`` (uniform), a :class:`ProbabilityModel`, a probability
+        sequence, or a list of one model per customer.
+
+    >>> p = MaxBRkNNProblem([(0, 0), (2, 0)], [(1, 0), (5, 5), (-3, 0)], k=2)
+    >>> p.n_customers, p.n_sites
+    (2, 3)
+    """
+
+    customers: np.ndarray
+    sites: np.ndarray
+    k: int = 1
+    weights: np.ndarray | None = None
+    probability: object = None
+    models: list[ProbabilityModel] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        customers = _as_points_array(self.customers, "customers")
+        sites = _as_points_array(self.sites, "sites")
+        object.__setattr__(self, "customers", customers)
+        object.__setattr__(self, "sites", sites)
+
+        if customers.shape[0] == 0:
+            raise ValueError("at least one customer object is required")
+        if sites.shape[0] == 0:
+            raise ValueError("at least one service site is required")
+        if not isinstance(self.k, (int, np.integer)) or self.k < 1:
+            raise ValueError(f"k must be a positive integer, got {self.k!r}")
+        if self.k > sites.shape[0]:
+            raise ValueError(
+                f"k={self.k} exceeds the number of service sites "
+                f"({sites.shape[0]}): the k-th nearest site must exist")
+
+        if self.weights is None:
+            weights = np.ones(customers.shape[0], dtype=np.float64)
+        else:
+            weights = np.asarray(self.weights, dtype=np.float64).ravel()
+            if weights.shape[0] != customers.shape[0]:
+                raise ValueError(
+                    f"weights has {weights.shape[0]} entries for "
+                    f"{customers.shape[0]} customers")
+            if not np.isfinite(weights).all() or (weights < 0).any():
+                raise ValueError("weights must be finite and non-negative")
+        object.__setattr__(self, "weights", weights)
+
+        models = resolve_models(self.probability, int(self.k),
+                                customers.shape[0])
+        object.__setattr__(self, "models", models)
+
+    @property
+    def n_customers(self) -> int:
+        return int(self.customers.shape[0])
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.sites.shape[0])
+
+    @property
+    def has_uniform_probability(self) -> bool:
+        """True when every customer uses the uniform (classic) model —
+        the precondition for comparing against MaxOverlap."""
+        first = self.models[0]
+        return (first.is_uniform()
+                and all(m is first or m.is_uniform() for m in self.models))
+
+    def data_bounds(self) -> Rect:
+        """Bounding box of all customers and sites."""
+        xs = np.concatenate([self.customers[:, 0], self.sites[:, 0]])
+        ys = np.concatenate([self.customers[:, 1], self.sites[:, 1]])
+        return Rect(float(xs.min()), float(ys.min()),
+                    float(xs.max()), float(ys.max()))
+
+
+def _as_points_array(data, name: str) -> np.ndarray:
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(
+            f"{name} must be an (n, 2) array of planar points, "
+            f"got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains non-finite coordinates")
+    return np.ascontiguousarray(arr)

@@ -1,0 +1,125 @@
+"""Phase II of MaxFirst: construct the optimal region from a quadrant.
+
+Given a maximum-score quadrant ``Q``, the optimal region is the
+intersection of the disks in ``Q.C``.  Algorithm 2 of the paper avoids
+intersecting all of them: it orders the NLCs by the shortest distance from
+the quadrant centre ``s`` to their circumference and stops as soon as the
+next circumference is farther from ``s`` than any boundary point of the
+overlap built so far (``d_max``) — such a disk cannot clip the region.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.arcs import ArcRegion
+from repro.geometry.intersection import intersect_disks
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+
+@dataclass(frozen=True)
+class OptimalRegion:
+    """One optimal region of a MaxBRkNN instance.
+
+    Attributes
+    ----------
+    score:
+        The influence every location in the region attains (the maximum).
+    shape:
+        The region geometry (intersection of NLC disks), or ``None`` for
+        the degenerate zero-score case where no NLC covers the quadrant —
+        then any location works and ``seed_quadrant`` is as good as any.
+    seed_quadrant:
+        The Phase I quadrant the region was grown from.
+    cover:
+        Indices (into the solver's NLC set) of the disks covering the
+        quadrant — the region is exactly their intersection.
+    clipping_count:
+        How many of those disks Algorithm 2 actually had to intersect
+        before the ``d_max`` early stop fired (a measure of the shortcut's
+        effectiveness).
+    """
+
+    score: float
+    shape: ArcRegion | None
+    seed_quadrant: Rect
+    cover: tuple[int, ...]
+    clipping_count: int
+
+    @property
+    def area(self) -> float:
+        if self.shape is None:
+            return self.seed_quadrant.area
+        return self.shape.area
+
+    def representative_point(self) -> Point:
+        """A concrete optimal location inside the region."""
+        if self.shape is None:
+            return self.seed_quadrant.center
+        return self.shape.representative_point()
+
+    def contains_point(self, x: float, y: float,
+                       tol: float = 1e-9) -> bool:
+        """True when ``(x, y)`` belongs to the optimal region."""
+        if self.shape is None:
+            return self.seed_quadrant.contains_point(x, y)
+        return self.shape.contains_point(x, y, tol=tol)
+
+
+def compute_optimal_region(quadrant_rect: Rect, cover: np.ndarray,
+                           nlcs: CircleSet, score: float,
+                           tol: float = 1e-9) -> OptimalRegion:
+    """Algorithm 2: grow the optimal region from a quadrant.
+
+    ``cover`` are the indices of the NLCs containing the quadrant
+    (``Q.C``).  The distance-ordered heap and the ``d_max`` stopping rule
+    follow the pseudocode; the disk-intersection kernel is
+    :func:`repro.geometry.intersection.intersect_disks`.
+    """
+    cover_tuple = tuple(int(i) for i in cover)
+    if not cover_tuple:
+        return OptimalRegion(score=score, shape=None,
+                             seed_quadrant=quadrant_rect,
+                             cover=(), clipping_count=0)
+
+    s = quadrant_rect.center
+    if len(cover_tuple) == 1:
+        only = nlcs.circle(cover_tuple[0])
+        shape = intersect_disks([only], tol=tol)
+        return OptimalRegion(score=score, shape=shape,
+                             seed_quadrant=quadrant_rect,
+                             cover=cover_tuple, clipping_count=1)
+
+    # Heap of (shortest distance from s to circumference, NLC index).  The
+    # quadrant is inside every covering disk, so the signed distance
+    # r - dist(s, centre) is non-negative (up to rounding at the quadrant's
+    # own corners; clamp for safety).
+    heap: list[tuple[float, int]] = []
+    for idx in cover_tuple:
+        c = nlcs.circle(idx)
+        d = max(c.signed_boundary_distance(s.x, s.y), 0.0)
+        heap.append((d, idx))
+    heapq.heapify(heap)
+
+    _, first = heapq.heappop(heap)
+    _, second = heapq.heappop(heap)
+    selected = [first, second]
+    region = intersect_disks(nlcs.circles(selected), tol=tol)
+    d_max = region.max_distance_from(s.x, s.y)
+
+    while heap:
+        d, idx = heapq.heappop(heap)
+        if d >= d_max:
+            break  # no remaining disk can clip the overlap (Algorithm 2)
+        selected.append(idx)
+        region = intersect_disks(nlcs.circles(selected), tol=tol)
+        d_max = region.max_distance_from(s.x, s.y)
+
+    return OptimalRegion(score=score, shape=region,
+                         seed_quadrant=quadrant_rect,
+                         cover=cover_tuple, clipping_count=len(selected))

@@ -1,0 +1,82 @@
+"""Result containers for MaxBRkNN solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.quadrant import MaxFirstStats
+from repro.core.region import OptimalRegion
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+
+@dataclass(frozen=True)
+class MaxBRkNNResult:
+    """Outcome of a MaxBRkNN query.
+
+    Attributes
+    ----------
+    score:
+        The maximum attainable influence (sum of ``w(o) * prob_i(o)`` over
+        the customers won).
+    regions:
+        Every distinct optimal region (usually one; the problem can have
+        several regions that tie at the maximum).
+    nlcs:
+        The scored NLC set the solver worked on — useful for follow-up
+        influence queries without re-running pre-processing.
+    space:
+        The data space that was searched.
+    stats:
+        Phase I counters (``None`` for solvers without them, e.g.
+        MaxOverlap returns its own stats type).
+    timings:
+        Wall-clock seconds per pipeline stage, keyed by stage name
+        (``"nlc"``, ``"phase1"``, ``"phase2"`` for MaxFirst).
+    """
+
+    score: float
+    regions: tuple[OptimalRegion, ...]
+    nlcs: CircleSet
+    space: Rect
+    stats: MaxFirstStats | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best_region(self) -> OptimalRegion:
+        """The first optimal region (all regions tie on score)."""
+        if not self.regions:
+            raise ValueError("result has no regions")
+        return self.regions[0]
+
+    def optimal_location(self) -> Point:
+        """A concrete optimal location (a point inside an optimal region)."""
+        return self.best_region.representative_point()
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        lines = [
+            f"MaxBRkNN optimum: score {self.score:.6g} attained in "
+            f"{len(self.regions)} region(s)",
+        ]
+        for i, region in enumerate(self.regions):
+            p = region.representative_point()
+            lines.append(
+                f"  region {i}: area {region.area:.6g}, e.g. location "
+                f"({p.x:.6g}, {p.y:.6g}), {len(region.cover)} covering NLCs")
+        if self.stats is not None:
+            s = self.stats
+            lines.append(
+                f"  quadrants: {s.generated} generated, {s.splits} split, "
+                f"{s.pruned_theorem2} pruned (Thm 2), "
+                f"{s.pruned_theorem3} pruned (Thm 3)")
+        if self.timings:
+            total = ", ".join(f"{k} {v:.4f}s" for k, v in
+                              self.timings.items())
+            lines.append(f"  time: {total}")
+        return "\n".join(lines)

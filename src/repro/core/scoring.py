@@ -1,0 +1,185 @@
+"""Region-semantics scoring: the value a *neighbourhood* can attain.
+
+MaxBRkNN (following Wong et al.'s *maximal consistent region*) asks for
+full-dimensional regions: the optimum is the essential supremum of
+``total_score``, not its pointwise supremum.  The two differ exactly at
+points where NLC circumferences meet — and such points are pervasive, not
+exotic: every customer's ``k``-th NLC passes exactly through its ``k``-th
+nearest service site, so every site is a common point of many circles.  A
+new site placed exactly there would only *tie* the incumbent; the paper's
+regions never collapse to such points.
+
+:func:`neighborhood_score` computes, exactly, the ess-sup of
+``total_score`` in an infinitesimal neighbourhood of a point:
+
+* disks containing the point strictly contribute unconditionally;
+* a circle passing *through* the point contributes on an open half-circle
+  of approach directions (its interior looks locally like a half-plane);
+* the answer is the base score plus the best directional sum, found by a
+  sweep over the half-circle interval endpoints.
+
+MaxOverlap's step (d) and the brute-force reference solver both evaluate
+candidate points with this function, which makes them agree with MaxFirst
+(whose quadrant predicates encode the same semantics — see
+:meth:`repro.index.circleset.CircleSet.intersects_rect_mask`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.circleset import CircleSet
+
+
+def neighborhood_score(nlcs: CircleSet, x: float, y: float,
+                       tol: float,
+                       candidates: np.ndarray | None = None) -> float:
+    """Essential supremum of ``total_score`` near ``(x, y)``.
+
+    ``tol`` classifies a disk whose circumference is within ``tol`` of the
+    point as passing *through* it (floating point stands in for the exact
+    incidences of the problem construction).  ``candidates`` restricts the
+    disks tested (they must include every disk whose closure contains the
+    point).
+    """
+    if candidates is None:
+        cx, cy, r, scores = nlcs.cx, nlcs.cy, nlcs.r, nlcs.scores
+    else:
+        cx = nlcs.cx[candidates]
+        cy = nlcs.cy[candidates]
+        r = nlcs.r[candidates]
+        scores = nlcs.scores[candidates]
+
+    dx = cx - x
+    dy = cy - y
+    d = np.hypot(dx, dy)
+    strict_inside = d < r - tol
+    base = float(scores[strict_inside].sum())
+
+    # A zero-radius disk has empty interior: it can never cover a
+    # neighbourhood, so it contributes nothing under region semantics.
+    through = (np.abs(d - r) <= tol) & (r > tol)
+    t = int(through.sum())
+    if t == 0:
+        return base
+    if t == 1:
+        return base + float(scores[through].sum())
+
+    phi = np.arctan2(dy[through], dx[through])  # direction to each centre
+    weights = scores[through]
+    margins = _window_margins(r[through], tol)
+    return base + _best_halfplane_sum(phi, weights, margins)
+
+
+def neighborhood_cover(nlcs: CircleSet, x: float, y: float,
+                       tol: float,
+                       candidates: np.ndarray | None = None
+                       ) -> tuple[float, np.ndarray]:
+    """Best local value *and* the disks realising it.
+
+    Returns ``(value, cover)`` where ``cover`` indexes the disks (in the
+    full NLC set) whose intersection is the optimal region touching
+    ``(x, y)``: the disks containing the point strictly, plus the
+    through-circles covering the best approach direction.  The intersection
+    of exactly these closed disks is the maximal consistent region through
+    the winning wedge (every interior point of the intersection attains
+    ``value``, and each bounding disk carries positive score, so stepping
+    outside any of them loses score).
+    """
+    if candidates is None:
+        candidates = np.arange(len(nlcs), dtype=np.int64)
+    else:
+        candidates = np.asarray(candidates, dtype=np.int64)
+    cx = nlcs.cx[candidates]
+    cy = nlcs.cy[candidates]
+    r = nlcs.r[candidates]
+    scores = nlcs.scores[candidates]
+
+    dx = cx - x
+    dy = cy - y
+    d = np.hypot(dx, dy)
+    strict_inside = d < r - tol
+    base = float(scores[strict_inside].sum())
+    base_cover = candidates[strict_inside]
+
+    through = (np.abs(d - r) <= tol) & (r > tol)
+    t = int(through.sum())
+    if t == 0:
+        return base, base_cover
+    phi = np.arctan2(dy[through], dx[through])
+    weights = scores[through]
+    through_idx = candidates[through]
+    if t == 1:
+        return (base + float(weights.sum()),
+                np.concatenate((base_cover, through_idx)))
+
+    margins = _window_margins(r[through], tol)
+    best_sum, direction = _best_halfplane_direction(phi, weights, margins)
+    covered = np.cos(direction - phi) > np.sin(margins)
+    cover = np.concatenate((base_cover, through_idx[covered]))
+    return base + best_sum, cover
+
+
+def pointwise_score(nlcs: CircleSet, x: float, y: float,
+                    tol: float = 0.0,
+                    candidates: np.ndarray | None = None) -> float:
+    """Classic closed-disk ``total_score`` at a point (Definition 4).
+
+    This is the *pointwise* value; it exceeds :func:`neighborhood_score`
+    exactly at circle-coincidence points.  Kept public because it is the
+    natural upper bound used to prioritise exact evaluations.
+    """
+    return nlcs.cover_score_at(x, y, candidates=candidates, tol=tol)
+
+
+def _window_margins(radii: np.ndarray, tol: float) -> np.ndarray:
+    """Angular shrink of each through-circle's direction window.
+
+    A wedge of angular width ``theta`` between two circles of radius
+    ``r`` has thickness ``~ r * theta^2 / 8``: wedges narrower than
+    ``sqrt(tol / r)``-scale cannot contain a feature above the geometric
+    resolution ``tol``, so they are not full-dimensional regions.
+    Shrinking each half-circle window by ``delta_i = sqrt(2 tol / r_i)``
+    suppresses them — in particular the float-level phantom lenses
+    between *exactly tangent* NLCs (whose true common region is a single
+    point) that would otherwise let tangent disks stack.
+    """
+    with np.errstate(divide="ignore"):
+        margins = np.sqrt(2.0 * tol / np.maximum(radii, tol))
+    return np.minimum(margins, np.pi / 4.0)
+
+
+def _best_halfplane_sum(phi: np.ndarray, weights: np.ndarray,
+                        margins: np.ndarray) -> float:
+    """Max over directions ``u`` of the summed weight of windows
+    containing ``u``."""
+    best, _ = _best_halfplane_direction(phi, weights, margins)
+    return best
+
+
+def _best_halfplane_direction(phi: np.ndarray, weights: np.ndarray,
+                              margins: np.ndarray
+                              ) -> tuple[float, float]:
+    """Best directional sum and a direction attaining it.
+
+    Each through-circle covers the open angular window within
+    ``pi/2 - margin_i`` of ``phi_i`` (see :func:`_window_margins`).  The
+    maximum over ``u`` is attained away from interval endpoints, so
+    evaluating the midpoints between consecutive endpoint angles is
+    exact.
+    """
+    half_widths = np.pi / 2.0 - margins
+    endpoints = np.concatenate((phi - half_widths, phi + half_widths))
+    endpoints = np.mod(endpoints, 2.0 * np.pi)
+    endpoints.sort()
+    # Midpoints of consecutive endpoint gaps (wrapping around).
+    nxt = np.roll(endpoints, -1).copy()
+    nxt[-1] += 2.0 * np.pi
+    mids = (endpoints + nxt) / 2.0
+    # coverage[j, i] == True when direction mids[j] is inside window i:
+    # |u - phi_i| < pi/2 - margin_i  <=>  cos(u - phi_i) > sin(margin_i).
+    delta = np.cos(mids[:, None] - phi[None, :])
+    covered = delta > np.maximum(np.sin(margins), 1e-12)[None, :]
+    sums = covered @ weights
+    j = int(sums.argmax())
+    return float(sums[j]), float(mids[j])

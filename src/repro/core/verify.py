@@ -1,0 +1,118 @@
+"""Independent verification of solver results.
+
+``verify_result`` audits a :class:`~repro.core.result.MaxBRkNNResult`
+against its own NLC set using only the scoring primitives (no solver
+machinery): every region's representative must attain the claimed score,
+region interiors must be score-uniform, and no sampled location may beat
+the claimed optimum.  It is the library's answer to "how do I know the
+solver is right on *my* data?" — and the test-suite's cross-check oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import MaxBRkNNResult
+from repro.core.scoring import neighborhood_score
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a result audit.
+
+    ``ok`` summarises; ``issues`` lists human-readable findings (empty
+    when the result verifies).  ``sampled_best`` is the best influence
+    seen among the random probes — a lower-bound witness.
+    """
+
+    ok: bool
+    issues: tuple[str, ...]
+    regions_checked: int
+    samples_checked: int
+    sampled_best: float
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "result failed verification:\n  " + "\n  ".join(self.issues))
+
+
+def verify_result(result: MaxBRkNNResult, samples: int = 2_000,
+                  region_probes: int = 32, seed: int = 0,
+                  rel_tol: float = 1e-6) -> VerificationReport:
+    """Audit a solve: regions attain the score, nothing sampled beats it.
+
+    Parameters
+    ----------
+    samples:
+        Random locations across the search space checked against the
+        claimed optimum (a probabilistic no-better-point check).
+    region_probes:
+        Random interior probes per region checking score uniformity.
+    """
+    issues: list[str] = []
+    nlcs = result.nlcs
+    space = result.space
+    tol = 1e-9 * max(space.width, space.height, 1.0)
+    score_tol = rel_tol * max(1.0, abs(result.score))
+    rng = np.random.default_rng(seed)
+
+    # 1. Every region's representative point attains the claimed score.
+    for i, region in enumerate(result.regions):
+        p = region.representative_point()
+        value = neighborhood_score(nlcs, p.x, p.y, tol=tol)
+        if value < region.score - score_tol:
+            issues.append(
+                f"region {i}: representative point ({p.x:.6g}, {p.y:.6g}) "
+                f"attains {value:.6g} < claimed {region.score:.6g}")
+
+    # 2. Region interiors are score-uniform at the claimed level.
+    for i, region in enumerate(result.regions):
+        if region.shape is None:
+            continue
+        box = region.shape.bounding_box()
+        if box.area == 0:
+            continue
+        hits = 0
+        for _ in range(region_probes * 4):
+            if hits >= region_probes:
+                break
+            x = box.xmin + rng.random() * box.width
+            y = box.ymin + rng.random() * box.height
+            if not region.contains_point(x, y, tol=-tol):
+                continue
+            hits += 1
+            value = neighborhood_score(nlcs, x, y, tol=tol)
+            if value < region.score - score_tol:
+                issues.append(
+                    f"region {i}: interior point ({x:.6g}, {y:.6g}) "
+                    f"scores {value:.6g} < claimed {region.score:.6g}")
+                break
+
+    # 3. No sampled location beats the optimum.
+    xs = space.xmin + rng.random(samples) * space.width
+    ys = space.ymin + rng.random(samples) * space.height
+    all_idx = np.arange(len(nlcs), dtype=np.int64)
+    points = np.column_stack((xs, ys))
+    # Closed-disk scores upper-bound the neighbourhood score, so only
+    # suspicious points need the exact evaluation.
+    upper = nlcs.cover_scores_at_points(points, all_idx, tol=tol)
+    sampled_best = 0.0
+    for j in np.flatnonzero(upper > result.score - score_tol):
+        value = neighborhood_score(nlcs, float(xs[j]), float(ys[j]),
+                                   tol=tol)
+        sampled_best = max(sampled_best, value)
+        if value > result.score + score_tol:
+            issues.append(
+                f"sampled location ({xs[j]:.6g}, {ys[j]:.6g}) scores "
+                f"{value:.6g} > claimed optimum {result.score:.6g}")
+    if sampled_best == 0.0 and samples:
+        sampled_best = float(
+            min(upper.max(), result.score))
+
+    return VerificationReport(
+        ok=not issues, issues=tuple(issues),
+        regions_checked=len(result.regions),
+        samples_checked=samples, sampled_best=sampled_best)

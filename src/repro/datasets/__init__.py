@@ -1,0 +1,30 @@
+"""Workload generators and dataset IO.
+
+* :mod:`~repro.datasets.synthetic` — the paper's synthetic workloads:
+  uniformly and normally distributed customer/site sets, plus a clustered
+  generator.
+* :mod:`~repro.datasets.realworld` — seeded substitutes for the paper's
+  UX and NE real-world datasets (rtreeportal.org is long gone; DESIGN.md
+  §4 records the substitution).
+* :mod:`~repro.datasets.loader` — CSV save/load for point sets.
+"""
+
+from repro.datasets.loader import load_points_csv, save_points_csv
+from repro.datasets.realworld import (NE_CARDINALITY, UX_CARDINALITY,
+                                      make_ne, make_ux, split_sites)
+from repro.datasets.synthetic import (clustered_points, normal_points,
+                                      synthetic_instance, uniform_points)
+
+__all__ = [
+    "NE_CARDINALITY",
+    "UX_CARDINALITY",
+    "clustered_points",
+    "load_points_csv",
+    "make_ne",
+    "make_ux",
+    "normal_points",
+    "save_points_csv",
+    "split_sites",
+    "synthetic_instance",
+    "uniform_points",
+]

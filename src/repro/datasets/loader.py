@@ -1,0 +1,51 @@
+"""CSV save/load for planar point sets.
+
+The format is the two-column ``x,y`` CSV that spatial tool chains exchange;
+an optional header row is detected on load.  Kept dependency-free (no
+pandas in this environment).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+
+def save_points_csv(path: str | Path, points: np.ndarray,
+                    header: bool = True) -> None:
+    """Write an ``(n, 2)`` point array as CSV."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"points must be (n, 2), got shape {pts.shape}")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["x", "y"])
+        writer.writerows(pts.tolist())
+
+
+def load_points_csv(path: str | Path) -> np.ndarray:
+    """Read a two-column CSV of points; tolerates a header row."""
+    rows: list[tuple[float, float]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for lineno, row in enumerate(reader):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) < 2:
+                raise ValueError(
+                    f"{path}: line {lineno + 1} has {len(row)} column(s), "
+                    "expected 2")
+            try:
+                rows.append((float(row[0]), float(row[1])))
+            except ValueError:
+                if lineno == 0:
+                    continue  # header row
+                raise ValueError(
+                    f"{path}: line {lineno + 1} is not numeric: {row!r}"
+                ) from None
+    if not rows:
+        raise ValueError(f"{path}: no points found")
+    return np.array(rows, dtype=np.float64)

@@ -1,0 +1,80 @@
+"""Seeded substitutes for the paper's real-world datasets (Table III).
+
+The paper downloads two point sets from ``rtreeportal.org`` (now defunct):
+
+* **UX** — 19,499 populated places and cultural landmarks in the US and
+  Mexico: a continental-scale extent with many small population clusters
+  and diffuse rural background.
+* **NE** — 123,593 geographic locations in north-east America: far denser
+  and dominated by metropolitan agglomerations.
+
+With the originals unavailable offline we generate substitutes with the
+same cardinalities and the qualitative structure above (DESIGN.md §4).
+The Figure 14 experiments depend on cardinality and *clusteredness* (which
+sets the skew of NLC density), both preserved here.  Generators are
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import clustered_points
+from repro.geometry.rect import Rect
+
+UX_CARDINALITY = 19_499
+NE_CARDINALITY = 123_593
+
+# Rough projected extents (degrees): US+Mexico for UX, the north-eastern
+# seaboard for NE.  Only the aspect ratio matters to the algorithms.
+UX_BOUNDS = Rect(-125.0, 14.0, -66.0, 50.0)
+NE_BOUNDS = Rect(-80.0, 38.0, -66.0, 48.0)
+
+
+def make_ux(n: int | None = None, seed: int = 20110411) -> np.ndarray:
+    """The UX substitute: sparse, many small clusters, wide extent.
+
+    ``n`` defaults to the genuine cardinality; pass a smaller value for
+    scaled-down runs (sampling keeps the distribution).
+    """
+    full = clustered_points(
+        UX_CARDINALITY, clusters=60, seed=seed, bounds=UX_BOUNDS,
+        cluster_spread=0.02, background_fraction=0.35)
+    return _maybe_subsample(full, n, seed)
+
+
+def make_ne(n: int | None = None, seed: int = 20110412) -> np.ndarray:
+    """The NE substitute: dense metropolitan clusters, small extent."""
+    full = clustered_points(
+        NE_CARDINALITY, clusters=25, seed=seed, bounds=NE_BOUNDS,
+        cluster_spread=0.035, background_fraction=0.15)
+    return _maybe_subsample(full, n, seed)
+
+
+def split_sites(points: np.ndarray, n_sites: int,
+                seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's Figure 14 protocol: randomly pick ``n_sites`` points as
+    service sites; the remaining points become the customer objects.
+
+    Returns ``(customers, sites)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if not 0 < n_sites < points.shape[0]:
+        raise ValueError(
+            f"n_sites={n_sites} must be in (0, {points.shape[0]})")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(points.shape[0])
+    sites = points[order[:n_sites]]
+    customers = points[order[n_sites:]]
+    return customers, sites
+
+
+def _maybe_subsample(points: np.ndarray, n: int | None,
+                     seed: int) -> np.ndarray:
+    if n is None or n >= points.shape[0]:
+        return points
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed + 1)
+    idx = rng.choice(points.shape[0], size=n, replace=False)
+    return points[np.sort(idx)]

@@ -1,0 +1,47 @@
+"""Planar geometry kernel for the MaxBRkNN reproduction.
+
+This package implements, from scratch, every geometric primitive the
+MaxFirst and MaxOverlap algorithms need:
+
+* :class:`~repro.geometry.point.Point` — immutable 2-D points.
+* :class:`~repro.geometry.rect.Rect` — axis-aligned rectangles (quadrants).
+* :class:`~repro.geometry.circle.Circle` — closed disks (nearest location
+  circles), circle/circle intersection points and circle/rectangle
+  predicates.
+* :class:`~repro.geometry.arcs.Arc` and
+  :class:`~repro.geometry.arcs.ArcRegion` — circular-arc polygons, the
+  representation of optimal regions (intersections of closed disks).
+* :func:`~repro.geometry.intersection.intersect_disks` — robust
+  construction of the intersection of a set of closed disks.
+
+The kernel works with plain ``float`` scalars so it has no mandatory numpy
+dependency in the scalar path; the batch (structure-of-arrays) versions of
+the predicates live in :mod:`repro.index.circleset`.
+"""
+
+from repro.geometry.arcs import Arc, ArcRegion
+from repro.geometry.circle import (
+    Circle,
+    circle_circle_intersection,
+    circle_contains_rect,
+    circle_intersects_rect,
+)
+from repro.geometry.intersection import DisjointDisksError, intersect_disks
+from repro.geometry.point import Point, distance, distance_squared, midpoint
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "Arc",
+    "ArcRegion",
+    "Circle",
+    "DisjointDisksError",
+    "Point",
+    "Rect",
+    "circle_circle_intersection",
+    "circle_contains_rect",
+    "circle_intersects_rect",
+    "distance",
+    "distance_squared",
+    "intersect_disks",
+    "midpoint",
+]

@@ -1,0 +1,314 @@
+"""Circular arcs and circular-arc polygons.
+
+An *optimal region* in MaxBRkNN is the intersection of a set of closed
+disks (the NLCs that cover a maximum-score quadrant).  The intersection of
+disks is convex and its boundary is a closed chain of circular arcs, one or
+more per contributing circle.  :class:`ArcRegion` is that representation;
+:mod:`repro.geometry.intersection` constructs it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Map ``theta`` into ``[0, 2*pi)``."""
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    if theta >= TWO_PI:  # tiny negatives round up to exactly 2*pi
+        theta = 0.0
+    return theta
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A counter-clockwise arc of ``circle`` from ``start`` sweeping ``sweep``.
+
+    ``start`` is in ``[0, 2*pi)`` and ``sweep`` in ``(0, 2*pi]``; a sweep of
+    exactly ``2*pi`` denotes the full circle (a region bounded by a single
+    disk, e.g. a customer whose NLC overlaps no other).
+    """
+
+    circle: Circle
+    start: float
+    sweep: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sweep <= TWO_PI + 1e-12:
+            raise ValueError(f"arc sweep out of range: {self.sweep}")
+
+    @property
+    def end(self) -> float:
+        """End angle (may exceed ``2*pi``; not normalised)."""
+        return self.start + self.sweep
+
+    @property
+    def is_full_circle(self) -> bool:
+        return self.sweep >= TWO_PI - 1e-12
+
+    @property
+    def start_point(self) -> Point:
+        return self.circle.point_at(self.start)
+
+    @property
+    def end_point(self) -> Point:
+        return self.circle.point_at(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        return self.circle.point_at(self.start + 0.5 * self.sweep)
+
+    @property
+    def length(self) -> float:
+        return self.circle.r * self.sweep
+
+    def segment_area(self) -> float:
+        """Area between the chord and the arc (0 for a full circle's chord
+        convention — the full-circle case is handled by the caller)."""
+        r = self.circle.r
+        return 0.5 * r * r * (self.sweep - math.sin(self.sweep))
+
+    def contains_angle(self, theta: float, tol: float = 1e-12) -> bool:
+        """True when boundary angle ``theta`` lies on the arc."""
+        if self.is_full_circle:
+            return True
+        delta = normalize_angle(theta - self.start)
+        return delta <= self.sweep + tol
+
+    def farthest_distance_from(self, x: float, y: float) -> float:
+        """Largest distance from ``(x, y)`` to a point of this arc.
+
+        Used by Algorithm 2's ``d_max`` update: the farthest point of a full
+        circle from ``(x, y)`` lies diametrically away from it; when that
+        point falls outside the arc the maximum moves to an arc endpoint.
+        """
+        c = self.circle
+        d_center = math.hypot(x - c.cx, y - c.cy)
+        if d_center > 1e-15:
+            away = math.atan2(c.cy - y, c.cx - x)
+            if self.contains_angle(away):
+                return d_center + c.r
+        elif self.is_full_circle:
+            return c.r
+        sp = self.start_point
+        ep = self.end_point
+        return max(math.hypot(x - sp.x, y - sp.y),
+                   math.hypot(x - ep.x, y - ep.y))
+
+    def sample(self, n: int) -> list[Point]:
+        """``n`` evenly spaced points along the arc (endpoints included)."""
+        if n < 2:
+            return [self.midpoint]
+        step = self.sweep / (n - 1)
+        return [self.circle.point_at(self.start + i * step) for i in range(n)]
+
+
+class AngularIntervals:
+    """A subset of the circle ``[0, 2*pi)`` as disjoint angular intervals.
+
+    Starts as the full circle and is narrowed by successive
+    ``intersect_with(center, half_width)`` calls — exactly the constraint
+    "the part of circle *i* inside disk *j* is the interval centred on the
+    direction towards *j*'s centre".  This is the workhorse behind the
+    robust disk-intersection construction.
+    """
+
+    __slots__ = ("_full", "_intervals")
+
+    def __init__(self) -> None:
+        self._full = True
+        self._intervals: list[tuple[float, float]] = []
+
+    @property
+    def is_full(self) -> bool:
+        return self._full
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._full and not self._intervals
+
+    def intervals(self) -> list[tuple[float, float]]:
+        """Disjoint ``(start, end)`` pairs with ``start`` in ``[0, 2*pi)``
+        and ``start < end <= start + 2*pi``."""
+        if self._full:
+            return [(0.0, TWO_PI)]
+        return list(self._intervals)
+
+    def total_measure(self) -> float:
+        if self._full:
+            return TWO_PI
+        return sum(e - s for s, e in self._intervals)
+
+    def intersect_with(self, center: float, half_width: float,
+                       min_width: float = 1e-12) -> None:
+        """Intersect with the interval ``[center - hw, center + hw]`` mod 2π.
+
+        Intervals narrower than ``min_width`` after clipping are dropped —
+        they correspond to grazing tangencies below float resolution.
+        """
+        half_width = min(half_width, math.pi)
+        if half_width <= 0.0:
+            self._full = False
+            self._intervals = []
+            return
+        c_start = normalize_angle(center - half_width)
+        width = 2.0 * half_width
+        if width >= TWO_PI - 1e-15:
+            return  # constraint is the whole circle: no-op
+        if self._full:
+            self._full = False
+            self._intervals = [(c_start, c_start + width)]
+            return
+        c_end = c_start + width
+        out: list[tuple[float, float]] = []
+        for s, e in self._intervals:
+            # The constraint, replicated at -2π, 0 and +2π, covers every way
+            # the two (possibly wrapping) intervals can overlap on the circle.
+            for shift in (-TWO_PI, 0.0, TWO_PI):
+                lo = max(s, c_start + shift)
+                hi = min(e, c_end + shift)
+                if hi - lo > min_width:
+                    out.append((normalize_angle(lo), normalize_angle(lo) + (hi - lo)))
+        out.sort()
+        self._intervals = out
+
+
+@dataclass(frozen=True)
+class ArcRegion:
+    """A convex region bounded by circular arcs: the intersection of disks.
+
+    ``circles`` are the defining closed disks (membership tests use them
+    directly: a point is in the region iff it is in every defining disk).
+    ``arcs`` describe the boundary; a degenerate region (disks meeting in a
+    single point) has no arcs and carries the meeting point instead.
+    """
+
+    circles: tuple[Circle, ...]
+    arcs: tuple[Arc, ...]
+    degenerate_point: Point | None = None
+    _tol: float = field(default=1e-9, repr=False)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the region is a single point (zero area)."""
+        return self.degenerate_point is not None
+
+    @property
+    def area(self) -> float:
+        """Region area: chord-polygon shoelace plus circular-segment bulges."""
+        if self.is_degenerate:
+            return 0.0
+        if len(self.arcs) == 1 and self.arcs[0].is_full_circle:
+            return self.arcs[0].circle.area
+        ordered = self._ordered_arcs()
+        verts: list[Point] = []
+        segments = 0.0
+        for arc in ordered:
+            verts.append(arc.start_point)
+            verts.append(arc.end_point)
+            segments += arc.segment_area()
+        shoelace = 0.0
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            shoelace += a.x * b.y - b.x * a.y
+        return 0.5 * abs(shoelace) + segments
+
+    def contains_point(self, x: float, y: float, tol: float | None = None) -> bool:
+        """True when ``(x, y)`` lies in every defining disk."""
+        eps = self._tol if tol is None else tol
+        if self.is_degenerate:
+            p = self.degenerate_point
+            return math.hypot(x - p.x, y - p.y) <= eps
+        return all(c.contains_point(x, y, tol=eps) for c in self.circles)
+
+    def representative_point(self) -> Point:
+        """A point inside the region (the degenerate point when degenerate).
+
+        For a non-degenerate region the average of the arc midpoints is
+        interior because the region is convex and the midpoints lie on its
+        boundary.
+        """
+        if self.is_degenerate:
+            return self.degenerate_point
+        if len(self.arcs) == 1 and self.arcs[0].is_full_circle:
+            return self.arcs[0].circle.center
+        mids = [arc.midpoint for arc in self.arcs]
+        sx = sum(p.x for p in mids) / len(mids)
+        sy = sum(p.y for p in mids) / len(mids)
+        return Point(sx, sy)
+
+    def vertices(self) -> list[Point]:
+        """Arc endpoints in boundary order (empty for full-circle regions)."""
+        if self.is_degenerate:
+            return [self.degenerate_point]
+        if len(self.arcs) == 1 and self.arcs[0].is_full_circle:
+            return []
+        return [arc.start_point for arc in self._ordered_arcs()]
+
+    def bounding_box(self) -> Rect:
+        """Axis-aligned bounding box of the region."""
+        if self.is_degenerate:
+            p = self.degenerate_point
+            return Rect(p.x, p.y, p.x, p.y)
+        boxes = [self._arc_bbox(arc) for arc in self.arcs]
+        out = boxes[0]
+        for box in boxes[1:]:
+            out = out.union(box)
+        return out
+
+    def max_distance_from(self, x: float, y: float) -> float:
+        """Largest distance from ``(x, y)`` to the region boundary
+        (Algorithm 2's ``d_max``)."""
+        if self.is_degenerate:
+            p = self.degenerate_point
+            return math.hypot(x - p.x, y - p.y)
+        return max(arc.farthest_distance_from(x, y) for arc in self.arcs)
+
+    def sample_boundary(self, per_arc: int = 16) -> list[Point]:
+        """Sample points along the boundary (tests and plotting)."""
+        if self.is_degenerate:
+            return [self.degenerate_point]
+        out: list[Point] = []
+        for arc in self.arcs:
+            out.extend(arc.sample(per_arc))
+        return out
+
+    def _ordered_arcs(self) -> list[Arc]:
+        """Arcs sorted counter-clockwise around an interior point.
+
+        Valid because the region is convex: every boundary arc subtends a
+        disjoint angular window as seen from any interior point.
+        """
+        mids = [arc.midpoint for arc in self.arcs]
+        cx = sum(p.x for p in mids) / len(mids)
+        cy = sum(p.y for p in mids) / len(mids)
+        return sorted(
+            self.arcs,
+            key=lambda arc: math.atan2(arc.midpoint.y - cy, arc.midpoint.x - cx),
+        )
+
+    @staticmethod
+    def _arc_bbox(arc: Arc) -> Rect:
+        pts = [arc.start_point, arc.end_point]
+        c = arc.circle
+        # Axis-extreme boundary points belong to the bbox when on the arc.
+        for theta, px, py in (
+            (0.0, c.cx + c.r, c.cy),
+            (math.pi * 0.5, c.cx, c.cy + c.r),
+            (math.pi, c.cx - c.r, c.cy),
+            (math.pi * 1.5, c.cx, c.cy - c.r),
+        ):
+            if arc.contains_angle(theta):
+                pts.append(Point(px, py))
+        return Rect.from_points((p.x, p.y) for p in pts)

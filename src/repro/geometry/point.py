@@ -1,0 +1,88 @@
+"""Immutable 2-D points and elementary distance helpers.
+
+The scalar geometry kernel deliberately avoids numpy: a single point
+operation in numpy costs more in array overhead than the arithmetic it
+performs.  Batch operations over many points live in
+:mod:`repro.index.circleset` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the Euclidean plane.
+
+    ``Point`` is hashable and immutable so it can key dictionaries and sit
+    in sets (e.g. deduplicating circle intersection points).
+
+    >>> Point(1.0, 2.0) + Point(0.5, 0.5)
+    Point(x=1.5, y=2.5)
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length of the position vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def angle_to(self, other: "Point") -> float:
+        """Angle of the vector from ``self`` to ``other`` in ``[-pi, pi]``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)`` — handy for numpy interchange."""
+        return (self.x, self.y)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """True when both coordinates agree within ``tol`` (absolute)."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+
+def distance(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between raw coordinate pairs.
+
+    The raw-coordinate form avoids constructing :class:`Point` objects in
+    hot loops.
+    """
+    return math.hypot(ax - bx, ay - by)
+
+
+def distance_squared(ax: float, ay: float, bx: float, by: float) -> float:
+    """Squared Euclidean distance between raw coordinate pairs."""
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment ``ab``."""
+    return Point((a.x + b.x) * 0.5, (a.y + b.y) * 0.5)

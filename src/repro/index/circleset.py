@@ -1,0 +1,241 @@
+"""Structure-of-arrays store of scored disks with vectorised predicates.
+
+MaxFirst's inner loop classifies every NLC against a quadrant: does the
+disk intersect the quadrant (``Q.I``), and does it contain the quadrant
+(``Q.C``)?  The paper answers this with an R-tree range query per quadrant;
+in pure Python that is dominated by per-object overhead.  ``CircleSet``
+stores all NLCs as parallel numpy arrays and classifies an entire candidate
+set against a rectangle in a handful of array operations.
+
+Combined with *hierarchical candidate passing* — a child quadrant's
+intersecting set is always a subset of its parent's, so each quadrant only
+re-tests its parent's survivors — this is what makes a pure-Python
+MaxFirst run at interactive speed (see DESIGN.md §5.1; the R-tree backend
+is retained for the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+
+
+class CircleSet:
+    """Immutable batch of scored disks.
+
+    Attributes
+    ----------
+    cx, cy, r:
+        ``float64`` arrays of centres and radii.
+    scores:
+        Per-disk scores (Definition 2 of the paper:
+        ``w(o) * (prob_i - prob_{i+1})``).
+    owners:
+        Index of the customer object owning each disk (-1 when unknown).
+    levels:
+        1-based NLC level ``i`` of each disk (0 when unknown).
+    """
+
+    __slots__ = ("cx", "cy", "r", "scores", "owners", "levels", "_bbox")
+
+    def __init__(self, cx: np.ndarray, cy: np.ndarray, r: np.ndarray,
+                 scores: np.ndarray, owners: np.ndarray | None = None,
+                 levels: np.ndarray | None = None) -> None:
+        self.cx = np.ascontiguousarray(cx, dtype=np.float64)
+        self.cy = np.ascontiguousarray(cy, dtype=np.float64)
+        self.r = np.ascontiguousarray(r, dtype=np.float64)
+        self.scores = np.ascontiguousarray(scores, dtype=np.float64)
+        n = self.cx.shape[0]
+        if not (self.cy.shape[0] == self.r.shape[0]
+                == self.scores.shape[0] == n):
+            raise ValueError("CircleSet arrays must have equal length")
+        if n and float(self.r.min()) < 0:
+            raise ValueError("negative radius in CircleSet")
+        if owners is None:
+            owners = np.full(n, -1, dtype=np.int64)
+        if levels is None:
+            levels = np.zeros(n, dtype=np.int64)
+        self.owners = np.ascontiguousarray(owners, dtype=np.int64)
+        self.levels = np.ascontiguousarray(levels, dtype=np.int64)
+        self._bbox: Rect | None = None
+
+    @classmethod
+    def from_circles(cls, circles: Iterable[Circle],
+                     scores: Sequence[float] | None = None) -> "CircleSet":
+        """Build from :class:`~repro.geometry.circle.Circle` objects."""
+        circles = list(circles)
+        cx = np.array([c.cx for c in circles], dtype=np.float64)
+        cy = np.array([c.cy for c in circles], dtype=np.float64)
+        r = np.array([c.r for c in circles], dtype=np.float64)
+        if scores is None:
+            sc = np.ones(len(circles), dtype=np.float64)
+        else:
+            sc = np.asarray(scores, dtype=np.float64)
+        return cls(cx, cy, r, sc)
+
+    def __len__(self) -> int:
+        return int(self.cx.shape[0])
+
+    def circle(self, index: int) -> Circle:
+        """The ``index``-th disk as a scalar :class:`Circle`."""
+        return Circle(float(self.cx[index]), float(self.cy[index]),
+                      float(self.r[index]))
+
+    def circles(self, indices: Iterable[int]) -> list[Circle]:
+        """Scalar circles for a batch of indices."""
+        return [self.circle(int(i)) for i in indices]
+
+    def bounding_box(self) -> Rect:
+        """Tight bounding box of all disks (cached)."""
+        if self._bbox is None:
+            if len(self) == 0:
+                raise ValueError("bounding_box of empty CircleSet")
+            self._bbox = Rect(
+                float((self.cx - self.r).min()),
+                float((self.cy - self.r).min()),
+                float((self.cx + self.r).max()),
+                float((self.cy + self.r).max()),
+            )
+        return self._bbox
+
+    # ------------------------------------------------------------------ #
+    # Rectangle classification (the Theorem 1 predicates)
+    # ------------------------------------------------------------------ #
+
+    def intersects_rect_mask(self, rect: Rect,
+                             candidates: np.ndarray | None = None
+                             ) -> np.ndarray:
+        """Boolean mask: which candidate disks' *interiors* intersect the
+        rectangle?  ``candidates=None`` tests every disk.
+
+        The strict inequality implements region semantics (see
+        DESIGN.md §5): a disk that merely grazes a quadrant at a boundary
+        point cannot contribute score to any full-dimensional region inside
+        the quadrant, so it does not belong to ``Q.I``.  This is also what
+        makes MaxFirst terminate at the points where many NLCs meet (every
+        customer's ``k``-th NLC passes exactly through its ``k``-th nearest
+        site).
+        """
+        cx, cy, r = self._gather(candidates)
+        dx = np.maximum(rect.xmin - cx, 0.0)
+        np.maximum(dx, cx - rect.xmax, out=dx)
+        dy = np.maximum(rect.ymin - cy, 0.0)
+        np.maximum(dy, cy - rect.ymax, out=dy)
+        return dx * dx + dy * dy < r * r
+
+    def contains_rect_mask(self, rect: Rect,
+                           candidates: np.ndarray | None = None
+                           ) -> np.ndarray:
+        """Boolean mask: which candidate disks contain the whole
+        rectangle?"""
+        cx, cy, r = self._gather(candidates)
+        dx = np.maximum(cx - rect.xmin, rect.xmax - cx)
+        dy = np.maximum(cy - rect.ymin, rect.ymax - cy)
+        return dx * dx + dy * dy <= r * r
+
+    def classify_rect(self, rect: Rect,
+                      candidates: np.ndarray | None = None,
+                      graze_tol: float = 0.0
+                      ) -> tuple[np.ndarray, np.ndarray, float, float]:
+        """One-pass computation of a quadrant's Theorem 1 data.
+
+        Returns ``(intersecting, containing_mask, max_hat, min_hat)`` where
+        ``intersecting`` is the index array of disks in ``Q.I``,
+        ``containing_mask`` flags which of those are also in ``Q.C``,
+        ``max_hat = sum(score, Q.I)`` and ``min_hat = sum(score, Q.C)``.
+
+        ``graze_tol`` is the geometric resolution: a disk must overlap the
+        rectangle by more than ``graze_tol`` to join ``Q.I``, and may fall
+        short of containing it by up to ``graze_tol`` and still join
+        ``Q.C``.  The NLC construction produces exact circle/site
+        incidences that float rounding smears by an ulp either way; the
+        tolerance classifies those cleanly instead of splitting down to
+        machine epsilon around them.  Features thinner than ``graze_tol``
+        (default 0: exact predicates) are below the solver's resolution by
+        definition.
+        """
+        if candidates is None:
+            candidates = np.arange(len(self), dtype=np.int64)
+        cx = self.cx[candidates]
+        cy = self.cy[candidates]
+        r = self.r[candidates]
+
+        near_dx = np.maximum(rect.xmin - cx, 0.0)
+        np.maximum(near_dx, cx - rect.xmax, out=near_dx)
+        near_dy = np.maximum(rect.ymin - cy, 0.0)
+        np.maximum(near_dy, cy - rect.ymax, out=near_dy)
+        # Strict: open-disk intersection (region semantics; see
+        # intersects_rect_mask), shrunk by the graze tolerance.
+        r_in = np.maximum(r - graze_tol, 0.0)
+        inter_mask = near_dx * near_dx + near_dy * near_dy < r_in * r_in
+
+        intersecting = candidates[inter_mask]
+        if intersecting.shape[0] == 0:
+            empty = np.zeros(0, dtype=bool)
+            return intersecting, empty, 0.0, 0.0
+
+        icx = cx[inter_mask]
+        icy = cy[inter_mask]
+        ir_out = r[inter_mask] + graze_tol
+        far_dx = np.maximum(icx - rect.xmin, rect.xmax - icx)
+        far_dy = np.maximum(icy - rect.ymin, rect.ymax - icy)
+        containing_mask = far_dx * far_dx + far_dy * far_dy <= ir_out * ir_out
+
+        sc = self.scores[intersecting]
+        max_hat = float(sc.sum())
+        min_hat = float(sc[containing_mask].sum())
+        return intersecting, containing_mask, max_hat, min_hat
+
+    # ------------------------------------------------------------------ #
+    # Point coverage
+    # ------------------------------------------------------------------ #
+
+    def contains_point_mask(self, x: float, y: float,
+                            candidates: np.ndarray | None = None,
+                            tol: float = 0.0) -> np.ndarray:
+        """Boolean mask: which candidate disks contain ``(x, y)``
+        (closed, with ``tol`` slack on the boundary)?"""
+        cx, cy, r = self._gather(candidates)
+        dx = cx - x
+        dy = cy - y
+        rr = r + tol
+        return dx * dx + dy * dy <= rr * rr
+
+    def cover_score_at(self, x: float, y: float,
+                       candidates: np.ndarray | None = None,
+                       tol: float = 0.0) -> float:
+        """Total score of the disks containing ``(x, y)`` — the paper's
+        ``total_score`` (Definition 4) evaluated exactly."""
+        mask = self.contains_point_mask(x, y, candidates, tol)
+        if candidates is None:
+            return float(self.scores[mask].sum())
+        return float(self.scores[candidates[mask]].sum())
+
+    def cover_scores_at_points(self, points: np.ndarray,
+                               candidates: np.ndarray,
+                               tol: float = 0.0) -> np.ndarray:
+        """Total scores at a batch of points against one candidate set.
+
+        ``points`` is ``(n, 2)``; the result is ``(n,)``.  Cost is
+        ``O(n * len(candidates))`` — callers bucket points so the candidate
+        sets stay small (see MaxOverlap's coverage counting).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        cx = self.cx[candidates]
+        cy = self.cy[candidates]
+        rr = self.r[candidates] + tol
+        dx = pts[:, 0:1] - cx[None, :]
+        dy = pts[:, 1:2] - cy[None, :]
+        inside = dx * dx + dy * dy <= (rr * rr)[None, :]
+        return inside @ self.scores[candidates]
+
+    def _gather(self, candidates: np.ndarray | None
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if candidates is None:
+            return self.cx, self.cy, self.r
+        return (self.cx[candidates], self.cy[candidates],
+                self.r[candidates])

@@ -1,0 +1,146 @@
+"""A uniform bucket grid over bounding boxes.
+
+MaxOverlap's step (c) — "compute the intersection points of each pair of
+NLCs" — needs candidate pairs of circles whose disks might intersect.  A
+bucket grid sized to the median NLC diameter enumerates those pairs with
+near-linear cost in practice and far lower constant factors than tree
+descent in pure Python.  The grid also answers stabbing queries ("which
+boxes contain this point?") for coverage counting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator
+
+from repro.geometry.rect import Rect
+
+
+class UniformGrid:
+    """Buckets items by bounding box over a uniform grid.
+
+    Parameters
+    ----------
+    bounds:
+        The rectangle the grid tiles.  Boxes outside the bounds are clamped
+        into the border cells, so the structure stays correct (if slower)
+        for out-of-bounds data.
+    cell_size:
+        Edge length of a square cell.
+    """
+
+    def __init__(self, bounds: Rect, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._bounds = bounds
+        self._cell = cell_size
+        self._nx = max(1, math.ceil(bounds.width / cell_size))
+        self._ny = max(1, math.ceil(bounds.height / cell_size))
+        self._cells: dict[tuple[int, int], list[tuple[Rect, Any]]] = {}
+        self._size = 0
+
+    @classmethod
+    def for_boxes(cls, boxes: Iterable[Rect],
+                  target_per_cell: float = 4.0) -> "UniformGrid":
+        """Build a grid sized to a collection of boxes.
+
+        The cell edge is the larger of the mean box extent and the edge
+        that yields roughly ``target_per_cell`` boxes per occupied cell —
+        both too-fine (boxes smeared over many cells) and too-coarse
+        (everything in one bucket) grids are avoided.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("for_boxes: no boxes given")
+        bounds = boxes[0]
+        extent_sum = 0.0
+        for box in boxes:
+            bounds = bounds.union(box)
+            extent_sum += max(box.width, box.height)
+        mean_extent = extent_sum / len(boxes)
+        area = max(bounds.area, 1e-30)
+        density_edge = math.sqrt(area * target_per_cell / len(boxes))
+        cell = max(mean_extent, density_edge)
+        if cell <= 0.0:
+            cell = max(bounds.diagonal, 1.0) / 16.0
+        return cls(bounds, cell)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._nx, self._ny)
+
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Register ``item`` under every cell its box touches."""
+        self._size += 1
+        for key in self._cover(rect):
+            self._cells.setdefault(key, []).append((rect, item))
+
+    def query_rect(self, rect: Rect) -> list[Any]:
+        """Items whose box intersects ``rect`` (deduplicated, any order)."""
+        seen: set[int] = set()
+        out: list[Any] = []
+        for key in self._cover(rect):
+            for box, item in self._cells.get(key, ()):
+                ident = id(item)
+                if ident not in seen and box.intersects(rect):
+                    seen.add(ident)
+                    out.append(item)
+        return out
+
+    def query_point(self, x: float, y: float) -> list[Any]:
+        """Items whose box contains the point."""
+        out: list[Any] = []
+        seen: set[int] = set()
+        for box, item in self._cells.get(self._cell_of(x, y), ()):
+            ident = id(item)
+            if ident not in seen and box.contains_point(x, y):
+                seen.add(ident)
+                out.append(item)
+        return out
+
+    def candidate_pairs(self) -> Iterator[tuple[Any, Any]]:
+        """All distinct item pairs whose boxes intersect.
+
+        Each pair is yielded exactly once even when the two boxes share
+        several cells: a pair is emitted only from the cell containing the
+        lexicographically smallest shared corner of the two cover ranges.
+        """
+        for (ix, iy), bucket in self._cells.items():
+            n = len(bucket)
+            for a in range(n):
+                rect_a, item_a = bucket[a]
+                for b in range(a + 1, n):
+                    rect_b, item_b = bucket[b]
+                    if not rect_a.intersects(rect_b):
+                        continue
+                    ox = max(self._index_x(rect_a.xmin),
+                             self._index_x(rect_b.xmin))
+                    oy = max(self._index_y(rect_a.ymin),
+                             self._index_y(rect_b.ymin))
+                    if (ox, oy) == (ix, iy):
+                        yield (item_a, item_b)
+
+    # ------------------------------------------------------------------ #
+
+    def _index_x(self, x: float) -> int:
+        i = int((x - self._bounds.xmin) / self._cell)
+        return min(max(i, 0), self._nx - 1)
+
+    def _index_y(self, y: float) -> int:
+        j = int((y - self._bounds.ymin) / self._cell)
+        return min(max(j, 0), self._ny - 1)
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (self._index_x(x), self._index_y(y))
+
+    def _cover(self, rect: Rect) -> Iterator[tuple[int, int]]:
+        x0 = self._index_x(rect.xmin)
+        x1 = self._index_x(rect.xmax)
+        y0 = self._index_y(rect.ymin)
+        y1 = self._index_y(rect.ymax)
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                yield (ix, iy)

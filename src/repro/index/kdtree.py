@@ -1,0 +1,136 @@
+"""A 2-d tree over points, built from scratch.
+
+NLC construction issues one kNN query per customer object against the
+service sites (Section V-C of the paper budgets ``O(|O| log |P|)`` for this
+step).  The k-d tree is the default engine for that workload; results are
+cross-validated against brute force in the test suite, and a vectorised
+brute-force path (:func:`repro.core.nlc.knn_distances`) is picked
+automatically when ``|P|`` is small enough that numpy wins.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+
+class _KDNode:
+    __slots__ = ("axis", "split", "left", "right", "points", "indices")
+
+    def __init__(self) -> None:
+        self.axis = -1          # -1 marks a leaf
+        self.split = 0.0
+        self.left: _KDNode | None = None
+        self.right: _KDNode | None = None
+        self.points: list[tuple[float, float]] = []
+        self.indices: list[int] = []
+
+
+class KDTree:
+    """Static k-d tree over 2-D points with k-nearest-neighbour queries.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(x, y)`` pairs (or an ``(n, 2)`` numpy array).
+    leaf_size:
+        Leaves at or below this size are scanned linearly; 16 balances
+        Python call overhead against pruning power.
+    """
+
+    def __init__(self, points: Sequence, leaf_size: int = 16) -> None:
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
+        self._points = [(float(p[0]), float(p[1])) for p in points]
+        self._leaf_size = leaf_size
+        indices = list(range(len(self._points)))
+        self._root = self._build(indices, depth=0) if indices else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def point(self, index: int) -> tuple[float, float]:
+        """The stored point with the given original index."""
+        return self._points[index]
+
+    def query(self, x: float, y: float,
+              k: int = 1) -> list[tuple[float, int]]:
+        """The ``k`` nearest stored points to ``(x, y)``.
+
+        Returns ``(distance, index)`` pairs sorted by ascending distance;
+        fewer than ``k`` pairs when the tree is smaller than ``k``.
+        Distance ties are broken by insertion index so results are
+        deterministic — NLC radii must not depend on traversal order.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if self._root is None:
+            return []
+        # Max-heap of the best k candidates, as (-distance, -index).
+        best: list[tuple[float, int]] = []
+        self._search(self._root, x, y, k, best)
+        out = sorted((-d, -i) for d, i in best)
+        return [(d, i) for d, i in out]
+
+    def query_radius(self, x: float, y: float, radius: float) -> list[int]:
+        """Indices of all stored points within ``radius`` (closed ball)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: list[int] = []
+        if self._root is None:
+            return out
+        r2 = radius * radius
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.axis < 0:
+                for (px, py), idx in zip(node.points, node.indices):
+                    dx = px - x
+                    dy = py - y
+                    if dx * dx + dy * dy <= r2:
+                        out.append(idx)
+                continue
+            coord = x if node.axis == 0 else y
+            if coord - radius <= node.split:
+                stack.append(node.left)
+            if coord + radius >= node.split:
+                stack.append(node.right)
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _build(self, indices: list[int], depth: int) -> _KDNode:
+        node = _KDNode()
+        if len(indices) <= self._leaf_size:
+            node.indices = indices
+            node.points = [self._points[i] for i in indices]
+            return node
+        axis = depth % 2
+        indices.sort(key=lambda i: self._points[i][axis])
+        mid = len(indices) // 2
+        node.axis = axis
+        node.split = self._points[indices[mid]][axis]
+        node.left = self._build(indices[:mid], depth + 1)
+        node.right = self._build(indices[mid:], depth + 1)
+        return node
+
+    def _search(self, node: _KDNode, x: float, y: float, k: int,
+                best: list[tuple[float, int]]) -> None:
+        if node.axis < 0:
+            for (px, py), idx in zip(node.points, node.indices):
+                d = math.hypot(px - x, py - y)
+                entry = (-d, -idx)
+                if len(best) < k:
+                    heapq.heappush(best, entry)
+                elif entry > best[0]:
+                    heapq.heapreplace(best, entry)
+            return
+        coord = x if node.axis == 0 else y
+        near, far = ((node.left, node.right) if coord <= node.split
+                     else (node.right, node.left))
+        self._search(near, x, y, k, best)
+        plane_dist = abs(coord - node.split)
+        if len(best) < k or plane_dist <= -best[0][0]:
+            self._search(far, x, y, k, best)

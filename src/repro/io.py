@@ -1,0 +1,145 @@
+"""JSON serialization of solver results.
+
+Results carry geometry (arc regions), statistics and the NLC set; this
+module round-trips everything a downstream pipeline needs to consume or
+archive a solve without re-running it.  The format is versioned plain
+JSON — no pickle, so archives are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.quadrant import MaxFirstStats
+from repro.core.region import OptimalRegion
+from repro.core.result import MaxBRkNNResult
+from repro.geometry.arcs import Arc, ArcRegion
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: MaxBRkNNResult) -> dict:
+    """Plain-dict form of a result (JSON-ready)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "score": result.score,
+        "space": _rect_to_list(result.space),
+        "regions": [_region_to_dict(r) for r in result.regions],
+        "nlcs": {
+            "cx": result.nlcs.cx.tolist(),
+            "cy": result.nlcs.cy.tolist(),
+            "r": result.nlcs.r.tolist(),
+            "scores": result.nlcs.scores.tolist(),
+            "owners": result.nlcs.owners.tolist(),
+            "levels": result.nlcs.levels.tolist(),
+        },
+        "stats": result.stats.as_dict() if result.stats else None,
+        "timings": dict(result.timings),
+    }
+
+
+def result_from_dict(data: dict) -> MaxBRkNNResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version: {version!r} "
+            f"(this build reads {FORMAT_VERSION})")
+    nlcs_data = data["nlcs"]
+    nlcs = CircleSet(
+        np.array(nlcs_data["cx"], dtype=np.float64),
+        np.array(nlcs_data["cy"], dtype=np.float64),
+        np.array(nlcs_data["r"], dtype=np.float64),
+        np.array(nlcs_data["scores"], dtype=np.float64),
+        owners=np.array(nlcs_data["owners"], dtype=np.int64),
+        levels=np.array(nlcs_data["levels"], dtype=np.int64),
+    )
+    stats = None
+    if data.get("stats") is not None:
+        stats = MaxFirstStats(**data["stats"])
+    return MaxBRkNNResult(
+        score=float(data["score"]),
+        regions=tuple(_region_from_dict(r) for r in data["regions"]),
+        nlcs=nlcs,
+        space=_rect_from_list(data["space"]),
+        stats=stats,
+        timings=dict(data.get("timings", {})),
+    )
+
+
+def save_result(path: str | Path, result: MaxBRkNNResult,
+                indent: int | None = 2) -> None:
+    """Write a result as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result),
+                                     indent=indent))
+
+
+def load_result(path: str | Path) -> MaxBRkNNResult:
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------- #
+
+def _rect_to_list(rect: Rect) -> list[float]:
+    return [rect.xmin, rect.ymin, rect.xmax, rect.ymax]
+
+
+def _rect_from_list(values) -> Rect:
+    return Rect(*[float(v) for v in values])
+
+
+def _circle_to_list(circle: Circle) -> list[float]:
+    return [circle.cx, circle.cy, circle.r]
+
+
+def _region_to_dict(region: OptimalRegion) -> dict:
+    shape = None
+    if region.shape is not None:
+        shape = {
+            "circles": [_circle_to_list(c) for c in region.shape.circles],
+            "arcs": [
+                [_circle_to_list(arc.circle), arc.start, arc.sweep]
+                for arc in region.shape.arcs
+            ],
+            "degenerate_point": (
+                [region.shape.degenerate_point.x,
+                 region.shape.degenerate_point.y]
+                if region.shape.degenerate_point is not None else None),
+        }
+    return {
+        "score": region.score,
+        "seed_quadrant": _rect_to_list(region.seed_quadrant),
+        "cover": list(region.cover),
+        "clipping_count": region.clipping_count,
+        "shape": shape,
+    }
+
+
+def _region_from_dict(data: dict) -> OptimalRegion:
+    shape = None
+    if data.get("shape") is not None:
+        raw = data["shape"]
+        degenerate = raw.get("degenerate_point")
+        shape = ArcRegion(
+            circles=tuple(Circle(*c) for c in raw["circles"]),
+            arcs=tuple(
+                Arc(Circle(*circle), float(start), float(sweep))
+                for circle, start, sweep in raw["arcs"]),
+            degenerate_point=(Point(*degenerate)
+                              if degenerate is not None else None),
+        )
+    return OptimalRegion(
+        score=float(data["score"]),
+        shape=shape,
+        seed_quadrant=_rect_from_list(data["seed_quadrant"]),
+        cover=tuple(int(i) for i in data["cover"]),
+        clipping_count=int(data["clipping_count"]),
+    )

@@ -1,0 +1,33 @@
+"""The L1 (Manhattan) metric variant of the optimal-location problem.
+
+Du et al.'s optimal-location query — the lineage the paper builds on —
+is posed in the L1 metric.  Under the rotation ``u = x + y, v = x - y``
+the L1 ball of radius ``r`` becomes an axis-aligned square of half-width
+``r`` in ``(u, v)`` (the Chebyshev ball), so the whole problem turns
+rectilinear: NLCs are squares, optimal regions are axis-aligned
+rectangles in the rotated frame (45°-rotated rectangles in the original
+frame), and the influence field is piecewise constant on the grid spanned
+by the squares' edges.
+
+That structure admits an *exact* sweep solver
+(:func:`~repro.l1.solver.solve_l1`): compress the edge coordinates, add
+each square to a 2-D difference array, prefix-sum, and read off the best
+cell.  It needs ``O(n^2)`` cells, which is exact and fast at the scales
+where an L1 variant is typically used (city-block queries over thousands
+of points); DESIGN.md notes the quadtree generalisation as future work.
+"""
+
+from repro.l1.solver import L1Region, L1Result, solve_l1
+from repro.l1.squares import (SquareSet, build_l1_nlcs, from_chebyshev,
+                              l1_knn_distances, to_chebyshev)
+
+__all__ = [
+    "L1Region",
+    "L1Result",
+    "SquareSet",
+    "build_l1_nlcs",
+    "from_chebyshev",
+    "l1_knn_distances",
+    "solve_l1",
+    "to_chebyshev",
+]

@@ -1,0 +1,137 @@
+"""Square NLCs: the L1 metric's nearest location regions.
+
+Everything here works in the *rotated frame* ``(u, v) = (x + y, x - y)``
+where the L1 ball is an axis-aligned square.  ``to_chebyshev`` /
+``from_chebyshev`` convert between frames (the map doubles lengths:
+``L1(x, y) == Chebyshev(u, v)`` exactly, no scaling correction needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nlc import _BRUTE_CHUNK  # same chunking policy
+from repro.core.problem import MaxBRkNNProblem
+
+
+def to_chebyshev(points: np.ndarray) -> np.ndarray:
+    """Rotate ``(x, y)`` points into the ``(u, v)`` frame."""
+    pts = np.asarray(points, dtype=np.float64)
+    return np.column_stack((pts[:, 0] + pts[:, 1],
+                            pts[:, 0] - pts[:, 1]))
+
+
+def from_chebyshev(points: np.ndarray) -> np.ndarray:
+    """Rotate ``(u, v)`` points back into the ``(x, y)`` frame."""
+    pts = np.asarray(points, dtype=np.float64)
+    return np.column_stack(((pts[:, 0] + pts[:, 1]) / 2.0,
+                            (pts[:, 0] - pts[:, 1]) / 2.0))
+
+
+def l1_knn_distances(queries: np.ndarray, points: np.ndarray,
+                     k: int) -> np.ndarray:
+    """Distances from each query to its ``k`` nearest points under L1."""
+    queries = np.asarray(queries, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    if k < 1 or k > points.shape[0]:
+        raise ValueError(f"k={k} out of range for {points.shape[0]} points")
+    out = np.empty((queries.shape[0], k), dtype=np.float64)
+    px = points[:, 0]
+    py = points[:, 1]
+    for start in range(0, queries.shape[0], _BRUTE_CHUNK):
+        chunk = queries[start:start + _BRUTE_CHUNK]
+        d = (np.abs(chunk[:, 0:1] - px[None, :])
+             + np.abs(chunk[:, 1:2] - py[None, :]))
+        if k < points.shape[0]:
+            part = np.partition(d, k - 1, axis=1)[:, :k]
+        else:
+            part = d
+        part.sort(axis=1)
+        out[start:start + _BRUTE_CHUNK] = part
+    return out
+
+
+class SquareSet:
+    """Structure-of-arrays store of scored axis-aligned squares
+    (rotated-frame NLCs).
+
+    ``cu, cv`` are centres in the rotated frame; ``half`` the half-widths
+    (= the L1 radii); ``scores`` the Definition 2 scores.
+    """
+
+    __slots__ = ("cu", "cv", "half", "scores", "owners", "levels")
+
+    def __init__(self, cu: np.ndarray, cv: np.ndarray, half: np.ndarray,
+                 scores: np.ndarray, owners: np.ndarray | None = None,
+                 levels: np.ndarray | None = None) -> None:
+        self.cu = np.ascontiguousarray(cu, dtype=np.float64)
+        self.cv = np.ascontiguousarray(cv, dtype=np.float64)
+        self.half = np.ascontiguousarray(half, dtype=np.float64)
+        self.scores = np.ascontiguousarray(scores, dtype=np.float64)
+        n = self.cu.shape[0]
+        if not (self.cv.shape[0] == self.half.shape[0]
+                == self.scores.shape[0] == n):
+            raise ValueError("SquareSet arrays must have equal length")
+        if n and float(self.half.min()) < 0:
+            raise ValueError("negative half-width in SquareSet")
+        self.owners = (np.full(n, -1, dtype=np.int64) if owners is None
+                       else np.ascontiguousarray(owners, dtype=np.int64))
+        self.levels = (np.zeros(n, dtype=np.int64) if levels is None
+                       else np.ascontiguousarray(levels, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return int(self.cu.shape[0])
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted unique u-edges and v-edges of all squares."""
+        us = np.concatenate((self.cu - self.half, self.cu + self.half))
+        vs = np.concatenate((self.cv - self.half, self.cv + self.half))
+        return np.unique(us), np.unique(vs)
+
+    def cover_scores_at_points(self, points_uv: np.ndarray,
+                               strict: bool = True) -> np.ndarray:
+        """Total score at rotated-frame points (open squares when
+        ``strict`` — region semantics)."""
+        pts = np.asarray(points_uv, dtype=np.float64)
+        du = np.abs(pts[:, 0:1] - self.cu[None, :])
+        dv = np.abs(pts[:, 1:2] - self.cv[None, :])
+        inside = np.maximum(du, dv)
+        mask = (inside < self.half[None, :] if strict
+                else inside <= self.half[None, :])
+        return mask @ self.scores
+
+
+def build_l1_nlcs(problem: MaxBRkNNProblem,
+                  keep_zero_score: bool = False) -> SquareSet:
+    """L1 NLCs (squares in the rotated frame) for every customer.
+
+    Mirrors :func:`repro.core.nlc.build_nlcs` with L1 radii.
+    """
+    dists = l1_knn_distances(problem.customers, problem.sites, problem.k)
+    n = problem.n_customers
+    k = problem.k
+
+    score_rows = np.empty((n, k), dtype=np.float64)
+    cache: dict[tuple, np.ndarray] = {}
+    for i, model in enumerate(problem.models):
+        base = cache.get(model.probs)
+        if base is None:
+            base = np.array(model.scores(1.0), dtype=np.float64)
+            cache[model.probs] = base
+        score_rows[i] = base
+    score_rows *= problem.weights[:, None]
+
+    centers_uv = to_chebyshev(problem.customers)
+    cu = np.repeat(centers_uv[:, 0], k)
+    cv = np.repeat(centers_uv[:, 1], k)
+    half = dists.reshape(-1)
+    scores = score_rows.reshape(-1)
+    owners = np.repeat(np.arange(n, dtype=np.int64), k)
+    levels = np.tile(np.arange(1, k + 1, dtype=np.int64), n)
+
+    if not keep_zero_score:
+        keep = scores > 0.0
+        cu, cv = cu[keep], cv[keep]
+        half, scores = half[keep], scores[keep]
+        owners, levels = owners[keep], levels[keep]
+    return SquareSet(cu, cv, half, scores, owners=owners, levels=levels)

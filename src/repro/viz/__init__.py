@@ -1,0 +1,10 @@
+"""Dependency-free SVG rendering of instances, NLCs and optimal regions.
+
+The library has no plotting dependency; :mod:`repro.viz.svg` writes
+self-contained SVG files good enough to inspect an instance, the circles
+driving it, MaxFirst's quadrant trace and the returned regions.
+"""
+
+from repro.viz.svg import SvgCanvas, render_instance, render_result
+
+__all__ = ["SvgCanvas", "render_instance", "render_result"]

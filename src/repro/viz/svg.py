@@ -1,0 +1,181 @@
+"""Minimal SVG writer for MaxBRkNN geometry.
+
+``SvgCanvas`` maps a world-coordinate :class:`~repro.geometry.rect.Rect`
+onto a pixel viewport (y flipped — SVG grows downward) and renders the
+primitives the library produces: points, circles, rectangles and
+circular-arc regions (as SVG path arcs).  ``render_instance`` /
+``render_result`` are one-call conveniences over it.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.result import MaxBRkNNResult
+from repro.geometry.arcs import ArcRegion
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+
+_HEADER = ('<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+           'height="{h}" viewBox="0 0 {w} {h}">')
+
+
+class SvgCanvas:
+    """Accumulates SVG elements over a world-to-pixel transform.
+
+    >>> canvas = SvgCanvas(Rect(0, 0, 1, 1), width=200)
+    >>> canvas.add_point(0.5, 0.5)
+    >>> text = canvas.render()
+    >>> text.startswith('<svg') and '</svg>' in text
+    True
+    """
+
+    def __init__(self, world: Rect, width: int = 800,
+                 margin: float = 0.03, background: str = "white") -> None:
+        if width < 16:
+            raise ValueError("width must be at least 16 pixels")
+        if world.width <= 0 or world.height <= 0:
+            world = world.expanded(max(world.diagonal, 1.0) * 0.5)
+        pad = max(world.width, world.height) * margin
+        self._world = world.expanded(pad)
+        self._width = width
+        self._scale = width / self._world.width
+        self._height = max(1, int(round(self._world.height * self._scale)))
+        self._elements: list[str] = []
+        if background:
+            self._elements.append(
+                f'<rect width="{self._width}" height="{self._height}" '
+                f'fill="{background}"/>')
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pixel_size(self) -> tuple[int, int]:
+        return (self._width, self._height)
+
+    def to_pixel(self, x: float, y: float) -> tuple[float, float]:
+        """World point to pixel coordinates (y axis flipped)."""
+        px = (x - self._world.xmin) * self._scale
+        py = (self._world.ymax - y) * self._scale
+        return (px, py)
+
+    def add_point(self, x: float, y: float, radius: float = 2.5,
+                  color: str = "#1f4e79", opacity: float = 1.0) -> None:
+        px, py = self.to_pixel(x, y)
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{radius:.2f}" '
+            f'fill="{color}" fill-opacity="{opacity:g}"/>')
+
+    def add_points(self, points: Iterable, radius: float = 2.5,
+                   color: str = "#1f4e79", opacity: float = 1.0) -> None:
+        for x, y in points:
+            self.add_point(float(x), float(y), radius=radius, color=color,
+                           opacity=opacity)
+
+    def add_circle(self, circle: Circle, stroke: str = "#888888",
+                   stroke_width: float = 1.0, fill: str = "none",
+                   fill_opacity: float = 0.1) -> None:
+        px, py = self.to_pixel(circle.cx, circle.cy)
+        pr = circle.r * self._scale
+        fill_attr = (f'fill="{fill}" fill-opacity="{fill_opacity:g}"'
+                     if fill != "none" else 'fill="none"')
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{pr:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width:g}" '
+            f'{fill_attr}/>')
+
+    def add_rect(self, rect: Rect, stroke: str = "#444444",
+                 stroke_width: float = 1.0, fill: str = "none",
+                 fill_opacity: float = 0.15) -> None:
+        x0, y1 = self.to_pixel(rect.xmin, rect.ymin)
+        x1, y0 = self.to_pixel(rect.xmax, rect.ymax)
+        fill_attr = (f'fill="{fill}" fill-opacity="{fill_opacity:g}"'
+                     if fill != "none" else 'fill="none"')
+        self._elements.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{x1 - x0:.2f}" '
+            f'height="{y1 - y0:.2f}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width:g}" {fill_attr}/>')
+
+    def add_region(self, region: ArcRegion, stroke: str = "#b00020",
+                   fill: str = "#b00020", fill_opacity: float = 0.35,
+                   stroke_width: float = 1.5) -> None:
+        """Render a circular-arc region as a closed SVG path."""
+        if region.is_degenerate:
+            p = region.degenerate_point
+            self.add_point(p.x, p.y, radius=4.0, color=stroke)
+            return
+        if len(region.arcs) == 1 and region.arcs[0].is_full_circle:
+            self.add_circle(region.arcs[0].circle, stroke=stroke,
+                            stroke_width=stroke_width, fill=fill,
+                            fill_opacity=fill_opacity)
+            return
+        ordered = region._ordered_arcs()
+        start = ordered[0].start_point
+        sx, sy = self.to_pixel(start.x, start.y)
+        parts = [f"M {sx:.3f} {sy:.3f}"]
+        for arc in ordered:
+            end = arc.end_point
+            ex, ey = self.to_pixel(end.x, end.y)
+            pr = arc.circle.r * self._scale
+            large = 1 if arc.sweep > math.pi else 0
+            # World CCW becomes screen CW because of the y flip.
+            parts.append(
+                f"A {pr:.3f} {pr:.3f} 0 {large} 0 {ex:.3f} {ey:.3f}")
+        parts.append("Z")
+        self._elements.append(
+            f'<path d="{" ".join(parts)}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width:g}" fill="{fill}" '
+            f'fill-opacity="{fill_opacity:g}"/>')
+
+    def add_text(self, x: float, y: float, text: str,
+                 size: int = 12, color: str = "#222222") -> None:
+        px, py = self.to_pixel(x, y)
+        safe = (text.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size}" '
+            f'fill="{color}" font-family="sans-serif">{safe}</text>')
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (_HEADER.format(w=self._width, h=self._height)
+                + "\n" + body + "\n</svg>\n")
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.render())
+
+
+def render_instance(problem, nlcs=None, width: int = 800) -> SvgCanvas:
+    """Canvas with customers (blue), sites (black squares as dots) and,
+    optionally, their NLCs."""
+    world = problem.data_bounds()
+    if nlcs is not None and len(nlcs):
+        world = world.union(nlcs.bounding_box())
+    canvas = SvgCanvas(world, width=width)
+    if nlcs is not None:
+        for i in range(len(nlcs)):
+            canvas.add_circle(nlcs.circle(i), stroke="#bbccee",
+                              stroke_width=0.6)
+    canvas.add_points(problem.customers, radius=2.0, color="#1f4e79",
+                      opacity=0.8)
+    canvas.add_points(problem.sites, radius=3.5, color="#111111")
+    return canvas
+
+
+def render_result(problem, result: MaxBRkNNResult,
+                  width: int = 800, show_nlcs: bool = False) -> SvgCanvas:
+    """Canvas with the instance and every optimal region highlighted."""
+    canvas = render_instance(problem,
+                             nlcs=result.nlcs if show_nlcs else None,
+                             width=width)
+    for region in result.regions:
+        if region.shape is not None:
+            canvas.add_region(region.shape)
+        else:
+            canvas.add_rect(region.seed_quadrant, stroke="#b00020",
+                            fill="#b00020")
+        p = region.representative_point()
+        canvas.add_point(p.x, p.y, radius=3.0, color="#b00020")
+    return canvas

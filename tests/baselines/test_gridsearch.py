@@ -1,0 +1,46 @@
+"""Tests for repro.baselines.gridsearch."""
+
+import pytest
+
+from repro.baselines.gridsearch import GridSearchResult, grid_search
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+
+
+class TestGridSearch:
+    def test_invalid_samples(self):
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 0)])
+        with pytest.raises(ValueError):
+            grid_search(problem, samples_per_axis=1)
+
+    def test_result_fields(self):
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 0)])
+        result = grid_search(problem, samples_per_axis=32)
+        assert isinstance(result, GridSearchResult)
+        assert result.samples == 32 * 32
+        assert result.resolution > 0
+
+    def test_single_disk_found(self):
+        problem = MaxBRkNNProblem([(0, 0)], [(2, 0)])
+        result = grid_search(problem, samples_per_axis=64)
+        assert result.score == pytest.approx(1.0)
+        x, y = result.location
+        assert x * x + y * y <= 4.0 + 1e-9
+
+    def test_never_exceeds_exact_optimum(self):
+        customers, sites = synthetic_instance(80, 8, "uniform", seed=21)
+        problem = MaxBRkNNProblem(customers, sites, k=2)
+        exact = MaxFirst().solve(problem)
+        approx = grid_search(problem, samples_per_axis=96)
+        assert approx.score <= exact.score + 1e-9
+
+    def test_converges_with_resolution(self):
+        customers, sites = synthetic_instance(60, 6, "uniform", seed=8)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        exact = MaxFirst().solve(problem).score
+        coarse = grid_search(problem, samples_per_axis=16).score
+        fine = grid_search(problem, samples_per_axis=160).score
+        assert fine >= coarse - 1e-9
+        # A fine lattice should land close to the optimum.
+        assert fine >= 0.8 * exact

@@ -1,0 +1,158 @@
+"""Tests for repro.baselines.maxoverlap."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.maxoverlap import MaxOverlap, _CircleGrid
+from repro.baselines.reference import reference_solve
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.geometry.circle import Circle
+from repro.index.circleset import CircleSet
+
+from tests.conftest import assert_scores_close
+
+
+class TestBasics:
+    def test_empty_nlcs_raises(self):
+        empty = CircleSet(np.zeros(0), np.zeros(0), np.zeros(0),
+                          np.zeros(0))
+        with pytest.raises(ValueError):
+            MaxOverlap().solve_nlcs(empty)
+
+    def test_single_customer(self):
+        result = MaxOverlap().solve(MaxBRkNNProblem([(0, 0)], [(2, 0)]))
+        assert result.score == pytest.approx(1.0)
+        # Isolated NLC: its centre seeds the candidate, region = disk.
+        assert result.best_region.area == pytest.approx(np.pi * 4,
+                                                        rel=1e-6)
+
+    def test_isolated_nlcs_fallback(self):
+        """Instances violating MaxOverlap's every-NLC-intersects
+        assumption still solve (robustness extension)."""
+        result = MaxOverlap().solve(MaxBRkNNProblem(
+            [(0, 0), (100, 100), (200, 0)],
+            [(1, 0), (101, 100), (201, 0)]))
+        assert result.score == pytest.approx(1.0)
+
+    def test_stats_populated(self, small_uniform_problem):
+        result = MaxOverlap().solve(small_uniform_problem)
+        stats = result.overlap_stats
+        assert stats.nlc_count == small_uniform_problem.n_customers
+        assert stats.intersecting_pairs <= stats.candidate_pairs
+        assert stats.intersection_points <= 2 * stats.intersecting_pairs
+        assert stats.coverage_tests > 0
+
+    def test_timings_recorded(self, small_uniform_problem):
+        result = MaxOverlap().solve(small_uniform_problem)
+        assert {"nlc", "pairs", "coverage", "region"} <= set(
+            result.timings)
+
+
+class TestAgainstReferenceAndMaxFirst:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_uniform_probability_agreement(self, seed):
+        customers, sites = synthetic_instance(120, 10, "uniform",
+                                              seed=seed)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        mo = MaxOverlap().solve(problem)
+        mf = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(mo.score, ref.score, context=f"seed={seed}")
+        assert_scores_close(mo.score, mf.score, context=f"seed={seed}")
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_brknn_extension(self, k):
+        customers, sites = synthetic_instance(100, 8, "uniform", seed=42)
+        problem = MaxBRkNNProblem(customers, sites, k=k)
+        mo = MaxOverlap().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(mo.score, ref.score, context=f"k={k}")
+
+    def test_generalized_model_agreement(self):
+        """Our MaxOverlap generalises to weights and skewed models."""
+        rng = np.random.default_rng(1)
+        customers, sites = synthetic_instance(90, 9, "uniform", seed=2)
+        weights = rng.uniform(0.5, 2.0, 90)
+        problem = MaxBRkNNProblem(customers, sites, k=2, weights=weights,
+                                  probability=[0.7, 0.3])
+        mo = MaxOverlap().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(mo.score, ref.score)
+
+    def test_normal_distribution(self):
+        customers, sites = synthetic_instance(130, 8, "normal", seed=4)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        mo = MaxOverlap().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(mo.score, ref.score)
+
+    def test_regions_contain_maxfirst_locations(self,
+                                                small_uniform_problem):
+        mo = MaxOverlap().solve(small_uniform_problem)
+        mf = MaxFirst().solve(small_uniform_problem)
+        # Each solver's best location must lie in one of the other's
+        # regions (score ties permitting, region sets coincide).
+        p = mf.optimal_location()
+        assert any(r.contains_point(p.x, p.y, tol=1e-9)
+                   for r in mo.regions)
+
+
+class TestCircleGrid:
+    def make(self, circles, scores=None, target=4.0):
+        nlcs = CircleSet.from_circles(circles, scores=scores)
+        return nlcs, _CircleGrid(nlcs, target)
+
+    def test_pairs_match_brute_force(self, rng):
+        circles = [Circle(float(rng.random()), float(rng.random()),
+                          float(rng.uniform(0.02, 0.3)))
+                   for _ in range(80)]
+        nlcs, grid = self.make(circles)
+        a, b, _ = grid.intersecting_pairs()
+        got = sorted((min(i, j), max(i, j))
+                     for i, j in zip(a.tolist(), b.tolist()))
+        assert len(got) == len(set(got)), "duplicate pair"
+        expected = sorted(
+            (i, j)
+            for i in range(len(circles)) for j in range(i + 1,
+                                                        len(circles))
+            if circles[i].intersects_circle(circles[j]))
+        assert got == expected
+
+    def test_point_candidates_superset_of_coverers(self, rng):
+        circles = [Circle(float(rng.random()), float(rng.random()),
+                          float(rng.uniform(0.05, 0.3)))
+                   for _ in range(60)]
+        nlcs, grid = self.make(circles)
+        for _ in range(30):
+            x, y = rng.random(2)
+            bucket = set(grid.point_candidates(float(x), float(y)).tolist())
+            coverers = {i for i, c in enumerate(circles)
+                        if c.contains_point(float(x), float(y))}
+            assert coverers <= bucket
+
+    def test_coverage_scores_match_brute(self, rng):
+        circles = [Circle(float(rng.random()), float(rng.random()),
+                          float(rng.uniform(0.05, 0.4)))
+                   for _ in range(50)]
+        scores = rng.uniform(0.1, 2.0, 50).tolist()
+        nlcs, grid = self.make(circles, scores=scores)
+        points = rng.random((40, 2))
+        got, tests = grid.coverage_scores(points, tol=0.0)
+        assert tests > 0
+        for i, (x, y) in enumerate(points):
+            expected = sum(s for c, s in zip(circles, scores)
+                           if c.contains_point(float(x), float(y)))
+            assert got[i] == pytest.approx(expected)
+
+    def test_concentric_pairs_counted_but_pointless(self):
+        # Concentric disks intersect as disks but have no circumference
+        # crossings.
+        nlcs, grid = self.make([Circle(0, 0, 1), Circle(0, 0, 2)])
+        a, b, _ = grid.intersecting_pairs()
+        assert len(a) == 1
+        from repro.baselines.maxoverlap import _intersection_points
+        points, isolated = _intersection_points(nlcs, a, b)
+        assert points.shape[0] == 0
+        assert not isolated.any()

@@ -1,0 +1,69 @@
+"""Tests for repro.baselines.reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gridsearch import grid_search
+from repro.baselines.reference import (ReferenceSolution, reference_solve,
+                                       reference_solve_nlcs)
+from repro.core.nlc import build_nlcs
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.scoring import neighborhood_score
+from repro.datasets.synthetic import synthetic_instance
+from repro.index.circleset import CircleSet
+
+
+class TestReferenceSolve:
+    def test_empty_raises(self):
+        empty = CircleSet(np.zeros(0), np.zeros(0), np.zeros(0),
+                          np.zeros(0))
+        with pytest.raises(ValueError):
+            reference_solve_nlcs(empty)
+
+    def test_single_customer(self):
+        sol = reference_solve(MaxBRkNNProblem([(0, 0)], [(2, 0)]))
+        assert sol.score == pytest.approx(1.0)
+        assert sol.candidate_count == 1  # just the centre
+        np.testing.assert_allclose(sol.locations, [[0.0, 0.0]])
+
+    def test_two_overlapping(self):
+        sol = reference_solve(MaxBRkNNProblem([(0, 0), (1, 0)],
+                                              [(3, 0), (-3, 0)]))
+        assert sol.score == pytest.approx(2.0)
+
+    def test_locations_achieve_score(self):
+        customers, sites = synthetic_instance(80, 8, "uniform", seed=13)
+        problem = MaxBRkNNProblem(customers, sites, k=2,
+                                  probability=[0.6, 0.4])
+        sol = reference_solve(problem)
+        nlcs = build_nlcs(problem)
+        for x, y in sol.locations:
+            value = neighborhood_score(nlcs, float(x), float(y), tol=1e-9)
+            assert value == pytest.approx(sol.score)
+
+    def test_dominates_grid_search(self):
+        """Grid samples are real locations, so the reference optimum must
+        dominate any lattice value, and the gap closes as the lattice
+        refines."""
+        customers, sites = synthetic_instance(60, 6, "uniform", seed=3)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        sol = reference_solve(problem)
+        coarse = grid_search(problem, samples_per_axis=20)
+        fine = grid_search(problem, samples_per_axis=100)
+        assert coarse.score <= sol.score + 1e-9
+        assert fine.score <= sol.score + 1e-9
+        assert fine.score >= coarse.score - 1e-9
+
+    def test_distinct_cover_count(self):
+        problem = MaxBRkNNProblem([(0, 0), (100, 0)], [(2, 0), (102, 0)])
+        sol = reference_solve(problem)
+        nlcs = build_nlcs(problem)
+        assert sol.score == pytest.approx(1.0)
+        # Two isolated NLCs tie: two distinct optimal covers.
+        assert sol.distinct_cover_count(nlcs) == 2
+
+    def test_solution_is_frozen(self):
+        sol = reference_solve(MaxBRkNNProblem([(0, 0)], [(1, 0)]))
+        assert isinstance(sol, ReferenceSolution)
+        with pytest.raises(AttributeError):
+            sol.score = 2.0

@@ -1,0 +1,57 @@
+"""Tests for repro.bench.config."""
+
+import pytest
+
+from repro.bench.config import ScaleProfile, get_profile, profile_names
+
+
+class TestProfiles:
+    def test_known_names(self):
+        assert set(profile_names()) == {"tiny", "small", "paper"}
+
+    def test_get_by_name(self):
+        assert get_profile("tiny").name == "tiny"
+        assert get_profile("paper").n_customers == 50_000
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_profile("huge")
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_profile().name == "tiny"
+
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_profile().name == "small"
+
+    def test_paper_profile_matches_table2(self):
+        """Table II: defaults k=1, |O|=50K, |P|=500; ranges 1-15,
+        10-100K, 100-1K."""
+        p = get_profile("paper")
+        assert p.k == 1
+        assert p.n_customers == 50_000
+        assert p.n_sites == 500
+        assert min(p.customers_sweep) == 10_000
+        assert max(p.customers_sweep) == 100_000
+        assert min(p.sites_sweep) == 100
+        assert max(p.sites_sweep) == 1_000
+        assert max(p.k_sweep) == 15
+
+    def test_paper_profile_matches_table3(self):
+        """Table III cardinalities for the real-world substitutes."""
+        p = get_profile("paper")
+        assert p.ux_points == 19_499
+        assert p.ne_points == 123_593
+
+    def test_profiles_ordered_by_scale(self):
+        tiny, small, paper = (get_profile(n)
+                              for n in ("tiny", "small", "paper"))
+        assert tiny.n_customers < small.n_customers < paper.n_customers
+        assert (tiny.maxoverlap_pair_budget
+                < small.maxoverlap_pair_budget
+                < paper.maxoverlap_pair_budget)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            get_profile("tiny").n_customers = 5

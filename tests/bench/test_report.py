@@ -1,0 +1,68 @@
+"""Tests for repro.bench.report."""
+
+from repro.bench.report import ascii_chart, format_table, speedup_summary
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_values(self):
+        rows = [{"n": 10, "t": 0.51}, {"n": 2000, "t": 12.0}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split() == ["n", "t"]
+        assert "2000" in lines[3]
+        assert "0.51" in lines[2]
+
+    def test_none_rendered_as_dash(self):
+        out = format_table([{"a": None}])
+        assert "-" in out.splitlines()[-1]
+
+    def test_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        out = ascii_chart([1, 2], {"s": [None, None]}, title="t")
+        assert "(no data)" in out
+
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart([1, 2, 4], {"fast": [0.1, 0.2, 0.4],
+                                      "slow": [1.0, 4.0, 16.0]})
+        assert "*" in out
+        assert "o" in out
+        assert "*=fast" in out
+        assert "o=slow" in out
+
+    def test_log_scale_skips_nonpositive(self):
+        out = ascii_chart([1, 2], {"s": [0.0, 1.0]}, log_y=True)
+        body = "\n".join(out.splitlines()[:-1])  # strip the legend line
+        assert body.count("*") == 1
+
+    def test_linear_scale(self):
+        out = ascii_chart([1, 2], {"s": [5.0, 10.0]}, log_y=False)
+        assert "*" in out
+
+    def test_flat_series_no_crash(self):
+        out = ascii_chart([1, 2, 3], {"s": [1.0, 1.0, 1.0]})
+        assert "*" in out
+
+
+class TestSpeedupSummary:
+    def test_geo_mean(self):
+        rows = [{"fast": 1.0, "slow": 10.0}, {"fast": 1.0, "slow": 1000.0}]
+        out = speedup_summary(rows, "fast", "slow")
+        assert "100.0x" in out
+        assert "max 1000.0x" in out
+
+    def test_skipped_rows_ignored(self):
+        rows = [{"fast": 1.0, "slow": None}, {"fast": 2.0, "slow": 20.0}]
+        out = speedup_summary(rows, "fast", "slow")
+        assert "over 1 points" in out
+
+    def test_no_comparable(self):
+        assert "n/a" in speedup_summary([{"fast": 1.0, "slow": None}],
+                                        "fast", "slow")

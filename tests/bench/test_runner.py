@@ -1,0 +1,74 @@
+"""Tests for repro.bench.runner."""
+
+import pytest
+
+from repro.bench.runner import (ExperimentResult, SolverTiming,
+                                predict_pair_count, run_solvers,
+                                time_maxfirst, time_maxoverlap)
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+
+
+@pytest.fixture
+def problem():
+    customers, sites = synthetic_instance(100, 10, "uniform", seed=17)
+    return MaxBRkNNProblem(customers, sites, k=1)
+
+
+class TestTiming:
+    def test_time_maxfirst(self, problem):
+        timing = time_maxfirst(problem)
+        assert timing.solver == "maxfirst"
+        assert timing.seconds > 0
+        assert timing.score > 0
+        assert not timing.skipped
+
+    def test_time_maxoverlap(self, problem):
+        timing = time_maxoverlap(problem)
+        assert timing.solver == "maxoverlap"
+        assert not timing.skipped
+        assert timing.score == pytest.approx(time_maxfirst(problem).score)
+
+    def test_budget_skip(self, problem):
+        timing = time_maxoverlap(problem, pair_budget=1)
+        assert timing.skipped
+        assert timing.seconds is None
+        assert "budget" in timing.skipped_reason
+
+    def test_solver_options_forwarded(self, problem):
+        timing = time_maxfirst(problem, m_threshold=2)
+        assert timing.score > 0
+
+    def test_run_solvers(self, problem):
+        timings = run_solvers(problem, pair_budget=10**9)
+        assert set(timings) == {"maxfirst", "maxoverlap"}
+        assert timings["maxfirst"].score == pytest.approx(
+            timings["maxoverlap"].score)
+
+
+class TestPredictPairCount:
+    def test_positive_and_scales(self):
+        small_c, small_s = synthetic_instance(200, 20, "uniform", seed=1)
+        big_c, big_s = synthetic_instance(800, 20, "uniform", seed=1)
+        small = predict_pair_count(MaxBRkNNProblem(small_c, small_s))
+        big = predict_pair_count(MaxBRkNNProblem(big_c, big_s))
+        assert small > 0
+        # Quadratic-ish growth in |O| (radius shrink is second order
+        # here because |P| is fixed).
+        assert big > 4 * small
+
+
+class TestExperimentResult:
+    def test_rows_and_columns(self):
+        result = ExperimentResult("exp")
+        result.add_row(x=1, y=2.0)
+        result.add_row(x=3, y=None)
+        assert result.column("x") == [1, 3]
+        assert result.column("y") == [2.0, None]
+        assert result.column("missing") == [None, None]
+
+    def test_solver_timing_skip_flag(self):
+        ok = SolverTiming("s", 1.0, 2.0)
+        skip = SolverTiming("s", None, None, skipped_reason="why")
+        assert not ok.skipped
+        assert skip.skipped

@@ -1,0 +1,44 @@
+"""Tests for repro.bench.worked_example helpers (scene data itself is
+covered exhaustively in tests/core/test_worked_example.py)."""
+
+import pytest
+
+from repro.bench.worked_example import (CUSTOMERS, SITES,
+                                        initial_quadrant_bounds,
+                                        worked_example_problem)
+
+
+class TestFixtureShape:
+    def test_scene_sizes(self):
+        assert CUSTOMERS.shape == (3, 2)
+        assert SITES.shape == (4, 2)
+
+    def test_problem_construction(self):
+        p = worked_example_problem()
+        assert p.k == 2
+        assert p.models[0].probs == (0.8, 0.2)
+
+    def test_custom_model(self):
+        p = worked_example_problem((0.5, 0.5))
+        assert p.has_uniform_probability
+
+
+class TestBoundTable:
+    def test_generations_parameter(self):
+        assert len(initial_quadrant_bounds(generations=1)) == 8
+        assert len(initial_quadrant_bounds(generations=4)) == 20
+
+    def test_rows_have_expected_keys(self):
+        rows = initial_quadrant_bounds(generations=1)
+        assert set(rows[0]) == {"quadrant", "generation", "max_hat",
+                                "min_hat"}
+        assert rows[0]["quadrant"] == "q1"
+
+    def test_best_max_never_increases_across_generations(self):
+        rows = initial_quadrant_bounds(generations=5)
+        by_gen = {}
+        for row in rows:
+            by_gen.setdefault(row["generation"], []).append(row["max_hat"])
+        best = [max(by_gen[g]) for g in sorted(by_gen)]
+        for earlier, later in zip(best, best[1:]):
+            assert later <= earlier + 1e-9

@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.geometry.circle import Circle
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_uniform_problem() -> MaxBRkNNProblem:
+    """A deterministic 150-customer / 12-site instance, k=1."""
+    customers, sites = synthetic_instance(150, 12, "uniform", seed=5)
+    return MaxBRkNNProblem(customers, sites, k=1)
+
+
+@pytest.fixture
+def small_k2_problem() -> MaxBRkNNProblem:
+    """A deterministic k=2 instance with a skewed probability model."""
+    customers, sites = synthetic_instance(150, 12, "uniform", seed=6)
+    return MaxBRkNNProblem(customers, sites, k=2, probability=[0.8, 0.2])
+
+
+def random_circles(rng: np.random.Generator, n: int,
+                   r_lo: float = 0.05, r_hi: float = 0.6) -> list[Circle]:
+    """``n`` random circles in the unit square (helper for geometry
+    tests)."""
+    out = []
+    for _ in range(n):
+        out.append(Circle(float(rng.random()), float(rng.random()),
+                          float(rng.uniform(r_lo, r_hi))))
+    return out
+
+
+def sample_disk_intersection(circles, n_per_axis: int = 60):
+    """Monte-Carlo points inside the intersection of circles (brute)."""
+    xs = np.linspace(
+        max(c.cx - c.r for c in circles),
+        min(c.cx + c.r for c in circles) if circles else 1.0,
+        n_per_axis)
+    ys = np.linspace(
+        max(c.cy - c.r for c in circles),
+        min(c.cy + c.r for c in circles) if circles else 1.0,
+        n_per_axis)
+    points = []
+    for x in xs:
+        for y in ys:
+            if all((x - c.cx) ** 2 + (y - c.cy) ** 2 <= c.r * c.r
+                   for c in circles):
+                points.append((x, y))
+    return points
+
+
+def assert_scores_close(a: float, b: float, rel: float = 1e-6,
+                        context: str = "") -> None:
+    tol = rel * max(1.0, abs(a), abs(b))
+    assert abs(a - b) <= tol, f"{context}: {a} != {b} (tol {tol})"
+
+
+def brute_knn_distances(queries: np.ndarray, points: np.ndarray,
+                        k: int) -> np.ndarray:
+    """Reference kNN distances via a full distance matrix."""
+    d = np.hypot(queries[:, 0:1] - points[None, :, 0],
+                 queries[:, 1:2] - points[None, :, 1])
+    d.sort(axis=1)
+    return d[:, :k]
+
+
+def polygon_area_by_sampling(region, samples: int = 400,
+                             seed: int = 0) -> float:
+    """Monte-Carlo area of an ArcRegion (for cross-checking .area)."""
+    box = region.bounding_box()
+    if box.area == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    pts = rng.random((samples * samples // 100, 2))
+    pts[:, 0] = box.xmin + pts[:, 0] * box.width
+    pts[:, 1] = box.ymin + pts[:, 1] * box.height
+    inside = sum(1 for x, y in pts if region.contains_point(x, y))
+    return box.area * inside / pts.shape[0]
+
+
+def circle_angle(circle: Circle, x: float, y: float) -> float:
+    return math.atan2(y - circle.cy, x - circle.cx)

@@ -1,0 +1,81 @@
+"""Tests for repro.core.influence."""
+
+import numpy as np
+import pytest
+
+from repro.core.influence import (InfluenceBreakdown, InfluenceEvaluator,
+                                  influence_at)
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+
+
+class TestInfluenceAt:
+    def test_simple_k1(self):
+        # Customer at origin, site 3 away: any location within 3 of the
+        # customer wins it.
+        problem = MaxBRkNNProblem([(0, 0)], [(3, 0)])
+        assert influence_at(problem, 1.0, 0.0).total == 1.0
+        assert influence_at(problem, 10.0, 0.0).total == 0.0
+
+    def test_k2_annulus_probabilities(self):
+        # Sites at distance 1 and 2; probability model {0.8, 0.2}.
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 0), (-2, 0)], k=2,
+                                  probability=[0.8, 0.2])
+        # Inside c1 (closer than the nearest site): 80%.
+        assert influence_at(problem, 0.0, 0.5).total == pytest.approx(0.8)
+        # In the annulus between c1 and c2: 20%.
+        assert influence_at(problem, 1.5, 0.0).total == pytest.approx(0.2)
+        # Outside c2: nothing.
+        assert influence_at(problem, 5.0, 0.0).total == 0.0
+
+    def test_weights_scale(self):
+        problem = MaxBRkNNProblem([(0, 0)], [(3, 0)], weights=[4.0])
+        assert influence_at(problem, 0.0, 0.0).total == pytest.approx(4.0)
+
+    def test_breakdown_customers(self):
+        problem = MaxBRkNNProblem([(0, 0), (1, 0), (50, 50)],
+                                  [(5, 0), (55, 50)])
+        b = influence_at(problem, 0.5, 0.0)
+        assert isinstance(b, InfluenceBreakdown)
+        assert set(b.customers) == {0, 1}
+        assert b.customer_count == 2
+        assert b.customers[0] == pytest.approx(1.0)
+
+    def test_breakdown_merges_annuli(self):
+        # A k=2 customer contributes its summed probability once.
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 0), (-2, 0)], k=2,
+                                  probability=[0.8, 0.2])
+        b = influence_at(problem, 0.0, 0.5)
+        assert b.customers == {0: pytest.approx(0.8)}
+
+
+class TestEvaluator:
+    def test_reuses_nlcs(self, small_uniform_problem):
+        evaluator = InfluenceEvaluator(small_uniform_problem)
+        result = MaxFirst().solve(small_uniform_problem)
+        shared = InfluenceEvaluator(small_uniform_problem,
+                                    nlcs=result.nlcs)
+        assert shared.total_score(0.5, 0.5) == pytest.approx(
+            evaluator.total_score(0.5, 0.5))
+
+    def test_rank_candidates_sorted(self, small_uniform_problem):
+        evaluator = InfluenceEvaluator(small_uniform_problem)
+        ranked = evaluator.rank_candidates(
+            [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9), (2.0, 2.0)])
+        totals = [b.total for b in ranked]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_rank_candidates_bad_shape(self, small_uniform_problem):
+        evaluator = InfluenceEvaluator(small_uniform_problem)
+        with pytest.raises(ValueError):
+            evaluator.rank_candidates([1.0, 2.0, 3.0])
+
+    def test_optimum_beats_all_candidates(self, small_k2_problem, rng):
+        """No sampled location may beat the MaxFirst optimum."""
+        result = MaxFirst().solve(small_k2_problem)
+        evaluator = InfluenceEvaluator(small_k2_problem, nlcs=result.nlcs,
+                                       boundary_tol=0.0)
+        samples = rng.random((300, 2))
+        best = max(evaluator.total_score(float(x), float(y))
+                   for x, y in samples)
+        assert best <= result.score + 1e-9

@@ -1,0 +1,139 @@
+"""Stress tests for MaxFirst on degeneracy-rich inputs.
+
+The inputs here are the ones a naive Algorithm 1 transcription fails on
+(see docs/algorithm.md §4): exact tangencies, lattice data, massive
+coincidence points, collinear everything.  Every case must terminate,
+match the reference solver, and leave the resolution guard unused (or
+nearly so).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import reference_solve, reference_solve_nlcs
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.geometry.circle import Circle
+from repro.index.circleset import CircleSet
+
+from tests.conftest import assert_scores_close
+
+
+class TestLatticeData:
+    def test_5x5_lattice_four_sites(self):
+        xs, ys = np.meshgrid(np.arange(5.0), np.arange(5.0))
+        customers = np.column_stack((xs.ravel(), ys.ravel()))
+        sites = np.array([[0.5, 0.5], [3.5, 3.5], [0.5, 3.5],
+                          [3.5, 0.5]])
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        result = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(result.score, ref.score)
+        assert result.stats.pruned_refined > 0  # tangency machinery used
+
+    def test_lattice_k2(self):
+        xs, ys = np.meshgrid(np.arange(4.0), np.arange(4.0))
+        customers = np.column_stack((xs.ravel(), ys.ravel()))
+        sites = np.array([[0.5, 0.5], [2.5, 2.5], [0.5, 2.5]])
+        problem = MaxBRkNNProblem(customers, sites, k=2)
+        result = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(result.score, ref.score)
+
+    def test_snapped_random_data(self):
+        rng = np.random.default_rng(5)
+        customers = np.round(rng.uniform(0, 1, (150, 2)) * 10) / 10
+        sites = np.round(rng.uniform(0, 1, (8, 2)) * 10) / 10
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        result = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(result.score, ref.score)
+
+
+class TestExactTangencies:
+    def test_chain_of_tangent_circles(self):
+        # Unit circles centred at even integers: consecutive pairs are
+        # exactly tangent; no open overlap anywhere -> optimum 1.
+        circles = [Circle(2.0 * i, 0.0, 1.0) for i in range(8)]
+        nlcs = CircleSet.from_circles(circles)
+        result = MaxFirst().solve_nlcs(nlcs)
+        assert result.score == pytest.approx(1.0)
+        assert len(result.regions) == 8  # every disk ties
+
+    def test_tangent_pair_plus_winner(self):
+        # Two tangent unit disks (phantom pointwise 2 at the tangency)
+        # and a genuinely overlapping pair elsewhere scoring 2.
+        circles = [Circle(0, 0, 1), Circle(2, 0, 1),
+                   Circle(10, 0, 1), Circle(10.5, 0, 1)]
+        nlcs = CircleSet.from_circles(circles)
+        result = MaxFirst().solve_nlcs(nlcs)
+        assert result.score == pytest.approx(2.0)
+        assert result.best_region.contains_point(10.25, 0.0)
+
+    def test_flower_of_tangent_petals(self):
+        # Six unit circles around a centre at distance 2: each petal is
+        # exactly tangent to the centre circle AND to its neighbours
+        # (adjacent centres are 2*2*sin(30°) = 2 apart) — a fully tangent
+        # flower with no open overlap anywhere.
+        circles = [Circle(0, 0, 1)]
+        for i in range(6):
+            theta = i * math.pi / 3
+            circles.append(Circle(2 * math.cos(theta),
+                                  2 * math.sin(theta), 1.0))
+        nlcs = CircleSet.from_circles(circles)
+        result = MaxFirst().solve_nlcs(nlcs)
+        ref = reference_solve_nlcs(nlcs)
+        assert_scores_close(result.score, ref.score)
+        assert result.score == pytest.approx(1.0)
+        assert len(result.regions) == 7  # every disk ties
+
+
+class TestCollinearAndCoincident:
+    def test_all_collinear(self):
+        customers = np.column_stack((np.linspace(0, 10, 40),
+                                     np.zeros(40)))
+        sites = np.array([[2.0, 0.0], [8.0, 0.0]])
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        result = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(result.score, ref.score)
+
+    def test_massive_coincidence_single_site_cluster(self):
+        rng = np.random.default_rng(9)
+        site = np.array([2.0, 3.0])
+        customers = site + rng.normal(scale=0.5, size=(120, 2))
+        sites = np.vstack([site, [[50.0, 50.0]]])
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        result = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(result.score, ref.score)
+
+    def test_concentric_rings(self):
+        # Many circles sharing one centre (same customer, k NLCs, kept):
+        problem = MaxBRkNNProblem(
+            [(0.0, 0.0)], [(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)], k=3,
+            probability=[0.5, 0.3, 0.2])
+        result = MaxFirst().solve(problem)
+        # Optimal region: inside the innermost circle, score 0.5.
+        assert result.score == pytest.approx(0.5)
+        assert result.best_region.contains_point(0.0, 0.0)
+
+    def test_identical_customers_and_sites_everywhere(self):
+        customers = np.tile([[1.0, 1.0], [4.0, 4.0]], (10, 1))
+        sites = np.array([[2.0, 2.0], [5.0, 5.0], [2.0, 2.0]])
+        problem = MaxBRkNNProblem(customers, sites, k=2)
+        result = MaxFirst().solve(problem)
+        ref = reference_solve(problem)
+        assert_scores_close(result.score, ref.score)
+
+
+class TestGuardsStayQuiet:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_resolution_closures_on_generic_data(self, seed):
+        from repro.datasets.synthetic import synthetic_instance
+        customers, sites = synthetic_instance(200, 12, "uniform",
+                                              seed=seed + 900)
+        result = MaxFirst().solve(MaxBRkNNProblem(customers, sites, k=2))
+        assert result.stats.resolution_closed == 0

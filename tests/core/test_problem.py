@@ -1,0 +1,95 @@
+"""Tests for repro.core.problem."""
+
+import numpy as np
+import pytest
+
+from repro.core.probability import ProbabilityModel
+from repro.core.problem import MaxBRkNNProblem
+from repro.geometry.rect import Rect
+
+
+class TestValidation:
+    def test_minimal(self):
+        p = MaxBRkNNProblem([(0, 0)], [(1, 1)])
+        assert p.n_customers == 1
+        assert p.n_sites == 1
+        assert p.k == 1
+
+    def test_list_input_converted(self):
+        p = MaxBRkNNProblem([(0, 0), (1, 1)], [(2, 2)])
+        assert isinstance(p.customers, np.ndarray)
+        assert p.customers.dtype == np.float64
+
+    def test_empty_customers_raises(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem(np.zeros((0, 2)), [(0, 0)])
+
+    def test_empty_sites_raises(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], np.zeros((0, 2)))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem(np.zeros((3, 3)), [(0, 0)])
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, np.nan)], [(0, 0)])
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(np.inf, 0)])
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], k=0)
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], k=2)  # only 1 site
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], k=1.5)
+
+    def test_weights_default_ones(self):
+        p = MaxBRkNNProblem([(0, 0), (1, 1)], [(2, 2)])
+        assert p.weights.tolist() == [1.0, 1.0]
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], weights=[-1.0])
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], weights=[np.nan])
+
+    def test_zero_weight_allowed(self):
+        p = MaxBRkNNProblem([(0, 0)], [(1, 1)], weights=[0.0])
+        assert p.weights[0] == 0.0
+
+
+class TestProbabilityIntegration:
+    def test_default_uniform(self):
+        p = MaxBRkNNProblem([(0, 0)], [(1, 1), (2, 2)], k=2)
+        assert p.has_uniform_probability
+        assert p.models[0].probs == (0.5, 0.5)
+
+    def test_sequence_model(self):
+        p = MaxBRkNNProblem([(0, 0)], [(1, 1), (2, 2)], k=2,
+                            probability=[0.8, 0.2])
+        assert not p.has_uniform_probability
+        assert p.models[0].probs == (0.8, 0.2)
+
+    def test_per_object_models(self):
+        models = [ProbabilityModel.of(0.8, 0.2),
+                  ProbabilityModel.uniform(2)]
+        p = MaxBRkNNProblem([(0, 0), (1, 0)], [(1, 1), (2, 2)], k=2,
+                            probability=models)
+        assert p.models == models
+        assert not p.has_uniform_probability
+
+    def test_model_size_must_match_k(self):
+        with pytest.raises(ValueError):
+            MaxBRkNNProblem([(0, 0)], [(1, 1), (2, 2)], k=2,
+                            probability=[1.0])
+
+
+class TestDataBounds:
+    def test_bounds_cover_both_sets(self):
+        p = MaxBRkNNProblem([(0, 0), (2, 5)], [(-1, 3)])
+        assert p.data_bounds() == Rect(-1.0, 0.0, 2.0, 5.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.core.quadrant."""
+
+import numpy as np
+import pytest
+
+from repro.core.quadrant import MaxFirstStats, Quadrant, _MutableStats
+from repro.geometry.rect import Rect
+
+
+def make_quadrant(inter, contain_mask, max_hat, min_hat,
+                  rect=Rect(0, 0, 1, 1)):
+    return Quadrant(rect=rect,
+                    intersecting=np.array(inter, dtype=np.int64),
+                    containing_mask=np.array(contain_mask, dtype=bool),
+                    max_hat=max_hat, min_hat=min_hat)
+
+
+class TestQuadrant:
+    def test_theorem1_violation_raises(self):
+        with pytest.raises(ValueError):
+            make_quadrant([0], [False], max_hat=1.0, min_hat=2.0)
+
+    def test_containing_and_boundary(self):
+        q = make_quadrant([3, 5, 9], [True, False, True], 3.0, 2.0)
+        assert q.containing.tolist() == [3, 9]
+        assert q.boundary_only.tolist() == [5]
+
+    def test_consistency(self):
+        assert make_quadrant([1, 2], [True, True], 2.0, 2.0).is_consistent
+        assert not make_quadrant([1, 2], [True, False], 2.0,
+                                 1.0).is_consistent
+        # Empty I: trivially consistent (score 0 everywhere).
+        assert make_quadrant([], [], 0.0, 0.0).is_consistent
+
+    def test_same_frontier(self):
+        a = make_quadrant([1, 2], [True, False], 2.0, 1.0)
+        b = make_quadrant([1, 2], [False, False], 2.0, 1.0,
+                          rect=Rect(0, 0, 0.5, 0.5))
+        c = make_quadrant([1, 3], [True, False], 2.0, 1.0)
+        d = make_quadrant([1, 2], [True, False], 2.0, 0.5)
+        assert a.same_frontier(b)
+        assert not a.same_frontier(c)   # different I
+        assert not a.same_frontier(d)   # different min
+        assert a.same_frontier(d, tol=1.0)
+
+    def test_cover_key_hashable(self):
+        q = make_quadrant([4, 7, 2], [True, True, False], 3.0, 2.0)
+        assert q.cover_key() == (4, 7)
+        assert hash(q.cover_key()) == hash((4, 7))
+
+
+class TestStats:
+    def test_freeze_copies_values(self):
+        acc = _MutableStats()
+        acc.generated = 10
+        acc.splits = 3
+        acc.pruned_theorem2 = 5
+        frozen = acc.freeze()
+        assert isinstance(frozen, MaxFirstStats)
+        assert frozen.generated == 10
+        assert frozen.splits == 3
+        acc.generated = 99
+        assert frozen.generated == 10  # decoupled
+
+    def test_as_dict_round_trip(self):
+        stats = MaxFirstStats(generated=4, splits=1, pruned_theorem2=2,
+                              pruned_theorem3=1, results=1)
+        d = stats.as_dict()
+        assert d["generated"] == 4
+        assert d["pruned_theorem2"] == 2
+        assert set(d) >= {"generated", "splits", "pruned_theorem2",
+                          "pruned_theorem3", "results", "max_depth"}
+
+    def test_stats_immutable(self):
+        stats = MaxFirstStats()
+        with pytest.raises(AttributeError):
+            stats.generated = 5

@@ -1,0 +1,164 @@
+"""Tests for repro.core.refine (compatibility refinement)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.refine import (Refinement, incompatible_in_rect,
+                               refine_quadrant)
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+
+def circle_set(circles, scores=None):
+    return CircleSet.from_circles(circles, scores=scores)
+
+
+class TestIncompatibleInRect:
+    def test_disjoint_disks(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(5, 0, 1)])
+        assert incompatible_in_rect(cs, 0, 1, Rect(0, 0, 5, 1), tol=1e-9)
+
+    def test_exactly_tangent_disks(self):
+        """The lattice case: two NLCs externally tangent at a shared
+        site."""
+        r = math.sqrt(0.5)
+        cs = circle_set([Circle(0, 0, r), Circle(1, 1, r)])
+        assert incompatible_in_rect(cs, 0, 1,
+                                    Rect(0.4, 0.4, 0.6, 0.6), tol=1e-9)
+
+    def test_overlapping_near_rect_compatible(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(1, 0, 1)])
+        # The lens is centred at (0.5, 0): a rect over it is compatible.
+        assert not incompatible_in_rect(cs, 0, 1,
+                                        Rect(0.4, -0.1, 0.6, 0.1),
+                                        tol=1e-9)
+
+    def test_lens_far_from_rect(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(1, 0, 1)])
+        # Rect near (-0.9, 0): inside disk 0, far from the lens.
+        assert incompatible_in_rect(cs, 0, 1,
+                                    Rect(-0.95, -0.05, -0.85, 0.05),
+                                    tol=1e-9)
+
+    def test_contained_disk_compatible(self):
+        cs = circle_set([Circle(0, 0, 2), Circle(0.2, 0, 0.5)])
+        assert not incompatible_in_rect(cs, 0, 1, Rect(0, 0, 0.1, 0.1),
+                                        tol=1e-9)
+
+    def test_certificate_soundness_random(self, rng):
+        """Whenever incompatibility is certified, no sampled point of the
+        rect is inside both disks."""
+        for _ in range(200):
+            circles = [Circle(float(rng.uniform(-1, 1)),
+                              float(rng.uniform(-1, 1)),
+                              float(rng.uniform(0.1, 1.0)))
+                       for _ in range(2)]
+            cs = circle_set(circles)
+            x, y = rng.uniform(-1, 1, 2)
+            w, h = rng.uniform(0.01, 0.5, 2)
+            rect = Rect(float(x), float(y), float(x + w), float(y + h))
+            if not incompatible_in_rect(cs, 0, 1, rect, tol=1e-12):
+                continue
+            xs = np.linspace(rect.xmin, rect.xmax, 12)
+            ys = np.linspace(rect.ymin, rect.ymax, 12)
+            for px in xs:
+                for py in ys:
+                    in_both = all(
+                        (px - c.cx) ** 2 + (py - c.cy) ** 2 < c.r * c.r
+                        for c in circles)
+                    assert not in_both
+
+
+class TestRefineQuadrant:
+    def test_none_when_all_compatible(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(0.1, 0, 1),
+                         Circle(0, 0.1, 1)])
+        out = refine_quadrant(cs, np.arange(3), Rect(0, 0, 0.05, 0.05),
+                              base_score=0.0, value_floor=0.0, tol=1e-9)
+        assert out is None
+
+    def test_none_for_single_disk(self):
+        cs = circle_set([Circle(0, 0, 1)])
+        assert refine_quadrant(cs, np.array([0]), Rect(0, 0, 1, 1),
+                               base_score=0.0, value_floor=0.0,
+                               tol=1e-9) is None
+
+    def test_tangent_pair_refines_to_max_single(self):
+        r = math.sqrt(0.5)
+        cs = circle_set([Circle(0, 0, r), Circle(1, 1, r)],
+                        scores=[1.0, 2.0])
+        out = refine_quadrant(cs, np.arange(2),
+                              Rect(0.45, 0.45, 0.55, 0.55),
+                              base_score=5.0, value_floor=0.0, tol=1e-9)
+        assert isinstance(out, Refinement)
+        # Only one of the tangent pair is achievable: base + max score.
+        assert out.refined_max == pytest.approx(7.0)
+        assert out.complete
+
+    def test_top_cliques_cover_floor(self):
+        r = math.sqrt(0.5)
+        cs = circle_set([Circle(0, 0, r), Circle(1, 1, r)],
+                        scores=[1.0, 1.0])
+        out = refine_quadrant(cs, np.arange(2),
+                              Rect(0.45, 0.45, 0.55, 0.55),
+                              base_score=0.0, value_floor=1.0, tol=1e-9)
+        # Two maximal cliques ({0} and {1}), each of weight 1 >= floor.
+        assert sorted(out.top_cliques) == [(0,), (1,)]
+
+    def test_three_mutually_tangent(self):
+        # Unit circles centred on an equilateral triangle of side 2:
+        # pairwise externally tangent, no two achievable together.
+        circles = [Circle(0, 0, 1), Circle(2, 0, 1),
+                   Circle(1, math.sqrt(3), 1)]
+        cs = circle_set(circles, scores=[1.0, 1.5, 2.0])
+        center = (1.0, math.sqrt(3) / 3)
+        rect = Rect(center[0] - 0.2, center[1] - 0.2,
+                    center[0] + 0.2, center[1] + 0.2)
+        out = refine_quadrant(cs, np.arange(3), rect, base_score=0.0,
+                              value_floor=0.0, tol=1e-9)
+        assert out.refined_max == pytest.approx(2.0)
+
+    def test_mixed_compatibility_clique(self):
+        # 0 and 1 overlap broadly; 2 is disjoint from both.
+        circles = [Circle(0, 0, 1), Circle(0.5, 0, 1), Circle(10, 0, 1)]
+        cs = circle_set(circles, scores=[1.0, 1.0, 5.0])
+        rect = Rect(-1, -1, 11, 1)
+        out = refine_quadrant(cs, np.arange(3), rect, base_score=0.0,
+                              value_floor=0.0, tol=1e-9)
+        # Best compatible subset within the rect: {2} alone (5.0) beats
+        # {0, 1} (2.0).
+        assert out.refined_max == pytest.approx(5.0)
+
+    def test_refined_upper_bounds_true_scores(self, rng):
+        """The refined bound must never fall below the true best local
+        score within the rect."""
+        for _ in range(50):
+            n = int(rng.integers(2, 8))
+            circles = [Circle(float(rng.uniform(-1, 1)),
+                              float(rng.uniform(-1, 1)),
+                              float(rng.uniform(0.2, 1.2)))
+                       for _ in range(n)]
+            scores = rng.uniform(0.1, 2.0, n)
+            cs = circle_set(circles, scores=scores.tolist())
+            x, y = rng.uniform(-0.5, 0.5, 2)
+            rect = Rect(float(x), float(y), float(x + 0.3),
+                        float(y + 0.3))
+            boundary = np.arange(n)
+            out = refine_quadrant(cs, boundary, rect, base_score=0.0,
+                                  value_floor=0.0, tol=1e-12)
+            if out is None:
+                continue
+            # True best achievable: sample the rect.
+            xs = np.linspace(rect.xmin, rect.xmax, 15)
+            ys = np.linspace(rect.ymin, rect.ymax, 15)
+            best = 0.0
+            for px in xs:
+                for py in ys:
+                    v = sum(float(s) for c, s in zip(circles, scores)
+                            if (px - c.cx) ** 2 + (py - c.cy) ** 2
+                            < c.r * c.r)
+                    best = max(best, v)
+            assert out.refined_max >= best - 1e-9

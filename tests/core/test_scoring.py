@@ -1,0 +1,174 @@
+"""Tests for repro.core.scoring (region-semantics local scores)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import (neighborhood_cover, neighborhood_score,
+                                pointwise_score)
+from repro.geometry.circle import Circle
+from repro.index.circleset import CircleSet
+
+
+def circle_set(circles, scores=None):
+    return CircleSet.from_circles(circles, scores=scores)
+
+
+class TestStrictInterior:
+    def test_point_strictly_inside_all(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(0.5, 0, 1)],
+                        scores=[1.0, 2.0])
+        assert neighborhood_score(cs, 0.25, 0.0, tol=1e-9) == 3.0
+
+    def test_point_outside_all(self):
+        cs = circle_set([Circle(0, 0, 1)])
+        assert neighborhood_score(cs, 5.0, 5.0, tol=1e-9) == 0.0
+
+    def test_matches_pointwise_away_from_boundaries(self, rng):
+        circles = [Circle(float(rng.random()), float(rng.random()),
+                          float(rng.uniform(0.1, 0.5)))
+                   for _ in range(20)]
+        cs = circle_set(circles)
+        for _ in range(50):
+            x, y = rng.random(2)
+            # Skip probes that are near any circumference.
+            near = any(abs(math.hypot(x - c.cx, y - c.cy) - c.r) < 1e-3
+                       for c in circles)
+            if near:
+                continue
+            assert neighborhood_score(cs, float(x), float(y),
+                                      tol=1e-9) == pytest.approx(
+                pointwise_score(cs, float(x), float(y)))
+
+
+class TestThroughCircles:
+    def test_single_through_circle_counts(self):
+        # One circle through the point: a neighbourhood on the inner side
+        # gets its score.
+        cs = circle_set([Circle(0, 0, 1)], scores=[2.0])
+        assert neighborhood_score(cs, 1.0, 0.0, tol=1e-9) == 2.0
+
+    def test_two_opposed_through_circles_dont_stack(self):
+        # Two circles tangent internally... use two circles through the
+        # origin with opposite centres: no direction is inside both.
+        cs = circle_set([Circle(1, 0, 1), Circle(-1, 0, 1)],
+                        scores=[1.0, 1.0])
+        # Directions within pi/2 of +x get circle 1; within pi/2 of -x
+        # get circle 2; no direction gets both (open half-circles).
+        assert neighborhood_score(cs, 0.0, 0.0, tol=1e-9) == 1.0
+
+    def test_three_spread_circles_best_pair(self):
+        # Three circles through the origin, centres spread by 120°: any
+        # direction lies inside at most two.
+        circles = [Circle(math.cos(t), math.sin(t), 1.0)
+                   for t in (0.0, 2 * math.pi / 3, 4 * math.pi / 3)]
+        cs = circle_set(circles, scores=[1.0, 1.0, 1.0])
+        assert neighborhood_score(cs, 0.0, 0.0, tol=1e-9) == pytest.approx(
+            2.0)
+
+    def test_aligned_through_circles_stack(self):
+        # Two circles through origin with nearby centres: directions
+        # between them are inside both.
+        cs = circle_set([Circle(1, 0.1, math.hypot(1, 0.1)),
+                         Circle(1, -0.1, math.hypot(1, -0.1))],
+                        scores=[1.0, 3.0])
+        assert neighborhood_score(cs, 0.0, 0.0, tol=1e-9) == pytest.approx(
+            4.0)
+
+    def test_pointwise_overcounts_at_coincidence(self):
+        circles = [Circle(math.cos(t), math.sin(t), 1.0)
+                   for t in (0.0, 2.1, 4.2)]
+        cs = circle_set(circles)
+        assert pointwise_score(cs, 0.0, 0.0, tol=1e-9) == 3.0
+        assert neighborhood_score(cs, 0.0, 0.0, tol=1e-9) < 3.0
+
+    def test_zero_radius_circle_ignored(self):
+        # A zero-radius NLC (customer on a site) has empty interior.
+        cs = circle_set([Circle(0, 0, 0.0)], scores=[5.0])
+        assert neighborhood_score(cs, 0.0, 0.0, tol=1e-9) == 0.0
+
+    def test_base_plus_through(self):
+        cs = circle_set([Circle(0, 0, 2.0), Circle(1, 0, 1.0)],
+                        scores=[1.5, 2.5])
+        # (0, 0): strictly inside the big disk, on the small circle.
+        assert neighborhood_score(cs, 0.0, 0.0, tol=1e-9) == pytest.approx(
+            4.0)
+
+
+class TestNeighborhoodCover:
+    def test_cover_inside(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(0.2, 0, 1)])
+        value, cover = neighborhood_cover(cs, 0.1, 0.0, tol=1e-9)
+        assert value == 2.0
+        assert sorted(cover.tolist()) == [0, 1]
+
+    def test_cover_selects_winning_sector(self):
+        circles = [Circle(math.cos(t), math.sin(t), 1.0)
+                   for t in (0.0, 2 * math.pi / 3, 4 * math.pi / 3)]
+        cs = circle_set(circles, scores=[1.0, 1.0, 4.0])
+        value, cover = neighborhood_cover(cs, 0.0, 0.0, tol=1e-9)
+        # Best sector pairs the heavy circle with one light one.
+        assert value == pytest.approx(5.0)
+        assert 2 in cover.tolist()
+        assert len(cover) == 2
+
+    def test_cover_value_consistent_with_score(self, rng):
+        circles = [Circle(float(rng.uniform(-0.3, 0.3)),
+                          float(rng.uniform(-0.3, 0.3)),
+                          float(rng.uniform(0.3, 1.2)))
+                   for _ in range(12)]
+        scores = rng.uniform(0.1, 2.0, 12)
+        cs = circle_set(circles, scores=scores.tolist())
+        for _ in range(25):
+            x, y = rng.uniform(-1, 1, 2)
+            value, cover = neighborhood_cover(cs, float(x), float(y),
+                                              tol=1e-9)
+            assert value == pytest.approx(neighborhood_score(
+                cs, float(x), float(y), tol=1e-9))
+            assert value == pytest.approx(float(scores[cover].sum()))
+
+    def test_candidates_restriction(self):
+        cs = circle_set([Circle(0, 0, 1), Circle(0, 0, 2)])
+        value, cover = neighborhood_cover(
+            cs, 0.0, 0.0, tol=1e-9,
+            candidates=np.array([1], dtype=np.int64))
+        assert value == 1.0
+        assert cover.tolist() == [1]
+
+
+class TestScoringProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_neighborhood_bounded_by_pointwise(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 15))
+        cs = CircleSet(rng.uniform(-1, 1, n), rng.uniform(-1, 1, n),
+                       rng.uniform(0.05, 1.0, n), rng.uniform(0.1, 1.0, n))
+        x, y = rng.uniform(-1.5, 1.5, 2)
+        tol = 1e-9
+        nb = neighborhood_score(cs, float(x), float(y), tol=tol)
+        pw = pointwise_score(cs, float(x), float(y), tol=tol)
+        assert nb <= pw + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_neighborhood_witnessed_by_nearby_point(self, seed):
+        """The neighbourhood score is (approximately) achieved by an
+        actual nearby location under strict containment."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 10))
+        cs = CircleSet(rng.uniform(-1, 1, n), rng.uniform(-1, 1, n),
+                       rng.uniform(0.2, 1.0, n), rng.uniform(0.1, 1.0, n))
+        x, y = rng.uniform(-0.5, 0.5, 2)
+        nb = neighborhood_score(cs, float(x), float(y), tol=1e-9)
+        best = 0.0
+        for ang in np.linspace(0, 2 * math.pi, 720, endpoint=False):
+            px = x + 1e-7 * math.cos(ang)
+            py = y + 1e-7 * math.sin(ang)
+            d2 = (cs.cx - px) ** 2 + (cs.cy - py) ** 2
+            best = max(best, float(cs.scores[d2 < cs.r * cs.r].sum()))
+        # The directional probe can only miss razor-thin sectors.
+        assert nb >= best - 1e-9

@@ -1,0 +1,65 @@
+"""Tests for repro.core.verify (result auditing)."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.maxoverlap import MaxOverlap
+from repro.core.maxfirst import MaxFirst
+from repro.core.verify import VerificationReport, verify_result
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+
+
+class TestVerifyHonestResults:
+    def test_maxfirst_result_verifies(self, small_k2_problem):
+        result = MaxFirst().solve(small_k2_problem)
+        report = verify_result(result)
+        assert report.ok, report.issues
+        assert report.regions_checked == len(result.regions)
+        assert report.sampled_best <= result.score + 1e-6
+        report.raise_if_failed()  # no-op when ok
+
+    def test_maxoverlap_result_verifies(self, small_uniform_problem):
+        result = MaxOverlap().solve(small_uniform_problem)
+        assert verify_result(result).ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_instances_verify(self, seed):
+        customers, sites = synthetic_instance(120, 10, "clustered",
+                                              seed=seed + 300)
+        problem = MaxBRkNNProblem(customers, sites, k=2,
+                                  probability=[0.6, 0.4])
+        result = MaxFirst().solve(problem)
+        assert verify_result(result, seed=seed).ok
+
+
+class TestVerifyCatchesLies:
+    def test_inflated_score_detected(self, small_uniform_problem):
+        result = MaxFirst().solve(small_uniform_problem)
+        lied = dataclasses.replace(
+            result,
+            score=result.score * 2,
+            regions=tuple(dataclasses.replace(r, score=r.score * 2)
+                          for r in result.regions))
+        report = verify_result(lied)
+        assert not report.ok
+        assert any("attains" in issue for issue in report.issues)
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_deflated_score_detected(self, small_uniform_problem):
+        """Claiming less than the true optimum: a sampled location (or a
+        dense probe) should beat the claim."""
+        result = MaxFirst().solve(small_uniform_problem)
+        lied = dataclasses.replace(result, score=result.score * 0.25)
+        report = verify_result(lied, samples=5_000)
+        assert not report.ok
+        assert any("> claimed optimum" in issue
+                   for issue in report.issues)
+
+    def test_report_is_frozen(self, small_uniform_problem):
+        report = verify_result(MaxFirst().solve(small_uniform_problem))
+        assert isinstance(report, VerificationReport)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.ok = False

@@ -1,0 +1,117 @@
+"""The paper's running example (Figures 1-3 / Table I analogue), exact.
+
+These tests pin the headline numbers of the paper's motivating example:
+1.6 vs 0.6 under {0.8, 0.2}, and MaxFirst == MaxOverlap == 1.5 under
+{0.5, 0.5}.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.reference import reference_solve
+from repro.bench.worked_example import (
+    EXPECTED_SKEWED_SCORE, EXPECTED_THREE_CUSTOMER_SCORE_SKEWED,
+    EXPECTED_UNIFORM_SCORE, SKEWED_MODEL, UNIFORM_MODEL,
+    initial_quadrant_bounds, worked_example_problem)
+from repro.core.nlc import knn_distances
+
+
+class TestSceneConstruction:
+    def test_designed_knn_structure(self):
+        """The scene is built so o1/o2 share p4 as their second-nearest
+        site and each customer has a distinct nearest site."""
+        p = worked_example_problem()
+        d = knn_distances(p.customers, p.sites, 2)
+        # o1: nearest p1 at 1.0, second p4 at ~1.118.
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[0, 1] == pytest.approx(np.hypot(1.0, 0.5))
+        # o2: nearest p2, second p4.
+        assert d[1, 0] == pytest.approx(np.hypot(0.5, 1.5))
+        assert d[1, 1] == pytest.approx(np.hypot(3.0, 0.5))
+        # o3: nearest p3, second p2.
+        assert d[2, 0] == pytest.approx(1.2)
+        assert d[2, 1] == pytest.approx(np.hypot(0.5, 3.5))
+
+
+class TestSkewedModel:
+    def test_optimum_is_160_percent(self):
+        result = repro.MaxFirst().solve(worked_example_problem(SKEWED_MODEL))
+        assert result.score == pytest.approx(EXPECTED_SKEWED_SCORE)
+        assert len(result.regions) == 1
+
+    def test_optimal_region_serves_o2_o3_at_80(self):
+        problem = worked_example_problem(SKEWED_MODEL)
+        result = repro.MaxFirst().solve(problem)
+        p = result.optimal_location()
+        breakdown = repro.influence_at(problem, p.x, p.y)
+        assert breakdown.customers == {
+            1: pytest.approx(0.8), 2: pytest.approx(0.8)}
+
+    def test_three_customer_region_only_60_percent(self):
+        """The region MaxOverlap's equal-probability optimum corresponds
+        to is worth only 0.6 under the skewed model (paper Figure 2)."""
+        problem = worked_example_problem(SKEWED_MODEL)
+        uniform_result = repro.MaxFirst().solve(
+            worked_example_problem(UNIFORM_MODEL))
+        p = uniform_result.optimal_location()
+        value = repro.influence_at(problem, p.x, p.y).total
+        assert value == pytest.approx(EXPECTED_THREE_CUSTOMER_SCORE_SKEWED)
+
+    def test_all_solvers_agree(self):
+        problem = worked_example_problem(SKEWED_MODEL)
+        mf = repro.MaxFirst().solve(problem)
+        mo = repro.MaxOverlap().solve(problem)
+        ref = reference_solve(problem)
+        assert mf.score == pytest.approx(ref.score)
+        assert mo.score == pytest.approx(ref.score)
+
+
+class TestUniformModel:
+    def test_optimum_is_150_percent(self):
+        result = repro.MaxFirst().solve(
+            worked_example_problem(UNIFORM_MODEL))
+        assert result.score == pytest.approx(EXPECTED_UNIFORM_SCORE)
+
+    def test_maxfirst_matches_maxoverlap_region(self):
+        """Paper: 'MaxFirst will return the same optimal region as
+        MaxOverlap if the probability model is {0.5, 0.5}'."""
+        problem = worked_example_problem(UNIFORM_MODEL)
+        mf = repro.MaxFirst().solve(problem)
+        mo = repro.MaxOverlap().solve(problem)
+        assert mf.score == pytest.approx(mo.score)
+        assert len(mf.regions) == len(mo.regions) == 1
+        # Same geometry: each solver's representative point is in the
+        # other's region.
+        p_mf = mf.optimal_location()
+        p_mo = mo.optimal_location()
+        assert mo.regions[0].contains_point(p_mf.x, p_mf.y, tol=1e-9)
+        assert mf.regions[0].contains_point(p_mo.x, p_mo.y, tol=1e-9)
+
+    def test_serves_three_customers_at_50(self):
+        problem = worked_example_problem(UNIFORM_MODEL)
+        result = repro.MaxFirst().solve(problem)
+        p = result.optimal_location()
+        breakdown = repro.influence_at(problem, p.x, p.y)
+        assert breakdown.customer_count == 3
+        assert all(v == pytest.approx(0.5)
+                   for v in breakdown.customers.values())
+
+
+class TestBoundTable:
+    def test_table1_analogue_structure(self):
+        rows = initial_quadrant_bounds(generations=2)
+        # 4 root quadrants + 4 per further generation.
+        assert len(rows) == 12
+        assert {row["generation"] for row in rows} == {0, 1, 2}
+        for row in rows:
+            assert row["min_hat"] <= row["max_hat"] + 1e-12
+
+    def test_bounds_converge_toward_optimum(self):
+        rows = initial_quadrant_bounds(generations=6)
+        best_min = max(row["min_hat"] for row in rows)
+        best_max = max(row["max_hat"] for row in rows)
+        # The maximum m̂ax never drops below the optimum, and m̂in
+        # approaches it from below.
+        assert best_max >= EXPECTED_SKEWED_SCORE - 1e-9
+        assert best_min <= EXPECTED_SKEWED_SCORE + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for repro.datasets.loader (CSV IO)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import load_points_csv, save_points_csv
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        pts = np.array([[0.1, 0.2], [3.5, -1.25], [1e-9, 1e9]])
+        path = tmp_path / "points.csv"
+        save_points_csv(path, pts)
+        loaded = load_points_csv(path)
+        np.testing.assert_allclose(loaded, pts)
+
+    def test_no_header(self, tmp_path):
+        pts = np.array([[1.0, 2.0]])
+        path = tmp_path / "raw.csv"
+        save_points_csv(path, pts, header=False)
+        assert load_points_csv(path).tolist() == [[1.0, 2.0]]
+
+    def test_header_detected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("x,y\n1.5,2.5\n")
+        assert load_points_csv(path).tolist() == [[1.5, 2.5]]
+
+
+class TestValidation:
+    def test_save_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_points_csv(tmp_path / "bad.csv", np.zeros((3, 3)))
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_load_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_load_non_numeric_data_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\nfoo,bar\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_load_too_few_columns(self, tmp_path):
+        path = tmp_path / "cols.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("1.0,2.0\n\n3.0,4.0\n")
+        assert load_points_csv(path).shape == (2, 2)

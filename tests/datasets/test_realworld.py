@@ -1,0 +1,89 @@
+"""Tests for repro.datasets.realworld (UX/NE substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.realworld import (NE_BOUNDS, NE_CARDINALITY, UX_BOUNDS,
+                                      UX_CARDINALITY, make_ne, make_ux,
+                                      split_sites)
+
+
+class TestCardinalities:
+    def test_paper_table3_sizes(self):
+        """Table III: UX has 19,499 points, NE has 123,593."""
+        assert UX_CARDINALITY == 19_499
+        assert NE_CARDINALITY == 123_593
+        assert make_ux().shape == (UX_CARDINALITY, 2)
+
+    def test_subsampling(self):
+        pts = make_ux(1000)
+        assert pts.shape == (1000, 2)
+        with pytest.raises(ValueError):
+            make_ux(0)
+
+    def test_subsample_is_subset(self):
+        full = make_ux()
+        sub = make_ux(500)
+        full_set = {tuple(p) for p in full}
+        assert all(tuple(p) in full_set for p in sub)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(make_ux(2000), make_ux(2000))
+        np.testing.assert_array_equal(make_ne(2000), make_ne(2000))
+
+
+class TestGeography:
+    def test_within_bounds(self):
+        ux = make_ux(3000)
+        assert (ux[:, 0] >= UX_BOUNDS.xmin).all()
+        assert (ux[:, 0] <= UX_BOUNDS.xmax).all()
+        ne = make_ne(3000)
+        assert (ne[:, 1] >= NE_BOUNDS.ymin).all()
+        assert (ne[:, 1] <= NE_BOUNDS.ymax).all()
+
+    def test_ne_denser_than_ux(self):
+        """NE is metropolitan-dense; UX is continental-sparse — the skew
+        contrast Figure 14 depends on."""
+        ux = make_ux(5000)
+        ne = make_ne(5000)
+        ux_area = UX_BOUNDS.area
+        ne_area = NE_BOUNDS.area
+        # Same sample size over a much smaller extent: higher density.
+        assert (5000 / ne_area) > 5 * (5000 / ux_area)
+
+    def test_clustered_structure(self):
+        pts = make_ne(8000)
+        hist, _, _ = np.histogram2d(
+            pts[:, 0], pts[:, 1], bins=12,
+            range=[[NE_BOUNDS.xmin, NE_BOUNDS.xmax],
+                   [NE_BOUNDS.ymin, NE_BOUNDS.ymax]])
+        occupancy = np.sort(hist.ravel())[::-1]
+        # Top 10% of cells hold a disproportionate share of the points
+        # (uniform data would put ~10% there).
+        top = occupancy[: max(1, len(occupancy) // 10)].sum()
+        assert top > 0.3 * len(pts)
+
+
+class TestSplitSites:
+    def test_partition(self):
+        pts = make_ux(1000)
+        customers, sites = split_sites(pts, 100, seed=5)
+        assert sites.shape == (100, 2)
+        assert customers.shape == (900, 2)
+        combined = {tuple(p) for p in np.vstack((customers, sites))}
+        assert combined == {tuple(p) for p in pts}
+
+    def test_validation(self):
+        pts = make_ux(100)
+        with pytest.raises(ValueError):
+            split_sites(pts, 0)
+        with pytest.raises(ValueError):
+            split_sites(pts, 100)
+
+    def test_deterministic_per_seed(self):
+        pts = make_ux(500)
+        a = split_sites(pts, 50, seed=1)
+        b = split_sites(pts, 50, seed=1)
+        np.testing.assert_array_equal(a[1], b[1])
+        c = split_sites(pts, 50, seed=2)
+        assert not np.array_equal(a[1], c[1])

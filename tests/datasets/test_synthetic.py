@@ -1,0 +1,111 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (UNIT_SQUARE, clustered_points,
+                                      normal_points, synthetic_instance,
+                                      uniform_points)
+from repro.geometry.rect import Rect
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        pts = uniform_points(500, seed=1)
+        assert pts.shape == (500, 2)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_deterministic_per_seed(self):
+        np.testing.assert_array_equal(uniform_points(50, seed=7),
+                                      uniform_points(50, seed=7))
+        assert not np.array_equal(uniform_points(50, seed=7),
+                                  uniform_points(50, seed=8))
+
+    def test_custom_bounds(self):
+        bounds = Rect(10.0, -5.0, 20.0, 5.0)
+        pts = uniform_points(200, seed=2, bounds=bounds)
+        assert (pts[:, 0] >= 10).all() and (pts[:, 0] <= 20).all()
+        assert (pts[:, 1] >= -5).all() and (pts[:, 1] <= 5).all()
+
+    def test_zero_points(self):
+        assert uniform_points(0).shape == (0, 2)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+
+
+class TestNormal:
+    def test_clipped_to_bounds(self):
+        pts = normal_points(1000, seed=3)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_concentrated_near_center(self):
+        pts = normal_points(2000, seed=4, spread=0.1)
+        center_dist = np.hypot(pts[:, 0] - 0.5, pts[:, 1] - 0.5)
+        # With sigma 0.1, the bulk is well within 0.3 of the centre.
+        assert (center_dist < 0.3).mean() > 0.9
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            normal_points(10, spread=0.0)
+
+    def test_denser_than_uniform(self):
+        """The property the paper's experiments rely on: normal data has
+        a dense core."""
+        normal = normal_points(2000, seed=5)
+        uniform = uniform_points(2000, seed=5)
+        core = Rect(0.4, 0.4, 0.6, 0.6)
+        in_core = lambda pts: np.mean(  # noqa: E731
+            [(core.contains_point(x, y)) for x, y in pts])
+        assert in_core(normal) > 3 * in_core(uniform)
+
+
+class TestClustered:
+    def test_basic(self):
+        pts = clustered_points(800, clusters=5, seed=6)
+        assert pts.shape == (800, 2)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, clusters=0)
+        with pytest.raises(ValueError):
+            clustered_points(10, background_fraction=1.5)
+        with pytest.raises(ValueError):
+            clustered_points(-5)
+
+    def test_multimodal(self):
+        """Multiple density peaks, unlike the single normal bump."""
+        pts = clustered_points(4000, clusters=6, seed=7,
+                               cluster_spread=0.02,
+                               background_fraction=0.0)
+        # Count occupied coarse cells: clusters concentrate mass into few.
+        hist, _, _ = np.histogram2d(pts[:, 0], pts[:, 1], bins=10,
+                                    range=[[0, 1], [0, 1]])
+        top_cells = np.sort(hist.ravel())[::-1]
+        assert top_cells[:6].sum() > 0.6 * len(pts)
+
+
+class TestInstance:
+    def test_both_sets_generated(self):
+        customers, sites = synthetic_instance(300, 20, "uniform", seed=9)
+        assert customers.shape == (300, 2)
+        assert sites.shape == (20, 2)
+
+    def test_sets_differ(self):
+        customers, sites = synthetic_instance(20, 20, "normal", seed=9)
+        assert not np.array_equal(customers, sites)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            synthetic_instance(10, 5, "zipf", seed=0)
+
+    def test_deterministic(self):
+        a = synthetic_instance(50, 5, "clustered", seed=11)
+        b = synthetic_instance(50, 5, "clustered", seed=11)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_unit_square_constant(self):
+        assert UNIT_SQUARE == Rect(0.0, 0.0, 1.0, 1.0)

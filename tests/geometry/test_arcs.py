@@ -1,0 +1,226 @@
+"""Tests for repro.geometry.arcs (Arc, AngularIntervals, ArcRegion)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.arcs import (TWO_PI, AngularIntervals, Arc, ArcRegion,
+                                 normalize_angle)
+from repro.geometry.circle import Circle
+from repro.geometry.intersection import intersect_disks
+
+angle = st.floats(min_value=-20.0, max_value=20.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestNormalizeAngle:
+    def test_basic(self):
+        assert normalize_angle(0.0) == 0.0
+        assert normalize_angle(TWO_PI) == pytest.approx(0.0)
+        assert normalize_angle(-math.pi / 2) == pytest.approx(
+            3 * math.pi / 2)
+
+    @given(angle)
+    def test_range_and_equivalence(self, theta):
+        out = normalize_angle(theta)
+        assert 0.0 <= out < TWO_PI
+        assert math.cos(out) == pytest.approx(math.cos(theta), abs=1e-9)
+        assert math.sin(out) == pytest.approx(math.sin(theta), abs=1e-9)
+
+
+class TestArc:
+    def test_invalid_sweep(self):
+        c = Circle(0, 0, 1)
+        with pytest.raises(ValueError):
+            Arc(c, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Arc(c, 0.0, 7.0)
+
+    def test_full_circle(self):
+        arc = Arc(Circle(0, 0, 2), 0.0, TWO_PI)
+        assert arc.is_full_circle
+        assert arc.length == pytest.approx(2 * TWO_PI)
+        assert arc.contains_angle(1.2345)
+
+    def test_endpoints_and_midpoint(self):
+        arc = Arc(Circle(0, 0, 1), 0.0, math.pi)
+        assert arc.start_point.as_tuple() == pytest.approx((1.0, 0.0))
+        assert arc.end_point.x == pytest.approx(-1.0)
+        assert arc.midpoint.y == pytest.approx(1.0)
+
+    def test_contains_angle_wrapping(self):
+        arc = Arc(Circle(0, 0, 1), 3 * math.pi / 2, math.pi)  # 270°..90°
+        assert arc.contains_angle(0.0)
+        assert arc.contains_angle(7 * math.pi / 4)
+        assert not arc.contains_angle(math.pi)
+
+    def test_segment_area_semicircle(self):
+        arc = Arc(Circle(0, 0, 2), 0.0, math.pi)
+        assert arc.segment_area() == pytest.approx(math.pi * 2.0)
+
+    def test_farthest_distance_full_circle(self):
+        arc = Arc(Circle(0, 0, 1), 0.0, TWO_PI)
+        assert arc.farthest_distance_from(3.0, 0.0) == pytest.approx(4.0)
+        assert arc.farthest_distance_from(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_farthest_distance_diametric_point_on_arc(self):
+        # Quarter arc on the right side; from a probe on the left the
+        # diametrically-away point (1, 0) lies on the arc.
+        arc = Arc(Circle(0, 0, 1), 2 * math.pi - math.pi / 4, math.pi / 2)
+        assert arc.farthest_distance_from(-2.0, 0.0) == pytest.approx(3.0)
+
+    def test_farthest_distance_respects_arc_extent(self):
+        # Same arc, probe on the right: the diametric point (-1, 0) is NOT
+        # on the arc, so the maximum moves to an endpoint.
+        arc = Arc(Circle(0, 0, 1), 2 * math.pi - math.pi / 4, math.pi / 2)
+        d = arc.farthest_distance_from(2.0, 0.0)
+        s = math.sqrt(0.5)
+        expected = math.hypot(2.0 - s, s)
+        assert d == pytest.approx(expected)
+
+    def test_farthest_distance_exhaustive_check(self):
+        arc = Arc(Circle(0.5, -0.2, 1.3), 0.7, 2.1)
+        probe = (1.4, 2.2)
+        brute = max(math.hypot(p.x - probe[0], p.y - probe[1])
+                    for p in arc.sample(2000))
+        assert arc.farthest_distance_from(*probe) == pytest.approx(
+            brute, rel=1e-5)
+
+    def test_sample_endpoints(self):
+        arc = Arc(Circle(0, 0, 1), 0.0, math.pi / 2)
+        pts = arc.sample(5)
+        assert len(pts) == 5
+        assert pts[0].is_close(arc.start_point)
+        assert pts[-1].is_close(arc.end_point)
+
+
+class TestAngularIntervals:
+    def test_starts_full(self):
+        iv = AngularIntervals()
+        assert iv.is_full
+        assert iv.total_measure() == pytest.approx(TWO_PI)
+
+    def test_single_constraint(self):
+        iv = AngularIntervals()
+        iv.intersect_with(0.0, math.pi / 4)
+        assert not iv.is_full
+        assert iv.total_measure() == pytest.approx(math.pi / 2)
+
+    def test_disjoint_constraints_empty(self):
+        iv = AngularIntervals()
+        iv.intersect_with(0.0, 0.3)
+        iv.intersect_with(math.pi, 0.3)
+        assert iv.is_empty
+
+    def test_wrapping_constraint(self):
+        iv = AngularIntervals()
+        iv.intersect_with(0.0, 0.5)          # (-0.5, 0.5) wraps
+        iv.intersect_with(0.2, 0.5)          # (-0.3, 0.7)
+        assert iv.total_measure() == pytest.approx(0.8, abs=1e-9)
+
+    def test_zero_width_empties(self):
+        iv = AngularIntervals()
+        iv.intersect_with(1.0, 0.0)
+        assert iv.is_empty
+
+    def test_full_width_noop(self):
+        iv = AngularIntervals()
+        iv.intersect_with(1.0, math.pi)
+        assert iv.is_full
+
+    @given(st.lists(st.tuples(angle,
+                              st.floats(min_value=0.05, max_value=3.0)),
+                    min_size=1, max_size=6))
+    def test_measure_never_increases(self, constraints):
+        iv = AngularIntervals()
+        prev = iv.total_measure()
+        for center, width in constraints:
+            iv.intersect_with(center, width)
+            cur = iv.total_measure()
+            assert cur <= prev + 1e-9
+            prev = cur
+
+    @given(st.lists(st.tuples(angle,
+                              st.floats(min_value=0.05, max_value=3.0)),
+                    min_size=1, max_size=5))
+    def test_membership_matches_pointwise(self, constraints):
+        """Interval intersection == conjunction of angular membership."""
+        iv = AngularIntervals()
+        for center, width in constraints:
+            iv.intersect_with(center, width)
+
+        def member(theta: float) -> bool:
+            return any(
+                (normalize_angle(theta) - s) % TWO_PI <= (e - s)
+                for s, e in iv.intervals()) and not iv.is_empty
+
+        def expected(theta: float) -> bool:
+            return all(
+                math.cos(theta - center) > math.cos(width)
+                for center, width in constraints)
+
+        for k in range(48):
+            theta = k * TWO_PI / 48 + 0.013
+            exp = expected(theta)
+            got = member(theta)
+            # Allow disagreement only within tolerance of a boundary.
+            near_boundary = any(
+                abs(math.cos(theta - c) - math.cos(w)) < 1e-6
+                for c, w in constraints)
+            if not near_boundary:
+                assert got == exp
+
+
+class TestArcRegion:
+    def test_full_disk_region(self):
+        region = intersect_disks([Circle(1.0, 2.0, 3.0)])
+        assert region.area == pytest.approx(math.pi * 9.0)
+        assert region.contains_point(1.0, 2.0)
+        assert region.representative_point().is_close(region.circles[0].center)
+        assert region.vertices() == []
+
+    def test_lens_area_formula(self):
+        # Two unit circles at distance 1: lens area has a closed form.
+        a = Circle(0.0, 0.0, 1.0)
+        b = Circle(1.0, 0.0, 1.0)
+        region = intersect_disks([a, b])
+        d = 1.0
+        expected = (2 * math.acos(d / 2) - (d / 2) * math.sqrt(4 - d * d))
+        assert region.area == pytest.approx(expected, rel=1e-9)
+
+    def test_lens_contains_and_rejects(self):
+        region = intersect_disks([Circle(0, 0, 1), Circle(1, 0, 1)])
+        assert region.contains_point(0.5, 0.0)
+        assert not region.contains_point(-0.5, 0.0)
+        assert not region.contains_point(1.5, 0.0)
+
+    def test_representative_point_inside(self):
+        region = intersect_disks([Circle(0, 0, 1), Circle(1, 0, 1),
+                                  Circle(0.5, 0.8, 1.0)])
+        p = region.representative_point()
+        assert region.contains_point(p.x, p.y)
+
+    def test_bounding_box_covers_boundary(self):
+        region = intersect_disks([Circle(0, 0, 1), Circle(0.8, 0, 1)])
+        box = region.bounding_box()
+        for p in region.sample_boundary(64):
+            assert box.expanded(1e-9).contains_point(p.x, p.y)
+
+    def test_max_distance_from(self):
+        region = intersect_disks([Circle(0, 0, 1), Circle(0.5, 0, 1)])
+        probe = (0.25, 0.0)
+        brute = max(math.hypot(p.x - probe[0], p.y - probe[1])
+                    for p in region.sample_boundary(512))
+        assert region.max_distance_from(*probe) == pytest.approx(
+            brute, rel=1e-4)
+
+    def test_degenerate_region(self):
+        region = ArcRegion(circles=(Circle(0, 0, 1),), arcs=(),
+                           degenerate_point=Circle(0, 0, 1).point_at(0.0))
+        assert region.is_degenerate
+        assert region.area == 0.0
+        assert region.contains_point(1.0, 0.0)
+        assert not region.contains_point(0.5, 0.0)
+        assert region.max_distance_from(0.0, 0.0) == pytest.approx(1.0)

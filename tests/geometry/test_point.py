@@ -1,0 +1,100 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, distance, distance_squared, midpoint
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestPointBasics:
+    def test_fields(self):
+        p = Point(1.5, -2.0)
+        assert p.x == 1.5
+        assert p.y == -2.0
+
+    def test_immutable(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 1.0
+
+    def test_hashable_and_equal(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+    def test_iteration_and_tuple(self):
+        p = Point(3.0, 4.0)
+        assert tuple(p) == (3.0, 4.0)
+        assert p.as_tuple() == (3.0, 4.0)
+
+    def test_arithmetic(self):
+        a = Point(1.0, 2.0)
+        b = Point(0.5, -1.0)
+        assert a + b == Point(1.5, 1.0)
+        assert a - b == Point(0.5, 3.0)
+        assert a * 2.0 == Point(2.0, 4.0)
+        assert 2.0 * a == Point(2.0, 4.0)
+
+    def test_dot_and_norm(self):
+        assert Point(3.0, 4.0).dot(Point(1.0, 0.0)) == 3.0
+        assert Point(3.0, 4.0).norm() == 5.0
+
+    def test_distance_to(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_angle_to(self):
+        assert Point(0.0, 0.0).angle_to(Point(1.0, 0.0)) == 0.0
+        assert Point(0.0, 0.0).angle_to(Point(0.0, 2.0)) == pytest.approx(
+            math.pi / 2)
+
+    def test_is_close(self):
+        assert Point(0.0, 0.0).is_close(Point(1e-12, -1e-12))
+        assert not Point(0.0, 0.0).is_close(Point(1e-3, 0.0))
+
+
+class TestRawDistance:
+    def test_distance_matches_point_method(self):
+        assert distance(0, 0, 3, 4) == Point(0, 0).distance_to(Point(3, 4))
+
+    def test_distance_squared(self):
+        assert distance_squared(0, 0, 3, 4) == 25.0
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1.0, 2.0)
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetric(self, ax, ay, bx, by):
+        assert distance(ax, ay, bx, by) == distance(bx, by, ax, ay)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_nonnegative_and_identity(self, ax, ay, bx, by):
+        d = distance(ax, ay, bx, by)
+        assert d >= 0.0
+        assert distance(ax, ay, ax, ay) == 0.0
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        ab = distance(ax, ay, bx, by)
+        bc = distance(bx, by, cx, cy)
+        ac = distance(ax, ay, cx, cy)
+        assert ac <= ab + bc + 1e-7 * max(1.0, ab + bc)
+
+    @given(finite, finite, finite, finite)
+    def test_squared_consistent(self, ax, ay, bx, by):
+        d = distance(ax, ay, bx, by)
+        d2 = distance_squared(ax, ay, bx, by)
+        assert d2 == pytest.approx(d * d, rel=1e-9, abs=1e-12)
+
+    @given(finite, finite, finite, finite)
+    def test_midpoint_equidistant(self, ax, ay, bx, by):
+        m = midpoint(Point(ax, ay), Point(bx, by))
+        da = m.distance_to(Point(ax, ay))
+        db = m.distance_to(Point(bx, by))
+        assert da == pytest.approx(db, rel=1e-6, abs=1e-9)

@@ -1,0 +1,179 @@
+"""Tests for repro.index.circleset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import (Circle, circle_contains_rect,
+                                   circle_intersects_rect)
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+
+def make_set(rng, n=60) -> CircleSet:
+    cx = rng.random(n)
+    cy = rng.random(n)
+    r = rng.uniform(0.02, 0.4, n)
+    scores = rng.uniform(0.1, 2.0, n)
+    return CircleSet(cx, cy, r, scores)
+
+
+class TestConstruction:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CircleSet(np.zeros(2), np.zeros(2), np.zeros(3), np.zeros(2))
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            CircleSet(np.zeros(1), np.zeros(1), np.array([-1.0]),
+                      np.zeros(1))
+
+    def test_from_circles_default_scores(self):
+        cs = CircleSet.from_circles([Circle(0, 0, 1), Circle(1, 1, 2)])
+        assert len(cs) == 2
+        assert cs.scores.tolist() == [1.0, 1.0]
+
+    def test_circle_roundtrip(self):
+        cs = CircleSet.from_circles([Circle(0.5, -0.25, 1.5)])
+        assert cs.circle(0) == Circle(0.5, -0.25, 1.5)
+
+    def test_bounding_box(self):
+        cs = CircleSet.from_circles([Circle(0, 0, 1), Circle(3, 0, 2)])
+        assert cs.bounding_box() == Rect(-1.0, -2.0, 5.0, 2.0)
+
+    def test_bounding_box_empty_raises(self):
+        cs = CircleSet(np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            cs.bounding_box()
+
+
+class TestRectClassification:
+    def test_masks_match_scalar_predicates(self, rng):
+        cs = make_set(rng)
+        rect = Rect(0.3, 0.3, 0.6, 0.7)
+        inter = cs.intersects_rect_mask(rect)
+        contain = cs.contains_rect_mask(rect)
+        for i in range(len(cs)):
+            c = cs.circle(i)
+            assert inter[i] == circle_intersects_rect(c, rect)
+            assert contain[i] == circle_contains_rect(c, rect)
+
+    def test_classify_rect_consistency(self, rng):
+        cs = make_set(rng)
+        rect = Rect(0.2, 0.1, 0.5, 0.45)
+        intersecting, containing_mask, max_hat, min_hat = cs.classify_rect(
+            rect)
+        assert min_hat <= max_hat + 1e-12
+        assert max_hat == pytest.approx(cs.scores[intersecting].sum())
+        assert min_hat == pytest.approx(
+            cs.scores[intersecting[containing_mask]].sum())
+        # Containing circles must be a subset of intersecting ones when
+        # the rect has interior.
+        for idx, contained in zip(intersecting, containing_mask):
+            if contained:
+                assert circle_contains_rect(cs.circle(int(idx)), rect)
+
+    def test_classify_with_candidate_subset(self, rng):
+        cs = make_set(rng)
+        rect = Rect(0.4, 0.4, 0.55, 0.5)
+        full_inter, _, full_max, full_min = cs.classify_rect(rect)
+        # Using a superset candidate list must give identical results.
+        candidates = np.arange(len(cs), dtype=np.int64)
+        sub_inter, _, sub_max, sub_min = cs.classify_rect(rect, candidates)
+        assert np.array_equal(full_inter, sub_inter)
+        assert full_max == sub_max
+        assert full_min == sub_min
+
+    def test_hierarchy_invariant(self, rng):
+        """A child quadrant's I-set is a subset of its parent's."""
+        cs = make_set(rng)
+        parent = Rect(0.1, 0.1, 0.9, 0.9)
+        p_inter, _, _, _ = cs.classify_rect(parent)
+        for child in parent.split_center():
+            c_inter, _, c_max, _ = cs.classify_rect(child, p_inter)
+            assert set(c_inter).issubset(set(p_inter))
+            # Bound monotonicity: child max cannot exceed parent's.
+            assert c_max <= cs.scores[p_inter].sum() + 1e-12
+
+    def test_graze_tolerance_drops_hairline_overlap(self):
+        cs = CircleSet.from_circles([Circle(0.0, 0.0, 1.0)])
+        sliver = Rect(0.999999999, -1, 2, 1)  # overlap depth ~1e-9
+        inter, _, max_hat, _ = cs.classify_rect(sliver, graze_tol=1e-6)
+        assert len(inter) == 0
+        assert max_hat == 0.0
+        inter2, _, _, _ = cs.classify_rect(sliver, graze_tol=0.0)
+        assert len(inter2) == 1
+
+    def test_graze_tolerance_accepts_near_containment(self):
+        cs = CircleSet.from_circles([Circle(0.0, 0.0, 1.0)])
+        s = 0.7071067811865476  # corners a hair outside the circle
+        rect = Rect(-s, -s, s, s)
+        _, contain_strict, _, min_strict = cs.classify_rect(rect)
+        _, contain_tol, _, min_tol = cs.classify_rect(rect, graze_tol=1e-6)
+        assert min_tol == pytest.approx(1.0)
+        assert contain_tol.all()
+
+    def test_empty_intersection(self, rng):
+        cs = make_set(rng)
+        far = Rect(50, 50, 51, 51)
+        inter, contain, max_hat, min_hat = cs.classify_rect(far)
+        assert len(inter) == 0
+        assert max_hat == 0.0
+        assert min_hat == 0.0
+
+
+class TestPointCoverage:
+    def test_cover_score_matches_brute(self, rng):
+        cs = make_set(rng)
+        for _ in range(40):
+            x, y = rng.random(2)
+            expected = sum(
+                float(s) for i, s in enumerate(cs.scores)
+                if cs.circle(i).contains_point(float(x), float(y)))
+            assert cs.cover_score_at(float(x), float(y)) == pytest.approx(
+                expected)
+
+    def test_cover_scores_batch_matches_single(self, rng):
+        cs = make_set(rng)
+        pts = rng.random((25, 2))
+        candidates = np.arange(len(cs), dtype=np.int64)
+        batch = cs.cover_scores_at_points(pts, candidates)
+        for i, (x, y) in enumerate(pts):
+            assert batch[i] == pytest.approx(
+                cs.cover_score_at(float(x), float(y)))
+
+    def test_tolerance_includes_boundary(self):
+        cs = CircleSet.from_circles([Circle(0, 0, 1)], scores=[2.0])
+        x = 1.0 + 1e-10
+        assert cs.cover_score_at(x, 0.0, tol=0.0) == 0.0
+        assert cs.cover_score_at(x, 0.0, tol=1e-9) == 2.0
+
+    def test_candidate_subset_restricts(self, rng):
+        cs = make_set(rng)
+        subset = np.array([0, 1, 2], dtype=np.int64)
+        mask = cs.contains_point_mask(0.5, 0.5, candidates=subset)
+        assert mask.shape == (3,)
+
+
+class TestCircleSetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_theorem1_bounds_hold_on_random_rects(self, seed):
+        """m̂in <= score(x) <= m̂ax for interior points x (Theorem 1,
+        region semantics)."""
+        rng = np.random.default_rng(seed)
+        cs = make_set(rng, n=25)
+        x1, y1 = rng.random(2)
+        w, h = rng.uniform(0.01, 0.3, 2)
+        rect = Rect(float(x1), float(y1), float(x1 + w), float(y1 + h))
+        inter, contain, max_hat, min_hat = cs.classify_rect(rect)
+        for _ in range(30):
+            # Strictly interior sample points.
+            px = rect.xmin + (0.05 + 0.9 * rng.random()) * rect.width
+            py = rect.ymin + (0.05 + 0.9 * rng.random()) * rect.height
+            # Open-disk score (region semantics: strict containment).
+            d2 = (cs.cx - px) ** 2 + (cs.cy - py) ** 2
+            open_score = float(cs.scores[d2 < cs.r * cs.r].sum())
+            assert min_hat <= open_score + 1e-9
+            assert open_score <= max_hat + 1e-9

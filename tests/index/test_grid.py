@@ -1,0 +1,98 @@
+"""Tests for repro.index.grid."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.grid import UniformGrid
+
+
+def random_boxes(rng, n, extent=0.1):
+    boxes = []
+    for i in range(n):
+        x, y = rng.random(2)
+        w, h = rng.random(2) * extent
+        boxes.append((Rect(float(x), float(y), float(x + w), float(y + h)),
+                      i))
+    return boxes
+
+
+class TestConstruction:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            UniformGrid(Rect(0, 0, 1, 1), 0.0)
+
+    def test_for_boxes_empty_raises(self):
+        with pytest.raises(ValueError):
+            UniformGrid.for_boxes([])
+
+    def test_for_boxes_reasonable_shape(self, rng):
+        boxes = [rect for rect, _ in random_boxes(rng, 200)]
+        grid = UniformGrid.for_boxes(boxes)
+        nx, ny = grid.shape
+        assert 1 <= nx <= 200
+        assert 1 <= ny <= 200
+
+    def test_zero_extent_boxes(self):
+        # All-point boxes at one location must still build a valid grid.
+        boxes = [Rect(0.5, 0.5, 0.5, 0.5)] * 10
+        grid = UniformGrid.for_boxes(boxes)
+        assert grid.shape >= (1, 1)
+
+
+class TestQueries:
+    def test_query_rect_matches_brute(self, rng):
+        boxes = random_boxes(rng, 150)
+        grid = UniformGrid.for_boxes([r for r, _ in boxes])
+        for rect, item in boxes:
+            grid.insert(rect, item)
+        for query in (Rect(0.2, 0.2, 0.5, 0.5), Rect(0, 0, 1.2, 1.2),
+                      Rect(0.9, 0.9, 0.91, 0.91)):
+            got = sorted(grid.query_rect(query))
+            expected = sorted(i for r, i in boxes if r.intersects(query))
+            assert got == expected
+
+    def test_query_point_matches_brute(self, rng):
+        boxes = random_boxes(rng, 150)
+        grid = UniformGrid.for_boxes([r for r, _ in boxes])
+        for rect, item in boxes:
+            grid.insert(rect, item)
+        for _ in range(50):
+            x, y = rng.random(2)
+            got = sorted(grid.query_point(float(x), float(y)))
+            expected = sorted(i for r, i in boxes
+                              if r.contains_point(float(x), float(y)))
+            assert got == expected
+
+    def test_out_of_bounds_items_still_found(self):
+        grid = UniformGrid(Rect(0, 0, 1, 1), 0.25)
+        grid.insert(Rect(5, 5, 6, 6), "far")
+        assert grid.query_rect(Rect(4, 4, 7, 7)) == ["far"]
+
+    def test_len_counts_items_not_cells(self, rng):
+        grid = UniformGrid(Rect(0, 0, 1, 1), 0.1)
+        grid.insert(Rect(0, 0, 1, 1), "big")  # covers many cells
+        assert len(grid) == 1
+
+
+class TestCandidatePairs:
+    def test_pairs_unique_and_complete(self, rng):
+        boxes = random_boxes(rng, 120, extent=0.2)
+        grid = UniformGrid.for_boxes([r for r, _ in boxes])
+        for rect, item in boxes:
+            grid.insert(rect, item)
+        got = sorted(tuple(sorted(p)) for p in grid.candidate_pairs())
+        assert len(got) == len(set(got)), "pair emitted twice"
+        expected = sorted(
+            tuple(sorted((i, j)))
+            for (ra, i), (rb, j) in itertools.combinations(boxes, 2)
+            if ra.intersects(rb))
+        assert got == expected
+
+    def test_no_pairs_when_disjoint(self):
+        grid = UniformGrid(Rect(0, 0, 10, 10), 1.0)
+        grid.insert(Rect(0, 0, 0.5, 0.5), "a")
+        grid.insert(Rect(5, 5, 5.5, 5.5), "b")
+        assert list(grid.candidate_pairs()) == []

@@ -1,0 +1,129 @@
+"""Tests for repro.index.kdtree."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.kdtree import KDTree
+
+from tests.conftest import brute_knn_distances
+
+
+@pytest.fixture
+def points(rng):
+    return rng.random((400, 2))
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = KDTree([])
+        assert len(tree) == 0
+        assert tree.query(0.0, 0.0, k=1) == []
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)], leaf_size=0)
+
+    def test_point_accessor(self):
+        tree = KDTree([(1.0, 2.0), (3.0, 4.0)])
+        assert tree.point(1) == (3.0, 4.0)
+
+
+class TestQuery:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)]).query(0.0, 0.0, k=0)
+
+    def test_single_point(self):
+        tree = KDTree([(1.0, 1.0)])
+        [(d, i)] = tree.query(0.0, 0.0, k=1)
+        assert i == 0
+        assert d == pytest.approx(math.sqrt(2))
+
+    def test_matches_brute_force(self, points):
+        tree = KDTree(points)
+        queries = np.array([(0.5, 0.5), (0.0, 1.0), (-0.5, 2.0)])
+        for k in (1, 3, 10, 50):
+            expected = brute_knn_distances(queries, points, k)
+            for qi, (x, y) in enumerate(queries):
+                got = [d for d, _ in tree.query(float(x), float(y), k=k)]
+                assert got == pytest.approx(expected[qi].tolist())
+
+    def test_k_exceeds_size(self, rng):
+        pts = rng.random((4, 2))
+        tree = KDTree(pts)
+        assert len(tree.query(0.5, 0.5, k=10)) == 4
+
+    def test_distances_ascending(self, points):
+        tree = KDTree(points)
+        dists = [d for d, _ in tree.query(0.2, 0.8, k=30)]
+        assert dists == sorted(dists)
+
+    def test_duplicate_points_deterministic(self):
+        # Ties broken by insertion index.
+        tree = KDTree([(1.0, 1.0)] * 5 + [(2.0, 2.0)])
+        got = tree.query(1.0, 1.0, k=5)
+        assert [i for _, i in got] == [0, 1, 2, 3, 4]
+
+    def test_query_on_stored_point(self, points):
+        tree = KDTree(points)
+        x, y = points[42]
+        d, i = tree.query(float(x), float(y), k=1)[0]
+        assert d == 0.0
+        assert i == 42
+
+
+class TestQueryRadius:
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)]).query_radius(0.0, 0.0, -1.0)
+
+    def test_matches_brute_force(self, points):
+        tree = KDTree(points)
+        for radius in (0.05, 0.2, 0.7):
+            got = tree.query_radius(0.5, 0.5, radius)
+            expected = sorted(
+                i for i, (x, y) in enumerate(points)
+                if math.hypot(x - 0.5, y - 0.5) <= radius)
+            assert got == expected
+
+    def test_zero_radius_hits_exact_point(self, points):
+        tree = KDTree(points)
+        x, y = points[7]
+        assert 7 in tree.query_radius(float(x), float(y), 0.0)
+
+
+class TestKDTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False)),
+        min_size=1, max_size=150),
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False))
+    def test_knn_equivalence(self, pts, k, qx, qy):
+        arr = np.array(pts)
+        k = min(k, len(pts))
+        tree = KDTree(arr, leaf_size=4)
+        got = [d for d, _ in tree.query(qx, qy, k=k)]
+        expected = brute_knn_distances(np.array([[qx, qy]]), arr, k)[0]
+        assert got == pytest.approx(expected.tolist(), rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False)),
+        min_size=1, max_size=100),
+        st.floats(min_value=0, max_value=5, allow_nan=False))
+    def test_radius_equivalence(self, pts, radius):
+        tree = KDTree(pts, leaf_size=4)
+        got = tree.query_radius(0.0, 0.0, radius)
+        # Match the implementation's closed-ball contract in the squared
+        # metric (hypot rounds differently at exact-boundary points).
+        expected = sorted(i for i, (x, y) in enumerate(pts)
+                          if x * x + y * y <= radius * radius)
+        assert got == expected

@@ -1,0 +1,83 @@
+"""Stateful fuzzing of the R-tree against a naive model.
+
+Hypothesis drives interleaved insert/delete/search sequences; after every
+step the tree must agree with a plain-list model on range queries,
+nearest-neighbour queries and size.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+
+coord = st.floats(min_value=-50.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+class RTreeModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree(max_entries=4)  # small fan-out: many splits
+        self.model: list[tuple[Rect, int]] = []
+        self.next_id = 0
+
+    @rule(x=coord, y=coord)
+    def insert_point(self, x, y):
+        rect = Rect(x, y, x, y)
+        self.tree.insert(rect, self.next_id)
+        self.model.append((rect, self.next_id))
+        self.next_id += 1
+
+    @rule(x=coord, y=coord,
+          w=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+          h=st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    def insert_box(self, x, y, w, h):
+        rect = Rect(x, y, x + w, y + h)
+        self.tree.insert(rect, self.next_id)
+        self.model.append((rect, self.next_id))
+        self.next_id += 1
+
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        if not self.model:
+            return
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(self.model) - 1))
+        rect, item = self.model.pop(index)
+        assert self.tree.delete(rect, item)
+
+    @rule()
+    def delete_missing(self):
+        assert not self.tree.delete(Rect(999, 999, 999, 999), -1)
+
+    @rule(x1=coord, y1=coord, x2=coord, y2=coord)
+    def check_range_query(self, x1, y1, x2, y2):
+        query = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        got = sorted(self.tree.search(query))
+        expected = sorted(item for rect, item in self.model
+                          if rect.intersects(query))
+        assert got == expected
+
+    @rule(x=coord, y=coord, k=st.integers(min_value=1, max_value=5))
+    def check_nearest(self, x, y, k):
+        got = self.tree.nearest(x, y, k=k)
+        expected = sorted(
+            (rect.min_distance_to_point(x, y), item)
+            for rect, item in self.model)[:k]
+        assert len(got) == min(k, len(self.model))
+        for (gd, _), (ed, _) in zip(got, expected):
+            assert math.isclose(gd, ed, rel_tol=1e-9, abs_tol=1e-9)
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.tree) == len(self.model)
+
+
+TestRTreeStateful = RTreeModel.TestCase
+TestRTreeStateful.settings = settings(max_examples=25,
+                                      stateful_step_count=40,
+                                      deadline=None)

@@ -1,0 +1,136 @@
+"""Structural invariants of the MaxBRkNN problem, enforced end to end.
+
+These tests encode facts a domain expert expects of any correct solver —
+monotonicity, bounds, symmetry — independent of the specific algorithm.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.queries import impact_of_new_site, site_influence
+from repro.datasets.synthetic import synthetic_instance
+from repro.l1.solver import solve_l1
+
+
+class TestScoreBounds:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_score_within_weight_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        customers = rng.uniform(0, 1, (n, 2))
+        sites = rng.uniform(0, 1, (4, 2))
+        weights = rng.uniform(0.1, 2.0, n)
+        problem = MaxBRkNNProblem(customers, sites, k=1, weights=weights)
+        result = MaxFirst().solve(problem)
+        # At least one customer is always winnable (its own NLC has
+        # interior unless it sits exactly on a site).
+        on_site = np.array([
+            np.min(np.hypot(sites[:, 0] - x, sites[:, 1] - y)) == 0.0
+            for x, y in customers])
+        winnable = weights[~on_site]
+        lower = winnable.max() if winnable.size else 0.0
+        assert lower - 1e-9 <= result.score <= weights.sum() + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_probability_caps_score(self, seed):
+        """With model {p1, ...}, no location can beat p1 * total weight."""
+        rng = np.random.default_rng(seed)
+        customers = rng.uniform(0, 1, (30, 2))
+        sites = rng.uniform(0, 1, (5, 2))
+        problem = MaxBRkNNProblem(customers, sites, k=2,
+                                  probability=[0.8, 0.2])
+        result = MaxFirst().solve(problem)
+        assert result.score <= 0.8 * 30 + 1e-9
+
+
+class TestMonotonicity:
+    def test_adding_customers_never_decreases_optimum(self):
+        base_customers, sites = synthetic_instance(60, 8, "uniform",
+                                                   seed=71)
+        extra, _ = synthetic_instance(30, 8, "uniform", seed=72)
+        small = MaxFirst().solve(
+            MaxBRkNNProblem(base_customers, sites, k=1))
+        big = MaxFirst().solve(MaxBRkNNProblem(
+            np.vstack((base_customers, extra)), sites, k=1))
+        assert big.score >= small.score - 1e-9
+
+    def test_removing_sites_never_decreases_optimum(self):
+        """Fewer competitors -> bigger NLCs -> every location's influence
+        is monotone non-decreasing."""
+        customers, sites = synthetic_instance(80, 10, "uniform", seed=73)
+        full = MaxFirst().solve(MaxBRkNNProblem(customers, sites, k=1))
+        reduced = MaxFirst().solve(
+            MaxBRkNNProblem(customers, sites[:5], k=1))
+        assert reduced.score >= full.score - 1e-9
+
+    def test_increasing_k_never_decreases_uniform_probability_mass(self):
+        """Under uniform models the per-customer cap is 1/k, so total
+        score shrinks; but the unweighted BRkNN cardinality can only
+        grow.  Check the normalised version: k * score is monotone."""
+        customers, sites = synthetic_instance(70, 9, "uniform", seed=74)
+        scores = {}
+        for k in (1, 2, 3):
+            scores[k] = MaxFirst().solve(
+                MaxBRkNNProblem(customers, sites, k=k)).score
+        assert 2 * scores[2] >= 1 * scores[1] - 1e-9
+        assert 3 * scores[3] >= 2 * scores[2] - 1e-9
+
+
+class TestSymmetry:
+    def test_mirror_symmetry(self):
+        customers, sites = synthetic_instance(50, 6, "uniform", seed=75)
+        base = MaxFirst().solve(MaxBRkNNProblem(customers, sites, k=2))
+        mirrored = MaxFirst().solve(MaxBRkNNProblem(
+            customers * np.array([-1.0, 1.0]),
+            sites * np.array([-1.0, 1.0]), k=2))
+        assert mirrored.score == pytest.approx(base.score)
+
+    def test_axis_swap(self):
+        customers, sites = synthetic_instance(50, 6, "normal", seed=76)
+        base = MaxFirst().solve(MaxBRkNNProblem(customers, sites, k=1))
+        swapped = MaxFirst().solve(MaxBRkNNProblem(
+            customers[:, ::-1].copy(), sites[:, ::-1].copy(), k=1))
+        assert swapped.score == pytest.approx(base.score)
+
+    def test_l1_rotation_by_90_degrees(self):
+        """The L1 metric is invariant under 90° rotations."""
+        customers, sites = synthetic_instance(40, 5, "uniform", seed=77)
+        base = solve_l1(MaxBRkNNProblem(customers, sites, k=1))
+        rot = lambda pts: np.column_stack((-pts[:, 1], pts[:, 0]))  # noqa
+        rotated = solve_l1(MaxBRkNNProblem(rot(customers), rot(sites),
+                                           k=1))
+        assert rotated.score == pytest.approx(base.score)
+
+
+class TestCrossModuleConsistency:
+    def test_site_influence_plus_optimum_gain(self):
+        """Opening the optimal site transfers exactly its gain from the
+        incumbents (every won customer had a saturated top-k list) —
+        influence is conserved."""
+        customers, sites = synthetic_instance(100, 10, "uniform",
+                                              seed=78)
+        problem = MaxBRkNNProblem(customers, sites, k=2)
+        before = site_influence(problem)
+        result = MaxFirst().solve(problem)
+        p = result.optimal_location()
+        impact = impact_of_new_site(problem, p.x, p.y)
+        assert impact.gain == pytest.approx(result.score, abs=1e-9)
+        assert impact.total_incumbent_loss() == pytest.approx(
+            impact.gain, abs=1e-9)
+        # And the loss never exceeds any incumbent's standing influence.
+        for site_idx, loss in impact.incumbent_losses.items():
+            assert loss <= before[site_idx] + 1e-9
+
+    def test_l1_l2_same_trivial_instance(self):
+        """On an instance whose optimum is a single isolated customer,
+        metric choice cannot matter."""
+        problem = MaxBRkNNProblem([(0.0, 0.0)], [(2.0, 0.0)])
+        l2 = MaxFirst().solve(problem)
+        l1 = solve_l1(problem)
+        assert l1.score == pytest.approx(l2.score) == 1.0

@@ -1,0 +1,191 @@
+"""Tests for the L1 (Manhattan) metric subsystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.l1.solver import solve_l1, solve_l1_nlcs
+from repro.l1.squares import (SquareSet, build_l1_nlcs, from_chebyshev,
+                              l1_knn_distances, to_chebyshev)
+
+
+class TestTransforms:
+    def test_round_trip(self, rng):
+        pts = rng.uniform(-10, 10, (50, 2))
+        back = from_chebyshev(to_chebyshev(pts))
+        np.testing.assert_allclose(back, pts)
+
+    def test_l1_becomes_chebyshev(self, rng):
+        pts = rng.uniform(-5, 5, (20, 2))
+        uv = to_chebyshev(pts)
+        for i in range(10):
+            for j in range(10, 20):
+                l1 = abs(pts[i, 0] - pts[j, 0]) + abs(pts[i, 1] - pts[j, 1])
+                cheb = max(abs(uv[i, 0] - uv[j, 0]),
+                           abs(uv[i, 1] - uv[j, 1]))
+                assert l1 == pytest.approx(cheb)
+
+
+class TestL1Knn:
+    def test_matches_brute(self, rng):
+        queries = rng.uniform(0, 1, (30, 2))
+        points = rng.uniform(0, 1, (12, 2))
+        got = l1_knn_distances(queries, points, 3)
+        d = (np.abs(queries[:, 0:1] - points[None, :, 0])
+             + np.abs(queries[:, 1:2] - points[None, :, 1]))
+        d.sort(axis=1)
+        np.testing.assert_allclose(got, d[:, :3])
+
+    def test_invalid_k(self, rng):
+        pts = rng.random((4, 2))
+        with pytest.raises(ValueError):
+            l1_knn_distances(pts, pts, 5)
+
+
+class TestSquareSet:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareSet(np.zeros(2), np.zeros(1), np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            SquareSet(np.zeros(1), np.zeros(1), np.array([-1.0]),
+                      np.zeros(1))
+
+    def test_build_counts(self):
+        problem = MaxBRkNNProblem([(0, 0), (3, 0)], [(1, 0), (5, 5)], k=1)
+        squares = build_l1_nlcs(problem)
+        assert len(squares) == 2
+        # Radii are the L1 nearest-site distances.
+        assert sorted(squares.half.tolist()) == pytest.approx([1.0, 2.0])
+
+    def test_cover_scores_strict_vs_closed(self):
+        squares = SquareSet(np.array([0.0]), np.array([0.0]),
+                            np.array([1.0]), np.array([2.0]))
+        on_edge = np.array([[1.0, 0.0]])
+        assert squares.cover_scores_at_points(on_edge, strict=True)[0] == 0
+        assert squares.cover_scores_at_points(on_edge,
+                                              strict=False)[0] == 2.0
+
+
+class TestSolveL1:
+    def test_single_customer(self):
+        # Site 2 L1-units away: the optimal region is the open L1 ball,
+        # a diamond of area 2 r^2 = 8.
+        result = solve_l1(MaxBRkNNProblem([(0, 0)], [(2, 0)]))
+        assert result.score == pytest.approx(1.0)
+        region = result.best_region
+        assert region.area == pytest.approx(8.0)
+        assert region.contains_point(0.0, 0.0)
+        assert region.contains_point(0.0, 1.9)   # inside the diamond
+        assert not region.contains_point(1.5, 1.5)
+
+    def test_two_overlapping_customers(self):
+        result = solve_l1(MaxBRkNNProblem([(0, 0), (1, 0)],
+                                          [(4, 0), (-4, 0)]))
+        assert result.score == pytest.approx(2.0)
+        assert result.best_region.contains_point(0.5, 0.0)
+
+    def test_tangency_is_generic_in_l1(self):
+        """Any site on a taxicab geodesic between two customers makes
+        their L1 NLCs exactly tangent — no open overlap, so region
+        semantics correctly scores them separately."""
+        customers = [(0.0, 0.0), (2.0, 2.0)]
+        sites = [(1.4, 1.4), (-30.0, 0.0)]  # site between the customers
+        result = solve_l1(MaxBRkNNProblem(customers, sites, k=1))
+        assert result.score == pytest.approx(1.0)
+
+    def test_off_geodesic_site_overlaps(self):
+        """Moving the shared nearest site off the taxicab rectangle makes
+        the radii sum exceed the distance: the NLCs properly overlap."""
+        customers = [(0.0, 0.0), (2.0, 2.0)]
+        sites = [(3.0, 0.2), (-30.0, 0.0)]
+        result = solve_l1(MaxBRkNNProblem(customers, sites, k=1))
+        # r0 = 3.2, r1 = 2.8, L1 distance 4 < 6: overlap of weight 2.
+        assert result.score == pytest.approx(2.0)
+
+    def test_weighted_and_probability(self):
+        problem = MaxBRkNNProblem(
+            [(0, 0), (10, 0)], [(1, 0), (11, 0), (-50, 0)], k=2,
+            weights=[1.0, 3.0], probability=[0.8, 0.2])
+        result = solve_l1(problem)
+        # Same structure as the L2 variant of this instance: the heavy
+        # customer's first NLC overlaps the light one's second NLC.
+        assert result.score == pytest.approx(3.0 * 0.8 + 1.0 * 0.2)
+
+    def test_empty_square_set(self):
+        squares = SquareSet(np.zeros(0), np.zeros(0), np.zeros(0),
+                            np.zeros(0))
+        with pytest.raises(ValueError):
+            solve_l1_nlcs(squares)
+
+    def test_zero_radius_only(self):
+        # Customer exactly on its nearest site: no full-dim region.
+        problem = MaxBRkNNProblem([(1.0, 1.0)], [(1.0, 1.0), (9, 9)], k=1)
+        result = solve_l1(problem)
+        assert result.score == 0.0
+        assert result.regions == ()
+
+    def test_grid_guard(self, monkeypatch):
+        import repro.l1.solver as solver_mod
+        monkeypatch.setattr(solver_mod, "MAX_GRID_CELLS", 4)
+        problem = MaxBRkNNProblem([(0, 0), (1, 0), (0, 1)],
+                                  [(5, 5), (6, 6)], k=1)
+        with pytest.raises(ValueError):
+            solve_l1(problem)
+
+
+class TestAgainstSampling:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_sampling(self, seed):
+        """The sweep optimum matches a brute-force lattice evaluation."""
+        customers, sites = synthetic_instance(60, 6, "uniform", seed=seed)
+        problem = MaxBRkNNProblem(customers, sites, k=2)
+        result = solve_l1(problem)
+        nlcs = result.nlcs
+        us, vs = nlcs.edges()
+        # Evaluate all compressed-cell centres directly (independent
+        # implementation of the same semantics).
+        uc = (us[:-1] + us[1:]) / 2.0
+        vc = (vs[:-1] + vs[1:]) / 2.0
+        best = 0.0
+        for v in vc:
+            row = np.column_stack((uc, np.full_like(uc, v)))
+            best = max(best, float(
+                nlcs.cover_scores_at_points(row, strict=True).max()))
+        assert result.score == pytest.approx(best)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_region_membership_consistent(self, seed):
+        customers, sites = synthetic_instance(50, 5, "uniform",
+                                              seed=seed + 50)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        result = solve_l1(problem)
+        region = result.best_region
+        x, y = region.representative_point()
+        uv = to_chebyshev(np.array([[x, y]]))
+        value = result.nlcs.cover_scores_at_points(uv, strict=True)[0]
+        assert value == pytest.approx(result.score)
+
+
+class TestL1Properties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_l1_score_matches_reference_cells(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 30))
+        m = int(rng.integers(2, 6))
+        customers = rng.uniform(0, 4, (n, 2))
+        sites = rng.uniform(0, 4, (m, 2))
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        result = solve_l1(problem)
+        # Score bounded by total weight and at least the best single NLC.
+        assert 1.0 - 1e-9 <= result.score <= n + 1e-9
+        # Every returned region's representative achieves the score.
+        for region in result.regions:
+            x, y = region.representative_point()
+            uv = to_chebyshev(np.array([[x, y]]))
+            value = result.nlcs.cover_scores_at_points(uv,
+                                                       strict=True)[0]
+            assert value == pytest.approx(result.score)

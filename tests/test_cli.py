@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.loader import load_points_csv, save_points_csv
+from repro.datasets.synthetic import synthetic_instance
+
+
+@pytest.fixture
+def instance_files(tmp_path):
+    customers, sites = synthetic_instance(60, 6, "uniform", seed=23)
+    c_path = tmp_path / "customers.csv"
+    s_path = tmp_path / "sites.csv"
+    save_points_csv(c_path, customers)
+    save_points_csv(s_path, sites)
+    return str(c_path), str(s_path)
+
+
+class TestSolve:
+    def test_maxfirst(self, instance_files, capsys):
+        customers, sites = instance_files
+        code = main(["solve", "--customers", customers, "--sites", sites])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MaxBRkNN optimum" in out
+        assert "quadrants" in out
+
+    def test_maxoverlap(self, instance_files, capsys):
+        customers, sites = instance_files
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--solver", "maxoverlap"])
+        assert code == 0
+        assert "MaxBRkNN optimum" in capsys.readouterr().out
+
+    def test_k_and_probability(self, instance_files, capsys):
+        customers, sites = instance_files
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "-k", "2", "--probability", "0.8,0.2"])
+        assert code == 0
+
+    def test_l1_metric(self, instance_files, capsys):
+        customers, sites = instance_files
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--metric", "l1"])
+        assert code == 0
+        assert "L1 optimum" in capsys.readouterr().out
+
+    def test_solvers_agree(self, instance_files, capsys):
+        customers, sites = instance_files
+        main(["solve", "--customers", customers, "--sites", sites])
+        first = capsys.readouterr().out.splitlines()[0]
+        main(["solve", "--customers", customers, "--sites", sites,
+              "--solver", "maxoverlap"])
+        second = capsys.readouterr().out.splitlines()[0]
+        assert first.split("score")[1].split()[0] == \
+            second.split("score")[1].split()[0]
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["uniform", "normal", "clustered"])
+    def test_generate_kinds(self, tmp_path, capsys, kind):
+        out_path = tmp_path / f"{kind}.csv"
+        code = main(["generate", "--kind", kind, "-n", "120",
+                     "-o", str(out_path), "--seed", "3"])
+        assert code == 0
+        assert load_points_csv(out_path).shape == (120, 2)
+
+    def test_generate_realworld(self, tmp_path):
+        out_path = tmp_path / "ux.csv"
+        assert main(["generate", "--kind", "ux", "-n", "200",
+                     "-o", str(out_path)]) == 0
+        pts = load_points_csv(out_path)
+        assert pts.shape == (200, 2)
+        assert (pts[:, 0] < 0).all()  # western-hemisphere longitudes
+
+
+class TestBench:
+    def test_bench_fig13(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        code = main(["bench", "--figure", "fig13a", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig13_pruning_uniform" in out
+        assert "pruned1" in out
+
+    def test_bench_fig8_tiny(self, capsys):
+        code = main(["bench", "--figure", "fig8", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig08_effect_of_m" in out
+        assert "maxfirst_s" in out
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--figure", "fig99"])

@@ -1,0 +1,34 @@
+"""Run the doctest examples embedded in public docstrings.
+
+Docstring examples are part of the documented contract; this keeps them
+honest without wiring --doctest-modules into the default pytest options
+(benchmarks and private modules should not be doctest-scanned).
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.api
+import repro.core.influence
+import repro.core.probability
+import repro.core.problem
+import repro.geometry.point
+import repro.viz.svg
+
+MODULES = [
+    repro.core.api,
+    repro.core.influence,
+    repro.core.probability,
+    repro.core.problem,
+    repro.geometry.point,
+    repro.viz.svg,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: doctest failures"
+    # Modules in this list are expected to actually carry examples.
+    assert results.attempted > 0, f"{module.__name__}: no doctests found"

@@ -1,0 +1,47 @@
+"""Smoke checks for the example scripts.
+
+Each example must import cleanly (its imports and module-level code are
+part of the documented surface), and the cheap ones run end to end.
+Heavy examples are exercised by their own underlying-API tests.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py"]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name.removesuffix('.py')}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert set(ALL_EXAMPLES) >= {
+            "quickstart.py", "store_placement.py",
+            "base_station_planning.py", "solver_comparison.py",
+            "competitive_analysis.py", "manhattan_clinic.py"}
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main"), f"{name} must expose main()"
+        assert module.__doc__, f"{name} must carry a docstring"
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_examples_run(self, name, capsys):
+        module = load_example(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name} produced no output"

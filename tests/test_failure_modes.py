@@ -1,0 +1,121 @@
+"""Failure injection: hostile inputs must fail loudly and cleanly.
+
+Production surfaces are judged by how they break: every entry point must
+reject malformed input with a clear ``ValueError`` (never a deep numpy
+traceback or a silent wrong answer).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.loader import load_points_csv
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+from repro.l1.squares import SquareSet
+
+
+class TestHostileProblemInputs:
+    def test_nan_coordinates(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            MaxBRkNNProblem([(0.0, float("nan"))], [(1.0, 1.0)])
+
+    def test_inf_coordinates(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            MaxBRkNNProblem([(0.0, 0.0)], [(float("inf"), 1.0)])
+
+    def test_3d_points(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            MaxBRkNNProblem(np.zeros((3, 3)), [(0.0, 0.0)])
+
+    def test_string_points(self):
+        with pytest.raises((ValueError, TypeError)):
+            MaxBRkNNProblem([("a", "b")], [(0.0, 0.0)])
+
+    def test_k_bigger_than_sites_message_names_both(self):
+        with pytest.raises(ValueError, match="k=5.*2"):
+            MaxBRkNNProblem([(0, 0)], [(1, 1), (2, 2)], k=5)
+
+    def test_probability_not_summing(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            MaxBRkNNProblem([(0, 0)], [(1, 1)], probability=[0.9])
+
+    def test_increasing_probability_explains_why(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            MaxBRkNNProblem([(0, 0)], [(1, 1), (2, 2)], k=2,
+                            probability=[0.2, 0.8])
+
+
+class TestHostileGeometryInputs:
+    def test_rect_validates_orientation(self):
+        with pytest.raises(ValueError, match="malformed"):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_circleset_rejects_nan_radius_consequences(self):
+        # NaN radii poison comparisons; the min() check rejects them
+        # indirectly (NaN < 0 is False, but classify must not crash).
+        cs = CircleSet(np.array([0.0]), np.array([0.0]),
+                       np.array([np.nan]), np.array([1.0]))
+        inter, _, max_hat, _ = cs.classify_rect(Rect(0, 0, 1, 1))
+        assert len(inter) == 0  # NaN compares false: disk never matches
+        assert max_hat == 0.0
+
+    def test_squareset_negative_half(self):
+        with pytest.raises(ValueError, match="negative"):
+            SquareSet(np.zeros(1), np.zeros(1), np.array([-0.5]),
+                      np.zeros(1))
+
+
+class TestHostileFiles:
+    def test_binaryish_csv(self, tmp_path):
+        path = tmp_path / "binary.csv"
+        path.write_bytes(b"\x00\x01,\x02\x03\nnot,numbers\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_truncated_result_json(self, tmp_path):
+        from repro.io import load_result
+        path = tmp_path / "broken.json"
+        path.write_text('{"format_version": 1, "score": 1.0')
+        with pytest.raises(Exception):  # json decode error surfaces
+            load_result(path)
+
+    def test_result_json_missing_keys(self, tmp_path):
+        from repro.io import load_result
+        path = tmp_path / "partial.json"
+        path.write_text('{"format_version": 1, "score": 1.0}')
+        with pytest.raises(KeyError):
+            load_result(path)
+
+
+class TestSolverGuardRails:
+    def test_max_iterations_error_is_actionable(self,
+                                                small_uniform_problem):
+        with pytest.raises(RuntimeError, match="resolution_fraction"):
+            repro.MaxFirst(max_iterations=2).solve(small_uniform_problem)
+
+    def test_l1_grid_guard_is_actionable(self, monkeypatch):
+        import repro.l1.solver as solver_mod
+        monkeypatch.setattr(solver_mod, "MAX_GRID_CELLS", 1)
+        with pytest.raises(ValueError, match="quadratic"):
+            solver_mod.solve_l1(MaxBRkNNProblem(
+                [(0, 0), (1, 0)], [(5, 5)], k=1))
+
+    def test_weights_all_zero_still_solves(self):
+        # Degenerate but legal: everything scores 0, every solver copes.
+        problem = MaxBRkNNProblem([(0, 0), (1, 0)], [(5, 5)],
+                                  weights=[0.0, 0.0])
+        result = repro.MaxFirst().solve(problem)
+        assert result.score == 0.0
+        assert result.regions == ()
+        assert repro.MaxOverlap().solve(problem).score == 0.0
+        from repro.l1 import solve_l1
+        assert solve_l1(problem).score == 0.0
+
+    def test_explicit_empty_nlcs_still_raise(self):
+        # solve_nlcs on an explicitly empty set is caller error.
+        empty = CircleSet(np.zeros(0), np.zeros(0), np.zeros(0),
+                          np.zeros(0))
+        with pytest.raises(ValueError, match="empty"):
+            repro.MaxFirst().solve_nlcs(empty)

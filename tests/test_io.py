@@ -1,0 +1,72 @@
+"""Tests for repro.io (result serialization)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.maxfirst import MaxFirst
+from repro.io import (load_result, result_from_dict, result_to_dict,
+                      save_result)
+
+
+@pytest.fixture
+def solved(small_k2_problem):
+    return MaxFirst().solve(small_k2_problem)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, solved):
+        restored = result_from_dict(result_to_dict(solved))
+        assert restored.score == solved.score
+        assert restored.space == solved.space
+        assert len(restored.regions) == len(solved.regions)
+        np.testing.assert_array_equal(restored.nlcs.cx, solved.nlcs.cx)
+        np.testing.assert_array_equal(restored.nlcs.scores,
+                                      solved.nlcs.scores)
+        assert restored.stats == solved.stats
+        assert restored.timings == solved.timings
+
+    def test_file_round_trip(self, solved, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(path, solved)
+        restored = load_result(path)
+        assert restored.score == solved.score
+
+    def test_regions_preserve_geometry(self, solved):
+        restored = result_from_dict(result_to_dict(solved))
+        for orig, back in zip(solved.regions, restored.regions):
+            assert back.score == orig.score
+            assert back.cover == orig.cover
+            assert back.area == pytest.approx(orig.area)
+            p = orig.representative_point()
+            assert back.contains_point(p.x, p.y)
+
+    def test_json_is_plain(self, solved, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(path, solved)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert isinstance(data["regions"], list)
+
+    def test_degenerate_region_round_trip(self):
+        import math
+        from repro.index.circleset import CircleSet
+        from repro.geometry.circle import Circle
+        circles = [Circle(math.cos(t), math.sin(t), 1.0)
+                   for t in (0.0, 2.1, 4.2)]
+        # Construct a result whose region could be degenerate by solving
+        # a 2-circle lens shrunk to tangency.
+        nlcs = CircleSet.from_circles(
+            [Circle(0, 0, 1), Circle(2, 0, 1), Circle(5, 0, 0.5)])
+        result = MaxFirst().solve_nlcs(nlcs)
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.score == result.score
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, solved):
+        data = result_to_dict(solved)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(data)

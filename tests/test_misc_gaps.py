@@ -1,0 +1,106 @@
+"""Edge cases not naturally covered by the per-module suites."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.maxoverlap import MaxOverlap
+from repro.cli import main
+from repro.core.maxfirst import MaxFirst
+from repro.datasets.loader import save_points_csv
+from repro.datasets.synthetic import synthetic_instance
+from repro.geometry.arcs import TWO_PI, Arc
+from repro.geometry.circle import Circle
+from repro.geometry.intersection import intersect_disks
+
+
+class TestArcEdges:
+    def test_arc_length(self):
+        arc = Arc(Circle(0, 0, 2.0), 0.0, math.pi)
+        assert arc.length == pytest.approx(2 * math.pi)
+
+    def test_sample_single_point(self):
+        arc = Arc(Circle(0, 0, 1), 0.0, 1.0)
+        pts = arc.sample(1)
+        assert len(pts) == 1
+        assert pts[0].is_close(arc.midpoint)
+
+    def test_degenerate_region_sample_boundary(self):
+        circles = [Circle(math.cos(t), math.sin(t), 1.0)
+                   for t in (0.0, 2.1, 4.2)]
+        region = intersect_disks(circles)
+        assert region.is_degenerate
+        pts = region.sample_boundary()
+        assert len(pts) == 1
+
+    def test_wrapping_arc_bbox(self):
+        # Arc crossing the 0-angle: bbox must include the +x extreme.
+        arc = Arc(Circle(0, 0, 1), TWO_PI - 0.5, 1.0)
+        region = intersect_disks([Circle(0, 0, 1)])
+        box = region.bounding_box()
+        assert box.xmax == pytest.approx(1.0)
+        from repro.geometry.arcs import ArcRegion
+        bbox = ArcRegion._arc_bbox(arc)
+        assert bbox.xmax == pytest.approx(1.0)
+        assert bbox.ymin < 0 < bbox.ymax
+
+
+class TestResultSummaries:
+    def test_maxoverlap_summary_without_phase1_stats(
+            self, small_uniform_problem):
+        result = MaxOverlap().solve(small_uniform_problem)
+        text = result.summary()
+        assert "MaxBRkNN optimum" in text
+        assert "quadrants" not in text  # no Phase I stats on MaxOverlap
+        assert result.overlap_stats.distinct_candidates > 0
+        assert (result.overlap_stats.distinct_candidates
+                <= result.overlap_stats.intersection_points
+                + result.overlap_stats.nlc_count)
+
+    def test_zero_score_instance_summary(self):
+        # Customer exactly on its only site: optimum is 0 under region
+        # semantics; the solver must still return a well-formed result.
+        from repro.core.problem import MaxBRkNNProblem
+        result = MaxFirst().solve(
+            MaxBRkNNProblem([(1.0, 1.0)], [(1.0, 1.0)], k=1))
+        assert result.score == 0.0
+        assert "score 0" in result.summary()
+
+
+class TestCliWeights:
+    def test_solve_with_weights_file(self, tmp_path, capsys):
+        customers, sites = synthetic_instance(40, 5, "uniform", seed=61)
+        c_path = tmp_path / "c.csv"
+        s_path = tmp_path / "s.csv"
+        w_path = tmp_path / "w.csv"
+        save_points_csv(c_path, customers)
+        save_points_csv(s_path, sites)
+        w_path.write_text("\n".join(["2.0"] * 40) + "\n")
+        code = main(["solve", "--customers", str(c_path), "--sites",
+                     str(s_path), "--weights", str(w_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Doubling all weights doubles the optimum vs the unweighted run.
+        main(["solve", "--customers", str(c_path), "--sites",
+              str(s_path)])
+        base_out = capsys.readouterr().out
+        score = float(out.split("score ")[1].split()[0])
+        base = float(base_out.split("score ")[1].split()[0])
+        assert score == pytest.approx(2 * base)
+
+
+class TestSolveNlcsWithExplicitSpace:
+    def test_restricting_space_restricts_search(self):
+        """Passing an explicit space limits where regions are sought —
+        a power-user hook (e.g. zoning constraints)."""
+        from repro.geometry.rect import Rect
+        from repro.index.circleset import CircleSet
+        circles = [Circle(0, 0, 1), Circle(10, 0, 1), Circle(10.5, 0, 1)]
+        nlcs = CircleSet.from_circles(circles)
+        full = MaxFirst().solve_nlcs(nlcs)
+        assert full.score == pytest.approx(2.0)
+        left_only = MaxFirst().solve_nlcs(
+            nlcs, space=Rect(-1.5, -1.5, 1.5, 1.5))
+        assert left_only.score == pytest.approx(1.0)
+        assert left_only.best_region.contains_point(0.0, 0.0)

@@ -1,0 +1,107 @@
+"""Tests for repro.viz.svg."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs
+from repro.core.problem import MaxBRkNNProblem
+from repro.geometry.circle import Circle
+from repro.geometry.intersection import intersect_disks
+from repro.geometry.rect import Rect
+from repro.viz.svg import SvgCanvas, render_instance, render_result
+
+
+def parse(svg_text: str) -> ET.Element:
+    """Well-formedness check via the XML parser."""
+    return ET.fromstring(svg_text)
+
+
+class TestCanvasBasics:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(Rect(0, 0, 1, 1), width=4)
+
+    def test_degenerate_world_padded(self):
+        canvas = SvgCanvas(Rect(1, 1, 1, 1), width=100)
+        assert canvas.pixel_size[0] == 100
+        assert canvas.pixel_size[1] >= 1
+
+    def test_to_pixel_orientation(self):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10), width=100, margin=0.0)
+        x0, y0 = canvas.to_pixel(0, 0)
+        x1, y1 = canvas.to_pixel(10, 10)
+        assert x1 > x0
+        assert y1 < y0  # y flipped: larger world y is higher on screen
+
+    def test_render_well_formed(self):
+        canvas = SvgCanvas(Rect(0, 0, 1, 1))
+        canvas.add_point(0.5, 0.5)
+        canvas.add_circle(Circle(0.5, 0.5, 0.2))
+        canvas.add_rect(Rect(0.1, 0.1, 0.3, 0.3))
+        canvas.add_text(0.5, 0.9, "label & <tag>")
+        root = parse(canvas.render())
+        assert root.tag.endswith("svg")
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 1, 1))
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestRegionRendering:
+    def test_full_disk_region(self):
+        region = intersect_disks([Circle(0, 0, 1)])
+        canvas = SvgCanvas(Rect(-1, -1, 1, 1))
+        canvas.add_region(region)
+        assert "<circle" in canvas.render()
+
+    def test_lens_region_path(self):
+        region = intersect_disks([Circle(0, 0, 1), Circle(1, 0, 1)])
+        canvas = SvgCanvas(Rect(-1, -1, 2, 1))
+        canvas.add_region(region)
+        text = canvas.render()
+        assert "<path" in text
+        # Two arcs -> two A commands, closed with Z.
+        path = re.search(r'd="([^"]+)"', text).group(1)
+        assert path.count("A ") == 2
+        assert path.strip().endswith("Z")
+        parse(text)
+
+    def test_degenerate_region_renders_point(self):
+        import math
+        circles = [Circle(math.cos(t), math.sin(t), 1.0)
+                   for t in (0.0, 2.1, 4.2)]
+        region = intersect_disks(circles)
+        canvas = SvgCanvas(Rect(-2, -2, 2, 2))
+        canvas.add_region(region)
+        assert "<circle" in canvas.render()
+
+
+class TestHighLevel:
+    def test_render_instance(self, small_uniform_problem):
+        nlcs = build_nlcs(small_uniform_problem)
+        canvas = render_instance(small_uniform_problem, nlcs=nlcs)
+        text = canvas.render()
+        parse(text)
+        # One circle per NLC plus one dot per customer and site.
+        assert text.count("<circle") >= (
+            len(nlcs) + small_uniform_problem.n_customers
+            + small_uniform_problem.n_sites)
+
+    def test_render_result(self, small_uniform_problem, tmp_path):
+        result = MaxFirst().solve(small_uniform_problem)
+        canvas = render_result(small_uniform_problem, result)
+        path = tmp_path / "result.svg"
+        canvas.save(path)
+        parse(path.read_text())
+
+    def test_zero_score_result_rect(self):
+        # A result whose region has no shape falls back to the quadrant.
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 0)])
+        result = MaxFirst().solve(problem)
+        canvas = render_result(problem, result)
+        parse(canvas.render())
