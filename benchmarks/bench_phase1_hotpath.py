@@ -1,0 +1,169 @@
+"""Phase I hot-path benchmark: batched kernel vs the seed hot path.
+
+Times ``MaxFirst.solve_nlcs`` (Phase I's pop/classify/split loop plus the
+in-loop refinement; NLC construction is excluded) on the fig10/fig11
+configurations, comparing the two hot-path implementations:
+
+* ``legacy``  — the seed hot path: one scalar ``classify_rect`` call per
+  child, frozenset Theorem 3 tests, scalar refinement geometry.
+* ``batched`` — this PR's path: one batched kernel call per split
+  frontier (compiled single-pass quad-split kernel when a C compiler is
+  available, numpy broadcast otherwise), cover-identity bitsets for
+  Theorem 3, vectorised refinement geometry.
+
+Both arms are run interleaved in the same process with min-of-``repeats``
+timing — on a noisy single-core box, cross-process wall-clock comparisons
+drift by 2x between runs, while interleaved same-process ratios are
+stable.  Every point asserts that the two arms return identical
+``maxfirst_score`` and identical stats counters; a speedup obtained by
+changing the search is a bug, not a result.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_phase1_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_phase1_hotpath.py \
+        --scale tiny --repeats 3          # CI smoke
+
+Writes ``BENCH_phase1.json`` (see ``--out``); the headline number is
+``headline.fig11_uniform_speedup`` — aggregate legacy/batched time over
+the fig11 uniform sweep, the ISSUE's >=2x acceptance metric.  Future PRs
+regress-check against the committed file: re-run and compare speedups
+(timings move with the machine; the score/stats fields must not move
+at all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.bench.config import get_profile
+from repro.bench.figures import _problem
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs
+from repro.index._ckernel import load_quad_kernel
+
+_STAT_FIELDS = (
+    "generated", "splits", "pruned_theorem2", "pruned_theorem3", "results",
+    "point_splits", "intersection_checks", "refinement_checks",
+    "pruned_refined", "resolution_closed", "max_depth",
+)
+
+
+def _stats_dict(result) -> dict[str, int]:
+    return {name: int(getattr(result.stats, name)) for name in _STAT_FIELDS}
+
+
+def _time_point(nlcs, repeats: int) -> dict:
+    """Interleaved min-of-``repeats`` timing of both hot paths."""
+    solvers = {arm: MaxFirst(hotpath=arm) for arm in ("legacy", "batched")}
+    results = {arm: solver.solve_nlcs(nlcs)        # warm-up + result
+               for arm, solver in solvers.items()}
+    best = {arm: float("inf") for arm in solvers}
+    for _ in range(repeats):
+        for arm, solver in solvers.items():
+            t0 = time.perf_counter()
+            solver.solve_nlcs(nlcs)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best[arm]:
+                best[arm] = elapsed
+    legacy, batched = results["legacy"], results["batched"]
+    if legacy.score != batched.score:
+        raise AssertionError(
+            f"hot paths disagree on score: legacy={legacy.score} "
+            f"batched={batched.score}")
+    if _stats_dict(legacy) != _stats_dict(batched):
+        raise AssertionError(
+            f"hot paths disagree on stats: legacy={_stats_dict(legacy)} "
+            f"batched={_stats_dict(batched)}")
+    return {
+        "legacy_s": round(best["legacy"], 6),
+        "batched_s": round(best["batched"], 6),
+        "speedup": round(best["legacy"] / best["batched"], 3),
+        "maxfirst_score": batched.score,
+        "stats": _stats_dict(batched),
+    }
+
+
+def run(scale: str = "small", repeats: int = 7) -> dict:
+    profile = get_profile(scale)
+    seed = profile.seeds[0]
+    rows = []
+
+    def point(figure: str, distribution: str, n_customers: int,
+              n_sites: int) -> None:
+        problem = _problem(n_customers, n_sites, profile.k, distribution,
+                           seed)
+        nlcs = build_nlcs(problem)
+        row = {"figure": figure, "distribution": distribution,
+               "n_customers": n_customers, "n_sites": n_sites,
+               "k": profile.k, "seed": seed, "n_nlcs": len(nlcs)}
+        row.update(_time_point(nlcs, repeats))
+        rows.append(row)
+        print(f"  {figure} {distribution:8s} |O|={n_customers:6d} "
+              f"|P|={n_sites:4d}  legacy={row['legacy_s']:.4f}s "
+              f"batched={row['batched_s']:.4f}s  "
+              f"speedup={row['speedup']:.2f}x")
+
+    for distribution in ("uniform", "normal"):
+        print(f"fig11 (effect of |P|), {distribution}:")
+        for n_sites in profile.sites_sweep:
+            point("fig11", distribution, profile.n_customers, n_sites)
+    print("fig10 (effect of |O|), uniform:")
+    for n_customers in profile.customers_sweep:
+        point("fig10", "uniform", n_customers, profile.n_sites)
+
+    fig11u = [r for r in rows
+              if r["figure"] == "fig11" and r["distribution"] == "uniform"]
+    legacy_total = sum(r["legacy_s"] for r in fig11u)
+    batched_total = sum(r["batched_s"] for r in fig11u)
+    report = {
+        "benchmark": "phase1_hotpath",
+        "scale": profile.name,
+        "repeats": repeats,
+        "timing": "min over repeats, arms interleaved in-process",
+        "measured": "MaxFirst.solve_nlcs (Phase I; NLC build excluded)",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "compiled_kernel": load_quad_kernel() is not None,
+        "headline": {
+            "fig11_uniform_legacy_s": round(legacy_total, 6),
+            "fig11_uniform_batched_s": round(batched_total, 6),
+            "fig11_uniform_speedup": round(legacy_total / batched_total, 3),
+        },
+        "rows": rows,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small",
+                        help="benchmark profile (tiny/small/paper)")
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="timing repetitions per arm (min is reported)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_phase1.json"))
+    args = parser.parse_args(argv)
+    report = run(scale=args.scale, repeats=args.repeats)
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    headline = report["headline"]["fig11_uniform_speedup"]
+    print(f"\nfig11 uniform aggregate speedup: {headline:.2f}x "
+          f"(compiled_kernel={report['compiled_kernel']})")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -227,10 +227,17 @@ class _CircleGrid:
         self.nlcs = nlcs
         bounds = nlcs.bounding_box()
         n = len(nlcs)
-        mean_extent = float((2.0 * nlcs.r).mean())
         area = max(bounds.area, 1e-30)
         density_edge = math.sqrt(area * target_per_cell / n)
-        cell = max(mean_extent, density_edge)
+        # Size cells from the NLC radius distribution, not the circle
+        # extent: with few sites every NLC is huge relative to the
+        # domain, and extent-sized cells degenerate to a handful of
+        # buckets that each hold (and pair up) every circle.  Half
+        # the median radius keeps buckets below the typical
+        # circle, so the sweep only pairs genuinely nearby circles;
+        # the density edge still bounds the grid for tiny-radius sets.
+        median_r = float(np.median(nlcs.r)) if n else 0.0
+        cell = max(median_r / 2.0, density_edge)
         if cell <= 0.0:
             cell = max(bounds.diagonal, 1.0) / 16.0
         self.cell = cell
@@ -359,13 +366,11 @@ class _CircleGrid:
             bucket = self._bucket(pos)
             idx = order[gs:ge]
             tests += bucket.shape[0] * idx.shape[0]
-            # Chunk so the points x circles matrix stays ~2e7 elements
-            # (dense cells on skewed data would otherwise allocate GBs).
-            chunk = max(1, 20_000_000 // max(bucket.shape[0], 1))
-            for start in range(0, idx.shape[0], chunk):
-                part = idx[start:start + chunk]
-                scores[part] = nlcs.cover_scores_at_points(
-                    pts[part], bucket, tol=tol)
+            # cover_scores_at_points chunks its own points x circles
+            # broadcast (~16 MB cap), so dense cells on skewed data no
+            # longer need an outer chunking loop here.
+            scores[idx] = nlcs.cover_scores_at_points(
+                pts[idx], bucket, tol=tol)
         return scores, tests
 
 

@@ -53,6 +53,7 @@ from repro.core.quadrant import Quadrant, _MutableStats
 from repro.core.refine import refine_quadrant
 from repro.core.region import compute_optimal_region
 from repro.core.result import MaxBRkNNResult
+from repro.geometry.circle import circle_circle_intersection
 from repro.geometry.intersection import disks_common_point
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
@@ -61,6 +62,102 @@ from repro.index.circleset import CircleSet
 # region's boundary re-split forever (the boundary is a curve — its
 # tessellation grows exponentially with depth), so there is no "off" mode.
 _THEOREM3_MODES = ("subset", "equality")
+
+# "batched" classifies a split's whole child frontier in one kernel call
+# and runs Theorem 3 on cached cover bitmaps; "legacy" is the original
+# one-classify-per-child / frozenset-algebra hot path, kept as the
+# baseline arm of benchmarks/bench_phase1_hotpath.py (both paths produce
+# identical scores, regions, and stats — asserted by tests and by the
+# harness itself).
+_HOTPATHS = ("batched", "legacy")
+
+
+class _FoundCovers:
+    """Registry of found-region covers behind the Theorem 3 tests.
+
+    The solver consults it on (almost) every pop, so representation
+    matters.  In array mode each cover is stored as a membership bitmap
+    over the NLC index space plus its size and score sum; the subset
+    test ``Q.I ⊆ cover`` is then a vectorised gather-and-all with two
+    early exits — on cardinality (a strictly larger ``Q.I`` cannot be a
+    subset; exact) and on score sums (``m̂ax`` above the cover's sum
+    rules the subset out for non-negative scores; guarded by a margin
+    far above float-summation error).  Frozenset mode reproduces the
+    original per-pop ``frozenset`` algebra for the ``legacy`` hot path.
+    """
+
+    def __init__(self, n_nlcs: int, use_arrays: bool,
+                 scores_nonneg: bool) -> None:
+        self._n = n_nlcs
+        self._use_arrays = use_arrays
+        self._scores_nonneg = scores_nonneg
+        self._keys: set[tuple[int, ...]] = set()
+        self._masks: list[np.ndarray] = []
+        self._sizes: list[int] = []
+        self._sums: list[float] = []
+        self._frozen: list[frozenset[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, quad: Quadrant) -> bool:
+        """Record the quadrant's cover; False when already present."""
+        key = quad.cover_key()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        if self._use_arrays:
+            mask = np.zeros(self._n, dtype=bool)
+            mask[quad.containing] = True
+            self._masks.append(mask)
+            self._sizes.append(len(key))
+            self._sums.append(quad.min_hat)
+        else:
+            self._frozen.append(frozenset(key))
+        return True
+
+    def prunes(self, quad: Quadrant, mode: str) -> bool:
+        """The Theorem 3 test: is ``Q.I`` a subset of (or, in
+        ``equality`` mode, equal to) a found cover?"""
+        if not self._keys:
+            return False
+        if not self._use_arrays:
+            inter = frozenset(int(i) for i in quad.intersecting)
+            if mode == "equality":
+                return any(inter == cover for cover in self._frozen)
+            return any(inter <= cover for cover in self._frozen)
+        inter = quad.intersecting
+        m = inter.shape[0]
+        if mode == "equality":
+            return any(size == m and bool(mask[inter].all())
+                       for mask, size in zip(self._masks, self._sizes))
+        max_hat = quad.max_hat
+        for mask, size, cover_sum in zip(self._masks, self._sizes,
+                                         self._sums):
+            if m > size:
+                continue
+            if (self._scores_nonneg
+                    and max_hat > cover_sum
+                    + 1e-9 * max(1.0, abs(cover_sum))):
+                continue
+            if mask[inter].all():
+                return True
+        return False
+
+    def any_superset(self, containing: np.ndarray,
+                     clique) -> bool:
+        """True when some found cover contains ``Q.C ∪ clique`` — the
+        generalized Theorem 3 used by the compatibility refinement."""
+        if not self._keys:
+            return False
+        if not self._use_arrays:
+            combined = (frozenset(int(i) for i in containing)
+                        | frozenset(clique))
+            return any(combined <= cover for cover in self._frozen)
+        clique_idx = np.asarray(list(clique), dtype=np.int64)
+        return any(bool(mask[containing].all())
+                   and bool(mask[clique_idx].all())
+                   for mask in self._masks)
 
 
 class MaxFirst:
@@ -110,6 +207,13 @@ class MaxFirst:
         ~16, degeneracy chases exceed 25.
     nlc_method / keep_zero_score_nlcs:
         Passed through to :func:`repro.core.nlc.build_nlcs`.
+    hotpath:
+        ``"batched"`` (default): classify each split's whole child
+        frontier in one batched kernel call and run Theorem 3 against
+        cached cover bitmaps.  ``"legacy"``: the original per-child
+        classification and per-pop frozenset algebra — kept solely as
+        the baseline arm of ``benchmarks/bench_phase1_hotpath.py``; both
+        paths produce identical results and stats.
     max_iterations:
         Safety valve on heap pops; ``None`` derives a generous bound from
         the instance size.
@@ -122,6 +226,7 @@ class MaxFirst:
                  degeneracy_depth: int = 20,
                  nlc_method: str = "auto",
                  keep_zero_score_nlcs: bool = False,
+                 hotpath: str = "batched",
                  max_iterations: int | None = None) -> None:
         if m_threshold < 1:
             raise ValueError("m_threshold must be positive")
@@ -130,6 +235,9 @@ class MaxFirst:
         if theorem3 not in _THEOREM3_MODES:
             raise ValueError(
                 f"theorem3 must be one of {_THEOREM3_MODES}, got {theorem3!r}")
+        if hotpath not in _HOTPATHS:
+            raise ValueError(
+                f"hotpath must be one of {_HOTPATHS}, got {hotpath!r}")
         if top_t < 1:
             raise ValueError("top_t must be positive")
         if tie_tol < 0 or resolution_fraction < 0:
@@ -143,6 +251,7 @@ class MaxFirst:
         self.degeneracy_depth = degeneracy_depth
         self.nlc_method = nlc_method
         self.keep_zero_score_nlcs = keep_zero_score_nlcs
+        self.hotpath = hotpath
         self.max_iterations = max_iterations
 
     # ------------------------------------------------------------------ #
@@ -228,7 +337,11 @@ class MaxFirst:
         # the paper's MaxMin (raised by any quadrant's m̂in).
         frontier: list[float] = []
         accepted: list[Quadrant] = []
-        found_covers: list[frozenset[int]] = []
+        batched = self.hotpath == "batched"
+        found_covers = _FoundCovers(
+            len(nlcs), use_arrays=batched,
+            scores_nonneg=bool(len(nlcs))
+            and bool((nlcs.scores >= 0.0).all()))
 
         def push(quad: Quadrant) -> None:
             nonlocal max_min
@@ -364,16 +477,45 @@ class MaxFirst:
                 children = quad.rect.split_at(px, py)
             else:
                 children = quad.rect.split_center()
-            for child_rect in children:
-                if child_rect == quad.rect:
-                    # split_at on a boundary point can echo the quadrant
-                    # itself; recurse through the centre instead.
-                    for sub in quad.rect.split_center():
-                        push(backend.classify(sub, quad.intersecting,
-                                              quad.depth + 1))
-                    continue
-                push(backend.classify(child_rect, quad.intersecting,
-                                      quad.depth + 1))
+            first = children[0]
+            if (len(children) == 4 and first.xmax > first.xmin
+                    and first.ymax > first.ymin):
+                # Four children whose lower-left is full-dimensional:
+                # the split point was strictly interior, so no child can
+                # echo the quadrant — skip the echo scan.
+                child_rects = list(children)
+            else:
+                child_rects = []
+                for child_rect in children:
+                    if child_rect == quad.rect:
+                        # split_at on a boundary point can echo the
+                        # quadrant itself; recurse through the centre
+                        # instead.
+                        child_rects.extend(quad.rect.split_center())
+                    else:
+                        child_rects.append(child_rect)
+            if batched:
+                # One kernel call classifies the whole child frontier
+                # against the shared parent candidates; the bookkeeping
+                # runs batched too (max_min is only read at pop time, so
+                # raising it before the pushes is equivalent to the
+                # interleaved per-child updates).
+                children_q = backend.classify_batch(
+                    child_rects, quad.intersecting, quad.depth + 1)
+                stats.generated += len(children_q)
+                if quad.depth + 1 > stats.max_depth:
+                    stats.max_depth = quad.depth + 1
+                if self.top_t == 1:
+                    for child in children_q:
+                        if child.min_hat > max_min:
+                            max_min = child.min_hat
+                for child in children_q:
+                    heapq.heappush(
+                        heap, (-child.max_hat, next(counter), child))
+            else:
+                for child_rect in child_rects:
+                    push(backend.classify(child_rect, quad.intersecting,
+                                          quad.depth + 1))
 
         if self.top_t == 1:
             final = max_min
@@ -384,15 +526,12 @@ class MaxFirst:
     # ------------------------------------------------------------------ #
 
     def _accept(self, quad: Quadrant, accepted: list[Quadrant],
-                found_covers: list[frozenset[int]], frontier: list[float],
+                found_covers: _FoundCovers, frontier: list[float],
                 stats: _MutableStats) -> None:
         stats.results += 1
         accepted.append(quad)
-        cover = frozenset(int(i) for i in quad.containing)
-        duplicate_cover = cover in found_covers
-        if not duplicate_cover:
-            found_covers.append(cover)
-        if self.top_t > 1 and not duplicate_cover:
+        new_cover = found_covers.add(quad)
+        if self.top_t > 1 and new_cover:
             # Only distinct regions advance the top-t frontier: two
             # quadrants of one region must not consume two frontier slots.
             score = quad.min_hat
@@ -410,7 +549,7 @@ class MaxFirst:
 
     def _refinement_action(self, quad: Quadrant, nlcs: CircleSet,
                            max_min: float, tol: float, resolution: float,
-                           found_covers: list[frozenset[int]],
+                           found_covers: _FoundCovers,
                            stats: _MutableStats
                            ) -> tuple[str, Quadrant | None]:
         """Compatibility refinement (see :mod:`repro.core.refine`).
@@ -430,7 +569,7 @@ class MaxFirst:
         refinement = refine_quadrant(
             nlcs, quad.boundary_only, quad.rect,
             base_score=quad.min_hat, value_floor=max_min - tol,
-            tol=resolution)
+            tol=resolution, vectorized=self.hotpath == "batched")
         if refinement is None:
             return ("split", None)
         if refinement.refined_max < max_min - tol:
@@ -439,10 +578,9 @@ class MaxFirst:
         if (refinement.complete
                 and refinement.refined_max <= max_min + tol
                 and refinement.top_cliques):
-            containing = frozenset(int(i) for i in quad.containing)
+            containing = quad.containing
             covered = all(
-                any((containing | frozenset(clique)) <= cover
-                    for cover in found_covers)
+                found_covers.any_superset(containing, clique)
                 for clique in refinement.top_cliques)
             if covered:
                 stats.pruned_refined += 1
@@ -475,13 +613,8 @@ class MaxFirst:
         return ("split", None)
 
     def _theorem3_prunes(self, quad: Quadrant,
-                         found_covers: list[frozenset[int]]) -> bool:
-        if not found_covers:
-            return False
-        inter = frozenset(int(i) for i in quad.intersecting)
-        if self.theorem3 == "equality":
-            return any(inter == cover for cover in found_covers)
-        return any(inter <= cover for cover in found_covers)
+                         found_covers: _FoundCovers) -> bool:
+        return found_covers.prunes(quad, self.theorem3)
 
     def _common_point_inside(self, quad: Quadrant, nlcs: CircleSet,
                              space: Rect) -> tuple[float, float] | None:
@@ -493,15 +626,42 @@ class MaxFirst:
         boundary = quad.boundary_only
         if len(boundary) < 2:
             return None
-        circles = nlcs.circles(boundary)
         tol = max(space.width, space.height) * 1e-9
-        p = disks_common_point(circles, tol=tol)
+        if self.hotpath == "batched":
+            p = self._disks_common_point_arrays(nlcs, boundary, tol)
+        else:
+            p = disks_common_point(nlcs.circles(boundary), tol=tol)
         if p is None:
             return None
         rect = quad.rect
         if not (rect.xmin < p.x < rect.xmax and rect.ymin < p.y < rect.ymax):
             return None
         return (p.x, p.y)
+
+    @staticmethod
+    def _disks_common_point_arrays(nlcs: CircleSet, boundary: np.ndarray,
+                                   tol: float):
+        """Array-backed :func:`disks_common_point` over NLC indices.
+
+        Same construction — candidate points from the first two
+        circumferences, then an every-circle membership test — but the
+        membership test is one vectorised pass instead of a Circle-object
+        loop (boundary sets near the root hold thousands of disks).
+        """
+        candidates = circle_circle_intersection(
+            nlcs.circle(int(boundary[0])), nlcs.circle(int(boundary[1])),
+            tol)
+        if not candidates:
+            return None
+        rest = boundary[2:]
+        cx = nlcs.cx[rest]
+        cy = nlcs.cy[rest]
+        r = nlcs.r[rest]
+        for p in candidates:
+            d = np.hypot(cx - p.x, cy - p.y)
+            if bool((np.abs(d - r) <= tol).all()):
+                return p
+        return None
 
 
 def _keep_top_t(regions: list, top_t: int, tol: float) -> list:

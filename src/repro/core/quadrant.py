@@ -32,6 +32,10 @@ class Quadrant:
     # True once the compatibility refinement has tightened max_hat; such
     # quadrants re-enter degeneracy handling directly on their next pop.
     refined: bool = False
+    # Lazily-computed cover identity (see cover_key); cached so the
+    # Theorem 3 bookkeeping and region dedup never rebuild it per pop.
+    _cover_key: tuple[int, ...] | None = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.min_hat > self.max_hat + 1e-9:
@@ -67,9 +71,15 @@ class Quadrant:
         return np.array_equal(self.intersecting, other.intersecting)
 
     def cover_key(self) -> tuple[int, ...]:
-        """Hashable identity of ``Q.C`` (used to deduplicate optimal
-        regions and for Theorem 3 bookkeeping)."""
-        return tuple(int(i) for i in self.containing)
+        """Hashable identity of ``Q.C``: the sorted cover indices (used to
+        deduplicate optimal regions and for Theorem 3 bookkeeping).
+        ``intersecting`` is sorted by construction, so the tuple is too.
+        Computed once and cached — repeat calls are free."""
+        key = self._cover_key
+        if key is None:
+            key = tuple(int(i) for i in self.containing)
+            self._cover_key = key
+        return key
 
 
 @dataclass(frozen=True)

@@ -117,20 +117,10 @@ def incompatible_in_rect(nlcs: CircleSet, i: int, j: int, rect: Rect,
     return not lens_box.intersects(rect)
 
 
-def refine_quadrant(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
-                    base_score: float, value_floor: float,
-                    tol: float) -> Refinement | None:
-    """Compatibility-refined upper bound for one quadrant.
-
-    ``boundary`` indexes the disks in ``Q.I - Q.C``; ``base_score`` is
-    ``sum(Q.C)``; ``value_floor`` is the score below which subsets are
-    irrelevant (the current MaxMin minus tolerance).  Returns ``None``
-    when refinement does not apply (too many disks, or no incompatible
-    pair — then the refined bound would equal ``m̂ax``).
-    """
+def _adjacency_scalar(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
+                      tol: float) -> tuple[np.ndarray, bool]:
+    """Pairwise compatibility graph via scalar ``incompatible_in_rect``."""
     n = len(boundary)
-    if n < 2 or n > MAX_BOUNDARY_DISKS:
-        return None
     adj = np.ones((n, n), dtype=bool)
     any_incompatible = False
     for a in range(n):
@@ -140,6 +130,91 @@ def refine_quadrant(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
                                     int(boundary[b]), rect, tol):
                 adj[a, b] = adj[b, a] = False
                 any_incompatible = True
+    return adj, any_incompatible
+
+
+def _adjacency_vector(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
+                      tol: float) -> tuple[np.ndarray, bool]:
+    """Vectorised pairwise ``incompatible_in_rect`` over a boundary set.
+
+    Mirrors the scalar certificate arithmetic operation for operation —
+    same subtractions, products and quotients in the same grouping — so
+    both builders agree on every pair (asserted by a property test; the
+    scalar path stays the reference and the ``legacy`` hot path's
+    builder).  The matrix is symmetrised from its upper triangle, like
+    the scalar double loop that only evaluates ``a < b``.
+
+    Degenerate concentric pairs (``d == 0``) divide by zero inside the
+    lens arithmetic; those lanes are containment-compatible before the
+    lens certificate is consulted, exactly as the scalar early return,
+    so the NaNs never reach a decision.
+    """
+    cx = nlcs.cx[boundary]
+    cy = nlcs.cy[boundary]
+    r = nlcs.r[boundary]
+    xi = cx[:, None]
+    yi = cy[:, None]
+    ri = r[:, None]
+    rj = r[None, :]
+    dx = cx[None, :] - xi
+    dy = cy[None, :] - yi
+    d = np.hypot(dx, dy)
+    disjoint = d >= ri + rj - tol
+    inside = d <= np.abs(ri - rj)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ell = (d * d + ri * ri - rj * rj) / (2.0 * d)
+        h = np.sqrt(np.maximum(ri * ri - ell * ell, 0.0))
+        ux = dx / d
+        uy = dy / d
+    px = xi + ell * ux
+    py = yi + ell * uy
+    chord_x1 = px - h * uy
+    chord_x2 = px + h * uy
+    chord_y1 = py + h * ux
+    chord_y2 = py - h * ux
+    dist_i = np.abs(ell)
+    dist_j = np.abs(d - ell)
+    reach_i = np.where(d < rj, ri + dist_i, ri - dist_i)
+    reach_j = np.where(d < ri, rj + dist_j, rj - dist_j)
+    pad = np.maximum(np.maximum(reach_i, reach_j), 0.0) + tol
+    lens_miss = ((np.minimum(chord_x1, chord_x2) - pad > rect.xmax)
+                 | (np.maximum(chord_x1, chord_x2) + pad < rect.xmin)
+                 | (np.minimum(chord_y1, chord_y2) - pad > rect.ymax)
+                 | (np.maximum(chord_y1, chord_y2) + pad < rect.ymin))
+    incompatible = disjoint | (~inside & lens_miss)
+    upper = np.triu(incompatible, 1)
+    incompatible = upper | upper.T
+    adj = ~incompatible
+    np.fill_diagonal(adj, False)
+    return adj, bool(upper.any())
+
+
+# Below this many boundary disks the vectorised adjacency builder loses
+# to the scalar pair loop on fixed numpy dispatch overhead.
+_VECTOR_ADJACENCY_MIN = 8
+
+
+def refine_quadrant(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
+                    base_score: float, value_floor: float,
+                    tol: float, vectorized: bool = False
+                    ) -> Refinement | None:
+    """Compatibility-refined upper bound for one quadrant.
+
+    ``boundary`` indexes the disks in ``Q.I - Q.C``; ``base_score`` is
+    ``sum(Q.C)``; ``value_floor`` is the score below which subsets are
+    irrelevant (the current MaxMin minus tolerance).  ``vectorized``
+    selects the batched adjacency builder for large boundary sets (the
+    solver enables it on the ``batched`` hot path).  Returns ``None``
+    when refinement does not apply (too many disks, or no incompatible
+    pair — then the refined bound would equal ``m̂ax``).
+    """
+    n = len(boundary)
+    if n < 2 or n > MAX_BOUNDARY_DISKS:
+        return None
+    if vectorized and n >= _VECTOR_ADJACENCY_MIN:
+        adj, any_incompatible = _adjacency_vector(nlcs, boundary, rect, tol)
+    else:
+        adj, any_incompatible = _adjacency_scalar(nlcs, boundary, rect, tol)
     if not any_incompatible:
         return None
 
@@ -161,7 +236,14 @@ def refine_quadrant(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
 # ---------------------------------------------------------------------- #
 
 def _max_weight_clique(adj: np.ndarray, weights: np.ndarray) -> float:
-    """Exact maximum-weight clique via branch and bound on bitmasks."""
+    """Exact maximum-weight clique via branch and bound on bitmasks.
+
+    The search state lives in Python ints and float lists (not numpy
+    scalars): the expand loop runs tens of thousands of times per
+    refinement-heavy Phase I, and ``np.float64`` arithmetic in it costs
+    more than the branching itself.  Values are identical — ``tolist``
+    round-trips float64 exactly.
+    """
     n = adj.shape[0]
     order = np.argsort(-weights)
     adj_bits = [0] * n
@@ -171,29 +253,29 @@ def _max_weight_clique(adj: np.ndarray, weights: np.ndarray) -> float:
             if adj[order[a], order[b]]:
                 bits |= 1 << b
         adj_bits[a] = bits
-    w = weights[order]
-    suffix = np.concatenate((np.cumsum(w[::-1])[::-1], [0.0]))
+    w_arr = weights[order]
+    w = w_arr.tolist()
+    suffix = np.concatenate((np.cumsum(w_arr[::-1])[::-1], [0.0])).tolist()
 
     best = 0.0
 
-    def expand(candidates: int, start: int, current: float) -> None:
+    def expand(candidates: int, current: float) -> None:
         nonlocal best
         if current > best:
             best = current
-        if candidates == 0:
-            return
-        for v in range(start, n):
-            bit = 1 << v
-            if not candidates & bit:
-                continue
+        remaining = candidates
+        while remaining:
+            low = remaining & -remaining
+            v = low.bit_length() - 1
             # Even taking every remaining candidate cannot beat best.
             if current + suffix[v] <= best:
                 return
-            expand(candidates & adj_bits[v], v + 1, current + w[v])
-            candidates &= ~bit
+            expand(candidates & adj_bits[v], current + w[v])
+            candidates &= ~low
+            remaining ^= low
 
-    expand((1 << n) - 1, 0, 0.0)
-    return float(best)
+    expand((1 << n) - 1, 0.0)
+    return best
 
 
 def _enumerate_heavy_cliques(adj: np.ndarray, weights: np.ndarray,
@@ -215,6 +297,7 @@ def _enumerate_heavy_cliques(adj: np.ndarray, weights: np.ndarray,
                 bits |= 1 << b
         adj_bits[a] = bits
     total = float(weights.sum())
+    wl = weights.tolist()
 
     out: list[tuple[int, ...]] = []
     complete = True
@@ -224,7 +307,7 @@ def _enumerate_heavy_cliques(adj: np.ndarray, weights: np.ndarray,
         v = mask
         while v:
             low = v & -v
-            s += float(weights[low.bit_length() - 1])
+            s += wl[low.bit_length() - 1]
             v ^= low
         return s
 
@@ -256,7 +339,7 @@ def _enumerate_heavy_cliques(adj: np.ndarray, weights: np.ndarray,
             low = v & -v
             u = low.bit_length() - 1
             bron(r | low, p & adj_bits[u], x & adj_bits[u],
-                 r_weight + float(weights[u]),
+                 r_weight + wl[u],
                  weight_of(p & adj_bits[u]))
             p &= ~low
             x |= low

@@ -159,8 +159,21 @@ class Rect:
 
     def split_center(self) -> tuple["Rect", ...]:
         """Split into four equal quadrants at the centre (the regular split)."""
-        c = self.center
-        return self.split_at(c.x, c.y)
+        cx = (self.xmin + self.xmax) * 0.5
+        cy = (self.ymin + self.ymax) * 0.5
+        if self.xmin < cx < self.xmax and self.ymin < cy < self.ymax:
+            # Strictly interior centre: the four quadrants are distinct,
+            # so skip split_at's containment check and dedup (this runs
+            # once per MaxFirst split).
+            return (
+                Rect(self.xmin, self.ymin, cx, cy),
+                Rect(cx, self.ymin, self.xmax, cy),
+                Rect(self.xmin, cy, cx, self.ymax),
+                Rect(cx, cy, self.xmax, self.ymax),
+            )
+        # Degenerate (zero-extent side, or a side so thin the midpoint
+        # rounds onto an edge): fall back to the deduplicating split.
+        return self.split_at(cx, cy)
 
     def min_distance_to_point(self, x: float, y: float) -> float:
         """Distance from ``(x, y)`` to the closest point of the rectangle

@@ -1,0 +1,98 @@
+"""Build-and-load shim for the compiled quadrant-split kernel.
+
+``_quadkernel.c`` (next to this module) is compiled on first use with the
+system C compiler into a shared library cached under the user's temp
+directory, keyed by a hash of the source and compile flags, then loaded
+through :mod:`ctypes`.  Everything is best-effort: any failure — no
+compiler, read-only temp dir, unsupported platform — degrades to ``None``
+and callers fall back to the pure-numpy batched kernel, which computes
+identical results.
+
+Set ``REPRO_NO_CKERNEL=1`` to force the numpy fallback (used by tests to
+cover both paths).
+
+``-ffp-contract=off`` is mandatory: the kernel's bit-identity contract
+with the numpy scalar kernel (see the header comment in ``_quadkernel.c``)
+requires every multiply and add to round separately, exactly as numpy's
+ufunc loops do.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "_quadkernel.c")
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
+
+_cached: tuple[object] | None = None  # 1-tuple so None is cacheable
+
+
+def _build(source_path: str) -> str | None:
+    """Compile the kernel if needed; return the shared-library path."""
+    try:
+        with open(source_path, "rb") as fh:
+            src = fh.read()
+    except OSError:
+        return None
+    tag = hashlib.sha256(src + " ".join(_CFLAGS).encode()).hexdigest()[:16]
+    lib_path = os.path.join(
+        tempfile.gettempdir(),
+        f"repro_quadkernel_{tag}_py{sys.version_info[0]}{sys.version_info[1]}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    compiler = os.environ.get("CC") or "cc"
+    # Compile to a private temp name, then atomically publish, so
+    # concurrent builders never load a half-written library.
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=tempfile.gettempdir())
+    os.close(fd)
+    try:
+        subprocess.run(
+            [compiler, *_CFLAGS, "-o", tmp, source_path],
+            check=True, capture_output=True, timeout=120)
+        os.replace(tmp, lib_path)
+    except Exception:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return lib_path
+
+
+def load_quad_kernel():
+    """The compiled ``classify_quad_split`` entry point, or ``None``.
+
+    The result (including a failed load) is cached for the process.
+    """
+    global _cached
+    if _cached is not None:
+        return _cached[0]
+    fn = None
+    if not os.environ.get("REPRO_NO_CKERNEL"):
+        lib_path = _build(_SOURCE)
+        if lib_path is not None:
+            try:
+                lib = ctypes.CDLL(lib_path)
+                fn = lib.classify_quad_split
+                c_d = ctypes.c_double
+                c_i64 = ctypes.c_int64
+                ptr = ctypes.c_void_p
+                fn.restype = None
+                fn.argtypes = [
+                    ptr, ptr, ptr, ptr, ptr,       # cx cy r_in2 r_out2 sc
+                    ptr, c_i64,                    # cand, n
+                    c_d, c_d, c_d, c_d, c_d, c_d,  # rect + split point
+                    c_i64,                         # stride
+                    ptr, ptr, ptr, ptr,            # idx mask sc csc out
+                    ptr, ptr,                      # counts ccounts
+                ]
+            except Exception:
+                fn = None
+    _cached = (fn,)
+    return fn

@@ -1,0 +1,92 @@
+/* Compiled hot kernel for MaxFirst's batched quadrant split.
+ *
+ * Classifies every candidate disk against the four children of one
+ * rectangle split at (px, py) in a single pass.  The four children share
+ * axis intervals ([xmin,px] / [px,xmax] on x, [ymin,py] / [py,ymax] on
+ * y), so only four near/far lane distances are computed per candidate
+ * instead of eight — half the floating-point work of four independent
+ * rectangle classifications, with no numpy temporaries.
+ *
+ * Bit-identity contract with CircleSet.classify_rect (the scalar numpy
+ * kernel): every arithmetic operation below mirrors the numpy expression
+ * with the same operands.  IEEE-754 double add/sub/mul/compare are
+ * correctly rounded in both C (SSE2 scalar math) and numpy, and max is
+ * exactly associative/commutative for the NaN-free finite inputs used
+ * here, so the predicates evaluate to exactly the same booleans.  Score
+ * sums are NOT computed here — the caller reduces the compacted score
+ * runs with numpy so pairwise-summation order matches the scalar path.
+ * Build with -ffp-contract=off: fusing mul+add into FMA would change
+ * rounding and break the contract.
+ *
+ * Child order matches Rect.split_at: ll, lr, ul, ur — child c uses
+ * x-lane (c & 1) and y-lane (c >> 1).
+ *
+ * Output layout: per-child runs live in row c of the (4, stride)
+ * scratch matrices, compacted in candidate order; counts[c] /
+ * ccounts[c] give the run lengths.
+ */
+
+#include <stdint.h>
+
+static inline double dmax(double a, double b) { return a > b ? a : b; }
+
+void classify_quad_split(
+    const double *cx, const double *cy,
+    const double *r_in2, const double *r_out2,
+    const double *scores,
+    const int64_t *cand, int64_t n,
+    double xmin, double ymin, double xmax, double ymax,
+    double px, double py,
+    int64_t stride,
+    int64_t *idx_out,   /* (4, stride) int64  : Q.I indices           */
+    uint8_t *mask_out,  /* (4, stride) uint8  : containing mask       */
+    double *sc_out,     /* (4, stride) double : scores over Q.I       */
+    double *csc_out,    /* (4, stride) double : scores over Q.C       */
+    int64_t *counts,    /* (4) |Q.I| per child                        */
+    int64_t *ccounts)   /* (4) |Q.C| per child                        */
+{
+    int64_t h[4] = {0, 0, 0, 0};
+    int64_t ch[4] = {0, 0, 0, 0};
+    double nx2[2], ny2[2], fx2[2], fy2[2];
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t j = cand[i];
+        const double x = cx[j];
+        const double y = cy[j];
+        const double ri2 = r_in2[j];
+        /* near lanes: maximum(maximum(lo - c, 0), c - hi), squared */
+        const double nxl = dmax(dmax(xmin - x, 0.0), x - px);
+        const double nxh = dmax(dmax(px - x, 0.0), x - xmax);
+        const double nyl = dmax(dmax(ymin - y, 0.0), y - py);
+        const double nyh = dmax(dmax(py - y, 0.0), y - ymax);
+        nx2[0] = nxl * nxl; nx2[1] = nxh * nxh;
+        ny2[0] = nyl * nyl; ny2[1] = nyh * nyh;
+        if (nx2[0] + ny2[0] >= ri2 && nx2[1] + ny2[0] >= ri2 &&
+            nx2[0] + ny2[1] >= ri2 && nx2[1] + ny2[1] >= ri2)
+            continue;  /* misses all four children */
+        /* far lanes: maximum(c - lo, hi - c), squared */
+        const double fxl = dmax(x - xmin, px - x);
+        const double fxh = dmax(x - px, xmax - x);
+        const double fyl = dmax(y - ymin, py - y);
+        const double fyh = dmax(y - py, ymax - y);
+        fx2[0] = fxl * fxl; fx2[1] = fxh * fxh;
+        fy2[0] = fyl * fyl; fy2[1] = fyh * fyh;
+        const double ro2 = r_out2[j];
+        const double sc = scores[j];
+        for (int c = 0; c < 4; c++) {
+            if (nx2[c & 1] + ny2[c >> 1] < ri2) {
+                const int64_t o = c * stride + h[c];
+                const int contain = fx2[c & 1] + fy2[c >> 1] <= ro2;
+                idx_out[o] = j;
+                mask_out[o] = (uint8_t)contain;
+                sc_out[o] = sc;
+                h[c]++;
+                if (contain)
+                    csc_out[c * stride + ch[c]++] = sc;
+            }
+        }
+    }
+    for (int c = 0; c < 4; c++) {
+        counts[c] = h[c];
+        ccounts[c] = ch[c];
+    }
+}

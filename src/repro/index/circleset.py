@@ -22,6 +22,29 @@ import numpy as np
 
 from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
+from repro.index._ckernel import load_quad_kernel
+
+# Broadcast chunking cap: float64 intermediates stay under ~16 MB.
+_BROADCAST_ELEMENTS = 2_000_000
+
+# Shared empty containing-mask for rectangles no candidate reaches.
+_EMPTY_MASK = np.zeros(0, dtype=bool)
+
+
+def _rects_as_array(rects) -> np.ndarray:
+    """``(n, 4)`` float64 view of a rect batch (ndarray or Rect sequence)."""
+    if isinstance(rects, np.ndarray):
+        arr = np.ascontiguousarray(rects, dtype=np.float64)
+    else:
+        arr = np.array([(rc.xmin, rc.ymin, rc.xmax, rc.ymax)
+                        for rc in rects], dtype=np.float64)
+        if arr.size == 0:
+            return arr.reshape(0, 4)
+    if arr.ndim != 2 or arr.shape[1] != 4:
+        raise ValueError(
+            f"rects must be (n, 4) (xmin, ymin, xmax, ymax) rows, "
+            f"got shape {arr.shape}")
+    return arr
 
 
 class CircleSet:
@@ -40,7 +63,8 @@ class CircleSet:
         1-based NLC level ``i`` of each disk (0 when unknown).
     """
 
-    __slots__ = ("cx", "cy", "r", "scores", "owners", "levels", "_bbox")
+    __slots__ = ("cx", "cy", "r", "scores", "owners", "levels", "_bbox",
+                 "_classifiers")
 
     def __init__(self, cx: np.ndarray, cy: np.ndarray, r: np.ndarray,
                  scores: np.ndarray, owners: np.ndarray | None = None,
@@ -62,6 +86,7 @@ class CircleSet:
         self.owners = np.ascontiguousarray(owners, dtype=np.int64)
         self.levels = np.ascontiguousarray(levels, dtype=np.int64)
         self._bbox: Rect | None = None
+        self._classifiers: dict[float, RectClassifier] = {}
 
     @classmethod
     def from_circles(cls, circles: Iterable[Circle],
@@ -190,6 +215,43 @@ class CircleSet:
         min_hat = float(sc[containing_mask].sum())
         return intersecting, containing_mask, max_hat, min_hat
 
+    def classify_rects(self, rects, candidates: np.ndarray | None = None,
+                       graze_tol: float = 0.0
+                       ) -> list[tuple[np.ndarray, np.ndarray, float, float]]:
+        """Batched :meth:`classify_rect`: N rectangles, one candidate set.
+
+        ``rects`` is an ``(n, 4)`` float array of ``(xmin, ymin, xmax,
+        ymax)`` rows, or any sequence of :class:`Rect`.  Returns one
+        ``(intersecting, containing_mask, max_hat, min_hat)`` tuple per
+        rectangle, element-wise identical to calling
+        :meth:`classify_rect` in a loop (asserted by a property test).
+
+        The point is amortisation: the candidate gather and the
+        near/far distance arithmetic run once for the whole batch
+        instead of once per rectangle, which is what makes classifying
+        MaxFirst's whole split frontier (all four children of a split)
+        cost barely more than classifying one child.  The broadcast is
+        chunked over rectangles so no intermediate array exceeds
+        ~16 MB, whatever the batch size.
+        """
+        if candidates is None:
+            candidates = np.arange(len(self), dtype=np.int64)
+        return self.rect_classifier(graze_tol).classify(rects, candidates)
+
+    def rect_classifier(self, graze_tol: float = 0.0) -> "RectClassifier":
+        """A prepared :class:`RectClassifier` for ``graze_tol`` (cached).
+
+        Hot callers (the vector backend classifies every split frontier
+        through one of these) should hold the instance rather than going
+        through :meth:`classify_rects`, which re-resolves the cache per
+        call.
+        """
+        clf = self._classifiers.get(graze_tol)
+        if clf is None:
+            clf = RectClassifier(self, graze_tol)
+            self._classifiers[graze_tol] = clf
+        return clf
+
     # ------------------------------------------------------------------ #
     # Point coverage
     # ------------------------------------------------------------------ #
@@ -222,16 +284,29 @@ class CircleSet:
 
         ``points`` is ``(n, 2)``; the result is ``(n,)``.  Cost is
         ``O(n * len(candidates))`` — callers bucket points so the candidate
-        sets stay small (see MaxOverlap's coverage counting).
+        sets stay small (see MaxOverlap's coverage counting).  The
+        broadcast is chunked over points so peak memory stays ~16 MB per
+        intermediate regardless of ``n`` (MaxOverlap feeds millions of
+        intersection points against dense buckets).
         """
         pts = np.asarray(points, dtype=np.float64)
         cx = self.cx[candidates]
         cy = self.cy[candidates]
         rr = self.r[candidates] + tol
-        dx = pts[:, 0:1] - cx[None, :]
-        dy = pts[:, 1:2] - cy[None, :]
-        inside = dx * dx + dy * dy <= (rr * rr)[None, :]
-        return inside @ self.scores[candidates]
+        rr2 = rr * rr
+        sc = self.scores[candidates]
+        n_pts = pts.shape[0]
+        out = np.zeros(n_pts, dtype=np.float64)
+        if n_pts == 0 or cx.shape[0] == 0:
+            return out
+        rows = max(1, _BROADCAST_ELEMENTS // cx.shape[0])
+        for start in range(0, n_pts, rows):
+            stop = start + rows
+            dx = pts[start:stop, 0:1] - cx
+            dy = pts[start:stop, 1:2] - cy
+            inside = dx * dx + dy * dy <= rr2
+            out[start:stop] = inside @ sc
+        return out
 
     def _gather(self, candidates: np.ndarray | None
                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -239,3 +314,163 @@ class CircleSet:
             return self.cx, self.cy, self.r
         return (self.cx[candidates], self.cy[candidates],
                 self.r[candidates])
+
+
+class RectClassifier:
+    """Prepared batched rectangle classifier for one graze tolerance.
+
+    Everything that depends only on the disk set and the tolerance is
+    hoisted out of the per-call path: centres, graze-adjusted *squared*
+    radii and scores live in one packed ``(5, n)`` matrix, so a call
+    pays a single fancy-index gather for its candidate columns instead
+    of five, then pure broadcast arithmetic.  Results are element-wise
+    identical to :meth:`CircleSet.classify_rect` — the squared-radius
+    precomputation performs the same per-element ``maximum``/multiply
+    the scalar kernel does, and the per-rect sums reduce the same
+    compacted score arrays in the same order.
+    """
+
+    __slots__ = ("_packed", "_quad_fn", "_stride", "_scratch", "_ptrs")
+
+    def __init__(self, circles: CircleSet, graze_tol: float) -> None:
+        r_in = np.maximum(circles.r - graze_tol, 0.0)
+        r_out = circles.r + graze_tol
+        self._packed = np.stack(
+            (circles.cx, circles.cy, r_in * r_in, r_out * r_out,
+             circles.scores))
+        self._quad_fn = load_quad_kernel()
+        self._stride = 0
+        self._scratch: tuple[np.ndarray, ...] = ()
+        self._ptrs: tuple[int, ...] = ()
+
+    def _grow_scratch(self, n: int) -> None:
+        """(Re)allocate the compiled kernel's per-child output rows."""
+        self._stride = n
+        idx = np.empty((4, n), dtype=np.int64)
+        mask = np.empty((4, n), dtype=np.uint8)
+        sc = np.empty((4, n), dtype=np.float64)
+        csc = np.empty((4, n), dtype=np.float64)
+        counts = np.empty(4, dtype=np.int64)
+        ccounts = np.empty(4, dtype=np.int64)
+        self._scratch = (idx, mask, sc, csc, counts, ccounts)
+        packed = self._packed
+        self._ptrs = tuple(a.ctypes.data for a in (
+            packed[0], packed[1], packed[2], packed[3], packed[4],
+            idx, mask, sc, csc, counts, ccounts))
+
+    def quad_split(self, xmin: float, ymin: float, xmax: float, ymax: float,
+                   px: float, py: float, candidates: np.ndarray
+                   ) -> list[tuple[np.ndarray, np.ndarray, float, float]] | None:
+        """Classify the four children of splitting a rect at ``(px, py)``.
+
+        Single-pass compiled fast path for the dominant Phase I split
+        shape (see ``_quadkernel.c``); returns the same four result
+        tuples :meth:`classify` would, in ``Rect.split_at`` child order,
+        or ``None`` when the compiled kernel is unavailable (caller
+        falls back to the numpy batch kernel).
+        """
+        fn = self._quad_fn
+        if (fn is None or candidates.dtype != np.int64
+                or not candidates.flags["C_CONTIGUOUS"]):
+            return None
+        n = candidates.shape[0]
+        empty = (candidates[:0], _EMPTY_MASK, 0.0, 0.0)
+        if n == 0:
+            return [empty] * 4
+        if n > self._stride:
+            self._grow_scratch(n)
+        p = self._ptrs
+        fn(p[0], p[1], p[2], p[3], p[4],
+           candidates.ctypes.data, n,
+           xmin, ymin, xmax, ymax, px, py,
+           self._stride,
+           p[5], p[6], p[7], p[8], p[9], p[10])
+        idx_s, mask_s, sc_s, csc_s, counts, ccounts = self._scratch
+        out: list[tuple[np.ndarray, np.ndarray, float, float]] = []
+        for c, (h, hc) in enumerate(zip(counts.tolist(), ccounts.tolist())):
+            if h == 0:
+                out.append(empty)
+                continue
+            # Copy the compacted runs out of the reusable scratch rows;
+            # the sums reduce the same score sequences the scalar
+            # kernel's ``sc.sum()`` / ``sc[mask].sum()`` would.
+            out.append((idx_s[c, :h].copy(),
+                        mask_s[c, :h].copy().view(np.bool_),
+                        float(sc_s[c, :h].sum()),
+                        float(csc_s[c, :hc].sum())))
+        return out
+
+    def classify(self, rects, candidates: np.ndarray
+                 ) -> list[tuple[np.ndarray, np.ndarray, float, float]]:
+        """Classify a rect batch against one candidate index array.
+
+        See :meth:`CircleSet.classify_rects` for the contract; this is
+        its engine.  The x and y axes are processed as one stacked
+        ``(rows, 2, n)`` broadcast and the per-rect results are carved
+        out of flat concatenated gathers, so the call count stays
+        constant in the batch size — per-element arithmetic is still
+        the scalar kernel's, in the scalar kernel's grouping (``max``
+        is associative exactly, and ``max(c-lo, hi-c)²`` equals
+        ``min(lo-c, c-hi)²``), so results stay bit-identical.
+        """
+        arr = _rects_as_array(rects)
+        n_rects = arr.shape[0]
+        out: list[tuple[np.ndarray, np.ndarray, float, float]] = []
+        if n_rects == 0:
+            return out
+        sub = self._packed[:, candidates]
+        centers = sub[0:2]
+        r_in2 = sub[2]
+        r_out2 = sub[3]
+        sc = sub[4]
+        n_cand = centers.shape[1]
+        if n_cand == 0:
+            return [(candidates[:0], _EMPTY_MASK, 0.0, 0.0)
+                    for _ in range(n_rects)]
+
+        add_reduce = np.add.reduce
+        rows = max(1, _BROADCAST_ELEMENTS // (2 * n_cand))
+        for start in range(0, n_rects, rows):
+            stop = min(start + rows, n_rects)
+            chunk = arr[start:stop]
+            # a = lo - c and b = c - hi per axis; the near (clamped) and
+            # far corner distances are max(a, b, 0) and -min(a, b), and
+            # the sign drops when squaring.
+            a = chunk[:, 0:2, None] - centers
+            b = centers - chunk[:, 2:4, None]
+            near = np.maximum(a, b)
+            np.maximum(near, 0.0, out=near)
+            far = np.minimum(a, b, out=a)
+            near *= near
+            far *= far
+            inter = near[:, 0, :] + near[:, 1, :] < r_in2
+            contain = far[:, 0, :] + far[:, 1, :] <= r_out2
+            # Flat extraction: one nonzero pass and one boolean gather
+            # yield all rects' compacted index/score/mask runs back to
+            # back, split by the per-rect hit counts (row-major order
+            # keeps each run in the scalar kernel's element order, so
+            # the sums reduce the same sequences).  Everything after
+            # the two full-matrix passes touches only the hits.
+            n_rows = stop - start
+            hit_rows, cols = inter.nonzero()
+            counts = np.bincount(hit_rows, minlength=n_rows).tolist()
+            all_inter = candidates[cols]
+            all_sc = sc[cols]
+            all_mask = contain[inter]
+            all_csc = all_sc[all_mask]
+            ccounts = np.bincount(hit_rows[all_mask],
+                                  minlength=n_rows).tolist()
+            o = 0
+            co = 0
+            for c, cc in zip(counts, ccounts):
+                if c == 0:
+                    out.append((candidates[:0], _EMPTY_MASK, 0.0, 0.0))
+                    continue
+                nxt = o + c
+                cnxt = co + cc
+                out.append((all_inter[o:nxt], all_mask[o:nxt],
+                            float(add_reduce(all_sc[o:nxt])),
+                            float(add_reduce(all_csc[co:cnxt]))))
+                o = nxt
+                co = cnxt
+        return out

@@ -1,0 +1,214 @@
+"""Bit-identity tests for the batched rectangle classification kernels.
+
+The batched kernels (``CircleSet.classify_rects`` and the compiled
+quad-split fast path) are pure performance rewrites of the scalar
+``classify_rect``: every index array, containing mask and score sum they
+return must be *exactly* equal to the scalar kernel's — not merely
+close.  MaxFirst's split order, prune decisions and stats counters all
+hang off these values, so an ulp of drift here silently changes the
+search.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+
+def make_set(seed: int, n: int = 50) -> CircleSet:
+    rng = np.random.default_rng(seed)
+    return CircleSet(rng.random(n), rng.random(n),
+                     rng.uniform(0.02, 0.5, n),
+                     rng.uniform(0.1, 2.0, n))
+
+
+def assert_batch_matches_scalar(circles, rects, candidates, graze_tol):
+    """classify_rects must be element-wise identical to looped
+    classify_rect."""
+    batched = circles.classify_rects(rects, candidates,
+                                     graze_tol=graze_tol)
+    assert len(batched) == len(rects)
+    for rect, (b_idx, b_mask, b_max, b_min) in zip(rects, batched):
+        s_idx, s_mask, s_max, s_min = circles.classify_rect(
+            rect, candidates, graze_tol=graze_tol)
+        np.testing.assert_array_equal(b_idx, s_idx)
+        np.testing.assert_array_equal(b_mask, s_mask)
+        assert b_mask.dtype == np.bool_
+        # Bit-identical, not approximately equal.
+        assert b_max == s_max
+        assert b_min == s_min
+
+
+rect_strategy = st.tuples(
+    st.floats(-0.2, 1.2), st.floats(-0.2, 1.2),
+    st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+class TestClassifyRectsProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**20),
+           rects=st.lists(rect_strategy, min_size=0, max_size=6),
+           graze_tol=st.sampled_from([0.0, 1e-12, 1e-9, 1e-3]),
+           subset_seed=st.integers(0, 2**20))
+    def test_matches_scalar_loop(self, seed, rects, graze_tol,
+                                 subset_seed):
+        circles = make_set(seed)
+        rng = np.random.default_rng(subset_seed)
+        n = len(circles)
+        size = int(rng.integers(0, n + 1))
+        candidates = np.sort(rng.choice(n, size=size,
+                                        replace=False)).astype(np.int64)
+        assert_batch_matches_scalar(circles, rects, candidates, graze_tol)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**20),
+           rects=st.lists(rect_strategy, min_size=1, max_size=4))
+    def test_all_candidates_default(self, seed, rects):
+        circles = make_set(seed)
+        batched = circles.classify_rects(rects)
+        for rect, (b_idx, b_mask, b_max, b_min) in zip(rects, batched):
+            s_idx, s_mask, s_max, s_min = circles.classify_rect(rect)
+            np.testing.assert_array_equal(b_idx, s_idx)
+            np.testing.assert_array_equal(b_mask, s_mask)
+            assert (b_max, b_min) == (s_max, s_min)
+
+
+class TestClassifyRectsEdges:
+    def test_empty_candidates(self):
+        circles = make_set(3)
+        empty = np.zeros(0, dtype=np.int64)
+        rects = [Rect(0.0, 0.0, 1.0, 1.0), Rect(0.2, 0.2, 0.4, 0.9)]
+        assert_batch_matches_scalar(circles, rects, empty, 0.0)
+        for idx, mask, max_hat, min_hat in circles.classify_rects(
+                rects, empty):
+            assert idx.shape == (0,) and mask.shape == (0,)
+            assert max_hat == 0.0 and min_hat == 0.0
+
+    def test_empty_rect_batch(self):
+        circles = make_set(4)
+        assert circles.classify_rects([]) == []
+
+    def test_graze_boundary_disk(self):
+        # A disk exactly tangent to the rect edge: graze_tol flips its
+        # membership, and batched must flip identically.
+        circles = CircleSet(np.array([2.0]), np.array([0.5]),
+                            np.array([1.0]), np.array([1.0]))
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        cands = np.array([0], dtype=np.int64)
+        for tol in (0.0, 1e-9, 0.5):
+            assert_batch_matches_scalar(circles, [rect], cands, tol)
+
+    def test_containing_boundary_disk(self):
+        # A disk whose boundary passes exactly through the far corner:
+        # containment is a <= test, exercised on both sides by tol.
+        circles = CircleSet(np.array([0.0]), np.array([0.0]),
+                            np.array([np.hypot(1.0, 1.0)]),
+                            np.array([1.0]))
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        cands = np.array([0], dtype=np.int64)
+        for tol in (0.0, 1e-9, 1e-3):
+            assert_batch_matches_scalar(circles, [rect], cands, tol)
+
+    def test_degenerate_rects(self):
+        circles = make_set(9)
+        cands = np.arange(len(circles), dtype=np.int64)
+        rects = [Rect(0.3, 0.3, 0.3, 0.3),      # point
+                 Rect(0.1, 0.4, 0.9, 0.4),      # horizontal sliver
+                 Rect(0.5, 0.0, 0.5, 1.0)]      # vertical sliver
+        assert_batch_matches_scalar(circles, rects, cands, 0.0)
+
+    def test_large_batch_chunks(self):
+        # Enough rects to force the broadcast chunking path.
+        circles = make_set(11, n=40)
+        rng = np.random.default_rng(0)
+        rects = [Rect(x, y, x + w, y + h)
+                 for x, y, w, h in zip(rng.random(300), rng.random(300),
+                                       rng.random(300), rng.random(300))]
+        cands = np.arange(len(circles), dtype=np.int64)
+        assert_batch_matches_scalar(circles, rects, cands, 0.0)
+
+
+class TestQuadSplitKernel:
+    """The compiled single-pass split kernel against the numpy paths."""
+
+    def _quad_case(self, seed, graze_tol=0.0):
+        circles = make_set(seed)
+        rng = np.random.default_rng(seed + 1)
+        n = len(circles)
+        candidates = np.sort(rng.choice(
+            n, size=int(rng.integers(1, n + 1)),
+            replace=False)).astype(np.int64)
+        rect = Rect(0.1, 0.05, 0.95, 0.9)
+        px = float(rng.uniform(rect.xmin, rect.xmax))
+        py = float(rng.uniform(rect.ymin, rect.ymax))
+        return circles, rect, px, py, candidates
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_quad_split_matches_scalar(self, seed):
+        circles, rect, px, py, candidates = self._quad_case(seed)
+        classifier = circles.rect_classifier(0.0)
+        results = classifier.quad_split(rect.xmin, rect.ymin, rect.xmax,
+                                        rect.ymax, px, py, candidates)
+        if results is None:
+            pytest.skip("compiled quad kernel unavailable")
+        children = rect.split_at(px, py)
+        assert len(children) == 4
+        for child, (b_idx, b_mask, b_max, b_min) in zip(children, results):
+            s_idx, s_mask, s_max, s_min = circles.classify_rect(
+                child, candidates)
+            np.testing.assert_array_equal(b_idx, s_idx)
+            np.testing.assert_array_equal(b_mask, s_mask)
+            assert b_mask.dtype == np.bool_
+            assert b_max == s_max
+            assert b_min == s_min
+
+    def test_quad_split_degenerate_split_point(self):
+        # px on the rect edge: two degenerate children; the kernel's
+        # lanes must still mirror the scalar predicates exactly.
+        circles = make_set(21)
+        candidates = np.arange(len(circles), dtype=np.int64)
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        classifier = circles.rect_classifier(0.0)
+        results = classifier.quad_split(0.0, 0.0, 1.0, 1.0, 0.0, 0.4,
+                                        candidates)
+        if results is None:
+            pytest.skip("compiled quad kernel unavailable")
+        children = (Rect(0.0, 0.0, 0.0, 0.4), Rect(0.0, 0.0, 1.0, 0.4),
+                    Rect(0.0, 0.4, 0.0, 1.0), Rect(0.0, 0.4, 1.0, 1.0))
+        for child, (b_idx, b_mask, b_max, b_min) in zip(children, results):
+            s_idx, s_mask, s_max, s_min = circles.classify_rect(
+                child, candidates)
+            np.testing.assert_array_equal(b_idx, s_idx)
+            np.testing.assert_array_equal(b_mask, s_mask)
+            assert (b_max, b_min) == (s_max, s_min)
+
+    def test_quad_split_empty_candidates(self):
+        circles = make_set(22)
+        classifier = circles.rect_classifier(0.0)
+        results = classifier.quad_split(
+            0.0, 0.0, 1.0, 1.0, 0.5, 0.5, np.zeros(0, dtype=np.int64))
+        if results is None:
+            pytest.skip("compiled quad kernel unavailable")
+        assert len(results) == 4
+        for idx, mask, max_hat, min_hat in results:
+            assert idx.shape == (0,) and mask.shape == (0,)
+            assert max_hat == 0.0 and min_hat == 0.0
+
+    def test_quad_split_scratch_reuse_isolated(self):
+        # Results must survive later calls that reuse the scratch rows.
+        circles = make_set(23)
+        candidates = np.arange(len(circles), dtype=np.int64)
+        classifier = circles.rect_classifier(0.0)
+        first = classifier.quad_split(0.0, 0.0, 1.0, 1.0, 0.5, 0.5,
+                                      candidates)
+        if first is None:
+            pytest.skip("compiled quad kernel unavailable")
+        snapshot = [(idx.copy(), mask.copy()) for idx, mask, _, _ in first]
+        classifier.quad_split(0.2, 0.2, 0.8, 0.8, 0.4, 0.6, candidates)
+        for (idx, mask, _, _), (idx0, mask0) in zip(first, snapshot):
+            np.testing.assert_array_equal(idx, idx0)
+            np.testing.assert_array_equal(mask, mask0)
