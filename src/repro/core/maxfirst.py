@@ -71,6 +71,10 @@ _THEOREM3_MODES = ("subset", "equality")
 # harness itself).
 _HOTPATHS = ("batched", "legacy")
 
+# Unit roundoff of float64; sizes the Theorem 3 score-sum margin so it
+# dominates worst-case summation error for any cover size.
+_FLOAT_EPS = float(np.finfo(np.float64).eps)
+
 
 class _FoundCovers:
     """Registry of found-region covers behind the Theorem 3 tests.
@@ -82,7 +86,8 @@ class _FoundCovers:
     early exits — on cardinality (a strictly larger ``Q.I`` cannot be a
     subset; exact) and on score sums (``m̂ax`` above the cover's sum
     rules the subset out for non-negative scores; guarded by a margin
-    far above float-summation error).  Frozenset mode reproduces the
+    sized from the summand counts so it provably dominates worst-case
+    float-summation error).  Frozenset mode reproduces the
     original per-pop ``frozenset`` algebra for the ``legacy`` hot path.
     """
 
@@ -136,10 +141,17 @@ class _FoundCovers:
                                          self._sums):
             if m > size:
                 continue
-            if (self._scores_nonneg
-                    and max_hat > cover_sum
-                    + 1e-9 * max(1.0, abs(cover_sum))):
-                continue
+            if self._scores_nonneg:
+                # A true subset forces sum(Q.I) <= cover_sum in exact
+                # arithmetic.  Each float sum of n non-negative terms
+                # errs by at most (n-1)·eps·sum (sequential; pairwise is
+                # tighter), so a margin of 2·(|Q.I| + |cover|)·eps times
+                # the larger magnitude can never skip a genuine
+                # superset, whatever the cover size.
+                margin = (2.0 * (m + size) * _FLOAT_EPS
+                          * max(1.0, cover_sum, max_hat))
+                if max_hat > cover_sum + margin:
+                    continue
             if mask[inter].all():
                 return True
         return False
@@ -477,23 +489,7 @@ class MaxFirst:
                 children = quad.rect.split_at(px, py)
             else:
                 children = quad.rect.split_center()
-            first = children[0]
-            if (len(children) == 4 and first.xmax > first.xmin
-                    and first.ymax > first.ymin):
-                # Four children whose lower-left is full-dimensional:
-                # the split point was strictly interior, so no child can
-                # echo the quadrant — skip the echo scan.
-                child_rects = list(children)
-            else:
-                child_rects = []
-                for child_rect in children:
-                    if child_rect == quad.rect:
-                        # split_at on a boundary point can echo the
-                        # quadrant itself; recurse through the centre
-                        # instead.
-                        child_rects.extend(quad.rect.split_center())
-                    else:
-                        child_rects.append(child_rect)
+            child_rects = _echo_free_children(quad.rect, children)
             if batched:
                 # One kernel call classifies the whole child frontier
                 # against the shared parent candidates; the bookkeeping
@@ -662,6 +658,34 @@ class MaxFirst:
             if bool((np.abs(d - r) <= tol).all()):
                 return p
         return None
+
+
+def _echo_free_children(rect: Rect, children: tuple[Rect, ...]) -> list[Rect]:
+    """Child rectangles of a split of ``rect``, with echoes resolved.
+
+    ``Rect.split_at`` on a boundary point can return the rectangle
+    itself as a child (e.g. splitting at the top-right corner yields
+    four distinct children whose lower-left IS the rectangle); pushing
+    such an echo would loop the search forever, so echoes recurse
+    through the centre split instead.  The scan is skipped only for a
+    strictly interior split, certified by BOTH the lower-left and the
+    upper-right child being full-dimensional — the lower-left alone is
+    not enough (a top-right-corner split leaves it full-dimensional and
+    equal to ``rect``).
+    """
+    first = children[0]
+    last = children[-1]
+    if (len(children) == 4
+            and first.xmax > first.xmin and first.ymax > first.ymin
+            and last.xmax > last.xmin and last.ymax > last.ymin):
+        return list(children)
+    child_rects: list[Rect] = []
+    for child_rect in children:
+        if child_rect == rect:
+            child_rects.extend(rect.split_center())
+        else:
+            child_rects.append(child_rect)
+    return child_rects
 
 
 def _keep_top_t(regions: list, top_t: int, tol: float) -> list:

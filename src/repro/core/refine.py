@@ -83,7 +83,13 @@ def incompatible_in_rect(nlcs: CircleSet, i: int, j: int, rect: Rect,
     """
     xi, yi, ri = float(nlcs.cx[i]), float(nlcs.cy[i]), float(nlcs.r[i])
     xj, yj, rj = float(nlcs.cx[j]), float(nlcs.cy[j]), float(nlcs.r[j])
-    d = math.hypot(xj - xi, yj - yi)
+    # sqrt(dx² + dy²) rather than hypot: math.hypot (correctly rounded)
+    # and np.hypot (platform libm) can differ in the last ulp, while
+    # mul/add/sqrt are correctly rounded in both — keeping this form is
+    # what makes _adjacency_vector bit-identical to this reference.
+    dx = xj - xi
+    dy = yj - yi
+    d = math.sqrt(dx * dx + dy * dy)
     if d >= ri + rj - tol:
         return True
     if d <= abs(ri - rj):
@@ -158,7 +164,9 @@ def _adjacency_vector(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
     rj = r[None, :]
     dx = cx[None, :] - xi
     dy = cy[None, :] - yi
-    d = np.hypot(dx, dy)
+    # NOT np.hypot: see the matching comment in incompatible_in_rect —
+    # sqrt(dx² + dy²) is the form both builders can round identically.
+    d = np.sqrt(dx * dx + dy * dy)
     disjoint = d >= ri + rj - tol
     inside = d <= np.abs(ri - rj)
     with np.errstate(divide="ignore", invalid="ignore"):

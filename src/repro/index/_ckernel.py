@@ -1,12 +1,19 @@
 """Build-and-load shim for the compiled quadrant-split kernel.
 
 ``_quadkernel.c`` (next to this module) is compiled on first use with the
-system C compiler into a shared library cached under the user's temp
-directory, keyed by a hash of the source and compile flags, then loaded
-through :mod:`ctypes`.  Everything is best-effort: any failure — no
-compiler, read-only temp dir, unsupported platform — degrades to ``None``
-and callers fall back to the pure-numpy batched kernel, which computes
-identical results.
+system C compiler into a shared library cached under a private per-user
+cache directory, keyed by a hash of the source and compile flags, then
+loaded through :mod:`ctypes`.  Everything is best-effort: any failure —
+no compiler, unwritable cache dir, unsupported platform — degrades to
+``None`` and callers fall back to the pure-numpy batched kernel, which
+computes identical results.
+
+The cache lives under ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``),
+falling back to a uid-suffixed temp subdirectory, created mode 0700 and
+verified (owned by us, not group/other-writable, not a symlink) before
+anything is loaded from it: the library path is predictable, so on a
+shared machine a world-writable cache would let another local user plant
+a malicious library for this process to execute.
 
 Set ``REPRO_NO_CKERNEL=1`` to force the numpy fallback (used by tests to
 cover both paths).
@@ -22,6 +29,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import stat
 import subprocess
 import sys
 import tempfile
@@ -33,6 +41,54 @@ _CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
 _cached: tuple[object] | None = None  # 1-tuple so None is cacheable
 
 
+def _uid() -> int | None:
+    getuid = getattr(os, "getuid", None)  # absent on Windows
+    return getuid() if getuid is not None else None
+
+
+def _owned_private(path: str, want_dir: bool) -> bool:
+    """True when ``path`` is ours alone: a regular file (or directory),
+    not a symlink, owned by the current user, group/other-unwritable."""
+    try:
+        st = os.lstat(path)
+    except OSError:
+        return False
+    if want_dir:
+        if not stat.S_ISDIR(st.st_mode):
+            return False
+        if st.st_mode & 0o077:
+            return False
+    else:
+        if not stat.S_ISREG(st.st_mode):
+            return False
+        if st.st_mode & 0o022:
+            return False
+    uid = _uid()
+    return uid is None or st.st_uid == uid
+
+
+def _cache_dir() -> str | None:
+    """The per-user kernel cache directory, created 0700 and verified."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        home = os.path.expanduser("~")
+        base = os.path.join(home, ".cache") if home != "~" else None
+    if base:
+        path = os.path.join(base, "repro", "ckernel")
+    else:
+        uid = _uid()
+        suffix = f"u{uid}" if uid is not None else "u"
+        path = os.path.join(tempfile.gettempdir(),
+                            f"repro-ckernel-{suffix}")
+    try:
+        os.makedirs(path, mode=0o700, exist_ok=True)
+    except OSError:
+        return None
+    # makedirs does not re-apply the mode to a pre-existing directory:
+    # verify rather than trust (and refuse a hijacked/shared one).
+    return path if _owned_private(path, want_dir=True) else None
+
+
 def _build(source_path: str) -> str | None:
     """Compile the kernel if needed; return the shared-library path."""
     try:
@@ -40,21 +96,26 @@ def _build(source_path: str) -> str | None:
             src = fh.read()
     except OSError:
         return None
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
     tag = hashlib.sha256(src + " ".join(_CFLAGS).encode()).hexdigest()[:16]
     lib_path = os.path.join(
-        tempfile.gettempdir(),
+        cache_dir,
         f"repro_quadkernel_{tag}_py{sys.version_info[0]}{sys.version_info[1]}.so")
-    if os.path.exists(lib_path):
+    if _owned_private(lib_path, want_dir=False):
         return lib_path
     compiler = os.environ.get("CC") or "cc"
-    # Compile to a private temp name, then atomically publish, so
-    # concurrent builders never load a half-written library.
-    fd, tmp = tempfile.mkstemp(suffix=".so", dir=tempfile.gettempdir())
+    # Compile to a private temp name inside the (0700, same-filesystem)
+    # cache dir, then atomically publish, so concurrent builders never
+    # load a half-written library.
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
     os.close(fd)
     try:
         subprocess.run(
             [compiler, *_CFLAGS, "-o", tmp, source_path],
             check=True, capture_output=True, timeout=120)
+        os.chmod(tmp, 0o700)
         os.replace(tmp, lib_path)
     except Exception:
         try:
@@ -62,7 +123,7 @@ def _build(source_path: str) -> str | None:
         except OSError:
             pass
         return None
-    return lib_path
+    return lib_path if _owned_private(lib_path, want_dir=False) else None
 
 
 def load_quad_kernel():

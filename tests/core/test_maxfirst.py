@@ -12,6 +12,7 @@ from repro.core.problem import MaxBRkNNProblem
 from repro.core.scoring import neighborhood_score
 from repro.datasets.synthetic import synthetic_instance
 from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
 
 from tests.conftest import assert_scores_close
@@ -297,3 +298,40 @@ class TestTopT:
             p = region.representative_point()
             value = neighborhood_score(nlcs, p.x, p.y, tol=1e-12)
             assert value >= region.score - 1e-9
+
+
+class TestEchoFreeChildren:
+    """Splitting must never re-push the quadrant itself (an echo loops
+    the search forever at increasing depth)."""
+
+    RECT = Rect(0.0, 0.0, 1.0, 1.0)
+
+    @staticmethod
+    def _children(rect, x, y):
+        from repro.core.maxfirst import _echo_free_children
+        return _echo_free_children(rect, rect.split_at(x, y))
+
+    def test_interior_split_passes_through(self):
+        out = self._children(self.RECT, 0.25, 0.75)
+        assert len(out) == 4
+        assert self.RECT not in out
+
+    @pytest.mark.parametrize("x,y", [
+        (1.0, 1.0),  # top-right corner: children[0] == rect and is
+                     # full-dimensional — the regression the guard missed
+        (0.0, 0.0), (0.0, 1.0), (1.0, 0.0),
+    ])
+    def test_corner_split_never_echoes(self, x, y):
+        out = self._children(self.RECT, x, y)
+        assert self.RECT not in out
+        # The echo is replaced by the centre split, so full coverage of
+        # the rectangle survives.
+        assert any(c.xmax - c.xmin == 0.5 and c.ymax - c.ymin == 0.5
+                   for c in out)
+
+    @pytest.mark.parametrize("x,y", [
+        (0.5, 1.0), (0.5, 0.0), (0.0, 0.5), (1.0, 0.5),
+    ])
+    def test_edge_split_never_echoes(self, x, y):
+        out = self._children(self.RECT, x, y)
+        assert self.RECT not in out

@@ -162,3 +162,67 @@ class TestRefineQuadrant:
                             < c.r * c.r)
                     best = max(best, v)
             assert out.refined_max >= best - 1e-9
+
+
+class TestAdjacencyBuildersAgree:
+    """_adjacency_vector mirrors _adjacency_scalar operation for
+    operation, so the two must agree on every pair — including pairs
+    sitting on the tol boundaries of the disjoint/inside certificates,
+    where a last-ulp difference in the centre distance would flip the
+    decision (the reason both compute sqrt(dx*dx + dy*dy), never
+    hypot)."""
+
+    @staticmethod
+    def _assert_agree(cs, rect, tol):
+        from repro.core.refine import _adjacency_scalar, _adjacency_vector
+        boundary = np.arange(len(cs))
+        adj_s, any_s = _adjacency_scalar(cs, boundary, rect, tol)
+        adj_v, any_v = _adjacency_vector(cs, boundary, rect, tol)
+        assert np.array_equal(adj_s, adj_v)
+        assert any_s == any_v
+
+    def test_random_boundary_sets(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(2, 14))
+            circles = [Circle(float(rng.uniform(-1, 1)),
+                              float(rng.uniform(-1, 1)),
+                              float(rng.uniform(0.05, 1.2)))
+                       for _ in range(n)]
+            x, y = rng.uniform(-1, 1, 2)
+            w, h = rng.uniform(0.01, 0.6, 2)
+            rect = Rect(float(x), float(y), float(x + w), float(y + h))
+            tol = float(10.0 ** rng.integers(-12, -6))
+            self._assert_agree(circle_set(circles), rect, tol)
+
+    def test_near_tangent_pairs(self, rng):
+        """Pairs straddling the disjoint certificate d >= ri + rj - tol
+        within a few ulps/tols — the flip-prone region."""
+        tol = 1e-9
+        for _ in range(200):
+            ri, rj = (float(v) for v in rng.uniform(0.1, 1.0, 2))
+            theta = float(rng.uniform(0.0, 2.0 * math.pi))
+            # Distances clustered tightly around the certificate edge.
+            d = ri + rj - tol + float(rng.uniform(-5e-9, 5e-9))
+            circles = [Circle(0.0, 0.0, ri),
+                       Circle(d * math.cos(theta), d * math.sin(theta),
+                              rj)]
+            rect = Rect(-0.05, -0.05, 0.05, 0.05)
+            self._assert_agree(circle_set(circles), rect, tol)
+
+    def test_near_containment_pairs(self, rng):
+        """Pairs straddling the inside certificate d <= |ri - rj|."""
+        tol = 1e-9
+        for _ in range(200):
+            ri = float(rng.uniform(0.5, 1.0))
+            rj = float(rng.uniform(0.1, 0.4))
+            d = abs(ri - rj) + float(rng.uniform(-5e-9, 5e-9))
+            circles = [Circle(0.0, 0.0, ri), Circle(d, 0.0, rj)]
+            rect = Rect(-0.05, -0.05, 0.05, 0.05)
+            self._assert_agree(circle_set(circles), rect, tol)
+
+    def test_concentric_pair(self):
+        # d == 0 divides by zero in the lens arithmetic of both
+        # builders; the inside certificate must answer first.
+        cs = circle_set([Circle(0, 0, 1), Circle(0, 0, 0.5),
+                         Circle(0, 0, 1)])
+        self._assert_agree(cs, Rect(-0.1, -0.1, 0.1, 0.1), 1e-9)

@@ -1,0 +1,92 @@
+"""Tests for the compiled-kernel build shim's cache hygiene.
+
+The shared library is loaded from a predictable path, so the cache
+directory must be private to the current user — a world- or
+group-writable cache on a shared machine would let another local user
+plant a malicious library under the precomputed name.
+"""
+
+import os
+import stat
+
+import pytest
+
+from repro.index import _ckernel
+
+
+@pytest.fixture
+def cache_home(tmp_path, monkeypatch):
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+    return tmp_path
+
+
+class TestCacheDir:
+    def test_created_private(self, cache_home):
+        path = _ckernel._cache_dir()
+        assert path is not None
+        assert path.startswith(str(cache_home))
+        st = os.stat(path)
+        assert stat.S_ISDIR(st.st_mode)
+        assert st.st_mode & 0o077 == 0
+        if hasattr(os, "getuid"):
+            assert st.st_uid == os.getuid()
+
+    def test_refuses_group_writable_dir(self, cache_home):
+        path = os.path.join(str(cache_home), "repro", "ckernel")
+        os.makedirs(path, mode=0o770)
+        # Some filesystems mask the group bit via umask; set explicitly.
+        os.chmod(path, 0o770)
+        assert _ckernel._cache_dir() is None
+
+    def test_refuses_symlinked_dir(self, cache_home, tmp_path_factory):
+        real = tmp_path_factory.mktemp("elsewhere")
+        os.makedirs(os.path.join(str(cache_home), "repro"), mode=0o700)
+        os.symlink(str(real),
+                   os.path.join(str(cache_home), "repro", "ckernel"))
+        assert _ckernel._cache_dir() is None
+
+
+class TestOwnedPrivate:
+    def test_missing_path(self, tmp_path):
+        assert not _ckernel._owned_private(str(tmp_path / "nope"),
+                                           want_dir=False)
+
+    def test_accepts_private_file(self, tmp_path):
+        p = tmp_path / "lib.so"
+        p.write_bytes(b"")
+        os.chmod(p, 0o700)
+        assert _ckernel._owned_private(str(p), want_dir=False)
+
+    def test_refuses_world_writable_file(self, tmp_path):
+        p = tmp_path / "lib.so"
+        p.write_bytes(b"")
+        os.chmod(p, 0o777)
+        assert not _ckernel._owned_private(str(p), want_dir=False)
+
+    def test_refuses_symlink(self, tmp_path):
+        target = tmp_path / "real.so"
+        target.write_bytes(b"")
+        os.chmod(target, 0o700)
+        link = tmp_path / "lib.so"
+        os.symlink(str(target), str(link))
+        assert not _ckernel._owned_private(str(link), want_dir=False)
+
+    def test_wants_dir_rejects_file(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"")
+        os.chmod(p, 0o700)
+        assert not _ckernel._owned_private(str(p), want_dir=True)
+
+
+class TestBuildRoundTrip:
+    def test_build_lands_in_private_cache(self, cache_home):
+        """End-to-end: a (re)build under the fresh cache home produces a
+        loadable, privately-owned library — or degrades to None when no
+        compiler exists (the documented fallback)."""
+        lib_path = _ckernel._build(_ckernel._SOURCE)
+        if lib_path is None:
+            pytest.skip("no C compiler available")
+        assert lib_path.startswith(str(cache_home))
+        assert _ckernel._owned_private(lib_path, want_dir=False)
+        # Second call must hit the cache (same path, no rebuild error).
+        assert _ckernel._build(_ckernel._SOURCE) == lib_path
