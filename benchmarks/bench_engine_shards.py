@@ -1,0 +1,187 @@
+"""Sharded Phase I benchmark: 1/2/4-shard arms over the fig11 sweep.
+
+Times Phase I + merge (``solve_nlcs``; NLC construction excluded) on the
+fig11 uniform/normal configurations, comparing:
+
+* ``single``   — the one-process ``hotpath=batched`` solver (the
+  identity baseline every sharded arm is checked against);
+* ``serial2`` / ``serial4``  — tile-sharded execution run in-process in
+  tile order: no IPC or fork cost, later tiles start with the best bound
+  the earlier tiles proved (Theorem 2 cross-shard pruning);
+* ``process2`` / ``process4`` — the same tiles in worker processes with
+  the shared-``Value`` bound exchange.  On a single-core box these arms
+  measure the fork/pickle overhead honestly; real parallel speedup needs
+  real cores, so the report records ``cpu_count`` next to the numbers.
+
+All arms run interleaved in the same process with min-of-``repeats``
+timing (same methodology as ``bench_phase1_hotpath.py``).  Every point
+asserts that every sharded arm returns the **bit-identical optimal score
+and identical region cover sets** as the single-process run — a speedup
+obtained by changing the answer is a bug, not a result.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_engine_shards.py
+    PYTHONPATH=src python benchmarks/bench_engine_shards.py \
+        --scale tiny --repeats 2 --skip-process     # CI smoke
+
+Writes ``BENCH_engine.json``; the headline is
+``headline.fig11_uniform_serial4_speedup`` — aggregate single/serial4
+time over the fig11 uniform sweep.  Timings move with the machine; the
+score/region identity fields must never move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.bench.config import get_profile
+from repro.bench.figures import _problem
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs
+from repro.engine import ShardedMaxFirst
+
+
+def _region_keys(result):
+    return sorted(tuple(int(i) for i in r.cover) for r in result.regions)
+
+
+def _arms(skip_process: bool) -> dict:
+    arms = {
+        "single": MaxFirst(),
+        "serial2": ShardedMaxFirst(shards=2, mode="serial"),
+        "serial4": ShardedMaxFirst(shards=4, mode="serial"),
+    }
+    if not skip_process:
+        arms["process2"] = ShardedMaxFirst(shards=2, mode="process")
+        arms["process4"] = ShardedMaxFirst(shards=4, mode="process")
+    return arms
+
+
+def _time_point(nlcs, repeats: int, skip_process: bool) -> dict:
+    """Interleaved min-of-``repeats`` timing of all arms, with identity
+    assertions of every sharded arm against the single-process run."""
+    arms = _arms(skip_process)
+    results = {arm: solver.solve_nlcs(nlcs)       # warm-up + result
+               for arm, solver in arms.items()}
+    single = results["single"]
+    for arm, result in results.items():
+        if result.score != single.score:
+            raise AssertionError(
+                f"{arm} disagrees on score: {result.score} != "
+                f"{single.score}")
+        if _region_keys(result) != _region_keys(single):
+            raise AssertionError(
+                f"{arm} disagrees on region covers: "
+                f"{_region_keys(result)} != {_region_keys(single)}")
+    best = {arm: float("inf") for arm in arms}
+    for _ in range(repeats):
+        for arm, solver in arms.items():
+            t0 = time.perf_counter()
+            solver.solve_nlcs(nlcs)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best[arm]:
+                best[arm] = elapsed
+    row = {f"{arm}_s": round(seconds, 6) for arm, seconds in best.items()}
+    row["serial4_speedup"] = round(best["single"] / best["serial4"], 3)
+    row["score"] = single.score
+    row["n_regions"] = len(single.regions)
+    row["identical"] = True  # asserted above
+    return row
+
+
+def run(scale: str = "small", repeats: int = 5,
+        skip_process: bool = False) -> dict:
+    profile = get_profile(scale)
+    seed = profile.seeds[0]
+    rows = []
+
+    def point(figure: str, distribution: str, n_customers: int,
+              n_sites: int) -> None:
+        problem = _problem(n_customers, n_sites, profile.k, distribution,
+                           seed)
+        nlcs = build_nlcs(problem)
+        row = {"figure": figure, "distribution": distribution,
+               "n_customers": n_customers, "n_sites": n_sites,
+               "k": profile.k, "seed": seed, "n_nlcs": len(nlcs)}
+        row.update(_time_point(nlcs, repeats, skip_process))
+        rows.append(row)
+        extra = ("" if skip_process
+                 else f" process4={row['process4_s']:.4f}s")
+        print(f"  {figure} {distribution:8s} |O|={n_customers:6d} "
+              f"|P|={n_sites:4d}  single={row['single_s']:.4f}s "
+              f"serial4={row['serial4_s']:.4f}s{extra}  "
+              f"serial4-speedup={row['serial4_speedup']:.2f}x")
+
+    for distribution in ("uniform", "normal"):
+        print(f"fig11 (effect of |P|), {distribution}:")
+        for n_sites in profile.sites_sweep:
+            point("fig11", distribution, profile.n_customers, n_sites)
+
+    fig11u = [r for r in rows
+              if r["figure"] == "fig11" and r["distribution"] == "uniform"]
+    single_total = sum(r["single_s"] for r in fig11u)
+    serial4_total = sum(r["serial4_s"] for r in fig11u)
+    headline = {
+        "fig11_uniform_single_s": round(single_total, 6),
+        "fig11_uniform_serial4_s": round(serial4_total, 6),
+        "fig11_uniform_serial4_speedup": round(
+            single_total / serial4_total, 3),
+    }
+    if not skip_process:
+        process4_total = sum(r["process4_s"] for r in fig11u)
+        headline["fig11_uniform_process4_s"] = round(process4_total, 6)
+        headline["fig11_uniform_process4_speedup"] = round(
+            single_total / process4_total, 3)
+    report = {
+        "benchmark": "engine_shards",
+        "scale": profile.name,
+        "repeats": repeats,
+        "timing": "min over repeats, arms interleaved in-process",
+        "measured": "solve_nlcs (Phase I + merge; NLC build excluded)",
+        "identity": "every sharded arm asserted bit-identical (score and "
+                    "region covers) to the single-process batched run",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "headline": headline,
+        "rows": rows,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small",
+                        help="benchmark profile (tiny/small/paper)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per arm (min is reported)")
+    parser.add_argument("--skip-process", action="store_true",
+                        help="omit the process-pool arms (CI smoke)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_engine.json"))
+    args = parser.parse_args(argv)
+    report = run(scale=args.scale, repeats=args.repeats,
+                 skip_process=args.skip_process)
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    headline = report["headline"]["fig11_uniform_serial4_speedup"]
+    print(f"\nfig11 uniform serial4 aggregate speedup: {headline:.2f}x "
+          f"(cpu_count={report['cpu_count']})")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from repro.core import (InfluenceBreakdown, InfluenceEvaluator,
                         OptimalRegion, ProbabilityModel, brknn_of_site,
                         build_nlcs, find_optimal_location,
                         find_optimal_regions, impact_of_new_site,
+                        solve_with_report,
                         influence_at, knn_sites, site_influence,
                         verify_result)
 from repro.geometry import ArcRegion, Circle, Point, Rect
@@ -74,5 +75,6 @@ __all__ = [
     "knn_sites",
     "reference_solve",
     "site_influence",
+    "solve_with_report",
     "verify_result",
 ]

@@ -9,12 +9,16 @@ closes as the lattice refines — properties the test suite exploits.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.nlc import build_nlcs, nlc_space
 from repro.core.problem import MaxBRkNNProblem
+from repro.core.region import OptimalRegion
+from repro.core.result import MaxBRkNNResult
+from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
 
 
@@ -70,3 +74,51 @@ def grid_search_nlcs(nlcs: CircleSet, samples_per_axis: int = 128,
     return GridSearchResult(score=best_score, location=best_xy,
                             resolution=pitch,
                             samples=samples_per_axis * samples_per_axis)
+
+
+class GridSearch:
+    """Class-shaped lattice solver: the registry's uniform surface.
+
+    Wraps :func:`grid_search` behind the same ``solve(problem) ->
+    MaxBRkNNResult`` contract the exact solvers expose, so the engine
+    layer can schedule and instrument it like any other solver.  The
+    single returned "region" is the degenerate best lattice sample (a
+    point; ``shape=None``), whose representative point is the sample
+    itself — the score is a lower bound on the true optimum.
+    """
+
+    def __init__(self, samples_per_axis: int = 128,
+                 tol: float | None = None) -> None:
+        if samples_per_axis < 2:
+            raise ValueError("samples_per_axis must be at least 2")
+        self.samples_per_axis = samples_per_axis
+        self.tol = tol
+
+    def solve(self, problem: MaxBRkNNProblem) -> MaxBRkNNResult:
+        t0 = time.perf_counter()
+        nlcs = build_nlcs(problem)
+        t1 = time.perf_counter()
+        if len(nlcs) == 0:
+            return MaxBRkNNResult(score=0.0, regions=(), nlcs=nlcs,
+                                  space=problem.data_bounds(),
+                                  timings={"nlc": t1 - t0})
+        result = self.solve_nlcs(nlcs)
+        result.timings["nlc"] = t1 - t0
+        return result
+
+    def solve_nlcs(self, nlcs: CircleSet,
+                   space: Rect | None = None) -> MaxBRkNNResult:
+        if space is None:
+            space = nlc_space(nlcs)
+        t0 = time.perf_counter()
+        found = grid_search_nlcs(nlcs,
+                                 samples_per_axis=self.samples_per_axis,
+                                 tol=self.tol)
+        t1 = time.perf_counter()
+        x, y = found.location
+        region = OptimalRegion(score=found.score, shape=None,
+                               seed_quadrant=Rect(x, y, x, y),
+                               cover=(), clipping_count=0)
+        return MaxBRkNNResult(score=found.score, regions=(region,),
+                              nlcs=nlcs, space=space,
+                              timings={"search": t1 - t0})

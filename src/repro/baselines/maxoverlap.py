@@ -73,6 +73,21 @@ class MaxOverlapResult(MaxBRkNNResult):
     overlap_stats: MaxOverlapStats | None = None
 
 
+@dataclass
+class _SearchOutcome:
+    """Output of the search stage: the exact best score, the candidate
+    indices attaining it, and the work counters (consumed by the region
+    stage and the engine pipeline's instrumentation)."""
+
+    best: float
+    best_idx: list[int]
+    candidates: np.ndarray
+    stats: MaxOverlapStats
+    # Time spent on pair enumeration/dedup inside search (lets solve_nlcs
+    # keep its historical pairs/coverage timing split).
+    pairs_seconds: float = 0.0
+
+
 class MaxOverlap:
     """The MaxOverlap solver.
 
@@ -121,12 +136,39 @@ class MaxOverlap:
             raise ValueError("cannot solve over an empty NLC set")
         if space is None:
             space = nlc_space(nlcs)
-        tol = self.boundary_tol
-        if tol is None:
-            tol = 1e-9 * max(space.width, space.height, 1.0)
+        tol = self.resolve_tol(space)
 
         t0 = time.perf_counter()
-        grid = _CircleGrid(nlcs, self.grid_target_per_cell)
+        grid = self.build_index(nlcs)
+        t05 = time.perf_counter()
+        search = self.search(nlcs, grid, tol)
+        t2 = time.perf_counter()
+        regions = self.build_regions(nlcs, grid, search, tol)
+        t3 = time.perf_counter()
+
+        return MaxOverlapResult(
+            score=search.best, regions=tuple(regions), nlcs=nlcs,
+            space=space, stats=None, overlap_stats=search.stats,
+            timings={"pairs": search.pairs_seconds + (t05 - t0),
+                     "coverage": (t2 - t05) - search.pairs_seconds,
+                     "region": t3 - t2})
+
+    # -- staged pieces (composed by solve_nlcs and the engine pipeline) -- #
+
+    def resolve_tol(self, space: Rect) -> float:
+        """The effective boundary tolerance for a data space."""
+        if self.boundary_tol is not None:
+            return self.boundary_tol
+        return 1e-9 * max(space.width, space.height, 1.0)
+
+    def build_index(self, nlcs: CircleSet) -> "_CircleGrid":
+        """Stage (b): bucket the NLC bounding boxes into a uniform grid."""
+        return _CircleGrid(nlcs, self.grid_target_per_cell)
+
+    def search(self, nlcs: CircleSet, grid: "_CircleGrid",
+               tol: float) -> "_SearchOutcome":
+        """Stages (c)-(e): candidate points, coverage, exact best."""
+        t0 = time.perf_counter()
         pairs_a, pairs_b, candidate_pairs = grid.intersecting_pairs()
         points, isolated_mask = _intersection_points(nlcs, pairs_a, pairs_b)
         # Isolated NLCs (never intersected) seed their centres as
@@ -149,7 +191,7 @@ class MaxOverlap:
         keys = np.round(candidates / quantum).astype(np.int64)
         _, unique_idx = np.unique(keys, axis=0, return_index=True)
         candidates = candidates[np.sort(unique_idx)]
-        t1 = time.perf_counter()
+        pairs_seconds = time.perf_counter() - t0
 
         upper, coverage_tests = grid.coverage_scores(candidates, tol)
         # The closed-disk coverage sum over-counts exactly at points where
@@ -175,24 +217,6 @@ class MaxOverlap:
                 best_idx = [idx]
             elif value >= best - score_tie:
                 best_idx.append(idx)
-        t2 = time.perf_counter()
-
-        regions = []
-        seen_covers: set[tuple[int, ...]] = set()
-        for idx in best_idx:
-            x, y = float(candidates[idx, 0]), float(candidates[idx, 1])
-            bucket = grid.point_candidates(x, y)
-            _, cover = neighborhood_cover(nlcs, x, y, tol=tol,
-                                          candidates=bucket)
-            cover = np.sort(cover)
-            key = tuple(int(i) for i in cover)
-            if key in seen_covers:
-                continue
-            seen_covers.add(key)
-            regions.append(compute_optimal_region(
-                Rect(x, y, x, y), cover, nlcs, score=best))
-        regions.sort(key=lambda r: -r.score)
-        t3 = time.perf_counter()
 
         stats = MaxOverlapStats(
             nlc_count=len(nlcs),
@@ -202,11 +226,30 @@ class MaxOverlap:
             coverage_tests=coverage_tests,
             distinct_candidates=int(candidates.shape[0]),
         )
-        return MaxOverlapResult(
-            score=best, regions=tuple(regions), nlcs=nlcs, space=space,
-            stats=None, overlap_stats=stats,
-            timings={"pairs": t1 - t0, "coverage": t2 - t1,
-                     "region": t3 - t2})
+        return _SearchOutcome(best=best, best_idx=best_idx,
+                              candidates=candidates, stats=stats,
+                              pairs_seconds=pairs_seconds)
+
+    def build_regions(self, nlcs: CircleSet, grid: "_CircleGrid",
+                      search: "_SearchOutcome", tol: float) -> list:
+        """Grow the optimal region of each distinct best-scoring cover."""
+        regions = []
+        seen_covers: set[tuple[int, ...]] = set()
+        for idx in search.best_idx:
+            x = float(search.candidates[idx, 0])
+            y = float(search.candidates[idx, 1])
+            bucket = grid.point_candidates(x, y)
+            _, cover = neighborhood_cover(nlcs, x, y, tol=tol,
+                                          candidates=bucket)
+            cover = np.sort(cover)
+            key = tuple(int(i) for i in cover)
+            if key in seen_covers:
+                continue
+            seen_covers.add(key)
+            regions.append(compute_optimal_region(
+                Rect(x, y, x, y), cover, nlcs, score=search.best))
+        regions.sort(key=lambda r: -r.score)
+        return regions
 
 
 # ---------------------------------------------------------------------- #

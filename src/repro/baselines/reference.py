@@ -19,13 +19,17 @@ neighbourhood score, so candidates are refined best-first with early exit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.nlc import build_nlcs
 from repro.core.problem import MaxBRkNNProblem
+from repro.core.region import OptimalRegion
+from repro.core.result import MaxBRkNNResult
 from repro.core.scoring import neighborhood_score
+from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
 
 
@@ -97,6 +101,51 @@ def reference_solve_nlcs(nlcs: CircleSet,
         dtype=np.float64)
     return ReferenceSolution(score=float(best), locations=winners,
                              candidate_count=int(candidates.shape[0]))
+
+
+class Reference:
+    """Class-shaped brute-force solver: the registry's uniform surface.
+
+    Wraps :func:`reference_solve` behind ``solve(problem) ->
+    MaxBRkNNResult``.  Each optimal candidate location becomes one
+    degenerate point "region" (``shape=None``); the score is exact, which
+    is what the cross-solver agreement tests lean on.  O(n^3) worst case —
+    test scale only.
+    """
+
+    def __init__(self, tol: float | None = None) -> None:
+        self.tol = tol
+
+    def solve(self, problem: MaxBRkNNProblem) -> MaxBRkNNResult:
+        t0 = time.perf_counter()
+        nlcs = build_nlcs(problem)
+        t1 = time.perf_counter()
+        if len(nlcs) == 0:
+            return MaxBRkNNResult(score=0.0, regions=(), nlcs=nlcs,
+                                  space=problem.data_bounds(),
+                                  timings={"nlc": t1 - t0})
+        result = self.solve_nlcs(nlcs)
+        result.timings["nlc"] = t1 - t0
+        return result
+
+    def solve_nlcs(self, nlcs: CircleSet,
+                   space: Rect | None = None) -> MaxBRkNNResult:
+        from repro.core.nlc import nlc_space
+
+        if space is None:
+            space = nlc_space(nlcs)
+        t0 = time.perf_counter()
+        found = reference_solve_nlcs(nlcs, tol=self.tol)
+        t1 = time.perf_counter()
+        regions = tuple(
+            OptimalRegion(score=found.score, shape=None,
+                          seed_quadrant=Rect(float(x), float(y),
+                                             float(x), float(y)),
+                          cover=(), clipping_count=0)
+            for x, y in found.locations)
+        return MaxBRkNNResult(score=found.score, regions=regions,
+                              nlcs=nlcs, space=space,
+                              timings={"search": t1 - t0})
 
 
 def _candidate_points(nlcs: CircleSet) -> np.ndarray:

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from repro.bench.config import ScaleProfile, get_profile
 from repro.bench.runner import (ExperimentResult, run_solvers,
-                                time_maxfirst, time_maxoverlap)
-from repro.core.maxfirst import MaxFirst
+                                time_maxfirst, time_maxoverlap,
+                                time_solver)
 from repro.core.probability import ProbabilityModel
 from repro.core.problem import MaxBRkNNProblem
 from repro.datasets.realworld import make_ne, make_ux, split_sites
@@ -47,6 +47,7 @@ def fig08_effect_of_m(profile: ScaleProfile | None = None,
     for m in profile.m_sweep:
         timing = time_maxfirst(problem, m_threshold=m)
         out.add_row(m=m, maxfirst_s=timing.seconds, score=timing.score)
+        out.attach_report(timing.report, m=m)
     return out
 
 
@@ -81,6 +82,7 @@ def fig10_effect_of_customers(distribution: str,
             maxoverlap_score=timings["maxoverlap"].score,
             maxoverlap_skip=timings["maxoverlap"].skipped_reason,
         )
+        out.attach_timings(timings, n_customers=n)
     return out
 
 
@@ -115,6 +117,7 @@ def fig11_effect_of_sites(distribution: str,
             maxoverlap_score=timings["maxoverlap"].score,
             maxoverlap_skip=timings["maxoverlap"].skipped_reason,
         )
+        out.attach_timings(timings, n_sites=n_sites)
     return out
 
 
@@ -149,6 +152,7 @@ def fig12a_effect_of_k(profile: ScaleProfile | None = None,
             maxoverlap_score=timings["maxoverlap"].score,
             maxoverlap_skip=timings["maxoverlap"].skipped_reason,
         )
+        out.attach_timings(timings, k=k)
     return out
 
 
@@ -181,6 +185,8 @@ def fig12b_probability_models(profile: ScaleProfile | None = None,
         t2 = time_maxfirst(problem_m2)
         out.add_row(k=k, m1_s=t1.seconds, m2_s=t2.seconds,
                     m1_score=t1.score, m2_score=t2.score)
+        out.attach_report(t1.report, k=k, model="m1")
+        out.attach_report(t2.report, k=k, model="m2")
     return out
 
 
@@ -205,17 +211,18 @@ def fig13_pruning(distribution: str,
               "n_sites": profile.n_sites, "k": profile.k})
     problem = _problem(profile.n_customers, profile.n_sites, profile.k,
                        distribution, seed)
-    result = MaxFirst().solve(problem)
-    stats = result.stats
+    timing = time_solver("maxfirst", problem)
+    counters = timing.report.counters
     out.add_row(
         distribution=distribution,
-        total=stats.generated,
-        splits=stats.splits,
-        pruned1=stats.pruned_theorem2,
-        pruned2=stats.pruned_theorem3,
-        splits_per_customer=stats.splits / problem.n_customers,
-        score=result.score,
+        total=counters["generated"],
+        splits=counters["splits"],
+        pruned1=counters["pruned_theorem2"],
+        pruned2=counters["pruned_theorem3"],
+        splits_per_customer=counters["splits"] / problem.n_customers,
+        score=timing.score,
     )
+    out.attach_report(timing.report, distribution=distribution)
     return out
 
 
@@ -259,6 +266,7 @@ def fig14_real_world(dataset: str,
             maxoverlap_score=timings["maxoverlap"].score,
             maxoverlap_skip=timings["maxoverlap"].skipped_reason,
         )
+        out.attach_timings(timings, ratio=f"1/{denom}")
     return out
 
 
@@ -280,6 +288,8 @@ def ablation_backends(profile: ScaleProfile | None = None,
         out.add_row(n_customers=n, vector_s=vector.seconds,
                     rtree_s=rtree.seconds, vector_score=vector.score,
                     rtree_score=rtree.score)
+        out.attach_report(vector.report, n_customers=n, backend="vector")
+        out.attach_report(rtree.report, n_customers=n, backend="rtree")
     return out
 
 
@@ -297,12 +307,10 @@ def ablation_theorem3(profile: ScaleProfile | None = None,
     problem = _problem(profile.n_customers, profile.n_sites, profile.k,
                        "uniform", seed)
     for mode in ("subset", "equality"):
-        solver = MaxFirst(theorem3=mode)
-        import time as _time
-        start = _time.perf_counter()
-        result = solver.solve(problem)
-        elapsed = _time.perf_counter() - start
-        out.add_row(mode=mode, seconds=elapsed, score=result.score,
-                    splits=result.stats.splits,
-                    pruned2=result.stats.pruned_theorem3)
+        timing = time_solver("maxfirst", problem, theorem3=mode)
+        counters = timing.report.counters
+        out.add_row(mode=mode, seconds=timing.seconds, score=timing.score,
+                    splits=counters["splits"],
+                    pruned2=counters["pruned_theorem3"])
+        out.attach_report(timing.report, mode=mode)
     return out

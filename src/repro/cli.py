@@ -21,9 +21,7 @@ import numpy as np
 from repro.bench import figures as _figures
 from repro.bench.config import get_profile, profile_names
 from repro.bench.report import ascii_chart, format_table
-from repro.core.maxfirst import MaxFirst
 from repro.core.problem import MaxBRkNNProblem
-from repro.baselines.maxoverlap import MaxOverlap
 from repro.datasets.loader import load_points_csv, save_points_csv
 from repro.datasets.realworld import make_ne, make_ux
 from repro.datasets.synthetic import (clustered_points, normal_points,
@@ -86,11 +84,23 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--weights", default=None,
                        help="CSV with one weight per customer (first "
                             "column)")
-    solve.add_argument("--solver", choices=("maxfirst", "maxoverlap"),
+    from repro.engine import solver_names
+
+    solve.add_argument("--solver", choices=solver_names(),
                        default="maxfirst")
     solve.add_argument("--top-t", type=int, default=1,
                        help="return the t best-scoring distinct regions "
                             "(MaxFirst only)")
+    solve.add_argument("--report", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit the engine RunReport (per-stage timings "
+                            "and counters) as JSON to stdout, or to PATH")
+    solve.add_argument("--shards", type=int, default=2,
+                       help="tile count for --solver maxfirst-sharded")
+    solve.add_argument("--shard-mode",
+                       choices=("auto", "serial", "process"),
+                       default="auto",
+                       help="execution mode for --solver maxfirst-sharded")
     solve.add_argument("--metric", choices=("l2", "l1"), default="l2",
                        help="distance metric: Euclidean (default) or "
                             "Manhattan (exact rectilinear sweep)")
@@ -130,11 +140,22 @@ def _cmd_solve(args) -> int:
             print(f"  region {i}: area {region.area:.6g}, e.g. location "
                   f"({x:.6g}, {y:.6g})")
         return 0
+    from repro.engine import run_pipeline
+
+    options = {}
     if args.solver == "maxfirst":
-        result = MaxFirst(top_t=args.top_t).solve(problem)
-    else:
-        result = MaxOverlap().solve(problem)
+        options["top_t"] = args.top_t
+    elif args.solver == "maxfirst-sharded":
+        options["shards"] = args.shards
+        options["mode"] = args.shard_mode
+    result, report = run_pipeline(args.solver, problem, **options)
     print(result.summary())
+    if args.report is not None:
+        if args.report == "-":
+            print(report.to_json())
+        else:
+            report.save(args.report)
+            print(f"report written to {args.report}")
     return 0
 
 

@@ -13,7 +13,8 @@ implementation modules:
 * :mod:`~repro.core.api` — one-call convenience entry points.
 """
 
-from repro.core.api import find_optimal_location, find_optimal_regions
+from repro.core.api import (find_optimal_location,
+                            find_optimal_regions, solve_with_report)
 from repro.core.influence import (InfluenceBreakdown, InfluenceEvaluator,
                                   influence_at)
 from repro.core.maxfirst import MaxFirst
@@ -46,6 +47,7 @@ __all__ = [
     "compute_optimal_region",
     "find_optimal_location",
     "find_optimal_regions",
+    "solve_with_report",
     "impact_of_new_site",
     "influence_at",
     "knn_distances",

@@ -1,22 +1,21 @@
 """Top-level convenience API.
 
 The one-call entry points a downstream user reaches for first; the full
-control surface lives on :class:`~repro.core.maxfirst.MaxFirst` and
-:class:`~repro.core.problem.MaxBRkNNProblem`.
+control surface lives on the solver classes (resolved by name through
+:mod:`repro.engine.registry`) and :class:`~repro.core.problem.MaxBRkNNProblem`.
 """
 
 from __future__ import annotations
 
-from repro.core.maxfirst import MaxFirst
 from repro.core.problem import MaxBRkNNProblem
 from repro.core.result import MaxBRkNNResult
 from repro.geometry.point import Point
 
 
 def find_optimal_regions(customers, sites, k: int = 1, weights=None,
-                         probability=None, **solver_options
-                         ) -> MaxBRkNNResult:
-    """Solve a (generalized) MaxBRkNN instance with MaxFirst.
+                         probability=None, solver: str = "maxfirst",
+                         **solver_options) -> MaxBRkNNResult:
+    """Solve a (generalized) MaxBRkNN instance.
 
     Parameters
     ----------
@@ -30,9 +29,13 @@ def find_optimal_regions(customers, sites, k: int = 1, weights=None,
         ``None`` (classic MaxBRkNN: equal probabilities), a
         :class:`~repro.core.probability.ProbabilityModel`, a probability
         sequence such as ``[0.8, 0.2]``, or one model per customer.
+    solver:
+        Registry name of the solver to run — ``"maxfirst"`` (default),
+        ``"maxoverlap"``, ``"maxfirst-sharded"``, ``"gridsearch"`` or
+        ``"reference"`` (see :func:`repro.engine.solver_names`).
     solver_options:
-        Forwarded to :class:`~repro.core.maxfirst.MaxFirst`
-        (``m_threshold``, ``backend``, ``top_t``, ...).
+        Forwarded to the solver's constructor (``m_threshold``,
+        ``backend``, ``top_t``, ... for MaxFirst).
 
     >>> result = find_optimal_regions([(0, 0), (1, 0)], [(4, 4), (-4, 4)])
     >>> round(result.score, 6)
@@ -41,15 +44,33 @@ def find_optimal_regions(customers, sites, k: int = 1, weights=None,
     Both customers lie far from either site, so a new site between them
     wins both.
     """
+    from repro.engine.registry import create_solver
+
     problem = MaxBRkNNProblem(customers=customers, sites=sites, k=k,
                               weights=weights, probability=probability)
-    return MaxFirst(**solver_options).solve(problem)
+    return create_solver(solver, **solver_options).solve(problem)
 
 
 def find_optimal_location(customers, sites, k: int = 1, weights=None,
-                          probability=None, **solver_options) -> Point:
+                          probability=None, solver: str = "maxfirst",
+                          **solver_options) -> Point:
     """Like :func:`find_optimal_regions` but returns one concrete optimal
     location (a representative point of the best region)."""
     result = find_optimal_regions(customers, sites, k=k, weights=weights,
-                                  probability=probability, **solver_options)
+                                  probability=probability, solver=solver,
+                                  **solver_options)
     return result.optimal_location()
+
+
+def solve_with_report(customers, sites, k: int = 1, weights=None,
+                      probability=None, solver: str = "maxfirst",
+                      **solver_options):
+    """Like :func:`find_optimal_regions` but through the staged engine
+    pipeline: returns ``(result, report)`` where ``report`` is the
+    :class:`~repro.engine.report.RunReport` with per-stage timings and
+    the solver's work counters."""
+    from repro.engine.registry import run_pipeline
+
+    problem = MaxBRkNNProblem(customers=customers, sites=sites, k=k,
+                              weights=weights, probability=probability)
+    return run_pipeline(solver, problem, **solver_options)

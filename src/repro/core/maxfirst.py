@@ -49,7 +49,7 @@ import numpy as np
 from repro.core.bounds import make_backend
 from repro.core.nlc import build_nlcs, nlc_space
 from repro.core.problem import MaxBRkNNProblem
-from repro.core.quadrant import Quadrant, _MutableStats
+from repro.core.quadrant import MaxFirstStats, Quadrant, _MutableStats
 from repro.core.refine import refine_quadrant
 from repro.core.region import compute_optimal_region
 from repro.core.result import MaxBRkNNResult
@@ -301,7 +301,27 @@ class MaxFirst:
         t0 = time.perf_counter()
         accepted, max_min, stats = self._phase1(nlcs, space)
         t1 = time.perf_counter()
+        regions = self.build_regions(accepted, max_min, nlcs)
+        t2 = time.perf_counter()
 
+        return MaxBRkNNResult(
+            score=max_min, regions=tuple(regions), nlcs=nlcs, space=space,
+            stats=stats.freeze(),
+            timings={"phase1": t1 - t0, "phase2": t2 - t1})
+
+    # ------------------------------------------------------------------ #
+    # Phase II (region construction over accepted quadrants)
+    # ------------------------------------------------------------------ #
+
+    def build_regions(self, accepted: list[Quadrant], max_min: float,
+                      nlcs: CircleSet) -> list:
+        """Phase II: grow the optimal regions of the accepted quadrants.
+
+        Deduplicates by cover identity (many accepted quadrants tile one
+        region) and drops superseded scores.  Exposed separately so the
+        engine layer can merge accepted quadrants from several Phase I
+        shards before growing regions exactly once per distinct cover.
+        """
         tol = self.tie_tol * max(1.0, abs(max_min))
         regions = []
         seen_covers: set[tuple[int, ...]] = set()
@@ -317,33 +337,72 @@ class MaxFirst:
         regions.sort(key=lambda r: -r.score)
         if self.top_t > 1:
             regions = _keep_top_t(regions, self.top_t, tol)
-        t2 = time.perf_counter()
-
-        return MaxBRkNNResult(
-            score=max_min, regions=tuple(regions), nlcs=nlcs, space=space,
-            stats=stats.freeze(),
-            timings={"phase1": t1 - t0, "phase2": t2 - t1})
+        return regions
 
     # ------------------------------------------------------------------ #
     # Phase I
     # ------------------------------------------------------------------ #
 
-    def _phase1(self, nlcs: CircleSet,
-                space: Rect) -> tuple[list[Quadrant], float, _MutableStats]:
+    def run_phase1(self, nlcs: CircleSet, space: Rect, *,
+                   backend=None, resolution: float | None = None,
+                   initial_bound: float = 0.0, bound_sync=None,
+                   sync_interval: int = 0
+                   ) -> tuple[list[Quadrant], float, MaxFirstStats]:
+        """Public staged entry to Phase I (the engine layer's hook).
+
+        Parameters beyond :meth:`solve_nlcs`'s:
+
+        backend:
+            A prebuilt classification backend (so the pipeline layer can
+            time index construction separately).  Must have been built
+            with ``graze_tol == resolution``.
+        resolution:
+            Geometric resolution override.  A tile shard must run at the
+            *global* space's resolution, not its tile's, or quadrant
+            classification diverges from the single-process run.
+        initial_bound:
+            A proven global lower bound to seed ``MaxMin`` with (Theorem 2
+            prunes against it from the first pop).  Only sound with
+            ``top_t == 1``.
+        bound_sync:
+            Optional callable ``f(local_max_min) -> global_max_min``
+            polled every ``sync_interval`` pops: publishes the local bound
+            and returns the best bound any shard has proven.  Adopting it
+            is Theorem-2-sound — the returned value is witnessed by a real
+            quadrant in some shard.
+        """
+        accepted, max_min, stats = self._phase1(
+            nlcs, space, backend=backend, resolution=resolution,
+            initial_bound=initial_bound, bound_sync=bound_sync,
+            sync_interval=sync_interval)
+        return accepted, max_min, stats.freeze()
+
+    def _phase1(self, nlcs: CircleSet, space: Rect, *,
+                backend=None, resolution: float | None = None,
+                initial_bound: float = 0.0, bound_sync=None,
+                sync_interval: int = 0
+                ) -> tuple[list[Quadrant], float, _MutableStats]:
         stats = _MutableStats()
-        resolution = max(space.width, space.height) * self.resolution_fraction
+        if resolution is None:
+            resolution = (max(space.width, space.height)
+                          * self.resolution_fraction)
         # The geometric resolution doubles as the graze tolerance of the
         # quadrant predicates (see CircleSet.classify_rect): overlaps
         # thinner than the resolution are treated as non-overlaps.
-        backend = make_backend(self.backend_name, nlcs,
-                               graze_tol=resolution)
+        if backend is None:
+            backend = make_backend(self.backend_name, nlcs,
+                                   graze_tol=resolution)
+        if (initial_bound or bound_sync is not None) and self.top_t != 1:
+            raise ValueError(
+                "external bounds (initial_bound/bound_sync) require "
+                "top_t == 1: the top-t frontier is not a global bound")
         limit = self.max_iterations
         if limit is None:
             limit = 400 * len(nlcs) + 200_000
 
         counter = itertools.count()  # heap tie-breaker
         heap: list[tuple[float, int, Quadrant]] = []
-        max_min = 0.0
+        max_min = float(initial_bound)
         # For top_t > 1 the Theorem 2 threshold is the t-th best consistent
         # score (tracked as a min-heap of the best t); for top_t == 1 it is
         # the paper's MaxMin (raised by any quadrant's m̂in).
@@ -376,6 +435,14 @@ class MaxFirst:
         debug = int(os.environ.get("REPRO_MAXFIRST_DEBUG", "0"))
         while heap:
             pops += 1
+            if (bound_sync is not None and sync_interval
+                    and pops % sync_interval == 0):
+                # Exchange bounds with the other shards: publish ours,
+                # adopt theirs when better.  Any returned value is a
+                # min_hat some shard proved, so Theorem 2 stays sound.
+                external = bound_sync(max_min)
+                if external > max_min:
+                    max_min = external
             if debug and pops % debug == 0:
                 top = heap[0][2]
                 print(f"[maxfirst] pops={pops} heap={len(heap)} "

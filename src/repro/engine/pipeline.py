@@ -1,0 +1,353 @@
+"""Staged solver pipelines with uniform instrumentation.
+
+Every solver run decomposes into the same six stages (:data:`~repro.engine.report.STAGES`):
+
+``prepare``
+    Construct/validate the solver from its options.
+``build_nlcs``
+    Problem → scored NLC set (shared pre-processing of every solver).
+``index``
+    Build the spatial index the search consults (classification backend,
+    bucket grid, shard plan).
+``search``
+    The solver's core search (Phase I, candidate-point scan, lattice, ...).
+``refine``
+    Grow/validate the final regions (Phase II).
+``finalize``
+    Assemble the :class:`~repro.core.result.MaxBRkNNResult` and flatten the
+    solver's counters into the report.
+
+A pipeline wires one solver's *public staged pieces* (``run_phase1`` /
+``build_regions``, ``build_index`` / ``search`` / ...) into that frame —
+no solver logic is duplicated here — and times each stage into a
+:class:`~repro.engine.report.RunReport`.  Degenerate instances (no NLCs)
+set the result in ``build_nlcs``; later stages are skipped and the report
+simply lacks their timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.gridsearch import GridSearch
+from repro.baselines.maxoverlap import MaxOverlap, MaxOverlapResult, \
+    MaxOverlapStats
+from repro.baselines.reference import Reference
+from repro.core.bounds import make_backend
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs, nlc_space
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.quadrant import MaxFirstStats
+from repro.core.result import MaxBRkNNResult
+from repro.engine.report import RunReport, STAGES
+from repro.engine.sharded import ShardedMaxFirst
+
+
+class PipelineContext:
+    """Mutable scratch state threaded through the stages of one run."""
+
+    def __init__(self, problem: MaxBRkNNProblem) -> None:
+        self.problem = problem
+        self.result: MaxBRkNNResult | None = None
+        self.report: RunReport | None = None
+
+
+class SolverPipeline:
+    """Base staged pipeline: runs the stages in order, timing each.
+
+    Subclasses override the stage methods they need; unused stages default
+    to no-ops and show up in the report with (near-)zero cost.  Once a
+    stage sets ``ctx.result`` (degenerate instances), the remaining stages
+    short-circuit straight to ``finalize``.
+    """
+
+    #: Registry name reported in the RunReport.
+    name = "solver"
+
+    def __init__(self, **options) -> None:
+        self.options = dict(options)
+
+    def run(self, problem: MaxBRkNNProblem
+            ) -> tuple[MaxBRkNNResult, RunReport]:
+        """Execute all stages on ``problem``; return (result, report)."""
+        report = RunReport(solver=self.name)
+        if self.options:
+            report.meta["options"] = dict(self.options)
+        report.meta["n_customers"] = problem.n_customers
+        report.meta["n_sites"] = problem.n_sites
+        report.meta["k"] = problem.k
+        ctx = PipelineContext(problem)
+        ctx.report = report
+        for stage in STAGES:
+            if ctx.result is not None and stage != "finalize":
+                continue
+            t0 = time.perf_counter()
+            getattr(self, stage)(ctx)
+            report.record_stage(stage, time.perf_counter() - t0)
+        if ctx.result is None:
+            raise RuntimeError(
+                f"pipeline {self.name!r} finished without a result")
+        report.score = ctx.result.score
+        return ctx.result, report
+
+    # -- default stages (no-ops) --------------------------------------- #
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        pass
+
+    def build_nlcs(self, ctx: PipelineContext) -> None:
+        pass
+
+    def index(self, ctx: PipelineContext) -> None:
+        pass
+
+    def search(self, ctx: PipelineContext) -> None:
+        pass
+
+    def refine(self, ctx: PipelineContext) -> None:
+        pass
+
+    def finalize(self, ctx: PipelineContext) -> None:
+        pass
+
+
+class _NlcStageMixin:
+    """Shared ``build_nlcs`` stage: every solver starts from the NLC set."""
+
+    def _build_nlcs_stage(self, ctx: PipelineContext, *,
+                          method: str = "auto",
+                          keep_zero_score: bool = False,
+                          degenerate_stats=None) -> None:
+        ctx.nlcs = build_nlcs(ctx.problem, method=method,
+                              keep_zero_score=keep_zero_score)
+        ctx.report.meta["n_nlcs"] = len(ctx.nlcs)
+        if len(ctx.nlcs) == 0:
+            # Legal degenerate instance (e.g. all weights zero): short-
+            # circuit to finalize with an empty result.
+            ctx.result = MaxBRkNNResult(
+                score=0.0, regions=(), nlcs=ctx.nlcs,
+                space=ctx.problem.data_bounds(), stats=degenerate_stats)
+
+
+class MaxFirstPipeline(_NlcStageMixin, SolverPipeline):
+    """MaxFirst through the staged frame.
+
+    ``index`` builds the classification backend, ``search`` is Phase I
+    (:meth:`MaxFirst.run_phase1`), ``refine`` is Phase II
+    (:meth:`MaxFirst.build_regions`).  Counters are the Phase I stats.
+    """
+
+    name = "maxfirst"
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        self.solver = MaxFirst(**self.options)
+
+    def build_nlcs(self, ctx: PipelineContext) -> None:
+        self._build_nlcs_stage(
+            ctx, method=self.solver.nlc_method,
+            keep_zero_score=self.solver.keep_zero_score_nlcs,
+            degenerate_stats=MaxFirstStats())
+
+    def index(self, ctx: PipelineContext) -> None:
+        ctx.space = nlc_space(ctx.nlcs)
+        ctx.resolution = (max(ctx.space.width, ctx.space.height)
+                          * self.solver.resolution_fraction)
+        ctx.backend = make_backend(self.solver.backend_name, ctx.nlcs,
+                                   graze_tol=ctx.resolution)
+        ctx.report.meta["backend"] = self.solver.backend_name
+
+    def search(self, ctx: PipelineContext) -> None:
+        ctx.accepted, ctx.max_min, ctx.stats = self.solver.run_phase1(
+            ctx.nlcs, ctx.space, backend=ctx.backend,
+            resolution=ctx.resolution)
+
+    def refine(self, ctx: PipelineContext) -> None:
+        ctx.regions = self.solver.build_regions(
+            ctx.accepted, ctx.max_min, ctx.nlcs)
+
+    def finalize(self, ctx: PipelineContext) -> None:
+        report = ctx.report
+        if ctx.result is not None:  # degenerate: counters stay zero
+            report.counters = ctx.result.stats.as_dict()
+            return
+        ctx.result = MaxBRkNNResult(
+            score=ctx.max_min, regions=tuple(ctx.regions), nlcs=ctx.nlcs,
+            space=ctx.space, stats=ctx.stats,
+            timings={"nlc": report.stages.get("build_nlcs", 0.0),
+                     "phase1": (report.stages.get("index", 0.0)
+                                + report.stages.get("search", 0.0)),
+                     "phase2": report.stages.get("refine", 0.0)})
+        report.counters = ctx.stats.as_dict()
+
+
+class ShardedMaxFirstPipeline(_NlcStageMixin, SolverPipeline):
+    """Tile-sharded MaxFirst: ``index`` is the shard plan, ``search`` runs
+    the shards, ``refine`` merges and grows regions once per cover."""
+
+    name = "maxfirst-sharded"
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        self.solver = ShardedMaxFirst(**self.options)
+
+    def build_nlcs(self, ctx: PipelineContext) -> None:
+        inner = self.solver._solver
+        self._build_nlcs_stage(
+            ctx, method=inner.nlc_method,
+            keep_zero_score=inner.keep_zero_score_nlcs,
+            degenerate_stats=MaxFirstStats())
+
+    def index(self, ctx: PipelineContext) -> None:
+        ctx.plan = self.solver.plan(ctx.nlcs)
+        ctx.report.meta["shards"] = ctx.plan.n_shards
+        ctx.report.meta["mode"] = self.solver.mode
+        ctx.report.meta["shard_nlcs"] = [int(c.shape[0])
+                                         for c in ctx.plan.candidates]
+
+    def search(self, ctx: PipelineContext) -> None:
+        ctx.outputs = self.solver.execute(ctx.nlcs, ctx.plan)
+
+    def refine(self, ctx: PipelineContext) -> None:
+        ctx.max_min, ctx.regions, ctx.stats = self.solver.merge(
+            ctx.nlcs, ctx.outputs)
+
+    def finalize(self, ctx: PipelineContext) -> None:
+        report = ctx.report
+        if ctx.result is not None:
+            report.counters = ctx.result.stats.as_dict()
+            return
+        ctx.result = MaxBRkNNResult(
+            score=ctx.max_min, regions=tuple(ctx.regions), nlcs=ctx.nlcs,
+            space=ctx.plan.space, stats=ctx.stats,
+            timings={"nlc": report.stages.get("build_nlcs", 0.0),
+                     "phase1": (report.stages.get("index", 0.0)
+                                + report.stages.get("search", 0.0)),
+                     "phase2": report.stages.get("refine", 0.0)})
+        report.counters = ctx.stats.as_dict()
+
+
+class MaxOverlapPipeline(_NlcStageMixin, SolverPipeline):
+    """MaxOverlap through the staged frame.
+
+    ``index`` is the bucket grid, ``search`` the candidate-point scan
+    (steps (c)-(e)), ``refine`` grows the best covers' regions.
+    """
+
+    name = "maxoverlap"
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        self.solver = MaxOverlap(**self.options)
+
+    def build_nlcs(self, ctx: PipelineContext) -> None:
+        self._build_nlcs_stage(
+            ctx, method=self.solver.nlc_method,
+            keep_zero_score=self.solver.keep_zero_score_nlcs)
+        if ctx.result is not None:
+            ctx.result = MaxOverlapResult(
+                score=0.0, regions=(), nlcs=ctx.nlcs,
+                space=ctx.problem.data_bounds(), stats=None,
+                overlap_stats=MaxOverlapStats(0, 0, 0, 0, 0, 0))
+
+    def index(self, ctx: PipelineContext) -> None:
+        ctx.space = nlc_space(ctx.nlcs)
+        ctx.tol = self.solver.resolve_tol(ctx.space)
+        ctx.grid = self.solver.build_index(ctx.nlcs)
+
+    def search(self, ctx: PipelineContext) -> None:
+        ctx.search = self.solver.search(ctx.nlcs, ctx.grid, ctx.tol)
+
+    def refine(self, ctx: PipelineContext) -> None:
+        ctx.regions = self.solver.build_regions(
+            ctx.nlcs, ctx.grid, ctx.search, ctx.tol)
+
+    def finalize(self, ctx: PipelineContext) -> None:
+        report = ctx.report
+        if ctx.result is not None:
+            report.counters = _overlap_counters(ctx.result.overlap_stats)
+            return
+        search = ctx.search
+        # Preserve solve_nlcs's historical timing split: pair work spans
+        # grid construction plus search's enumeration/dedup prefix.
+        pairs = report.stages.get("index", 0.0) + search.pairs_seconds
+        coverage = report.stages.get("search", 0.0) - search.pairs_seconds
+        ctx.result = MaxOverlapResult(
+            score=search.best, regions=tuple(ctx.regions), nlcs=ctx.nlcs,
+            space=ctx.space, stats=None, overlap_stats=search.stats,
+            timings={"nlc": report.stages.get("build_nlcs", 0.0),
+                     "pairs": pairs, "coverage": coverage,
+                     "region": report.stages.get("refine", 0.0)})
+        report.counters = _overlap_counters(search.stats)
+
+
+class GridSearchPipeline(_NlcStageMixin, SolverPipeline):
+    """Lattice baseline: the whole scan is the ``search`` stage."""
+
+    name = "gridsearch"
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        self.solver = GridSearch(**self.options)
+
+    def build_nlcs(self, ctx: PipelineContext) -> None:
+        self._build_nlcs_stage(ctx)
+
+    def index(self, ctx: PipelineContext) -> None:
+        ctx.space = nlc_space(ctx.nlcs)
+
+    def search(self, ctx: PipelineContext) -> None:
+        ctx.inner = self.solver.solve_nlcs(ctx.nlcs, ctx.space)
+
+    def finalize(self, ctx: PipelineContext) -> None:
+        report = ctx.report
+        if ctx.result is not None:
+            return
+        inner = ctx.inner
+        ctx.result = MaxBRkNNResult(
+            score=inner.score, regions=inner.regions, nlcs=ctx.nlcs,
+            space=ctx.space,
+            timings={"nlc": report.stages.get("build_nlcs", 0.0),
+                     "search": report.stages.get("search", 0.0)})
+        report.counters = {
+            "samples": self.solver.samples_per_axis ** 2,
+        }
+
+
+class ReferencePipeline(_NlcStageMixin, SolverPipeline):
+    """Brute-force ground truth: the refinement scan is ``search``."""
+
+    name = "reference"
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        self.solver = Reference(**self.options)
+
+    def build_nlcs(self, ctx: PipelineContext) -> None:
+        self._build_nlcs_stage(ctx)
+
+    def index(self, ctx: PipelineContext) -> None:
+        ctx.space = nlc_space(ctx.nlcs)
+
+    def search(self, ctx: PipelineContext) -> None:
+        ctx.inner = self.solver.solve_nlcs(ctx.nlcs, ctx.space)
+
+    def finalize(self, ctx: PipelineContext) -> None:
+        report = ctx.report
+        if ctx.result is not None:
+            return
+        inner = ctx.inner
+        ctx.result = MaxBRkNNResult(
+            score=inner.score, regions=inner.regions, nlcs=ctx.nlcs,
+            space=ctx.space,
+            timings={"nlc": report.stages.get("build_nlcs", 0.0),
+                     "search": report.stages.get("search", 0.0)})
+        report.counters = {"optimal_locations": len(inner.regions)}
+
+
+def _overlap_counters(stats: MaxOverlapStats | None) -> dict:
+    if stats is None:
+        return {}
+    return {
+        "nlc_count": stats.nlc_count,
+        "candidate_pairs": stats.candidate_pairs,
+        "intersecting_pairs": stats.intersecting_pairs,
+        "intersection_points": stats.intersection_points,
+        "coverage_tests": stats.coverage_tests,
+        "distinct_candidates": stats.distinct_candidates,
+    }

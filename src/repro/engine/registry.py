@@ -1,0 +1,169 @@
+"""Solver registry: every solver resolvable by name, with capabilities.
+
+The contract layer of the engine.  A solver registers once under a string
+name with (1) a ``factory`` building the solver object (anything with
+``solve(problem) -> MaxBRkNNResult``), (2) a ``pipeline`` class running it
+through the staged instrumentation frame, and (3) declared capabilities,
+so callers (CLI, bench runner, tests) can pick solvers *by property* —
+"every exact solver", "everything supporting top-t" — instead of
+hard-coding names.
+
+The built-in solvers register at import time; downstream code extends the
+set with :func:`register_solver` (e.g. a test registering a mock solver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.baselines.gridsearch import GridSearch
+from repro.baselines.maxoverlap import MaxOverlap
+from repro.baselines.reference import Reference
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.result import MaxBRkNNResult
+from repro.engine.pipeline import (
+    GridSearchPipeline,
+    MaxFirstPipeline,
+    MaxOverlapPipeline,
+    ReferencePipeline,
+    ShardedMaxFirstPipeline,
+    SolverPipeline,
+)
+from repro.engine.report import RunReport
+from repro.engine.sharded import ShardedMaxFirst
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """What the registry hands out: a problem-level solve method."""
+
+    def solve(self, problem: MaxBRkNNProblem) -> MaxBRkNNResult:
+        ...
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """Declared properties the caller can select on.
+
+    ``supports_k``: handles arbitrary ``k`` (all current solvers do — the
+    NLC abstraction absorbs ``k`` — but a registered solver may not).
+    ``supports_top_t``: can return the best ``t`` score tiers, not just
+    the optimum.  ``exact``: the returned score is the true optimum
+    (``gridsearch`` only lower-bounds it).
+    """
+
+    supports_k: bool = True
+    supports_top_t: bool = False
+    exact: bool = True
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registry entry."""
+
+    name: str
+    factory: Callable[..., Solver]
+    pipeline: type[SolverPipeline] | None = None
+    capabilities: SolverCapabilities = field(
+        default_factory=SolverCapabilities)
+    description: str = ""
+
+
+_REGISTRY: dict[str, SolverSpec] = {}
+
+
+def register_solver(name: str, factory: Callable[..., Solver], *,
+                    pipeline: type[SolverPipeline] | None = None,
+                    supports_k: bool = True, supports_top_t: bool = False,
+                    exact: bool = True, description: str = "",
+                    replace: bool = False) -> SolverSpec:
+    """Register ``factory`` under ``name``; returns the stored spec."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"solver {name!r} is already registered "
+                         "(pass replace=True to override)")
+    spec = SolverSpec(
+        name=name, factory=factory, pipeline=pipeline,
+        capabilities=SolverCapabilities(
+            supports_k=supports_k, supports_top_t=supports_top_t,
+            exact=exact),
+        description=description)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registration (test hygiene for mock solvers)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_solver_spec(name: str) -> SolverSpec:
+    """Look up a spec; unknown names raise with the known names listed."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown solver {name!r}; registered solvers: {known}"
+        ) from None
+
+
+def solver_names(*, exact_only: bool = False) -> tuple[str, ...]:
+    """Registered names, sorted; optionally only the exact solvers."""
+    names = (name for name, spec in _REGISTRY.items()
+             if not exact_only or spec.capabilities.exact)
+    return tuple(sorted(names))
+
+
+def create_solver(name: str, **options) -> Solver:
+    """Instantiate the named solver with ``options``."""
+    return get_solver_spec(name).factory(**options)
+
+
+def create_pipeline(name: str, **options) -> SolverPipeline:
+    """Instantiate the named solver's staged pipeline."""
+    spec = get_solver_spec(name)
+    if spec.pipeline is None:
+        raise ValueError(f"solver {name!r} has no staged pipeline")
+    return spec.pipeline(**options)
+
+
+def run_pipeline(name: str, problem: MaxBRkNNProblem,
+                 **options) -> tuple[MaxBRkNNResult, RunReport]:
+    """Resolve, build, and run the named solver's staged pipeline.
+
+    The uniform engine entry point: returns the solver's result plus the
+    per-stage instrumentation record.
+    """
+    return create_pipeline(name, **options).run(problem)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in registrations
+# ---------------------------------------------------------------------- #
+
+register_solver(
+    "maxfirst", MaxFirst, pipeline=MaxFirstPipeline,
+    supports_top_t=True, exact=True,
+    description="Quadtree best-first search (the paper's algorithm).")
+
+register_solver(
+    "maxfirst-sharded", ShardedMaxFirst, pipeline=ShardedMaxFirstPipeline,
+    supports_top_t=False, exact=True,
+    description="MaxFirst with tile-sharded parallel Phase I.")
+
+register_solver(
+    "maxoverlap", MaxOverlap, pipeline=MaxOverlapPipeline,
+    supports_top_t=False, exact=True,
+    description="Intersection-point enumeration (Wong et al. 2009).")
+
+register_solver(
+    "gridsearch", GridSearch, pipeline=GridSearchPipeline,
+    supports_top_t=False, exact=False,
+    description="Dense-lattice sampling baseline (lower bound).")
+
+register_solver(
+    "reference", Reference, pipeline=ReferencePipeline,
+    supports_top_t=False, exact=True,
+    description="Brute-force candidate enumeration (test ground truth).")

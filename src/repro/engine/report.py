@@ -1,0 +1,83 @@
+"""Structured run reports: per-stage timings plus solver counters.
+
+Every engine-routed solve produces a :class:`RunReport` — the uniform
+instrumentation record the CLI surfaces via ``--report`` and the bench
+runner attaches to its rows.  The report is plain data (dicts, floats,
+ints) so ``as_dict()`` round-trips through JSON without custom encoders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Canonical stage order of the engine pipeline.  A pipeline may skip
+#: stages that do not apply (a degenerate instance skips everything after
+#: ``build_nlcs``), but never reorders them.
+STAGES = ("prepare", "build_nlcs", "index", "search", "refine", "finalize")
+
+
+@dataclass
+class RunReport:
+    """Instrumentation record of one engine-routed solve.
+
+    Attributes
+    ----------
+    solver:
+        Registry name the run was resolved under.
+    stages:
+        Ordered mapping ``stage name -> wall-clock seconds``; insertion
+        order follows :data:`STAGES`.
+    counters:
+        The solver's work counters (MaxFirst's Phase I stats, MaxOverlap's
+        pair/coverage counts, ...), flattened to scalars.
+    meta:
+        Instance and configuration facts: sizes, ``k``, solver options,
+        shard layout — anything that explains the timings.
+    score:
+        The solve's optimal score (``None`` until finalize).
+    """
+
+    solver: str
+    stages: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    score: float | None = None
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        """Add (or extend) one stage's wall-clock time."""
+        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.stages.values()))
+
+    def as_dict(self) -> dict:
+        """Plain-data view (JSON-serialisable)."""
+        return {
+            "solver": self.solver,
+            "score": self.score,
+            "total_seconds": self.total_seconds,
+            "stages": dict(self.stages),
+            "counters": dict(self.counters),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, default=str)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def summary(self) -> str:
+        """One-line-per-stage human-readable digest."""
+        lines = [f"RunReport[{self.solver}] score={self.score} "
+                 f"total={self.total_seconds:.4f}s"]
+        for name, seconds in self.stages.items():
+            lines.append(f"  {name:>10s}: {seconds:.4f}s")
+        if self.counters:
+            parts = ", ".join(f"{k}={v}" for k, v in self.counters.items())
+            lines.append(f"  counters: {parts}")
+        return "\n".join(lines)

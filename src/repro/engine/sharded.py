@@ -1,0 +1,422 @@
+"""Tile-sharded parallel Phase I.
+
+Partitions the data rectangle into a grid of tiles, assigns each tile the
+NLCs whose disks intersect it (halo inclusion via the batched
+:meth:`~repro.index.circleset.CircleSet.rects_intersecting` predicate),
+runs MaxFirst's Phase I independently per tile, and merges the accepted
+quadrants before a single Phase II pass grows each distinct region once.
+
+Why this is exact
+-----------------
+Every optimal region is full-dimensional, so its interior meets the
+interior of at least one tile; the shard owning that tile accepts a
+consistent quadrant with exactly the region's cover.  A quadrant's score
+bounds are sums over index-sorted NLC subsets, and every shard classifies
+with the *global* space's graze tolerance, so a cover discovered in a
+shard produces bit-for-bit the same ``m̂in`` sum the single-process run
+computes for it — the merged optimal score and the deduplicated cover set
+are identical to the one-process ``hotpath=batched`` run (asserted by
+``benchmarks/bench_engine_shards.py`` on the fig11 instances).
+
+Shards exchange a global lower bound (the best proven ``m̂in`` anywhere):
+each worker seeds ``MaxMin`` with the bound at start and polls/publishes
+it every ``sync_interval`` pops, so losing shards terminate early via
+Theorem 2.  Bounds are only ever values witnessed by a real quadrant in
+some shard, which keeps the pruning sound; winners are never pruned
+because Theorem 2's cut is strict below the tie tolerance.
+
+Execution modes
+---------------
+``"process"`` ships each tile's NLCs as SoA buffers (the parallel
+``cx/cy/r/scores`` arrays plus their global indices) to a
+``ProcessPoolExecutor`` worker; the shared bound lives in a
+``multiprocessing.Value``.  ``"serial"`` runs the tiles in-process in tile
+order — deterministic, zero IPC, and still profits from bound exchange
+(later tiles start with the best bound of the earlier ones).  ``"auto"``
+picks processes when the machine has more than one core.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs, nlc_space
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.quadrant import MaxFirstStats
+from repro.core.region import compute_optimal_region
+from repro.core.result import MaxBRkNNResult
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+
+_MODES = ("auto", "serial", "process")
+
+# Shared lower-bound cell, installed per worker process by _init_worker.
+_SHARED_BOUND = None
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The tile layout of one sharded solve.
+
+    ``tiles`` and ``candidates`` are parallel: tile ``i`` is solved over
+    the NLCs (global indices) in ``candidates[i]``.  Tiles no disk
+    reaches are dropped at planning time.
+    """
+
+    space: Rect
+    resolution: float
+    tiles: tuple[Rect, ...]
+    candidates: tuple[np.ndarray, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.tiles)
+
+
+@dataclass
+class _ShardOutput:
+    """One shard's Phase I outcome, normalised for merging.
+
+    ``entries`` preserves acceptance order: ``(min_hat, cover, rect)``
+    with ``cover`` as sorted global NLC indices.
+    """
+
+    entries: list
+    max_min: float
+    stats: dict
+
+
+# Interior tile cuts are shifted off the round fractions by this fraction
+# of one tile width.  A midpoint cut is systematically unlucky: synthetic
+# (and most real) workloads pile mass — and therefore circle-coincidence
+# points — at the exact domain centre, and a degenerate point lying ON a
+# tile edge cannot be isolated by a point split (split_at needs a strictly
+# interior point), so quadrants along the edge tessellate to the
+# resolution floor (observed: 7x the quadrant count on fig11 normal/25).
+# The golden-ratio offset is deterministic and keeps cuts off the round
+# coordinates coincidence points cluster at; correctness never depends on
+# tile placement — any partition merges to the identical result.
+_CUT_SHIFT = (math.sqrt(5.0) - 1.0) / 2.0 - 0.5  # ~0.118, irrational
+
+
+def tile_grid(space: Rect, shards: int) -> tuple[Rect, ...]:
+    """Split ``space`` into ``shards`` tiles on a near-square grid.
+
+    ``shards`` is the total tile count: 2 gives a 2x1 split, 4 a 2x2,
+    9 a 3x3.  The tiles partition the space exactly (shared boundaries,
+    no gaps); interior cut lines sit at ``(i + _CUT_SHIFT) / n`` rather
+    than ``i / n`` — see :data:`_CUT_SHIFT`.
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    ny = max(1, int(math.sqrt(shards)))
+    nx = math.ceil(shards / ny)
+    xs = space.xmin + ((np.arange(nx + 1) + _CUT_SHIFT)
+                       * (space.width / nx))
+    ys = space.ymin + ((np.arange(ny + 1) + _CUT_SHIFT)
+                       * (space.height / ny))
+    xs[0], xs[-1] = space.xmin, space.xmax
+    ys[0], ys[-1] = space.ymin, space.ymax
+    tiles = []
+    for iy in range(ny):
+        for ix in range(nx):
+            if len(tiles) == shards:
+                break
+            tiles.append(Rect(float(xs[ix]), float(ys[iy]),
+                              float(xs[ix + 1]), float(ys[iy + 1])))
+    return tuple(tiles)
+
+
+class ShardedMaxFirst:
+    """MaxFirst with tile-sharded Phase I.
+
+    Parameters
+    ----------
+    shards:
+        Total tile count (1 degenerates to the single-process solver).
+    mode:
+        ``"auto"`` (processes when multi-core), ``"serial"``,
+        or ``"process"``.
+    max_workers:
+        Worker-process cap for ``mode="process"``; defaults to
+        ``min(shards, cpu_count)``.
+    sync_interval:
+        Pops between bound-exchange polls inside each shard's Phase I.
+    maxfirst_options:
+        Forwarded to every per-shard :class:`MaxFirst` (``top_t`` must
+        stay 1: the top-t frontier is not a global bound).
+    """
+
+    def __init__(self, shards: int = 2, mode: str = "auto",
+                 max_workers: int | None = None,
+                 sync_interval: int = 1024,
+                 **maxfirst_options) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if maxfirst_options.get("top_t", 1) != 1:
+            raise ValueError("sharded execution requires top_t == 1")
+        if sync_interval < 1:
+            raise ValueError("sync_interval must be positive")
+        self.shards = shards
+        self.mode = mode
+        self.max_workers = max_workers
+        self.sync_interval = sync_interval
+        self.maxfirst_options = dict(maxfirst_options)
+        self._solver = MaxFirst(**maxfirst_options)
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, problem: MaxBRkNNProblem) -> MaxBRkNNResult:
+        """Full pipeline: NLC construction, sharded Phase I, Phase II."""
+        t0 = time.perf_counter()
+        nlcs = build_nlcs(problem, method=self._solver.nlc_method,
+                          keep_zero_score=self._solver.keep_zero_score_nlcs)
+        t1 = time.perf_counter()
+        if len(nlcs) == 0:
+            return MaxBRkNNResult(
+                score=0.0, regions=(), nlcs=nlcs,
+                space=problem.data_bounds(), stats=MaxFirstStats(),
+                timings={"nlc": t1 - t0, "phase1": 0.0, "phase2": 0.0})
+        result = self.solve_nlcs(nlcs)
+        result.timings["nlc"] = t1 - t0
+        return result
+
+    def solve_nlcs(self, nlcs: CircleSet,
+                   space: Rect | None = None) -> MaxBRkNNResult:
+        """Sharded solve over an explicit NLC set."""
+        if len(nlcs) == 0:
+            raise ValueError("cannot solve over an empty NLC set")
+        plan = self.plan(nlcs, space)
+        t0 = time.perf_counter()
+        outputs = self.execute(nlcs, plan)
+        t1 = time.perf_counter()
+        max_min, regions, stats = self.merge(nlcs, outputs)
+        t2 = time.perf_counter()
+        return MaxBRkNNResult(
+            score=max_min, regions=tuple(regions), nlcs=nlcs,
+            space=plan.space, stats=stats,
+            timings={"phase1": t1 - t0, "phase2": t2 - t1})
+
+    # ------------------------------------------------------------------ #
+    # Staged pieces (the engine pipeline times these separately)
+    # ------------------------------------------------------------------ #
+
+    def plan(self, nlcs: CircleSet, space: Rect | None = None) -> ShardPlan:
+        """Partition the space and assign each tile its halo NLC set."""
+        if space is None:
+            space = nlc_space(nlcs)
+        # The GLOBAL space sizes the resolution/graze tolerance; a tile
+        # must classify at it, or its Q.I/Q.C sets (hence score sums)
+        # diverge from the single-process run.
+        resolution = (max(space.width, space.height)
+                      * self._solver.resolution_fraction)
+        tiles = tile_grid(space, self.shards)
+        assigned = nlcs.rects_intersecting(tiles)
+        kept_tiles = []
+        kept_candidates = []
+        for tile, cand in zip(tiles, assigned):
+            if cand.shape[0] == 0:
+                continue  # nothing can score inside this tile
+            kept_tiles.append(tile)
+            kept_candidates.append(cand)
+        return ShardPlan(space=space, resolution=resolution,
+                         tiles=tuple(kept_tiles),
+                         candidates=tuple(kept_candidates))
+
+    def execute(self, nlcs: CircleSet,
+                plan: ShardPlan) -> list[_ShardOutput]:
+        """Run Phase I over every planned tile (serial or processes)."""
+        if plan.n_shards == 0:
+            return []
+        if plan.n_shards == 1 and plan.tiles[0] == plan.space:
+            # Degenerate 1-shard plan: exactly the single-process run.
+            return [self._run_tile(nlcs, plan.space, plan, None)]
+        mode = self.mode
+        if mode == "auto":
+            mode = "process" if (os.cpu_count() or 1) > 1 else "serial"
+        if mode == "process":
+            try:
+                return self._execute_processes(nlcs, plan)
+            except (OSError, ImportError) as exc:  # pragma: no cover
+                # Restricted environments (no /dev/shm, no fork): the
+                # serial path computes the identical result.
+                if self.mode == "process":
+                    raise RuntimeError(
+                        f"process-mode sharding unavailable: {exc}"
+                    ) from exc
+        return self._execute_serial(nlcs, plan)
+
+    def merge(self, nlcs: CircleSet, outputs: list[_ShardOutput]
+              ) -> tuple[float, list, MaxFirstStats]:
+        """Merge shard outputs: global best, deduped regions, summed stats.
+
+        Mirrors :meth:`MaxFirst.build_regions`: entries are visited in
+        tile order then acceptance order, covers deduplicate on first
+        sight, and only entries within the tie tolerance of the global
+        best grow regions.
+        """
+        max_min = max((out.max_min for out in outputs), default=0.0)
+        tol = self._solver.tie_tol * max(1.0, abs(max_min))
+        regions = []
+        seen_covers: set[tuple[int, ...]] = set()
+        for out in outputs:
+            for min_hat, cover, rect in out.entries:
+                if min_hat < max_min - tol:
+                    continue
+                key = tuple(int(i) for i in cover)
+                if key in seen_covers:
+                    continue
+                seen_covers.add(key)
+                regions.append(compute_optimal_region(
+                    rect, cover, nlcs, score=min_hat))
+        regions.sort(key=lambda r: -r.score)
+        merged: dict[str, int] = {}
+        for out in outputs:
+            for name, value in out.stats.items():
+                if name == "max_depth":
+                    merged[name] = max(merged.get(name, 0), value)
+                else:
+                    merged[name] = merged.get(name, 0) + value
+        return max_min, regions, MaxFirstStats(**merged)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_tile(self, nlcs: CircleSet, tile: Rect, plan: ShardPlan,
+                  bound: "_SerialBound | None",
+                  candidates: np.ndarray | None = None) -> _ShardOutput:
+        """Solve one tile in-process over the full (global-index) set."""
+        solver = MaxFirst(**self.maxfirst_options)
+        initial = bound.get() if bound is not None else 0.0
+        backend = _TileBackend(nlcs, plan.resolution, candidates)
+        accepted, max_min, stats = solver.run_phase1(
+            nlcs, tile, backend=backend, resolution=plan.resolution,
+            initial_bound=initial,
+            bound_sync=bound.sync if bound is not None else None,
+            sync_interval=self.sync_interval if bound is not None else 0)
+        if bound is not None:
+            bound.sync(max_min)
+        entries = [(quad.min_hat, quad.containing, quad.rect)
+                   for quad in accepted]
+        return _ShardOutput(entries=entries, max_min=max_min,
+                            stats=stats.as_dict())
+
+    def _execute_serial(self, nlcs: CircleSet,
+                        plan: ShardPlan) -> list[_ShardOutput]:
+        bound = _SerialBound()
+        return [self._run_tile(nlcs, tile, plan, bound, cand)
+                for tile, cand in zip(plan.tiles, plan.candidates)]
+
+    def _execute_processes(self, nlcs: CircleSet,
+                           plan: ShardPlan) -> list[_ShardOutput]:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        shared = ctx.Value("d", 0.0)
+        workers = self.max_workers or min(plan.n_shards,
+                                          os.cpu_count() or 1)
+        payloads = [
+            # SoA buffers: each shard ships only its tile's disks, plus
+            # the global indices that keep covers comparable at merge.
+            (nlcs.cx[cand], nlcs.cy[cand], nlcs.r[cand],
+             nlcs.scores[cand], nlcs.owners[cand], nlcs.levels[cand],
+             cand,
+             (tile.xmin, tile.ymin, tile.xmax, tile.ymax),
+             plan.resolution, self.maxfirst_options, self.sync_interval)
+            for tile, cand in zip(plan.tiles, plan.candidates)]
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                                 initializer=_init_worker,
+                                 initargs=(shared,)) as pool:
+            return list(pool.map(_solve_tile_worker, payloads))
+
+
+class _SerialBound:
+    """In-process best-bound cell with the worker sync() contract."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def get(self) -> float:
+        return self.value
+
+    def sync(self, local: float) -> float:
+        if local > self.value:
+            self.value = local
+        return self.value
+
+
+class _TileBackend:
+    """Vector backend whose root candidate set is a tile's halo NLCs.
+
+    Children re-test only their parent's survivors as usual, so after the
+    root classification the search is indistinguishable from a global run
+    that reached the same rectangle.
+    """
+
+    name = "vector-tile"
+
+    def __init__(self, nlcs: CircleSet, graze_tol: float,
+                 root: np.ndarray | None) -> None:
+        from repro.core.bounds import VectorBackend
+
+        self._inner = VectorBackend(nlcs, graze_tol=graze_tol)
+        self._root = root
+
+    def root_candidates(self) -> np.ndarray:
+        if self._root is None:
+            return self._inner.root_candidates()
+        return self._root
+
+    def classify(self, rect, parent_candidates, depth):
+        return self._inner.classify(rect, parent_candidates, depth)
+
+    def classify_batch(self, rects, parent_candidates, depth):
+        return self._inner.classify_batch(rects, parent_candidates, depth)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-process side
+# ---------------------------------------------------------------------- #
+
+def _init_worker(shared) -> None:
+    global _SHARED_BOUND
+    _SHARED_BOUND = shared
+
+
+def _shared_sync(local: float) -> float:
+    """Publish ``local`` into the shared bound; return the global best."""
+    shared = _SHARED_BOUND
+    if shared is None:
+        return local
+    with shared.get_lock():
+        if local > shared.value:
+            shared.value = local
+        return float(shared.value)
+
+
+def _solve_tile_worker(payload) -> _ShardOutput:
+    (cx, cy, r, scores, owners, levels, global_idx, tile_tuple,
+     resolution, options, sync_interval) = payload
+    local = CircleSet(cx, cy, r, scores, owners=owners, levels=levels)
+    tile = Rect(*tile_tuple)
+    solver = MaxFirst(**options)
+    initial = _shared_sync(0.0)
+    accepted, max_min, stats = solver.run_phase1(
+        local, tile, resolution=resolution, initial_bound=initial,
+        bound_sync=_shared_sync, sync_interval=sync_interval)
+    _shared_sync(max_min)
+    entries = [(quad.min_hat, global_idx[quad.containing], quad.rect)
+               for quad in accepted]
+    return _ShardOutput(entries=entries, max_min=max_min,
+                        stats=stats.as_dict())

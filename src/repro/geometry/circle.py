@@ -101,7 +101,16 @@ def circle_circle_intersection(a: Circle, b: Circle,
 
     ``tol`` is the absolute slack used to accept grazing tangencies that
     float rounding pushes marginally apart.
+
+    The result is exactly symmetric in its arguments: the computation
+    runs in a canonical circle order, so ``(a, b)`` and ``(b, a)``
+    return bit-identical points.  Without this, near-coincident circles
+    can land the two call orders on opposite sides of a rounding
+    boundary (the chord midpoint is computed from whichever centre is
+    ``a``, and the two paths differ by one float ulp).
     """
+    if (b.cx, b.cy, b.r) < (a.cx, a.cy, a.r):
+        a, b = b, a
     dx = b.cx - a.cx
     dy = b.cy - a.cy
     d = math.hypot(dx, dy)

@@ -238,6 +238,41 @@ class CircleSet:
             candidates = np.arange(len(self), dtype=np.int64)
         return self.rect_classifier(graze_tol).classify(rects, candidates)
 
+    def rects_intersecting(self, rects) -> list[np.ndarray]:
+        """Per-rectangle index arrays of disks whose interior meets it.
+
+        The batch form of :meth:`intersects_rect_mask` (open-disk
+        semantics, no graze shrink): one ``(n_rects, n_disks)`` broadcast,
+        chunked to the usual ~16 MB cap, returning a sorted ``int64``
+        index array per rectangle.  This is the engine layer's tile-halo
+        predicate: the open-disk set is a superset of every graze-shrunk
+        classification a shard will run inside the tile, so seeding a
+        shard with these candidates preserves the single-process ``Q.I``
+        sets exactly.
+        """
+        arr = _rects_as_array(rects)
+        n_rects = arr.shape[0]
+        out: list[np.ndarray] = []
+        if n_rects == 0:
+            return out
+        cx, cy, r = self.cx, self.cy, self.r
+        r2 = r * r
+        n = cx.shape[0]
+        if n == 0:
+            return [np.zeros(0, dtype=np.int64) for _ in range(n_rects)]
+        rows = max(1, _BROADCAST_ELEMENTS // (2 * n))
+        for start in range(0, n_rects, rows):
+            stop = min(start + rows, n_rects)
+            chunk = arr[start:stop]
+            dx = np.maximum(chunk[:, 0:1] - cx, 0.0)
+            np.maximum(dx, cx - chunk[:, 2:3], out=dx)
+            dy = np.maximum(chunk[:, 1:2] - cy, 0.0)
+            np.maximum(dy, cy - chunk[:, 3:4], out=dy)
+            hit = dx * dx + dy * dy < r2
+            for row in range(stop - start):
+                out.append(np.flatnonzero(hit[row]).astype(np.int64))
+        return out
+
     def rect_classifier(self, graze_tol: float = 0.0) -> "RectClassifier":
         """A prepared :class:`RectClassifier` for ``graze_tol`` (cached).
 

@@ -92,9 +92,15 @@ class KDTree:
                         out.append(idx)
                 continue
             coord = x if node.axis == 0 else y
-            if coord - radius <= node.split:
+            # Prune in the same squared metric the leaf test uses: a
+            # linear-space test (coord ± radius vs split) would discard
+            # points whose squared distance underflows to within r²
+            # (denormal axis gaps square to 0.0).  Float multiply is
+            # monotone, so gap² ≤ r² is a sound necessary condition.
+            gap = coord - node.split
+            if gap <= 0.0 or gap * gap <= r2:
                 stack.append(node.left)
-            if coord + radius >= node.split:
+            if gap >= 0.0 or gap * gap <= r2:
                 stack.append(node.right)
         out.sort()
         return out

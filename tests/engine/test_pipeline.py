@@ -1,0 +1,114 @@
+"""Tests for the staged pipelines and RunReport instrumentation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import STAGES, RunReport, run_pipeline
+from repro.engine.report import STAGES as REPORT_STAGES
+
+
+@pytest.fixture(scope="module")
+def problem():
+    customers, sites = synthetic_instance(80, 8, "uniform", seed=11)
+    return MaxBRkNNProblem(customers, sites, k=2)
+
+
+class TestRunReport:
+    def test_stage_accumulation_and_total(self):
+        report = RunReport(solver="x")
+        report.record_stage("search", 1.0)
+        report.record_stage("search", 0.5)
+        report.record_stage("refine", 0.25)
+        assert report.stages["search"] == pytest.approx(1.5)
+        assert report.total_seconds == pytest.approx(1.75)
+
+    def test_json_round_trip(self, tmp_path):
+        report = RunReport(solver="x", score=3.0)
+        report.record_stage("search", 0.1)
+        report.counters["pops"] = 7
+        report.meta["k"] = 2
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["solver"] == "x"
+        assert loaded["score"] == 3.0
+        assert loaded["counters"]["pops"] == 7
+        assert loaded["meta"]["k"] == 2
+
+    def test_summary_mentions_stages(self):
+        report = RunReport(solver="x", score=1.0)
+        report.record_stage("index", 0.5)
+        assert "index" in report.summary()
+        assert "x" in report.summary()
+
+
+class TestPipelineStages:
+    def test_maxfirst_stages_ordered_and_complete(self, problem):
+        result, report = run_pipeline("maxfirst", problem)
+        assert list(report.stages) == list(STAGES)
+        assert all(v >= 0.0 for v in report.stages.values())
+        # The report must agree with the solver's own result.
+        assert report.score == result.score
+        assert report.meta["n_nlcs"] == len(result.nlcs)
+
+    def test_maxfirst_counters_match_stats(self, problem):
+        result, report = run_pipeline("maxfirst", problem)
+        assert report.counters == result.stats.as_dict()
+        assert report.counters["generated"] > 0
+        assert report.counters["splits"] > 0
+
+    def test_maxoverlap_counters_present(self, problem):
+        result, report = run_pipeline("maxoverlap", problem)
+        assert report.counters["intersecting_pairs"] > 0
+        assert report.counters["coverage_tests"] > 0
+        assert report.counters["nlc_count"] == len(result.nlcs)
+
+    def test_pipeline_result_matches_direct_solve(self, problem):
+        direct = MaxFirst().solve(problem)
+        piped, _ = run_pipeline("maxfirst", problem)
+        assert piped.score == direct.score
+        assert (sorted(tuple(r.cover) for r in piped.regions)
+                == sorted(tuple(r.cover) for r in direct.regions))
+        assert piped.stats.as_dict() == direct.stats.as_dict()
+
+    def test_timings_keys_preserved(self, problem):
+        """The historical MaxBRkNNResult.timings keys survive routing."""
+        mf, _ = run_pipeline("maxfirst", problem)
+        assert set(mf.timings) == {"nlc", "phase1", "phase2"}
+        mo, _ = run_pipeline("maxoverlap", problem)
+        assert set(mo.timings) == {"nlc", "pairs", "coverage", "region"}
+
+    def test_degenerate_instance_short_circuits(self):
+        # All-zero weights: no NLC carries score, so no NLCs are built.
+        problem = MaxBRkNNProblem([(0, 0), (1, 1)], [(2, 2), (3, 3)],
+                                  weights=[0.0, 0.0])
+        for name in ("maxfirst", "maxoverlap", "maxfirst-sharded"):
+            result, report = run_pipeline(name, problem)
+            assert result.score == 0.0
+            assert result.regions == ()
+            assert report.score == 0.0
+            # Stages after build_nlcs are skipped entirely.
+            assert "search" not in report.stages
+            assert "finalize" in report.stages
+
+    def test_gridsearch_lower_bounds_exact(self, problem):
+        approx, _ = run_pipeline("gridsearch", problem,
+                                 samples_per_axis=48)
+        exact, _ = run_pipeline("maxfirst", problem)
+        assert approx.score <= exact.score + 1e-9
+
+    def test_sharded_meta_reports_layout(self, problem):
+        _, report = run_pipeline("maxfirst-sharded", problem, shards=4,
+                                 mode="serial")
+        assert report.meta["shards"] >= 1
+        assert len(report.meta["shard_nlcs"]) == report.meta["shards"]
+        assert report.meta["mode"] == "serial"
+
+    def test_stage_names_are_canonical(self):
+        assert REPORT_STAGES == ("prepare", "build_nlcs", "index",
+                                 "search", "refine", "finalize")

@@ -1,0 +1,95 @@
+"""Tests for repro.engine.registry — the solver contract layer."""
+
+import pytest
+
+from repro.baselines.gridsearch import GridSearch
+from repro.baselines.maxoverlap import MaxOverlap
+from repro.baselines.reference import Reference
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.result import MaxBRkNNResult
+from repro.engine import (Solver, ShardedMaxFirst, create_pipeline,
+                          create_solver, get_solver_spec, register_solver,
+                          run_pipeline, solver_names, unregister_solver)
+
+
+class TestRegistrations:
+    def test_all_builtins_registered(self):
+        assert set(solver_names()) >= {
+            "maxfirst", "maxfirst-sharded", "maxoverlap", "gridsearch",
+            "reference"}
+
+    def test_factories_build_the_right_types(self):
+        assert isinstance(create_solver("maxfirst"), MaxFirst)
+        assert isinstance(create_solver("maxoverlap"), MaxOverlap)
+        assert isinstance(create_solver("gridsearch"), GridSearch)
+        assert isinstance(create_solver("reference"), Reference)
+        assert isinstance(create_solver("maxfirst-sharded"),
+                          ShardedMaxFirst)
+
+    def test_options_forwarded_to_factory(self):
+        solver = create_solver("maxfirst", m_threshold=7, top_t=2)
+        assert solver.m_threshold == 7
+        assert solver.top_t == 2
+
+    def test_every_solver_satisfies_the_protocol(self):
+        for name in solver_names():
+            assert isinstance(create_solver(name), Solver)
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(ValueError, match="maxfirst"):
+            get_solver_spec("nope")
+
+    def test_capabilities(self):
+        assert get_solver_spec("maxfirst").capabilities.supports_top_t
+        assert get_solver_spec("maxfirst").capabilities.exact
+        assert not get_solver_spec("gridsearch").capabilities.exact
+        assert not get_solver_spec("maxoverlap").capabilities.supports_top_t
+
+    def test_exact_only_filter(self):
+        exact = solver_names(exact_only=True)
+        assert "gridsearch" not in exact
+        assert "maxfirst" in exact and "reference" in exact
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        class Dummy:
+            def solve(self, problem):
+                raise NotImplementedError
+
+        register_solver("dummy-test", Dummy, exact=False,
+                        description="test double")
+        try:
+            assert "dummy-test" in solver_names()
+            assert isinstance(create_solver("dummy-test"), Dummy)
+            with pytest.raises(ValueError, match="already registered"):
+                register_solver("dummy-test", Dummy)
+            register_solver("dummy-test", Dummy, replace=True)
+        finally:
+            unregister_solver("dummy-test")
+        assert "dummy-test" not in solver_names()
+
+    def test_pipeline_missing_raises(self):
+        class Dummy:
+            def solve(self, problem):
+                raise NotImplementedError
+
+        register_solver("dummy-nopipe", Dummy)
+        try:
+            with pytest.raises(ValueError, match="no staged pipeline"):
+                create_pipeline("dummy-nopipe")
+        finally:
+            unregister_solver("dummy-nopipe")
+
+
+class TestRunPipeline:
+    def test_solve_by_each_name(self):
+        problem = MaxBRkNNProblem([(0, 0), (1, 0)], [(4, 4), (-4, 4)])
+        for name in ("maxfirst", "maxfirst-sharded", "maxoverlap",
+                     "reference"):
+            result, report = run_pipeline(name, problem)
+            assert isinstance(result, MaxBRkNNResult)
+            assert result.score == pytest.approx(2.0)
+            assert report.solver == name
+            assert report.score == pytest.approx(2.0)

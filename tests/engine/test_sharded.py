@@ -1,0 +1,159 @@
+"""Tests for tile-sharded Phase I: exactness, bounds, both exec modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs, nlc_space
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import ShardedMaxFirst, tile_grid
+from repro.geometry.rect import Rect
+
+
+def _problem(n_customers, n_sites, k=1, seed=0, distribution="uniform"):
+    customers, sites = synthetic_instance(n_customers, n_sites,
+                                          distribution, seed=seed)
+    return MaxBRkNNProblem(customers, sites, k=k)
+
+
+def _region_keys(result):
+    return sorted(tuple(int(i) for i in r.cover) for r in result.regions)
+
+
+class TestTileGrid:
+    def test_partition_is_exact(self):
+        space = Rect(0.0, 0.0, 4.0, 2.0)
+        tiles = tile_grid(space, 4)
+        assert len(tiles) == 4
+        assert sum(t.area for t in tiles) == pytest.approx(space.area)
+        for t in tiles:
+            assert t.xmin >= space.xmin and t.xmax <= space.xmax
+            assert t.ymin >= space.ymin and t.ymax <= space.ymax
+
+    def test_single_tile_is_the_space(self):
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        assert tile_grid(space, 1) == (space,)
+
+    def test_two_tiles_split_one_axis(self):
+        tiles = tile_grid(Rect(0.0, 0.0, 1.0, 1.0), 2)
+        assert len(tiles) == 2
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            tile_grid(Rect(0, 0, 1, 1), 0)
+
+
+class TestValidation:
+    def test_top_t_rejected(self):
+        with pytest.raises(ValueError, match="top_t"):
+            ShardedMaxFirst(shards=2, top_t=2)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ShardedMaxFirst(mode="threads")
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedMaxFirst(shards=0)
+
+    def test_external_bound_needs_top_t_1(self):
+        problem = _problem(30, 4, seed=3)
+        nlcs = build_nlcs(problem)
+        solver = MaxFirst(top_t=2)
+        with pytest.raises(ValueError, match="top_t"):
+            solver.run_phase1(nlcs, nlc_space(nlcs), initial_bound=1.0)
+
+
+class TestShardedExactness:
+    """Sharded runs must be score- and region-identical to the
+    single-process batched run (the ISSUE's acceptance criterion)."""
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_serial_identity(self, shards, seed):
+        problem = _problem(70, 8, k=2, seed=seed)
+        single = MaxFirst().solve(problem)
+        sharded = ShardedMaxFirst(shards=shards, mode="serial")
+        result = sharded.solve(problem)
+        assert result.score == single.score  # bit-identical
+        assert _region_keys(result) == _region_keys(single)
+
+    def test_process_identity(self):
+        problem = _problem(60, 6, k=1, seed=5)
+        single = MaxFirst().solve(problem)
+        sharded = ShardedMaxFirst(shards=4, mode="process",
+                                  sync_interval=64)
+        result = sharded.solve(problem)
+        assert result.score == single.score
+        assert _region_keys(result) == _region_keys(single)
+
+    def test_clustered_distribution(self):
+        problem = _problem(80, 8, k=2, seed=9, distribution="clustered")
+        single = MaxFirst().solve(problem)
+        result = ShardedMaxFirst(shards=4, mode="serial").solve(problem)
+        assert result.score == single.score
+        assert _region_keys(result) == _region_keys(single)
+
+    def test_one_shard_degenerates_to_single(self):
+        problem = _problem(50, 6, seed=2)
+        single = MaxFirst().solve(problem)
+        result = ShardedMaxFirst(shards=1).solve(problem)
+        assert result.score == single.score
+        assert _region_keys(result) == _region_keys(single)
+        assert result.stats.as_dict() == single.stats.as_dict()
+
+    def test_degenerate_instance(self):
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 1)], weights=[0.0])
+        result = ShardedMaxFirst(shards=4, mode="serial").solve(problem)
+        assert result.score == 0.0
+        assert result.regions == ()
+
+    def test_empty_nlcs_rejected(self):
+        problem = MaxBRkNNProblem([(0, 0)], [(1, 1)], weights=[0.0])
+        nlcs = build_nlcs(problem)
+        with pytest.raises(ValueError, match="empty"):
+            ShardedMaxFirst(shards=2).solve_nlcs(nlcs)
+
+
+class TestBoundExchange:
+    def test_later_shards_prune_with_earlier_bounds(self):
+        """Serial mode hands each tile the best bound so far; the summed
+        Phase I work must never exceed (and usually undercuts) the sum of
+        independent per-tile runs with no bound sharing."""
+        problem = _problem(90, 8, k=2, seed=13)
+        nlcs = build_nlcs(problem)
+        solver = ShardedMaxFirst(shards=4, mode="serial")
+        plan = solver.plan(nlcs)
+        shared = solver.execute(nlcs, plan)
+        shared_pops = sum(o.stats["generated"] for o in shared)
+
+        # Re-run every tile with no initial bound (independent shards).
+        independent_pops = 0
+        for tile, cand in zip(plan.tiles, plan.candidates):
+            out = solver._run_tile(nlcs, tile, plan, None, cand)
+            independent_pops += out.stats["generated"]
+        assert shared_pops <= independent_pops
+
+    def test_initial_bound_prunes(self):
+        problem = _problem(60, 6, k=1, seed=7)
+        nlcs = build_nlcs(problem)
+        space = nlc_space(nlcs)
+        solver = MaxFirst()
+        _, score, base = solver.run_phase1(nlcs, space)
+        # Seeding with the known optimum can only shrink the search.
+        _, score2, seeded = solver.run_phase1(nlcs, space,
+                                              initial_bound=score)
+        assert score2 == score
+        assert seeded.generated <= base.generated
+
+    def test_plan_drops_unreachable_tiles(self):
+        # NLCs concentrated in a corner: far tiles get no candidates.
+        problem = MaxBRkNNProblem(
+            [(0.01, 0.01), (0.02, 0.02)], [(0.05, 0.05), (0.9, 0.9)])
+        nlcs = build_nlcs(problem)
+        solver = ShardedMaxFirst(shards=16, mode="serial")
+        plan = solver.plan(nlcs, space=Rect(0.0, 0.0, 1.0, 1.0))
+        assert plan.n_shards < 16
+        for cand in plan.candidates:
+            assert cand.shape[0] > 0

@@ -1,0 +1,53 @@
+"""Cross-solver agreement property test (the registry's payoff).
+
+Every solver registered as *exact* must return the same optimal score on
+small random instances, across ``k`` — whatever name it was resolved by.
+The expected value is the brute-force reference; ``gridsearch`` is
+excluded by its own declared capability (``exact=False``), which is
+exactly what capabilities are for.
+"""
+
+import pytest
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import create_solver, get_solver_spec, solver_names
+
+# Small enough for the O(n^3) reference, big enough for real overlap
+# structure (dozens of NLC intersections per instance).
+_INSTANCES = [
+    (40, 5, 0),
+    (40, 5, 1),
+    (60, 8, 2),
+]
+
+
+def _make_problem(n_customers, n_sites, seed, k):
+    customers, sites = synthetic_instance(n_customers, n_sites, "uniform",
+                                          seed=seed)
+    return MaxBRkNNProblem(customers, sites, k=k)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+@pytest.mark.parametrize("n_customers,n_sites,seed", _INSTANCES)
+def test_exact_solvers_agree(n_customers, n_sites, seed, k):
+    problem = _make_problem(n_customers, n_sites, seed, k)
+    reference = create_solver("reference").solve(problem)
+    tol = 1e-9 * max(1.0, abs(reference.score))
+    for name in solver_names(exact_only=True):
+        if name == "reference":
+            continue
+        result = create_solver(name).solve(problem)
+        assert result.score == pytest.approx(reference.score, abs=tol), \
+            f"solver {name!r} disagrees with reference on " \
+            f"(n={n_customers}, m={n_sites}, seed={seed}, k={k})"
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_gridsearch_lower_bounds_every_exact_solver(k):
+    problem = _make_problem(40, 5, 3, k)
+    approx = create_solver("gridsearch", samples_per_axis=40).solve(problem)
+    assert not get_solver_spec("gridsearch").capabilities.exact
+    for name in solver_names(exact_only=True):
+        exact = create_solver(name).solve(problem)
+        assert approx.score <= exact.score + 1e-9

@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.engine import STAGES
 from repro.datasets.loader import load_points_csv, save_points_csv
 from repro.datasets.synthetic import synthetic_instance
 
@@ -56,6 +59,66 @@ class TestSolve:
         second = capsys.readouterr().out.splitlines()[0]
         assert first.split("score")[1].split()[0] == \
             second.split("score")[1].split()[0]
+
+
+class TestSolveEngine:
+    """Registry-backed solver choices and the staged-report surface."""
+
+    @pytest.mark.parametrize("solver", ["gridsearch", "reference"])
+    def test_registry_solvers(self, instance_files, capsys, solver):
+        customers, sites = instance_files
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--solver", solver])
+        assert code == 0
+        assert "MaxBRkNN optimum" in capsys.readouterr().out
+
+    def test_sharded_matches_maxfirst(self, instance_files, capsys):
+        customers, sites = instance_files
+        main(["solve", "--customers", customers, "--sites", sites])
+        first = capsys.readouterr().out.splitlines()[0]
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--solver", "maxfirst-sharded", "--shards", "3",
+                     "--shard-mode", "serial"])
+        assert code == 0
+        second = capsys.readouterr().out.splitlines()[0]
+        assert first.split("score")[1].split()[0] == \
+            second.split("score")[1].split()[0]
+
+    def test_report_to_stdout(self, instance_files, capsys):
+        customers, sites = instance_files
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        assert report["solver"] == "maxfirst"
+        assert set(report["stages"]) <= set(STAGES)
+        assert "search" in report["stages"]
+        assert report["counters"]["generated"] > 0
+
+    def test_report_to_file(self, instance_files, tmp_path, capsys):
+        customers, sites = instance_files
+        report_path = tmp_path / "report.json"
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--solver", "maxoverlap", "--report",
+                     str(report_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["solver"] == "maxoverlap"
+        assert report["counters"]["intersecting_pairs"] > 0
+
+    def test_unknown_solver_rejected(self, instance_files):
+        customers, sites = instance_files
+        with pytest.raises(SystemExit):
+            main(["solve", "--customers", customers, "--sites", sites,
+                  "--solver", "annealing"])
+
+    def test_bad_shard_mode_rejected(self, instance_files):
+        customers, sites = instance_files
+        with pytest.raises(SystemExit):
+            main(["solve", "--customers", customers, "--sites", sites,
+                  "--solver", "maxfirst-sharded", "--shard-mode",
+                  "threads"])
 
 
 class TestGenerate:
