@@ -96,7 +96,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the engine RunReport (per-stage timings "
                             "and counters) as JSON to stdout, or to PATH")
     solve.add_argument("--shards", type=int, default=2,
-                       help="tile count for --solver maxfirst-sharded")
+                       help="tile count for --solver maxfirst-sharded "
+                            "(rounded up to a full near-square grid)")
     solve.add_argument("--shard-mode",
                        choices=("auto", "serial", "process"),
                        default="auto",

@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -107,12 +109,17 @@ _CUT_SHIFT = (math.sqrt(5.0) - 1.0) / 2.0 - 0.5  # ~0.118, irrational
 
 
 def tile_grid(space: Rect, shards: int) -> tuple[Rect, ...]:
-    """Split ``space`` into ``shards`` tiles on a near-square grid.
+    """Split ``space`` into at least ``shards`` tiles on a near-square grid.
 
-    ``shards`` is the total tile count: 2 gives a 2x1 split, 4 a 2x2,
-    9 a 3x3.  The tiles partition the space exactly (shared boundaries,
-    no gaps); interior cut lines sit at ``(i + _CUT_SHIFT) / n`` rather
-    than ``i / n`` — see :data:`_CUT_SHIFT`.
+    The grid is ``nx`` x ``ny`` with ``ny = floor(sqrt(shards))`` and
+    ``nx = ceil(shards / ny)``, and *every* cell is emitted: 2 gives a
+    2x1 split, 4 a 2x2, 9 a 3x3, while counts that do not factor into
+    their grid round up (5 becomes a 3x2 grid of 6 tiles).  Dropping the
+    surplus cells instead would leave part of the space uncovered, and
+    regions living only there would be silently missed.  The tiles
+    partition the space exactly (shared boundaries, no gaps); interior
+    cut lines sit at ``(i + _CUT_SHIFT) / n`` rather than ``i / n`` —
+    see :data:`_CUT_SHIFT`.
     """
     if shards < 1:
         raise ValueError("shards must be positive")
@@ -127,8 +134,6 @@ def tile_grid(space: Rect, shards: int) -> tuple[Rect, ...]:
     tiles = []
     for iy in range(ny):
         for ix in range(nx):
-            if len(tiles) == shards:
-                break
             tiles.append(Rect(float(xs[ix]), float(ys[iy]),
                               float(xs[ix + 1]), float(ys[iy + 1])))
     return tuple(tiles)
@@ -140,7 +145,9 @@ class ShardedMaxFirst:
     Parameters
     ----------
     shards:
-        Total tile count (1 degenerates to the single-process solver).
+        Requested tile count (1 degenerates to the single-process
+        solver).  Counts that do not factor into the near-square grid
+        round up to the full grid — see :func:`tile_grid`.
     mode:
         ``"auto"`` (processes when multi-core), ``"serial"``,
         or ``"process"``.
@@ -246,9 +253,11 @@ class ShardedMaxFirst:
         if mode == "process":
             try:
                 return self._execute_processes(nlcs, plan)
-            except (OSError, ImportError) as exc:  # pragma: no cover
-                # Restricted environments (no /dev/shm, no fork): the
-                # serial path computes the identical result.
+            except (OSError, ImportError, BrokenProcessPool,
+                    pickle.PicklingError) as exc:  # pragma: no cover
+                # Restricted environments (no /dev/shm, no fork) and
+                # workers killed mid-run (OOM reaper): the serial path
+                # computes the identical result.
                 if self.mode == "process":
                     raise RuntimeError(
                         f"process-mode sharding unavailable: {exc}"

@@ -39,6 +39,20 @@ class TestTileGrid:
         tiles = tile_grid(Rect(0.0, 0.0, 1.0, 1.0), 2)
         assert len(tiles) == 2
 
+    @pytest.mark.parametrize("shards", [3, 5, 7, 11])
+    def test_awkward_counts_round_up_and_cover(self, shards):
+        """Counts that don't factor into the grid must never leave gaps:
+        the full grid is emitted (>= shards tiles) and tiles the space."""
+        space = Rect(0.0, 0.0, 3.0, 2.0)
+        tiles = tile_grid(space, shards)
+        assert len(tiles) >= shards
+        assert sum(t.area for t in tiles) == pytest.approx(space.area)
+        # Probe a lattice of interior points: each must land in a tile.
+        for px in np.linspace(space.xmin, space.xmax, 17):
+            for py in np.linspace(space.ymin, space.ymax, 17):
+                assert any(t.xmin <= px <= t.xmax and t.ymin <= py <= t.ymax
+                           for t in tiles)
+
     def test_invalid_count_rejected(self):
         with pytest.raises(ValueError):
             tile_grid(Rect(0, 0, 1, 1), 0)
@@ -69,7 +83,7 @@ class TestShardedExactness:
     """Sharded runs must be score- and region-identical to the
     single-process batched run (the ISSUE's acceptance criterion)."""
 
-    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("shards", [2, 4, 5])
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_serial_identity(self, shards, seed):
         problem = _problem(70, 8, k=2, seed=seed)
@@ -95,6 +109,21 @@ class TestShardedExactness:
         assert result.score == single.score
         assert _region_keys(result) == _region_keys(single)
 
+    def test_corner_cluster_awkward_shard_count(self):
+        """Regression: with shards=5 the old grid dropped its last cell,
+        so mass clustered in the top-right corner was never searched and
+        the sharded score fell below the true optimum."""
+        rng = np.random.default_rng(17)
+        customers = np.column_stack(
+            [rng.uniform(0.8, 1.0, 40), rng.uniform(0.8, 1.0, 40)])
+        sites = np.column_stack(
+            [rng.uniform(0.0, 1.0, 6), rng.uniform(0.0, 1.0, 6)])
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        single = MaxFirst().solve(problem)
+        result = ShardedMaxFirst(shards=5, mode="serial").solve(problem)
+        assert result.score == single.score
+        assert _region_keys(result) == _region_keys(single)
+
     def test_one_shard_degenerates_to_single(self):
         problem = _problem(50, 6, seed=2)
         single = MaxFirst().solve(problem)
@@ -114,6 +143,38 @@ class TestShardedExactness:
         nlcs = build_nlcs(problem)
         with pytest.raises(ValueError, match="empty"):
             ShardedMaxFirst(shards=2).solve_nlcs(nlcs)
+
+
+class TestProcessFallback:
+    """A pool that breaks mid-run (worker OOM-killed) must degrade to the
+    identical serial computation in auto mode, and surface a clear error
+    when processes were explicitly requested."""
+
+    @staticmethod
+    def _break_pool(monkeypatch, solver):
+        from concurrent.futures.process import BrokenProcessPool
+
+        def boom(nlcs, plan):
+            raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(solver, "_execute_processes", boom)
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+
+    def test_auto_mode_falls_back_serial(self, monkeypatch):
+        problem = _problem(50, 6, seed=4)
+        single = MaxFirst().solve(problem)
+        solver = ShardedMaxFirst(shards=4, mode="auto")
+        self._break_pool(monkeypatch, solver)
+        result = solver.solve(problem)
+        assert result.score == single.score
+        assert _region_keys(result) == _region_keys(single)
+
+    def test_explicit_process_mode_raises(self, monkeypatch):
+        problem = _problem(50, 6, seed=4)
+        solver = ShardedMaxFirst(shards=4, mode="process")
+        self._break_pool(monkeypatch, solver)
+        with pytest.raises(RuntimeError, match="unavailable"):
+            solver.solve(problem)
 
 
 class TestBoundExchange:
