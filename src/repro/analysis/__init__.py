@@ -1,0 +1,55 @@
+"""Exactness linter: the codebase's correctness invariants as AST rules.
+
+MaxFirst's headline guarantee is exactness — quadtree descent, sharded
+engine, and compiled kernel must return bit-identical optimal regions —
+and every correctness escape shipped so far was an instance of a
+*statically detectable* pattern.  This package is the mechanical guard:
+
+========  ===================  ===========================================
+code      name                 invariant (motivating bug in parentheses)
+========  ===================  ===========================================
+RPR001    mixed-distance-      one distance-rounding pipeline per module
+          idioms               (PR-1 ``hypot`` vs ``sqrt`` adjacency
+                               divergence)
+RPR002    float-equality       tolerance routes through
+                               :mod:`repro.geometry.tolerance`
+                               (``sampled_best == 0.0`` in verify)
+RPR003    swallowed-           broad handlers re-raise, warn, or carry
+          exceptions           ``# repro: fallback(...)`` (silent kernel
+                               load failures)
+RPR004    mutable-defaults     no shared-object default arguments
+RPR005    registry-drift       registry ↔ docs/api.md ↔ CLI ↔ tests stay
+                               in sync (undocumented shard semantics)
+RPR006    unguarded-kernel-    every native load honours
+          load                 ``REPRO_NO_CKERNEL``
+RPR007    implicit-array-      explicit ``dtype=`` in index/engine
+          dtype                (float64 bit-identity across shards)
+========  ===================  ===========================================
+
+Run it as ``python -m repro.analysis [paths]``; see
+``docs/development.md`` for the pragma syntax and the baseline
+shrink-only policy.  The companion gates — ``mypy --strict`` over
+``repro.geometry``/``repro.core``/``repro.engine`` and a narrow ``ruff``
+tier — are configured in ``pyproject.toml`` and wired into the same CI
+job.
+"""
+
+from repro.analysis.baseline import (
+    load_baseline,
+    split_against_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.linter import lint_file, lint_paths
+from repro.analysis.rules import ALL_RULES, rule_codes
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "rule_codes",
+    "split_against_baseline",
+    "write_baseline",
+]

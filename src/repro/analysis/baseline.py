@@ -1,0 +1,76 @@
+"""Baseline handling: grandfathered findings, monotone-shrink policy.
+
+The checked-in baseline (``lint-baseline.txt`` at the repo root) is a
+multiset of line-insensitive finding keys.  Comparison yields two kinds
+of failure and both gate:
+
+* **new** findings — present in the run, absent from (or exceeding) the
+  baseline: fix them, never add them to the file by hand;
+* **stale** entries — in the baseline but no longer found: the debt was
+  paid, so the entry must be deleted (``--write-baseline``).  This is
+  what makes the baseline shrink monotonically: it can never silently
+  hold more suppressions than reality needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE_NAME = "lint-baseline.txt"
+
+_HEADER = """\
+# repro.analysis baseline — grandfathered findings (one tab-separated
+# `CODE\\tpath\\tmessage` key per line, line numbers excluded on purpose).
+#
+# Policy: this file only shrinks.  New findings must be fixed (or carry
+# an audited pragma), never appended here; entries for fixed findings
+# are removed with `python -m repro.analysis --write-baseline`.
+"""
+
+
+def load_baseline(path: Path | str | None) -> Counter[str]:
+    """The baseline as a multiset of finding keys (empty when no file)."""
+    if path is None:
+        return Counter()
+    path = Path(path)
+    if not path.is_file():
+        return Counter()
+    keys: Counter[str] = Counter()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        keys[line] += 1
+    return keys
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> None:
+    """Regenerate ``path`` from ``findings`` (sorted, with header)."""
+    keys = sorted(f.baseline_key() for f in findings)
+    body = _HEADER + "".join(key + "\n" for key in keys)
+    Path(path).write_text(body, encoding="utf-8")
+
+
+def split_against_baseline(
+        findings: list[Finding], baseline: Counter[str],
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition a run against the baseline.
+
+    Returns ``(new, grandfathered, stale)``: findings that must be
+    fixed, findings the baseline covers, and baseline keys whose
+    findings no longer exist (the file must shrink).
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(remaining.elements())
+    return new, grandfathered, stale

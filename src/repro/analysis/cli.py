@@ -1,0 +1,152 @@
+"""``python -m repro.analysis`` — the exactness linter's command line.
+
+Exit codes: ``0`` clean (every finding grandfathered, baseline not
+stale), ``1`` new findings or stale baseline entries or a failed
+mypy/ruff gate, ``2`` usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_against_baseline,
+    write_baseline,
+)
+from repro.analysis.gates import run_mypy_gate, run_ruff_gate
+from repro.analysis.linter import lint_paths
+from repro.analysis.project_rules import find_repo_root
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Exactness linter: this codebase's correctness "
+                    "invariants as mechanical AST rules (RPR001–RPR007).")
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files/directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file (default: lint-baseline.txt "
+                             "at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from this run "
+                             "(shrink-only policy: review the diff)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    parser.add_argument("--typing", action="store_true",
+                        help="also run the mypy --strict and ruff gates "
+                             "(skipped when not installed)")
+    return parser
+
+
+def _split_codes(raw: str | None) -> tuple[str, ...] | None:
+    if raw is None:
+        return None
+    codes = tuple(code.strip().upper() for code in raw.split(",")
+                  if code.strip())
+    known = {rule.code for rule in ALL_RULES} | {"RPR000", "RPR005"}
+    unknown = [code for code in codes if code not in known]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown rule code(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}")
+    return codes
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Path(args.baseline)
+    root = find_repo_root(Path.cwd())
+    if root is not None:
+        return root / DEFAULT_BASELINE_NAME
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("RPR000 internal        parse failures and malformed "
+              "`# repro:` pragmas")
+        for rule in ALL_RULES:
+            print(f"{rule.code} {rule.name:<22} {rule.summary}")
+        print("RPR005 registry-drift         registry vs docs/api.md, "
+              "CLI --solver, and test coverage")
+        return 0
+
+    try:
+        select = _split_codes(args.select)
+        ignore = _split_codes(args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    try:
+        findings = lint_paths(args.paths, select=select, ignore=ignore)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline(args)
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: no baseline path (pass --baseline FILE)",
+                  file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, findings)
+        print(f"baseline written: {baseline_path} "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, grandfathered, stale = split_against_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(json.dumps({
+            "new": [vars(f) for f in new],
+            "grandfathered": [vars(f) for f in grandfathered],
+            "stale_baseline": stale,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for key in stale:
+            print(f"stale baseline entry (finding fixed — delete it, "
+                  f"see --write-baseline): {key}")
+        summary = (f"{len(new)} new finding(s), "
+                   f"{len(grandfathered)} grandfathered, "
+                   f"{len(stale)} stale baseline entr(y/ies)")
+        print(summary, file=sys.stderr)
+
+    failed = bool(new or stale)
+
+    if args.typing:
+        gates = [run_mypy_gate(), run_ruff_gate(args.paths)]
+        for gate in gates:
+            status = ("skipped" if gate.skipped
+                      else "ok" if gate.ok else "FAILED")
+            print(f"[{gate.name}] {status}", file=sys.stderr)
+            if gate.output and not gate.ok:
+                print(gate.output)
+            failed = failed or not gate.ok
+
+    return 1 if failed else 0

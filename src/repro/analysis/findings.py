@@ -1,0 +1,32 @@
+"""Finding records produced by the exactness linter.
+
+A :class:`Finding` pins a rule violation to a file and line.  Its
+:meth:`Finding.baseline_key` deliberately *excludes* the line and column:
+grandfathered findings must survive unrelated edits that shift lines, so
+the baseline matches on ``(code, path, message)`` only.  Rule authors
+therefore keep messages stable — no line numbers or volatile values
+inside the message text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one site."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def baseline_key(self) -> str:
+        """Line-insensitive identity used for baseline matching."""
+        return f"{self.code}\t{self.path}\t{self.message}"
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the one-line text format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

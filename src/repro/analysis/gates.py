@@ -1,0 +1,57 @@
+"""Strict-typing and generic-lint gates: thin wrappers over mypy / ruff.
+
+The domain rules live in :mod:`repro.analysis.rules`; mypy and ruff
+cover what a bespoke pass should not reimplement (type flow, undefined
+names).  Both tools are *optional* dependencies (the ``lint`` extra):
+when one is not importable the gate reports ``skipped`` instead of
+failing, so `python -m repro.analysis --typing` degrades gracefully on a
+bare install while CI — which installs the extra — gets the full gate.
+
+Configuration lives in ``pyproject.toml`` (``[tool.mypy]`` is strict
+mode plus documented per-module relaxations; ``[tool.ruff]`` is the
+narrow syntax/undefined-name tier) so local runs match CI exactly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one external gate run."""
+
+    name: str
+    skipped: bool
+    returncode: int
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        return self.skipped or self.returncode == 0
+
+
+def _run_tool(name: str, module: str, argv: list[str]) -> GateResult:
+    if importlib.util.find_spec(module) is None:
+        return GateResult(name=name, skipped=True, returncode=0,
+                          output=f"{name}: skipped ({module} is not "
+                                 "installed; `pip install repro[lint]`)")
+    # repro: unguarded-load(developer-tooling shell-out; no kernel bit-identity contract applies)
+    proc = subprocess.run([sys.executable, "-m", module, *argv],
+                          capture_output=True, text=True)
+    output = (proc.stdout + proc.stderr).strip()
+    return GateResult(name=name, skipped=False,
+                      returncode=proc.returncode, output=output)
+
+
+def run_mypy_gate() -> GateResult:
+    """``mypy --strict`` over the typed packages (config in pyproject)."""
+    return _run_tool("mypy", "mypy", ["--strict"])
+
+
+def run_ruff_gate(paths: list[str]) -> GateResult:
+    """``ruff check`` with the pyproject configuration."""
+    return _run_tool("ruff", "ruff", ["check", *paths])

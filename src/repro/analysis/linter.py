@@ -1,0 +1,71 @@
+"""The linter driver: files → contexts → rules → findings.
+
+:func:`lint_paths` is the programmatic entry point (the CLI and the test
+suite both call it): it walks the requested paths, runs every applicable
+per-module rule plus the project-level registry cross-check, and returns
+the findings sorted by location.  Baseline arithmetic is the caller's
+job (:mod:`repro.analysis.baseline`), so library users can inspect raw
+findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.loader import iter_python_files, load_module
+from repro.analysis.project_rules import check_registry_drift, find_repo_root
+from repro.analysis.rules import rules_for_module
+
+
+def lint_file(path: Path | str, *, relpath: str | None = None,
+              is_test: bool | None = None,
+              select: Iterable[str] | None = None,
+              ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one file with the per-module rules (no project checks)."""
+    path = Path(path)
+    try:
+        module = load_module(path, relpath=relpath, is_test=is_test)
+    except SyntaxError as exc:
+        shown = relpath or path.as_posix()
+        return [Finding(path=shown, line=exc.lineno or 1, col=1,
+                        code="RPR000",
+                        message=f"file does not parse: {exc.msg}")]
+    findings = list(module.pragma_findings())
+    for rule in rules_for_module(module, select=select, ignore=ignore):
+        findings.extend(rule.check(module))
+    return findings
+
+
+def lint_paths(paths: Sequence[Path | str], *,
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None,
+               project_checks: bool = True) -> list[Finding]:
+    """Lint every python file under ``paths``; sorted findings.
+
+    ``project_checks=False`` restricts the run to per-module rules —
+    fixture tests use it to keep runs hermetic.
+    """
+    select = tuple(select) if select else None
+    ignore = tuple(ignore) if ignore else None
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select, ignore=ignore))
+
+    if project_checks and _code_enabled("RPR005", select, ignore):
+        roots = {find_repo_root(Path(p)) for p in paths}
+        roots.discard(None)
+        for root in sorted(roots, key=str):
+            assert root is not None
+            findings.extend(check_registry_drift(root))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def _code_enabled(code: str, select: tuple[str, ...] | None,
+                  ignore: tuple[str, ...] | None) -> bool:
+    if select is not None and code not in select:
+        return False
+    return not (ignore and code in ignore)

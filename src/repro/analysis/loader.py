@@ -1,0 +1,118 @@
+"""File discovery and per-module analysis context.
+
+The linter operates on :class:`ModuleContext` objects: parsed source plus
+the metadata rules key off — display path, pragma table, and whether the
+module is test code (some rules exempt tests; see each rule's docstring).
+
+Directory traversal skips ``fixtures`` directories by default: the rule
+fixtures under ``tests/analysis/fixtures`` contain *deliberate*
+violations.  Explicitly passing a fixture file still lints it — that is
+how the fixture tests drive the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PRAGMA_TAGS, Pragma, parse_pragmas
+
+#: Directory names never descended into during traversal.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".venv", "venv", "build", "dist",
+    ".mypy_cache", ".ruff_cache", ".pytest_cache", "fixtures",
+})
+
+
+@dataclass
+class ModuleContext:
+    """Everything a per-module rule needs to know about one file."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    lines: list[str]
+    pragmas: list[Pragma] = field(default_factory=list)
+    is_test: bool = False
+
+    def suppressed(self, line: int, tag: str) -> bool:
+        """True when a matching pragma sits on ``line`` or just above.
+
+        A malformed pragma (empty reason) never suppresses — it is
+        reported via :meth:`pragma_findings` instead.
+        """
+        return any(p.tag == tag and p.reason and p.line in (line, line - 1)
+                   for p in self.pragmas)
+
+    def pragma_findings(self) -> Iterator[Finding]:
+        """Malformed pragmas: unknown tag or missing reason (RPR000)."""
+        for p in self.pragmas:
+            if p.tag not in PRAGMA_TAGS:
+                yield Finding(
+                    path=self.relpath, line=p.line, col=1, code="RPR000",
+                    message=(f"unknown pragma tag {p.tag!r}; known tags: "
+                             + ", ".join(sorted(PRAGMA_TAGS))))
+            elif not p.reason:
+                yield Finding(
+                    path=self.relpath, line=p.line, col=1, code="RPR000",
+                    message=(f"pragma {p.tag!r} needs a non-empty reason: "
+                             "every suppression carries its audit "
+                             "rationale in-line"))
+
+
+def _default_is_test(path: Path) -> bool:
+    name = path.name
+    if name.startswith(("test_", "conftest", "bench_")):
+        return True
+    parts = path.parts
+    return "tests" in parts and "fixtures" not in parts
+
+
+def load_module(path: Path | str, *, relpath: str | None = None,
+                is_test: bool | None = None) -> ModuleContext:
+    """Parse ``path`` into a :class:`ModuleContext`.
+
+    ``relpath`` overrides the display path (fixture tests use this to
+    place a fixture "inside" a scoped package, e.g. ``repro/index``);
+    ``is_test`` overrides test-module detection the same way.
+
+    Raises :class:`SyntaxError` when the file does not parse — the
+    driver converts that into an ``RPR000`` finding.
+    """
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    if relpath is None:
+        try:
+            relpath = path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+    if is_test is None:
+        is_test = _default_is_test(Path(relpath))
+    return ModuleContext(path=path, relpath=relpath, tree=tree,
+                         lines=lines, pragmas=parse_pragmas(lines),
+                         is_test=is_test)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths``, sorted, fixtures excluded.
+
+    Files named explicitly are always yielded, even inside an excluded
+    directory; only *traversal* honours :data:`SKIP_DIRS`.
+    """
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            yield p
+            continue
+        if not p.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        for sub in sorted(p.rglob("*.py")):
+            relative = sub.relative_to(p)
+            if any(part in SKIP_DIRS for part in relative.parts[:-1]):
+                continue
+            yield sub

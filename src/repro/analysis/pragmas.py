@@ -1,0 +1,56 @@
+"""Audit pragmas: ``# repro: <tag>(<reason>)``.
+
+A pragma is this codebase's equivalent of ``noqa`` — except it is *typed*
+(each tag suppresses exactly one rule, never a blanket waiver) and it
+*requires a reason*: a pragma with empty parentheses is itself reported
+as malformed, because the whole point is that every suppressed site
+carries its audit rationale in-line.
+
+A pragma applies to the line it sits on, or — when written as a comment
+line of its own — to the following line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: tag → rule code it suppresses.
+PRAGMA_TAGS: dict[str, str] = {
+    "distance-form": "RPR001",
+    "float-eq": "RPR002",
+    "fallback": "RPR003",
+    "mutable-default": "RPR004",
+    "registry-drift": "RPR005",
+    "unguarded-load": "RPR006",
+    "dtype": "RPR007",
+}
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<tag>[a-z][a-z0-9-]*)\s*\(\s*(?P<reason>[^)]*?)\s*\)")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma occurrence."""
+
+    line: int  # 1-based source line the comment sits on
+    tag: str
+    reason: str
+
+    @property
+    def code(self) -> str | None:
+        """The rule code this pragma suppresses (None when unknown)."""
+        return PRAGMA_TAGS.get(self.tag)
+
+
+def parse_pragmas(lines: list[str]) -> list[Pragma]:
+    """All ``# repro:`` pragmas in ``lines`` (1-based line numbers)."""
+    found: list[Pragma] = []
+    for lineno, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        for match in _PRAGMA_RE.finditer(text):
+            found.append(Pragma(line=lineno, tag=match.group("tag"),
+                                reason=match.group("reason")))
+    return found

@@ -1,0 +1,149 @@
+"""RPR005 — registry/docs drift: the project-level cross-check.
+
+Unlike the per-module AST rules, this rule sees the whole repository: it
+loads the live solver registry (:mod:`repro.engine.registry`) and
+cross-checks it against the documentation, the CLI, and the test suite.
+The sharded-grid bug shipped in PR 2 precisely because a behavioural
+contract (every requested shard covered) lived only in prose; this rule
+makes the *name-level* contracts mechanical:
+
+* every registered solver is documented in ``docs/api.md``;
+* every registered solver is offered by the CLI ``--solver`` choices;
+* every registered solver name appears somewhere in ``tests/`` (a solver
+  nobody exercises has undeclared capabilities);
+* declared capabilities match what tests exercise: ``exact=True``
+  requires the cross-solver agreement suite (it selects on
+  ``exact_only=True``), and ``supports_top_t=True`` requires a test that
+  names the solver *and* mentions ``top_t``.
+
+The checks are name-level heuristics on purpose — they catch drift, not
+semantics; the agreement tests themselves prove the semantics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+
+REGISTRY_REL = "src/repro/engine/registry.py"
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """Nearest ancestor of ``start`` holding a ``pyproject.toml``."""
+    for candidate in (start, *start.resolve().parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def _registration_line(registry_source: str, name: str) -> int:
+    """Best-effort line of ``name``'s registration for finding anchors."""
+    needle = f'"{name}"'
+    for lineno, line in enumerate(registry_source.splitlines(), start=1):
+        if needle in line and "register_solver" in registry_source:
+            return lineno
+    return 1
+
+
+def _cli_solver_choices() -> tuple[str, ...] | None:
+    """The ``--solver`` choices the CLI actually offers, or None."""
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    for action in parser._actions:  # noqa: SLF001 — argparse introspection
+        if not hasattr(action, "choices") or not isinstance(
+                action.choices, dict):
+            continue
+        solve = action.choices.get("solve")
+        if solve is None:
+            continue
+        for sub_action in solve._actions:
+            if "--solver" in getattr(sub_action, "option_strings", ()):
+                choices = sub_action.choices
+                return tuple(choices) if choices is not None else None
+    return None
+
+
+def check_registry_drift(
+        repo_root: Path, *,
+        api_doc: Path | None = None,
+        tests_dir: Path | None = None) -> Iterator[Finding]:
+    """Run the RPR005 cross-checks rooted at ``repo_root``.
+
+    ``api_doc`` and ``tests_dir`` exist so drift tests can point the
+    check at synthetic fixtures; production use passes only the root.
+    """
+    registry_path = repo_root / REGISTRY_REL
+    if not registry_path.is_file():
+        return  # not this repository's layout — rule does not apply
+    api_doc = api_doc or repo_root / "docs" / "api.md"
+    tests_dir = tests_dir or repo_root / "tests"
+    relpath = REGISTRY_REL
+    registry_source = registry_path.read_text(encoding="utf-8")
+
+    from repro.engine.registry import get_solver_spec, solver_names
+
+    names = solver_names()
+    doc_text = (api_doc.read_text(encoding="utf-8")
+                if api_doc.is_file() else "")
+
+    test_texts: dict[str, str] = {}
+    if tests_dir.is_dir():
+        for test_file in sorted(tests_dir.rglob("*.py")):
+            if "fixtures" in test_file.parts:
+                continue
+            test_texts[str(test_file)] = test_file.read_text(
+                encoding="utf-8", errors="replace")
+    all_tests = "\n".join(test_texts.values())
+
+    cli_choices = _cli_solver_choices()
+
+    for name in names:
+        spec = get_solver_spec(name)
+        line = _registration_line(registry_source, name)
+
+        if name not in doc_text:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"solver '{name}' is registered but absent from "
+                         f"docs/api.md — document it (name, capabilities,"
+                         " options)"))
+
+        if cli_choices is not None and name not in cli_choices:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"solver '{name}' is registered but missing "
+                         "from the CLI --solver choices"))
+
+        if name not in all_tests:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"solver '{name}' is registered but never named "
+                         "in tests/ — declared capabilities are "
+                         "unexercised"))
+            continue  # the capability checks below would double-report
+
+        caps = spec.capabilities
+        if caps.exact and "exact_only=True" not in all_tests:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"solver '{name}' declares exact=True but no "
+                         "test selects solver_names(exact_only=True) — "
+                         "the cross-solver agreement suite is the "
+                         "mechanical witness for exactness"))
+        if caps.supports_top_t and not any(
+                name in text and "top_t" in text
+                for text in test_texts.values()):
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"solver '{name}' declares supports_top_t=True "
+                         "but no test exercises top_t with it"))
+
+    if cli_choices is None:
+        yield Finding(
+            path=relpath, line=1, col=1, code="RPR005",
+            message=("could not introspect the CLI --solver choices "
+                     "(argparse layout changed?) — RPR005 cannot verify "
+                     "the CLI surface"))

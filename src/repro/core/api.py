@@ -7,14 +7,22 @@ control surface lives on the solver classes (resolved by name through
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+from repro.core.probability import ProbabilityLike
 from repro.core.problem import MaxBRkNNProblem
 from repro.core.result import MaxBRkNNResult
 from repro.geometry.point import Point
 
+if TYPE_CHECKING:  # engine imports stay lazy at runtime (circularity)
+    from repro.engine.report import RunReport
 
-def find_optimal_regions(customers, sites, k: int = 1, weights=None,
-                         probability=None, solver: str = "maxfirst",
-                         **solver_options) -> MaxBRkNNResult:
+
+def find_optimal_regions(customers: Any, sites: Any, k: int = 1,
+                         weights: Any = None,
+                         probability: ProbabilityLike = None,
+                         solver: str = "maxfirst",
+                         **solver_options: Any) -> MaxBRkNNResult:
     """Solve a (generalized) MaxBRkNN instance.
 
     Parameters
@@ -51,9 +59,11 @@ def find_optimal_regions(customers, sites, k: int = 1, weights=None,
     return create_solver(solver, **solver_options).solve(problem)
 
 
-def find_optimal_location(customers, sites, k: int = 1, weights=None,
-                          probability=None, solver: str = "maxfirst",
-                          **solver_options) -> Point:
+def find_optimal_location(customers: Any, sites: Any, k: int = 1,
+                          weights: Any = None,
+                          probability: ProbabilityLike = None,
+                          solver: str = "maxfirst",
+                          **solver_options: Any) -> Point:
     """Like :func:`find_optimal_regions` but returns one concrete optimal
     location (a representative point of the best region)."""
     result = find_optimal_regions(customers, sites, k=k, weights=weights,
@@ -62,9 +72,10 @@ def find_optimal_location(customers, sites, k: int = 1, weights=None,
     return result.optimal_location()
 
 
-def solve_with_report(customers, sites, k: int = 1, weights=None,
-                      probability=None, solver: str = "maxfirst",
-                      **solver_options):
+def solve_with_report(
+        customers: Any, sites: Any, k: int = 1, weights: Any = None,
+        probability: ProbabilityLike = None, solver: str = "maxfirst",
+        **solver_options: Any) -> tuple[MaxBRkNNResult, RunReport]:
     """Like :func:`find_optimal_regions` but through the staged engine
     pipeline: returns ``(result, report)`` where ``report`` is the
     :class:`~repro.engine.report.RunReport` with per-stage timings and

@@ -16,12 +16,32 @@ backend ablation benchmark); they differ only in constant factors.
 
 from __future__ import annotations
 
+from typing import Protocol
+
 import numpy as np
 
 from repro.core.quadrant import Quadrant
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
 from repro.index.rtree import RTree
+
+
+class ClassificationBackend(Protocol):
+    """The contract both backends (and the sharded engine's bound-synced
+    wrapper) satisfy: candidate seeding plus scalar/batched quadrant
+    classification."""
+
+    def root_candidates(self) -> np.ndarray:
+        ...
+
+    def classify(self, rect: Rect, parent_candidates: np.ndarray,
+                 depth: int) -> Quadrant:
+        ...
+
+    def classify_batch(self, rects: list[Rect],
+                       parent_candidates: np.ndarray,
+                       depth: int) -> list[Quadrant]:
+        ...
 
 
 class VectorBackend:
@@ -138,7 +158,8 @@ class RTreeBackend:
                 for rect in rects]
 
 
-def make_backend(name: str, nlcs: CircleSet, graze_tol: float = 0.0):
+def make_backend(name: str, nlcs: CircleSet,
+                 graze_tol: float = 0.0) -> ClassificationBackend:
     """Backend factory: ``"vector"`` (default) or ``"rtree"``."""
     if name == "vector":
         return VectorBackend(nlcs, graze_tol=graze_tol)

@@ -10,6 +10,7 @@ implementation of Definitions 3/4 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -78,7 +79,7 @@ class InfluenceEvaluator:
                                   total=float(scores.sum()),
                                   customers=customers)
 
-    def rank_candidates(self, candidates) -> list[InfluenceBreakdown]:
+    def rank_candidates(self, candidates: Any) -> list[InfluenceBreakdown]:
         """Score a batch of ``(x, y)`` candidates, best first.
 
         Ties are broken by candidate order, so the ranking is

@@ -44,9 +44,11 @@ import itertools
 import os
 import time
 
+from typing import Callable, Iterable
+
 import numpy as np
 
-from repro.core.bounds import make_backend
+from repro.core.bounds import ClassificationBackend, make_backend
 from repro.core.nlc import build_nlcs, nlc_space
 from repro.core.problem import MaxBRkNNProblem
 from repro.core.quadrant import MaxFirstStats, Quadrant, _MutableStats
@@ -55,6 +57,7 @@ from repro.core.region import compute_optimal_region
 from repro.core.result import MaxBRkNNResult
 from repro.geometry.circle import circle_circle_intersection
 from repro.geometry.intersection import disks_common_point
+from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
 
@@ -157,7 +160,7 @@ class _FoundCovers:
         return False
 
     def any_superset(self, containing: np.ndarray,
-                     clique) -> bool:
+                     clique: Iterable[int]) -> bool:
         """True when some found cover contains ``Q.C ∪ clique`` — the
         generalized Theorem 3 used by the compatibility refinement."""
         if not self._keys:
@@ -344,8 +347,10 @@ class MaxFirst:
     # ------------------------------------------------------------------ #
 
     def run_phase1(self, nlcs: CircleSet, space: Rect, *,
-                   backend=None, resolution: float | None = None,
-                   initial_bound: float = 0.0, bound_sync=None,
+                   backend: ClassificationBackend | None = None,
+                   resolution: float | None = None,
+                   initial_bound: float = 0.0,
+                   bound_sync: Callable[[float], float] | None = None,
                    sync_interval: int = 0
                    ) -> tuple[list[Quadrant], float, MaxFirstStats]:
         """Public staged entry to Phase I (the engine layer's hook).
@@ -378,8 +383,10 @@ class MaxFirst:
         return accepted, max_min, stats.freeze()
 
     def _phase1(self, nlcs: CircleSet, space: Rect, *,
-                backend=None, resolution: float | None = None,
-                initial_bound: float = 0.0, bound_sync=None,
+                backend: ClassificationBackend | None = None,
+                resolution: float | None = None,
+                initial_bound: float = 0.0,
+                bound_sync: Callable[[float], float] | None = None,
                 sync_interval: int = 0
                 ) -> tuple[list[Quadrant], float, _MutableStats]:
         stats = _MutableStats()
@@ -703,7 +710,7 @@ class MaxFirst:
 
     @staticmethod
     def _disks_common_point_arrays(nlcs: CircleSet, boundary: np.ndarray,
-                                   tol: float):
+                                   tol: float) -> Point | None:
         """Array-backed :func:`disks_common_point` over NLC indices.
 
         Same construction — candidate points from the first two

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union, cast
 
 _SUM_TOL = 1e-9
+
+#: Everything :func:`resolve_models` accepts as the user-facing
+#: ``probability`` argument.
+ProbabilityLike = Union[
+    None, "ProbabilityModel", Sequence[float], Sequence["ProbabilityModel"]]
 
 
 @dataclass(frozen=True)
@@ -130,7 +135,7 @@ class ProbabilityModel:
         return ProbabilityModel.normalized(self.probs[:k])
 
 
-def resolve_models(probability, k: int,
+def resolve_models(probability: ProbabilityLike, k: int,
                    n_objects: int) -> list[ProbabilityModel]:
     """Normalise the user-facing ``probability`` argument.
 
@@ -146,16 +151,17 @@ def resolve_models(probability, k: int,
     if isinstance(probability, ProbabilityModel):
         _check_model_size(probability, k)
         return [probability] * n_objects
-    probability = list(probability)
-    if probability and isinstance(probability[0], ProbabilityModel):
-        if len(probability) != n_objects:
+    entries = list(probability)
+    if entries and isinstance(entries[0], ProbabilityModel):
+        models = cast("list[ProbabilityModel]", entries)
+        if len(models) != n_objects:
             raise ValueError(
                 f"per-object models: expected {n_objects} entries, "
-                f"got {len(probability)}")
-        for model in probability:
-            _check_model_size(model, k)
-        return probability
-    model = ProbabilityModel.from_sequence(probability)
+                f"got {len(models)}")
+        for per_object in models:
+            _check_model_size(per_object, k)
+        return models
+    model = ProbabilityModel.from_sequence(cast("Sequence[float]", entries))
     _check_model_size(model, k)
     return [model] * n_objects
 

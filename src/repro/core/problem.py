@@ -9,10 +9,15 @@ assume clean input.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-from repro.core.probability import ProbabilityModel, resolve_models
+from repro.core.probability import (
+    ProbabilityLike,
+    ProbabilityModel,
+    resolve_models,
+)
 from repro.geometry.rect import Rect
 
 
@@ -44,7 +49,7 @@ class MaxBRkNNProblem:
     sites: np.ndarray
     k: int = 1
     weights: np.ndarray | None = None
-    probability: object = None
+    probability: ProbabilityLike = None
     models: list[ProbabilityModel] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -104,7 +109,7 @@ class MaxBRkNNProblem:
                     float(xs.max()), float(ys.max()))
 
 
-def _as_points_array(data, name: str) -> np.ndarray:
+def _as_points_array(data: Any, name: str) -> np.ndarray:
     arr = np.asarray(data, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise ValueError(

@@ -182,6 +182,7 @@ def impact_of_new_site(problem: MaxBRkNNProblem, x: float,
             old = probs[j]
             new = probs[j + 1] if j + 1 < k else 0.0
             loss = weight * (old - new)
+            # repro: float-eq(exact-zero skip is an optimisation only: a zero product means the rank shift changes nothing for this incumbent, and any nonzero loss — however tiny — must be recorded)
             if loss != 0.0:
                 incumbent_losses[incumbent] = (
                     incumbent_losses.get(incumbent, 0.0) + loss)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.result import MaxBRkNNResult
 from repro.core.scoring import neighborhood_score
+from repro.geometry.tolerance import near_zero
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,12 @@ def verify_result(result: MaxBRkNNResult, samples: int = 2_000,
             issues.append(
                 f"sampled location ({xs[j]:.6g}, {ys[j]:.6g}) scores "
                 f"{value:.6g} > claimed optimum {result.score:.6g}")
-    if sampled_best == 0.0 and samples:
+    # "No suspicious sample was evaluated" (or every evaluation rounded
+    # to nothing): report the cheap upper bound as the witness instead of
+    # a misleading hard zero.  near_zero, not ``== 0.0``: neighborhood
+    # scores are sums of weighted probabilities, so a path that *was*
+    # evaluated can legitimately come back as accumulated rounding dust.
+    if near_zero(sampled_best) and samples:
         sampled_best = float(
             min(upper.max(), result.score))
 

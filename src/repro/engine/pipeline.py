@@ -28,6 +28,7 @@ simply lacks their timings.
 from __future__ import annotations
 
 import time
+from typing import Any
 
 from repro.baselines.gridsearch import GridSearch
 from repro.baselines.maxoverlap import MaxOverlap, MaxOverlapResult, \
@@ -44,12 +45,36 @@ from repro.engine.sharded import ShardedMaxFirst
 
 
 class PipelineContext:
-    """Mutable scratch state threaded through the stages of one run."""
+    """Mutable scratch state threaded through the stages of one run.
 
-    def __init__(self, problem: MaxBRkNNProblem) -> None:
+    Beyond the three fixed fields, each pipeline hands stage products to
+    later stages through the declared scratch slots below; they are
+    deliberately loose (``Any``) because their concrete types are
+    per-solver (e.g. ``grid`` is a bucket grid for MaxOverlap and unused
+    elsewhere).
+    """
+
+    # -- stage products (set by one stage, consumed by a later one) ----- #
+    nlcs: Any
+    space: Any
+    resolution: Any
+    backend: Any
+    accepted: Any
+    max_min: Any
+    stats: Any
+    regions: Any
+    plan: Any
+    outputs: Any
+    tol: Any
+    grid: Any
+    search: Any
+    inner: Any
+
+    def __init__(self, problem: MaxBRkNNProblem,
+                 report: RunReport) -> None:
         self.problem = problem
         self.result: MaxBRkNNResult | None = None
-        self.report: RunReport | None = None
+        self.report = report
 
 
 class SolverPipeline:
@@ -64,7 +89,7 @@ class SolverPipeline:
     #: Registry name reported in the RunReport.
     name = "solver"
 
-    def __init__(self, **options) -> None:
+    def __init__(self, **options: Any) -> None:
         self.options = dict(options)
 
     def run(self, problem: MaxBRkNNProblem
@@ -76,8 +101,7 @@ class SolverPipeline:
         report.meta["n_customers"] = problem.n_customers
         report.meta["n_sites"] = problem.n_sites
         report.meta["k"] = problem.k
-        ctx = PipelineContext(problem)
-        ctx.report = report
+        ctx = PipelineContext(problem, report)
         for stage in STAGES:
             if ctx.result is not None and stage != "finalize":
                 continue
@@ -117,7 +141,8 @@ class _NlcStageMixin:
     def _build_nlcs_stage(self, ctx: PipelineContext, *,
                           method: str = "auto",
                           keep_zero_score: bool = False,
-                          degenerate_stats=None) -> None:
+                          degenerate_stats: MaxFirstStats | None = None
+                          ) -> None:
         ctx.nlcs = build_nlcs(ctx.problem, method=method,
                               keep_zero_score=keep_zero_score)
         ctx.report.meta["n_nlcs"] = len(ctx.nlcs)
@@ -340,7 +365,7 @@ class ReferencePipeline(_NlcStageMixin, SolverPipeline):
         report.counters = {"optimal_locations": len(inner.regions)}
 
 
-def _overlap_counters(stats: MaxOverlapStats | None) -> dict:
+def _overlap_counters(stats: MaxOverlapStats | None) -> dict[str, int]:
     if stats is None:
         return {}
     return {

@@ -15,7 +15,7 @@ set with :func:`register_solver` (e.g. a test registering a mock solver).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.baselines.gridsearch import GridSearch
 from repro.baselines.maxoverlap import MaxOverlap
@@ -116,12 +116,12 @@ def solver_names(*, exact_only: bool = False) -> tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def create_solver(name: str, **options) -> Solver:
+def create_solver(name: str, **options: Any) -> Solver:
     """Instantiate the named solver with ``options``."""
     return get_solver_spec(name).factory(**options)
 
 
-def create_pipeline(name: str, **options) -> SolverPipeline:
+def create_pipeline(name: str, **options: Any) -> SolverPipeline:
     """Instantiate the named solver's staged pipeline."""
     spec = get_solver_spec(name)
     if spec.pipeline is None:
@@ -130,7 +130,7 @@ def create_pipeline(name: str, **options) -> SolverPipeline:
 
 
 def run_pipeline(name: str, problem: MaxBRkNNProblem,
-                 **options) -> tuple[MaxBRkNNResult, RunReport]:
+                 **options: Any) -> tuple[MaxBRkNNResult, RunReport]:
     """Resolve, build, and run the named solver's staged pipeline.
 
     The uniform engine entry point: returns the solver's result plus the

@@ -45,13 +45,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.maxfirst import MaxFirst
 from repro.core.nlc import build_nlcs, nlc_space
 from repro.core.problem import MaxBRkNNProblem
-from repro.core.quadrant import MaxFirstStats
+from repro.core.quadrant import MaxFirstStats, Quadrant
 from repro.core.region import compute_optimal_region
 from repro.core.result import MaxBRkNNResult
 from repro.geometry.rect import Rect
@@ -60,7 +61,7 @@ from repro.index.circleset import CircleSet
 _MODES = ("auto", "serial", "process")
 
 # Shared lower-bound cell, installed per worker process by _init_worker.
-_SHARED_BOUND = None
+_SHARED_BOUND: Any = None
 
 
 @dataclass(frozen=True)
@@ -125,9 +126,9 @@ def tile_grid(space: Rect, shards: int) -> tuple[Rect, ...]:
         raise ValueError("shards must be positive")
     ny = max(1, int(math.sqrt(shards)))
     nx = math.ceil(shards / ny)
-    xs = space.xmin + ((np.arange(nx + 1) + _CUT_SHIFT)
+    xs = space.xmin + ((np.arange(nx + 1, dtype=np.float64) + _CUT_SHIFT)
                        * (space.width / nx))
-    ys = space.ymin + ((np.arange(ny + 1) + _CUT_SHIFT)
+    ys = space.ymin + ((np.arange(ny + 1, dtype=np.float64) + _CUT_SHIFT)
                        * (space.height / ny))
     xs[0], xs[-1] = space.xmin, space.xmax
     ys[0], ys[-1] = space.ymin, space.ymax
@@ -164,7 +165,7 @@ class ShardedMaxFirst:
     def __init__(self, shards: int = 2, mode: str = "auto",
                  max_workers: int | None = None,
                  sync_interval: int = 1024,
-                 **maxfirst_options) -> None:
+                 **maxfirst_options: Any) -> None:
         if shards < 1:
             raise ValueError("shards must be positive")
         if mode not in _MODES:
@@ -387,10 +388,13 @@ class _TileBackend:
             return self._inner.root_candidates()
         return self._root
 
-    def classify(self, rect, parent_candidates, depth):
+    def classify(self, rect: Rect, parent_candidates: np.ndarray,
+                 depth: int) -> Quadrant:
         return self._inner.classify(rect, parent_candidates, depth)
 
-    def classify_batch(self, rects, parent_candidates, depth):
+    def classify_batch(self, rects: list[Rect],
+                       parent_candidates: np.ndarray,
+                       depth: int) -> list[Quadrant]:
         return self._inner.classify_batch(rects, parent_candidates, depth)
 
 
@@ -398,7 +402,7 @@ class _TileBackend:
 # Worker-process side
 # ---------------------------------------------------------------------- #
 
-def _init_worker(shared) -> None:
+def _init_worker(shared: Any) -> None:
     global _SHARED_BOUND
     _SHARED_BOUND = shared
 
@@ -414,7 +418,7 @@ def _shared_sync(local: float) -> float:
         return float(shared.value)
 
 
-def _solve_tile_worker(payload) -> _ShardOutput:
+def _solve_tile_worker(payload: tuple[Any, ...]) -> _ShardOutput:
     (cx, cy, r, scores, owners, levels, global_idx, tile_tuple,
      resolution, options, sync_interval) = payload
     local = CircleSet(cx, cy, r, scores, owners=owners, levels=levels)

@@ -13,6 +13,11 @@ MaxFirst and MaxOverlap algorithms need:
   representation of optimal regions (intersections of closed disks).
 * :func:`~repro.geometry.intersection.intersect_disks` — robust
   construction of the intersection of a set of closed disks.
+* :mod:`~repro.geometry.tolerance` — the audited float-comparison
+  helpers (:func:`~repro.geometry.tolerance.float_eq`,
+  :func:`~repro.geometry.tolerance.near_zero`) every tolerance-based
+  comparison in the stack must route through (rule ``RPR002`` of
+  :mod:`repro.analysis`).
 
 The kernel works with plain ``float`` scalars so it has no mandatory numpy
 dependency in the scalar path; the batch (structure-of-arrays) versions of
@@ -29,11 +34,20 @@ from repro.geometry.circle import (
 from repro.geometry.intersection import DisjointDisksError, intersect_disks
 from repro.geometry.point import Point, distance, distance_squared, midpoint
 from repro.geometry.rect import Rect
+from repro.geometry.tolerance import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    float_eq,
+    float_ne,
+    near_zero,
+)
 
 __all__ = [
     "Arc",
     "ArcRegion",
     "Circle",
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_REL_TOL",
     "DisjointDisksError",
     "Point",
     "Rect",
@@ -42,6 +56,9 @@ __all__ = [
     "circle_intersects_rect",
     "distance",
     "distance_squared",
+    "float_eq",
+    "float_ne",
     "intersect_disks",
     "midpoint",
+    "near_zero",
 ]

@@ -8,6 +8,7 @@ bounding boxes stored in the R-tree nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.geometry.point import Point
 
@@ -33,7 +34,7 @@ class Rect:
             )
 
     @classmethod
-    def from_points(cls, points) -> "Rect":
+    def from_points(cls, points: Iterable[tuple[float, float]]) -> "Rect":
         """Bounding box of an iterable of ``(x, y)`` pairs.
 
         Raises ``ValueError`` on an empty iterable.

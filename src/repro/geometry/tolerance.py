@@ -1,0 +1,76 @@
+"""Audited floating-point comparison helpers.
+
+Every tolerance-based float comparison in the solver stack routes through
+the named helpers in this module; raw ``==``/``!=`` on floats is reserved
+for bit-identity assertions and is flagged by the ``RPR002`` rule of
+:mod:`repro.analysis` unless the site carries a
+``# repro: float-eq(<reason>)`` audit pragma.
+
+Two regimes, two helpers:
+
+* :func:`float_eq` — symmetric relative-plus-absolute closeness, for
+  comparing two computed quantities (scores, distances) whose rounding
+  histories differ.
+* :func:`near_zero` — absolute-only closeness to zero, for "did anything
+  accumulate here" checks where a relative tolerance would be meaningless
+  (relative-to-zero is always zero).
+
+The default tolerances are deliberately named constants so call sites can
+reference, widen, or narrow them explicitly instead of sprinkling magic
+``1e-9`` literals.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default relative tolerance for comparing two computed floats.  Chosen
+#: to sit far above the rounding noise of the double-precision pipelines
+#: in this codebase (score sums, distances) while still resolving every
+#: genuinely distinct score the solvers can produce.
+DEFAULT_REL_TOL: float = 1e-9
+
+#: Default absolute tolerance, used near zero where relative tolerance
+#: degenerates.  Scores in this codebase are weighted counts of order
+#: one or larger, so anything below this is accumulated rounding noise.
+DEFAULT_ABS_TOL: float = 1e-12
+
+
+def float_eq(a: float, b: float, *, rel_tol: float = DEFAULT_REL_TOL,
+             abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """True when ``a`` and ``b`` are equal up to the audited tolerances.
+
+    Symmetric (``float_eq(a, b) == float_eq(b, a)``) and safe at zero
+    thanks to the absolute floor::
+
+        >>> float_eq(0.1 + 0.2, 0.3)
+        True
+        >>> float_eq(1.0, 1.0 + 1e-6)
+        False
+        >>> float_eq(0.0, 1e-15)
+        True
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def float_ne(a: float, b: float, *, rel_tol: float = DEFAULT_REL_TOL,
+             abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Negation of :func:`float_eq` with the same audited tolerances."""
+    return not math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def near_zero(x: float, *, tol: float = DEFAULT_ABS_TOL) -> bool:
+    """True when ``x`` is indistinguishable from zero at tolerance ``tol``.
+
+    Absolute-only by design: use this instead of ``x == 0.0`` whenever
+    ``x`` is the result of arithmetic (sums, differences) rather than a
+    value assigned literally::
+
+        >>> near_zero(0.0)
+        True
+        >>> near_zero(5e-13)
+        True
+        >>> near_zero(1e-6)
+        False
+    """
+    return abs(x) <= tol

@@ -3,10 +3,14 @@
 ``_quadkernel.c`` (next to this module) is compiled on first use with the
 system C compiler into a shared library cached under a private per-user
 cache directory, keyed by a hash of the source and compile flags, then
-loaded through :mod:`ctypes`.  Everything is best-effort: any failure —
-no compiler, unwritable cache dir, unsupported platform — degrades to
-``None`` and callers fall back to the pure-numpy batched kernel, which
-computes identical results.
+loaded through :mod:`ctypes`.  Everything is best-effort: an *expected*
+failure — no compiler, unwritable cache dir, unsupported platform, a
+stale or unloadable library — emits a :class:`RuntimeWarning` naming the
+fallback and degrades to ``None``, and callers fall back to the
+pure-numpy batched kernel, which computes identical results.  Unexpected
+exception types propagate: a silent blanket ``except`` here once hid
+real kernel-load bugs behind a quiet 2–3x slowdown (rule ``RPR003`` of
+:mod:`repro.analysis`).
 
 The cache lives under ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``),
 falling back to a uid-suffixed temp subdirectory, created mode 0700 and
@@ -33,6 +37,7 @@ import stat
 import subprocess
 import sys
 import tempfile
+import warnings
 
 _SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "_quadkernel.c")
@@ -117,7 +122,15 @@ def _build(source_path: str) -> str | None:
             check=True, capture_output=True, timeout=120)
         os.chmod(tmp, 0o700)
         os.replace(tmp, lib_path)
-    except Exception:
+    # OSError: compiler missing / cache dir vanished mid-build;
+    # SubprocessError: compile failed or timed out.  Anything else is a
+    # bug and must surface, not silently slow every future run.
+    except (OSError, subprocess.SubprocessError) as exc:
+        # repro: fallback(kernel build failure degrades to the bit-identical numpy batch kernel)
+        warnings.warn(
+            f"quad-split kernel build failed ({exc!r}); falling back to "
+            "the pure-numpy batched kernel (identical results, slower)",
+            RuntimeWarning, stacklevel=2)
         try:
             os.unlink(tmp)
         except OSError:
@@ -153,7 +166,15 @@ def load_quad_kernel():
                     ptr, ptr, ptr, ptr,            # idx mask sc csc out
                     ptr, ptr,                      # counts ccounts
                 ]
-            except Exception:
+            # OSError: CDLL could not load the library; AttributeError:
+            # the expected symbol is missing (stale/foreign .so).
+            except (OSError, AttributeError) as exc:
+                # repro: fallback(kernel load failure degrades to the bit-identical numpy batch kernel)
+                warnings.warn(
+                    f"quad-split kernel load failed ({exc!r}); falling "
+                    "back to the pure-numpy batched kernel (identical "
+                    "results, slower)",
+                    RuntimeWarning, stacklevel=2)
                 fn = None
     _cached = (fn,)
     return fn

@@ -1,0 +1,10 @@
+"""Shared helpers for the exactness-linter tests."""
+
+from pathlib import Path
+
+#: The deliberate-violation fixture files driven by test_rules.py.
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The repository root (pyproject.toml lives here) — the baseline tests
+#: lint the real tree from here.
+REPO_ROOT = Path(__file__).resolve().parents[2]

@@ -1,0 +1,11 @@
+"""RPR000 fixture: malformed audit pragmas."""
+
+
+def unknown_tag(x):
+    # repro: no-such-tag(whatever)
+    return x
+
+
+def empty_reason(x):
+    # repro: float-eq()
+    return x == 0.0

@@ -1,0 +1,15 @@
+"""RPR001 fixture: hypot and sqrt(dx*dx + dy*dy) mixed in one module."""
+
+import math
+
+
+def dist_hypot(dx, dy):
+    return math.hypot(dx, dy)
+
+
+def dist_sqrt(dx, dy):
+    return math.sqrt(dx * dx + dy * dy)  # flagged: other form above
+
+
+def dist_pow(dx, dy):
+    return math.sqrt(dx ** 2 + dy ** 2)  # flagged: pow-squares count too

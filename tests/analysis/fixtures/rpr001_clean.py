@@ -1,0 +1,20 @@
+"""RPR001 clean twin: mixing is fine when audited; lone forms always are."""
+
+import math
+
+
+def dist_hypot(dx, dy):
+    return math.hypot(dx, dy)
+
+
+def chord_height(h2):
+    return math.sqrt(h2)  # sqrt of a plain value is not a distance idiom
+
+
+def scaled(area, n):
+    return math.sqrt(area * 4.0 / n)  # product, not a sum of squares
+
+
+def dist_sqrt_audited(dx, dy):
+    # repro: distance-form(kept in the compiled kernel's rounding order; see DESIGN.md)
+    return math.sqrt(dx * dx + dy * dy)

@@ -1,0 +1,13 @@
+"""RPR002 fixture: raw float equality on computed values."""
+
+
+def is_origin(x):
+    return x == 0.0  # flagged
+
+
+def differs(score):
+    return 1.5 != score  # flagged
+
+
+def chained(a, b):
+    return a == b == 0.5  # flagged (one finding per Compare node)

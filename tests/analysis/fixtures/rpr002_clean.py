@@ -1,0 +1,24 @@
+"""RPR002 clean twin: audited tolerance helpers, int equality, pragmas."""
+
+from repro.geometry.tolerance import float_eq, near_zero
+
+
+def is_origin(x):
+    return near_zero(x)
+
+
+def same_score(a, b):
+    return float_eq(a, b)
+
+
+def count_is_zero(n):
+    return n == 0  # int literal: not a float comparison
+
+
+def ordering(x):
+    return x <= 0.0  # inequalities are fine — only ==/!= are flagged
+
+
+def sentinel(x):
+    # repro: float-eq(sentinel assigned literally upstream, never computed)
+    return x == -1.0

@@ -1,0 +1,22 @@
+"""RPR003 fixture: broad handlers that swallow silently."""
+
+
+def swallow_exception(risky):
+    try:
+        return risky()
+    except Exception:  # flagged: silent
+        return None
+
+
+def swallow_bare(risky):
+    try:
+        return risky()
+    except:  # flagged: bare and silent  # noqa: E722
+        return None
+
+
+def swallow_tuple(risky):
+    try:
+        return risky()
+    except (ValueError, Exception):  # flagged: tuple hides the broad type
+        return None

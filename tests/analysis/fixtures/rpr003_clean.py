@@ -1,0 +1,34 @@
+"""RPR003 clean twin: specific types, re-raise, warn, or audited pragma."""
+
+import warnings
+
+
+def specific(risky):
+    try:
+        return risky()
+    except (OSError, ValueError):  # specific types are always fine
+        return None
+
+
+def reraises(risky):
+    try:
+        return risky()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def warns(risky):
+    try:
+        return risky()
+    except Exception as exc:
+        warnings.warn(f"degrading ({exc!r})", RuntimeWarning,
+                      stacklevel=2)
+        return None
+
+
+def audited(risky):
+    try:
+        return risky()
+    # repro: fallback(best-effort cache warm-up; cold start is correct, only slower)
+    except Exception:
+        return None

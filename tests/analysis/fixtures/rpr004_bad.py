@@ -1,0 +1,18 @@
+"""RPR004 fixture: mutable default arguments."""
+
+
+def append_to(item, items=[]):  # flagged
+    items.append(item)
+    return items
+
+
+def cached(key, cache={}):  # flagged
+    return cache.setdefault(key, key)
+
+
+def keyword_only(*, seen=set()):  # flagged (kw-only defaults too)
+    return seen
+
+
+def built(n, buf=list()):  # flagged (constructor call form)
+    return buf

@@ -1,0 +1,16 @@
+"""RPR004 clean twin: None-plus-assign, immutable defaults."""
+
+
+def append_to(item, items=None):
+    if items is None:
+        items = []
+    items.append(item)
+    return items
+
+
+def immutable(point=(0.0, 0.0), name="origin", k=1):
+    return point, name, k
+
+
+def audited(registry={}):  # repro: mutable-default(process-wide registry by design; see register_solver)
+    return registry

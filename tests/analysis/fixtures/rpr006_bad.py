@@ -1,0 +1,12 @@
+"""RPR006 fixture: native loads with no kernel-gate check in sight."""
+
+import ctypes
+import subprocess
+
+
+def load(path):
+    return ctypes.CDLL(path)  # flagged
+
+
+def build(cmd):
+    subprocess.run(cmd, check=True)  # flagged

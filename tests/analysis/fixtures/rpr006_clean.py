@@ -1,0 +1,16 @@
+"""RPR006 clean twin: the module consults the gate (or audits the site)."""
+
+import ctypes
+import os
+import subprocess
+
+
+def load(path):
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        return None
+    return ctypes.CDLL(path)
+
+
+def build(cmd):
+    # The module-level gate above covers every load site in this file.
+    subprocess.run(cmd, check=True)

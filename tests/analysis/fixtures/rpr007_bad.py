@@ -1,0 +1,10 @@
+"""RPR007 fixture: dtype-less numpy construction (linted as repro.index)."""
+
+import numpy as np
+
+
+def make(n):
+    idx = np.arange(n)  # flagged: infers int64
+    buf = np.zeros(n)  # flagged
+    grid = np.linspace(0.0, 1.0, n)  # flagged
+    return idx, buf, grid

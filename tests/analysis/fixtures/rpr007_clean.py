@@ -1,0 +1,19 @@
+"""RPR007 clean twin: explicit dtypes, non-constructor calls, audit pragma."""
+
+import numpy as np
+
+
+def make(n):
+    idx = np.arange(n, dtype=np.int64)
+    buf = np.zeros(n, dtype=np.float64)
+    return idx, buf
+
+
+def derived(mask, values):
+    # Derived-array helpers carry their input dtype; not constructors.
+    return np.flatnonzero(mask), np.column_stack((values, values))
+
+
+def audited(n):
+    # repro: dtype(probe counter only; never crosses a shard boundary)
+    return np.ones(n)

@@ -1,0 +1,140 @@
+"""The ``python -m repro.analysis`` command line: exit codes, formats."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+from tests.analysis.conftest import FIXTURES, REPO_ROOT
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_bad_fixture_fails(self, capsys):
+        code, out, err = run_cli(
+            [str(FIXTURES / "rpr004_bad.py"), "--no-baseline"], capsys)
+        assert code == 1
+        assert "RPR004" in out
+        assert "4 new finding(s)" in err
+
+    def test_clean_fixture_passes(self, capsys):
+        code, out, err = run_cli(
+            [str(FIXTURES / "rpr004_clean.py"), "--no-baseline"], capsys)
+        assert code == 0
+        assert out == ""
+
+    def test_unknown_rule_code_is_usage_error(self, capsys):
+        code, _, err = run_cli(["--select", "RPR999"], capsys)
+        assert code == 2
+        assert "unknown rule code" in err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code, _, err = run_cli(["definitely/not/here"], capsys)
+        assert code == 2
+        assert "no such file" in err
+
+
+class TestSelectIgnore:
+    def test_select_restricts_rules(self, capsys):
+        code, out, _ = run_cli(
+            [str(FIXTURES / "rpr004_bad.py"), "--no-baseline",
+             "--select", "RPR002"], capsys)
+        assert code == 0 and out == ""
+
+    def test_ignore_silences_rule(self, capsys):
+        code, out, _ = run_cli(
+            [str(FIXTURES / "rpr004_bad.py"), "--no-baseline",
+             "--ignore", "RPR004"], capsys)
+        assert code == 0 and out == ""
+
+
+class TestBaselineFlow:
+    def test_write_then_pass_then_shrink(self, tmp_path, capsys):
+        """Grandfather a finding, pass, fix it, then the stale entry
+        fails the run until the baseline shrinks."""
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        baseline = tmp_path / "baseline.txt"
+
+        code, _, _ = run_cli([str(bad), "--baseline", str(baseline),
+                              "--write-baseline"], capsys)
+        assert code == 0 and baseline.is_file()
+
+        code, out, err = run_cli(
+            [str(bad), "--baseline", str(baseline)], capsys)
+        assert code == 0
+        assert "1 grandfathered" in err
+
+        bad.write_text("def f(xs=None):\n    return xs\n")
+        code, out, err = run_cli(
+            [str(bad), "--baseline", str(baseline)], capsys)
+        assert code == 1
+        assert "stale baseline entry" in out
+
+        code, _, _ = run_cli([str(bad), "--baseline", str(baseline),
+                              "--write-baseline"], capsys)
+        assert code == 0
+        code, _, _ = run_cli([str(bad), "--baseline", str(baseline)],
+                             capsys)
+        assert code == 0
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        baseline = tmp_path / "baseline.txt"
+        run_cli([str(bad), "--baseline", str(baseline),
+                 "--write-baseline"], capsys)
+        bad.write_text(
+            "def f(xs=[]):\n    return xs\n\n"
+            "def g(ys={}):\n    return ys\n")
+        code, out, _ = run_cli([str(bad), "--baseline", str(baseline)],
+                               capsys)
+        assert code == 1
+        assert "RPR004" in out and "'g'" in out
+
+
+class TestOutputFormats:
+    def test_json_format(self, capsys):
+        code, out, _ = run_cli(
+            [str(FIXTURES / "rpr002_bad.py"), "--no-baseline",
+             "--format", "json"], capsys)
+        assert code == 1
+        payload = json.loads(out)
+        assert len(payload["new"]) == 3
+        assert payload["new"][0]["code"] == "RPR002"
+        assert payload["stale_baseline"] == []
+
+    def test_list_rules(self, capsys):
+        code, out, _ = run_cli(["--list-rules"], capsys)
+        assert code == 0
+        for rule_code in ("RPR001", "RPR002", "RPR003", "RPR004",
+                          "RPR005", "RPR006", "RPR007"):
+            assert rule_code in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self):
+        """`python -m repro.analysis` is the documented interface; run
+        it for real, against the whole repo, from the repo root."""
+        env_src = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src", "tests"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin",
+                 "HOME": "/tmp"},
+            timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.fixture(autouse=True)
+def _run_from_repo_root(monkeypatch):
+    """Baseline default resolution walks up from cwd; pin it."""
+    monkeypatch.chdir(REPO_ROOT)

@@ -1,0 +1,63 @@
+"""RPR005: the registry ↔ docs ↔ CLI ↔ tests cross-check."""
+
+from pathlib import Path
+
+from repro.analysis.project_rules import (
+    _cli_solver_choices,
+    check_registry_drift,
+    find_repo_root,
+)
+from repro.engine import solver_names
+
+from tests.analysis.conftest import REPO_ROOT
+
+
+class TestCurrentRepoIsInSync:
+    def test_no_drift_findings(self):
+        assert list(check_registry_drift(REPO_ROOT)) == []
+
+    def test_cli_introspection_sees_every_solver(self):
+        choices = _cli_solver_choices()
+        assert choices is not None
+        assert set(solver_names()) <= set(choices)
+
+    def test_find_repo_root(self):
+        assert find_repo_root(Path(__file__).parent) == REPO_ROOT
+        assert find_repo_root(REPO_ROOT) == REPO_ROOT
+
+
+class TestSyntheticDrift:
+    def test_undocumented_solver_flagged(self, tmp_path):
+        """Strip one solver from a copy of docs/api.md: RPR005 names it."""
+        doc = (REPO_ROOT / "docs" / "api.md").read_text()
+        gutted = tmp_path / "api.md"
+        gutted.write_text(doc.replace("maxfirst-sharded", "redacted"))
+        findings = list(check_registry_drift(REPO_ROOT, api_doc=gutted))
+        assert any("maxfirst-sharded" in f.message
+                   and "docs/api.md" in f.message for f in findings)
+
+    def test_missing_docs_file_flags_every_solver(self, tmp_path):
+        findings = list(check_registry_drift(
+            REPO_ROOT, api_doc=tmp_path / "missing.md"))
+        flagged = {name for name in solver_names()
+                   if any(f"'{name}'" in f.message for f in findings)}
+        assert flagged == set(solver_names())
+
+    def test_unexercised_solver_flagged(self, tmp_path):
+        """An empty tests/ directory: every solver reports as never
+        named, and the capability checks are not double-reported."""
+        empty = tmp_path / "tests"
+        empty.mkdir()
+        findings = list(check_registry_drift(REPO_ROOT, tests_dir=empty))
+        messages = [f.message for f in findings]
+        assert all("never named in tests/" in m or "cannot verify" in m
+                   for m in messages)
+        assert len([m for m in messages if "never named" in m]) == len(
+            solver_names())
+
+    def test_findings_anchor_to_registry(self):
+        findings = list(check_registry_drift(
+            REPO_ROOT, api_doc=Path("/nonexistent/api.md")))
+        assert findings
+        assert all(f.path == "src/repro/engine/registry.py"
+                   and f.code == "RPR005" for f in findings)

@@ -1,0 +1,113 @@
+"""Per-rule fixture tests: known true positives, clean twins, pragmas.
+
+Each rule is exercised against a fixture file with deliberate violations
+(every finding must carry that rule's code, with the expected count) and
+a clean twin that must produce zero findings.  Running the bad fixture
+with the rule ignored must also be clean — proof that the rule, not an
+accident of the driver, produces the findings.
+"""
+
+import pytest
+
+from repro.analysis.linter import lint_file
+from repro.analysis.loader import load_module
+from repro.analysis.rules import ALL_RULES
+
+from tests.analysis.conftest import FIXTURES
+
+# (code, bad fixture, expected finding count, clean twin, pinned relpath)
+CASES = [
+    ("RPR001", "rpr001_bad.py", 2, "rpr001_clean.py", None),
+    ("RPR002", "rpr002_bad.py", 3, "rpr002_clean.py", None),
+    ("RPR003", "rpr003_bad.py", 3, "rpr003_clean.py", None),
+    ("RPR004", "rpr004_bad.py", 4, "rpr004_clean.py", None),
+    ("RPR006", "rpr006_bad.py", 2, "rpr006_clean.py", None),
+    ("RPR007", "rpr007_bad.py", 3, "rpr007_clean.py",
+     "src/repro/index/{name}"),
+]
+
+
+def _lint_fixture(name, relpath_template=None, **kwargs):
+    relpath = (relpath_template.format(name=name)
+               if relpath_template else f"fixtures/{name}")
+    return lint_file(FIXTURES / name, relpath=relpath, is_test=False,
+                     **kwargs)
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "code,bad,count,clean,relpath", CASES,
+        ids=[case[0] for case in CASES])
+    def test_bad_fixture_fires(self, code, bad, count, clean, relpath):
+        findings = _lint_fixture(bad, relpath)
+        assert [f.code for f in findings] == [code] * count
+
+    @pytest.mark.parametrize(
+        "code,bad,count,clean,relpath", CASES,
+        ids=[case[0] for case in CASES])
+    def test_clean_twin_is_clean(self, code, bad, count, clean, relpath):
+        assert _lint_fixture(clean, relpath) == []
+
+    @pytest.mark.parametrize(
+        "code,bad,count,clean,relpath", CASES,
+        ids=[case[0] for case in CASES])
+    def test_ignoring_the_rule_silences_the_fixture(
+            self, code, bad, count, clean, relpath):
+        """The findings come from THIS rule: ignore it and the bad
+        fixture lints clean (the fixture test would fail without the
+        rule, and passes with it)."""
+        assert _lint_fixture(bad, relpath, ignore=[code]) == []
+
+    def test_every_rule_has_a_fixture_case(self):
+        assert {case[0] for case in CASES} == {r.code for r in ALL_RULES}
+
+
+class TestPragmaHygiene:
+    def test_malformed_pragmas_reported_and_do_not_suppress(self):
+        findings = _lint_fixture("rpr000_bad.py")
+        codes = sorted(f.code for f in findings)
+        # unknown tag + empty reason → two RPR000; the empty-reason
+        # pragma must NOT suppress the float equality beneath it.
+        assert codes == ["RPR000", "RPR000", "RPR002"]
+
+    def test_rule_messages_name_their_pragma(self):
+        """Every finding message teaches its escape hatch (or the rule
+        is scope-only like RPR005, tested elsewhere)."""
+        for name in ("rpr001_bad.py", "rpr002_bad.py", "rpr003_bad.py",
+                     "rpr006_bad.py"):
+            relpath = None
+            for finding in _lint_fixture(name, relpath):
+                assert "repro:" in finding.message
+
+
+class TestScoping:
+    def test_rpr002_exempts_test_modules(self):
+        module = load_module(FIXTURES / "rpr002_bad.py",
+                             relpath="tests/test_bitident.py",
+                             is_test=True)
+        findings = lint_file(FIXTURES / "rpr002_bad.py",
+                             relpath="tests/test_bitident.py",
+                             is_test=True)
+        assert module.is_test
+        assert findings == []
+
+    def test_rpr006_exempts_test_modules(self):
+        assert lint_file(FIXTURES / "rpr006_bad.py",
+                         relpath="tests/test_cli.py", is_test=True) == []
+
+    def test_rpr007_scoped_to_index_and_engine(self):
+        outside = lint_file(FIXTURES / "rpr007_bad.py",
+                            relpath="src/repro/bench/runner.py",
+                            is_test=False)
+        assert outside == []
+        inside = lint_file(FIXTURES / "rpr007_bad.py",
+                           relpath="src/repro/engine/sharded.py",
+                           is_test=False)
+        assert {f.code for f in inside} == {"RPR007"}
+
+    def test_syntax_error_becomes_rpr000(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        findings = lint_file(broken, relpath="src/broken.py")
+        assert [f.code for f in findings] == ["RPR000"]
+        assert "does not parse" in findings[0].message

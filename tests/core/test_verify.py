@@ -34,6 +34,51 @@ class TestVerifyHonestResults:
         assert verify_result(result, seed=seed).ok
 
 
+class TestVerifyNearZeroScores:
+    """The sampled_best witness near zero (the RPR002 audit site).
+
+    ``sampled_best`` starts at 0.0 and is only raised by suspicious
+    samples; when none fire (or every evaluation rounds to dust) the
+    report substitutes the cheap upper bound.  That branch must treat
+    accumulated rounding noise like exact zero — it used to test
+    ``sampled_best == 0.0`` and let a 1e-13 residue masquerade as a
+    genuine witness.
+    """
+
+    def test_no_suspicious_samples_reports_upper_bound(
+            self, small_uniform_problem):
+        result = MaxFirst().solve(small_uniform_problem)
+        report = verify_result(result, samples=2_000, seed=1234)
+        # Whether or not any probe fired, the witness is a finite lower
+        # bound, never a silent hard zero (the optimum here is positive).
+        assert result.score > 0
+        assert 0.0 < report.sampled_best <= result.score + 1e-6
+
+    def test_rounding_dust_treated_as_zero(self, small_uniform_problem,
+                                           monkeypatch):
+        """Evaluations that return only rounding dust (≤ DEFAULT_ABS_TOL)
+        must route through near_zero and fall back to the upper bound."""
+        import repro.core.verify as verify_mod
+
+        result = MaxFirst().solve(small_uniform_problem)
+        dust = 5e-13
+        monkeypatch.setattr(verify_mod, "neighborhood_score",
+                            lambda nlcs, x, y, tol=0.0: dust)
+        report = verify_result(result, samples=2_000,
+                               region_probes=0, seed=0)
+        # With every exact evaluation returning dust, the representative
+        # checks fail (expected — scores were faked), but the witness
+        # must NOT be the dust value itself.
+        assert report.sampled_best != dust
+        assert report.sampled_best <= result.score
+
+    def test_zero_samples_keeps_zero_witness(self, small_uniform_problem):
+        result = MaxFirst().solve(small_uniform_problem)
+        report = verify_result(result, samples=0)
+        assert report.sampled_best == 0.0
+        assert report.samples_checked == 0
+
+
 class TestVerifyCatchesLies:
     def test_inflated_score_detected(self, small_uniform_problem):
         result = MaxFirst().solve(small_uniform_problem)

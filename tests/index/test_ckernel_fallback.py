@@ -1,0 +1,92 @@
+"""Tests for the compiled-kernel shim's failure → fallback behaviour.
+
+The build/load handlers are the codebase's first ``RPR003`` true
+positives: they used to swallow every exception silently, so a broken
+compiler or a hijacked library degraded to a quiet 2–3x slowdown with no
+trace.  Expected failures must now (1) catch only the specific
+load/compile error types, (2) warn, naming the numpy fallback, and
+(3) leave unexpected exception types to propagate.
+"""
+
+import ctypes
+import subprocess
+
+import pytest
+
+from repro.index import _ckernel
+
+
+@pytest.fixture
+def cache_home(tmp_path, monkeypatch):
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture
+def fresh_kernel_cache(monkeypatch):
+    """Reset the process-level memo so load_quad_kernel really runs."""
+    monkeypatch.setattr(_ckernel, "_cached", None)
+    monkeypatch.delenv("REPRO_NO_CKERNEL", raising=False)
+
+
+class TestBuildFailureWarns:
+    def test_compile_error_warns_and_degrades(self, cache_home,
+                                              monkeypatch):
+        def boom(*args, **kwargs):
+            raise subprocess.CalledProcessError(1, args[0])
+
+        monkeypatch.setattr(_ckernel.subprocess, "run", boom)
+        with pytest.warns(RuntimeWarning, match="numpy"):
+            assert _ckernel._build(_ckernel._SOURCE) is None
+
+    def test_missing_compiler_warns_and_degrades(self, cache_home,
+                                                 monkeypatch):
+        monkeypatch.setenv("CC", "/nonexistent/compiler-xyz")
+        with pytest.warns(RuntimeWarning, match="build failed"):
+            assert _ckernel._build(_ckernel._SOURCE) is None
+
+    def test_unexpected_error_propagates(self, cache_home, monkeypatch):
+        """A non-build error type is a bug, not a fallback case."""
+        def boom(*args, **kwargs):
+            raise ZeroDivisionError("not a build failure")
+
+        monkeypatch.setattr(_ckernel.subprocess, "run", boom)
+        with pytest.raises(ZeroDivisionError):
+            _ckernel._build(_ckernel._SOURCE)
+
+
+class TestLoadFailureWarns:
+    def test_unloadable_library_warns_and_degrades(
+            self, cache_home, monkeypatch, fresh_kernel_cache, tmp_path):
+        fake = tmp_path / "fake.so"
+        fake.write_bytes(b"\x7fELF not really")
+        fake.chmod(0o700)
+        monkeypatch.setattr(_ckernel, "_build",
+                            lambda source: str(fake))
+        with pytest.warns(RuntimeWarning, match="load failed"):
+            assert _ckernel.load_quad_kernel() is None
+        # The failed load is memoised: no second warning, same result.
+        assert _ckernel.load_quad_kernel() is None
+
+    def test_missing_symbol_warns_and_degrades(
+            self, cache_home, monkeypatch, fresh_kernel_cache):
+        class NoSymbols:
+            def __getattr__(self, name):
+                raise AttributeError(name)
+
+        monkeypatch.setattr(_ckernel, "_build",
+                            lambda source: "whatever.so")
+        monkeypatch.setattr(_ckernel.ctypes, "CDLL",
+                            lambda path: NoSymbols())
+        with pytest.warns(RuntimeWarning, match="numpy"):
+            assert _ckernel.load_quad_kernel() is None
+
+    def test_gate_env_skips_build_entirely(self, monkeypatch,
+                                           fresh_kernel_cache):
+        monkeypatch.setenv("REPRO_NO_CKERNEL", "1")
+
+        def fail(*a, **k):  # any build attempt is a gate violation
+            raise AssertionError("gate bypassed")
+
+        monkeypatch.setattr(_ckernel, "_build", fail)
+        assert _ckernel.load_quad_kernel() is None
