@@ -15,7 +15,9 @@ from typing import Iterable, Sequence
 
 from repro.analysis.findings import Finding
 from repro.analysis.loader import iter_python_files, load_module
-from repro.analysis.project_rules import check_registry_drift, find_repo_root
+from repro.analysis.project_rules import (check_obs_drift,
+                                          check_registry_drift,
+                                          find_repo_root)
 from repro.analysis.rules import rules_for_module
 
 
@@ -59,6 +61,7 @@ def lint_paths(paths: Sequence[Path | str], *,
         for root in sorted(roots, key=str):
             assert root is not None
             findings.extend(check_registry_drift(root))
+            findings.extend(check_obs_drift(root))
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

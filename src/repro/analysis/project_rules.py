@@ -147,3 +147,106 @@ def check_registry_drift(
             message=("could not introspect the CLI --solver choices "
                      "(argparse layout changed?) — RPR005 cannot verify "
                      "the CLI surface"))
+
+
+METRICS_REL = "src/repro/obs/metrics.py"
+OBS_DOC_REL = "docs/observability.md"
+GATE_BASELINE_REL = "bench-baselines/counters_tiny.json"
+
+
+def _key_line(source: str, key: str) -> int:
+    """Best-effort line where ``key`` is declared, for finding anchors."""
+    needle = f'"{key}"'
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    return 1
+
+
+def check_obs_drift(repo_root: Path, *,
+                    obs_doc: Path | None = None,
+                    tests_dir: Path | None = None) -> Iterator[Finding]:
+    """RPR005 for the observability layer: counters ↔ docs ↔ CLI ↔ gate.
+
+    The counter glossary in ``docs/observability.md`` is the contract the
+    perf gate's ±band diffs are read against; a counter nobody documents
+    (or a gated counter nobody emits) silently erodes the gate.  Checks:
+
+    * every ``repro.obs.metrics`` counter and gauge key is documented in
+      ``docs/observability.md``;
+    * the CLI still offers ``--trace`` / ``--trace-format`` (the doc's
+      Perfetto how-to depends on them);
+    * ``repro.obs`` is exercised somewhere in ``tests/``;
+    * the checked-in gate baseline parses and gates only known counters.
+    """
+    metrics_path = repo_root / METRICS_REL
+    if not metrics_path.is_file():
+        return  # not this repository's layout — rule does not apply
+    obs_doc = obs_doc or repo_root / OBS_DOC_REL
+    tests_dir = tests_dir or repo_root / "tests"
+    relpath = METRICS_REL
+    metrics_source = metrics_path.read_text(encoding="utf-8")
+
+    from repro.obs.gate import GATED_COUNTERS
+    from repro.obs.metrics import COUNTER_KEYS, GAUGE_KEYS
+
+    doc_text = (obs_doc.read_text(encoding="utf-8")
+                if obs_doc.is_file() else "")
+    if not doc_text:
+        yield Finding(
+            path=relpath, line=1, col=1, code="RPR005",
+            message=(f"{OBS_DOC_REL} is missing — the counter glossary "
+                     "and gate docs are the contract for repro.obs"))
+    for key in (*COUNTER_KEYS, *GAUGE_KEYS):
+        if doc_text and key not in doc_text:
+            yield Finding(
+                path=relpath, line=_key_line(metrics_source, key),
+                col=1, code="RPR005",
+                message=(f"metric '{key}' is registered in repro.obs but "
+                         f"absent from {OBS_DOC_REL} — add it to the "
+                         "counter glossary"))
+
+    cli_path = repo_root / "src" / "repro" / "cli.py"
+    cli_source = (cli_path.read_text(encoding="utf-8")
+                  if cli_path.is_file() else "")
+    for flag in ("--trace", "--trace-format"):
+        if f'"{flag}"' not in cli_source:
+            yield Finding(
+                path=relpath, line=1, col=1, code="RPR005",
+                message=(f"the CLI no longer offers {flag} — the "
+                         f"{OBS_DOC_REL} trace how-to depends on it"))
+
+    if tests_dir.is_dir():
+        exercised = any("repro.obs" in test_file.read_text(
+                            encoding="utf-8", errors="replace")
+                        for test_file in sorted(tests_dir.rglob("*.py"))
+                        if "fixtures" not in test_file.parts)
+        if not exercised:
+            yield Finding(
+                path=relpath, line=1, col=1, code="RPR005",
+                message=("repro.obs is never imported in tests/ — the "
+                         "tracer/metrics/gate contracts are unexercised"))
+
+    baseline_path = repo_root / GATE_BASELINE_REL
+    if baseline_path.is_file():
+        import json
+
+        try:
+            counters = json.loads(
+                baseline_path.read_text(encoding="utf-8"))["counters"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            yield Finding(
+                path=relpath, line=1, col=1, code="RPR005",
+                message=(f"{GATE_BASELINE_REL} does not parse as a gate "
+                         "baseline ({'counters': {...}}) — regenerate "
+                         "with python -m repro.obs.gate --write-baseline"))
+        else:
+            gated = set(GATED_COUNTERS)
+            for flat_key in counters:
+                name = flat_key.rpartition("/")[2]
+                if name not in gated:
+                    yield Finding(
+                        path=relpath, line=1, col=1, code="RPR005",
+                        message=(f"baseline key '{flat_key}' gates "
+                                 f"unknown counter '{name}' — not in "
+                                 "repro.obs.gate.GATED_COUNTERS"))

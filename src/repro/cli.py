@@ -105,6 +105,16 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--metric", choices=("l2", "l1"), default="l2",
                        help="distance metric: Euclidean (default) or "
                             "Manhattan (exact rectilinear sweep)")
+    solve.add_argument("--trace", default=None, metavar="PATH",
+                       help="record spans during the solve and write a "
+                            "trace to PATH (see docs/observability.md)")
+    solve.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="trace output format: Chrome trace_event "
+                            "JSON for Perfetto (default) or JSON lines")
+    solve.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write the run's observability counters and "
+                            "gauges as a flat metrics.json to PATH")
 
     gen = sub.add_parser("generate", help="generate a point dataset")
     gen.add_argument("--kind", choices=sorted(_GENERATORS),
@@ -149,8 +159,31 @@ def _cmd_solve(args) -> int:
     elif args.solver == "maxfirst-sharded":
         options["shards"] = args.shards
         options["mode"] = args.shard_mode
-    result, report = run_pipeline(args.solver, problem, **options)
+    tracing = args.trace is not None
+    if tracing:
+        from repro.obs.trace import TRACER
+        TRACER.reset(enabled=True)
+    try:
+        result, report = run_pipeline(args.solver, problem, **options)
+    finally:
+        if tracing:
+            TRACER.disable()
     print(result.summary())
+    if tracing:
+        from repro.obs.export import write_chrome_trace, write_spans_jsonl
+        spans = TRACER.finished()
+        if args.trace_format == "chrome":
+            write_chrome_trace(args.trace, spans)
+        else:
+            write_spans_jsonl(args.trace, spans)
+        print(f"trace ({args.trace_format}, {len(spans)} spans) written "
+              f"to {args.trace}")
+    if args.metrics is not None:
+        from repro.obs.export import write_metrics_json
+        write_metrics_json(args.metrics, report.counters, report.gauges,
+                           meta={"solver": report.solver,
+                                 **report.meta})
+        print(f"metrics written to {args.metrics}")
     if args.report is not None:
         if args.report == "-":
             print(report.to_json())

@@ -60,6 +60,7 @@ from repro.geometry.intersection import disks_common_point
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
+from repro.obs.trace import span
 
 # Theorem 3 is load-bearing: without it, quadrants straddling a found
 # region's boundary re-split forever (the boundary is a curve — its
@@ -328,18 +329,19 @@ class MaxFirst:
         tol = self.tie_tol * max(1.0, abs(max_min))
         regions = []
         seen_covers: set[tuple[int, ...]] = set()
-        for quad in accepted:
-            if quad.min_hat < max_min - tol and self.top_t == 1:
-                continue  # superseded (defensive; see module docstring)
-            key = quad.cover_key()
-            if key in seen_covers:
-                continue
-            seen_covers.add(key)
-            regions.append(compute_optimal_region(
-                quad.rect, quad.containing, nlcs, score=quad.min_hat))
-        regions.sort(key=lambda r: -r.score)
-        if self.top_t > 1:
-            regions = _keep_top_t(regions, self.top_t, tol)
+        with span("phase2/build_regions", accepted=len(accepted)):
+            for quad in accepted:
+                if quad.min_hat < max_min - tol and self.top_t == 1:
+                    continue  # superseded (defensive; see module docstring)
+                key = quad.cover_key()
+                if key in seen_covers:
+                    continue
+                seen_covers.add(key)
+                regions.append(compute_optimal_region(
+                    quad.rect, quad.containing, nlcs, score=quad.min_hat))
+            regions.sort(key=lambda r: -r.score)
+            if self.top_t > 1:
+                regions = _keep_top_t(regions, self.top_t, tol)
         return regions
 
     # ------------------------------------------------------------------ #
@@ -376,10 +378,11 @@ class MaxFirst:
             is Theorem-2-sound — the returned value is witnessed by a real
             quadrant in some shard.
         """
-        accepted, max_min, stats = self._phase1(
-            nlcs, space, backend=backend, resolution=resolution,
-            initial_bound=initial_bound, bound_sync=bound_sync,
-            sync_interval=sync_interval)
+        with span("phase1/search", nlcs=len(nlcs)):
+            accepted, max_min, stats = self._phase1(
+                nlcs, space, backend=backend, resolution=resolution,
+                initial_bound=initial_bound, bound_sync=bound_sync,
+                sync_interval=sync_interval)
         return accepted, max_min, stats.freeze()
 
     def _phase1(self, nlcs: CircleSet, space: Rect, *,
@@ -430,7 +433,9 @@ class MaxFirst:
                     max_min = quad.min_hat
             heapq.heappush(heap, (-quad.max_hat, next(counter), quad))
 
-        root = backend.classify(space, backend.root_candidates(), depth=0)
+        with span("phase1/classify_root"):
+            root = backend.classify(space, backend.root_candidates(),
+                                    depth=0)
         push(root)
 
         prev_split: Quadrant | None = None

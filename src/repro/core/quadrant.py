@@ -7,7 +7,7 @@ bounds ``m̂ax = sum(score, Q.I)`` and ``m̂in = sum(score, Q.C)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -128,6 +128,14 @@ class MaxFirstStats:
             "resolution_closed": self.resolution_closed,
             "max_depth": self.max_depth,
         }
+
+
+#: The stable MaxFirst counter-key set, in :meth:`MaxFirstStats.as_dict`
+#: order.  The engine pipelines zero-fill these keys so every RunReport
+#: (including degenerate no-NLC solves) carries the full schema; the
+#: counter-schema test and the perf gate rely on it.
+MAXFIRST_COUNTER_KEYS: tuple[str, ...] = tuple(
+    f.name for f in fields(MaxFirstStats))
 
 
 @dataclass

@@ -41,6 +41,12 @@ import numpy as np
 
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
+from repro.obs import metrics as _obs_metrics
+
+#: Deterministic work counter: pairwise compatibility certificates
+#: evaluated (identical on the scalar and vectorised adjacency builders
+#: — both decide all n·(n-1)/2 pairs).
+_REFINE_PAIR_TESTS = _obs_metrics.counter("refine_pair_tests")
 
 # Above this many boundary disks, skip refinement (the clique bound could
 # get expensive, and large boundary sets mean the quadrant is still fat —
@@ -219,6 +225,7 @@ def refine_quadrant(nlcs: CircleSet, boundary: np.ndarray, rect: Rect,
     n = len(boundary)
     if n < 2 or n > MAX_BOUNDARY_DISKS:
         return None
+    _REFINE_PAIR_TESTS.add(n * (n - 1) // 2)
     if vectorized and n >= _VECTOR_ADJACENCY_MIN:
         adj, any_incompatible = _adjacency_vector(nlcs, boundary, rect, tol)
     else:

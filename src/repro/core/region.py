@@ -20,6 +20,11 @@ from repro.geometry.intersection import intersect_disks
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
+from repro.obs import metrics as _obs_metrics
+
+#: Deterministic work counter: optimal regions grown (one per distinct
+#: cover after Phase II deduplication).
+_REGION_GROWS = _obs_metrics.counter("region_grows")
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,7 @@ def compute_optimal_region(quadrant_rect: Rect, cover: np.ndarray,
     follow the pseudocode; the disk-intersection kernel is
     :func:`repro.geometry.intersection.intersect_disks`.
     """
+    _REGION_GROWS.add()
     cover_tuple = tuple(int(i) for i in cover)
     if not cover_tuple:
         return OptimalRegion(score=score, shape=None,

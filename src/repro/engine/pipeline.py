@@ -27,6 +27,7 @@ simply lacks their timings.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Any
 
@@ -38,10 +39,12 @@ from repro.core.bounds import make_backend
 from repro.core.maxfirst import MaxFirst
 from repro.core.nlc import build_nlcs, nlc_space
 from repro.core.problem import MaxBRkNNProblem
-from repro.core.quadrant import MaxFirstStats
+from repro.core.quadrant import MAXFIRST_COUNTER_KEYS, MaxFirstStats
 from repro.core.result import MaxBRkNNResult
 from repro.engine.report import RunReport, STAGES
 from repro.engine.sharded import ShardedMaxFirst
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 
 class PipelineContext:
@@ -89,6 +92,14 @@ class SolverPipeline:
     #: Registry name reported in the RunReport.
     name = "solver"
 
+    #: The solver's own stable counter-key set (Phase I stats for
+    #: MaxFirst, pair/coverage counts for MaxOverlap, ...).  ``run``
+    #: zero-fills these keys — plus the observability registry's
+    #: :data:`repro.obs.metrics.COUNTER_KEYS` — into every report, so
+    #: degenerate no-NLC instances carry the full schema instead of a
+    #: silently empty dict.
+    counter_keys: tuple[str, ...] = ()
+
     def __init__(self, **options: Any) -> None:
         self.options = dict(options)
 
@@ -102,17 +113,40 @@ class SolverPipeline:
         report.meta["n_sites"] = problem.n_sites
         report.meta["k"] = problem.k
         ctx = PipelineContext(problem, report)
-        for stage in STAGES:
-            if ctx.result is not None and stage != "finalize":
-                continue
-            t0 = time.perf_counter()
-            getattr(self, stage)(ctx)
-            report.record_stage(stage, time.perf_counter() - t0)
+        obs_before = obs_metrics.REGISTRY.snapshot()
+        with span(f"solve/{self.name}"):
+            for stage in STAGES:
+                if ctx.result is not None and stage != "finalize":
+                    continue
+                t0 = time.perf_counter()
+                with span(f"pipeline/{stage}"):
+                    getattr(self, stage)(ctx)
+                report.record_stage(stage, time.perf_counter() - t0)
         if ctx.result is None:
             raise RuntimeError(
                 f"pipeline {self.name!r} finished without a result")
         report.score = ctx.result.score
+        self._drain_observability(report, obs_before)
         return ctx.result, report
+
+    def _drain_observability(self, report: RunReport,
+                             before: dict[str, int]) -> None:
+        """Fold the observability registry into the report.
+
+        The solver's own counter keys stay first and keep their values;
+        the registry's keys follow, zero-filled so the full schema is
+        present even when an instrument never fired (degenerate
+        instances, baseline solvers with no indexed search).
+        """
+        counters: dict[str, float] = dict.fromkeys(self.counter_keys, 0)
+        counters.update(obs_metrics.zeroed_counters())
+        counters.update(report.counters)
+        counters.update(obs_metrics.REGISTRY.delta_since(before))
+        report.counters = counters
+        report.gauges.update(obs_metrics.REGISTRY.gauges_snapshot())
+        rss = _peak_rss_bytes()
+        if rss is not None:
+            report.gauges["peak_rss_bytes"] = rss
 
     # -- default stages (no-ops) --------------------------------------- #
 
@@ -133,6 +167,19 @@ class SolverPipeline:
 
     def finalize(self, ctx: PipelineContext) -> None:
         pass
+
+
+def _peak_rss_bytes() -> float | None:
+    """Process peak resident-set size in bytes, or None where the
+    ``resource`` module is unavailable (non-POSIX platforms)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    scale = 1 if sys.platform == "darwin" else 1024
+    return float(peak * scale)
 
 
 class _NlcStageMixin:
@@ -163,6 +210,7 @@ class MaxFirstPipeline(_NlcStageMixin, SolverPipeline):
     """
 
     name = "maxfirst"
+    counter_keys = MAXFIRST_COUNTER_KEYS
 
     def prepare(self, ctx: PipelineContext) -> None:
         self.solver = MaxFirst(**self.options)
@@ -210,6 +258,7 @@ class ShardedMaxFirstPipeline(_NlcStageMixin, SolverPipeline):
     the shards, ``refine`` merges and grows regions once per cover."""
 
     name = "maxfirst-sharded"
+    counter_keys = MAXFIRST_COUNTER_KEYS
 
     def prepare(self, ctx: PipelineContext) -> None:
         self.solver = ShardedMaxFirst(**self.options)
@@ -258,6 +307,9 @@ class MaxOverlapPipeline(_NlcStageMixin, SolverPipeline):
     """
 
     name = "maxoverlap"
+    counter_keys = ("nlc_count", "candidate_pairs", "intersecting_pairs",
+                    "intersection_points", "coverage_tests",
+                    "distinct_candidates")
 
     def prepare(self, ctx: PipelineContext) -> None:
         self.solver = MaxOverlap(**self.options)
@@ -307,6 +359,7 @@ class GridSearchPipeline(_NlcStageMixin, SolverPipeline):
     """Lattice baseline: the whole scan is the ``search`` stage."""
 
     name = "gridsearch"
+    counter_keys = ("samples",)
 
     def prepare(self, ctx: PipelineContext) -> None:
         self.solver = GridSearch(**self.options)
@@ -339,6 +392,7 @@ class ReferencePipeline(_NlcStageMixin, SolverPipeline):
     """Brute-force ground truth: the refinement scan is ``search``."""
 
     name = "reference"
+    counter_keys = ("optimal_locations",)
 
     def prepare(self, ctx: PipelineContext) -> None:
         self.solver = Reference(**self.options)

@@ -34,6 +34,10 @@ class RunReport:
     meta:
         Instance and configuration facts: sizes, ``k``, solver options,
         shard layout — anything that explains the timings.
+    gauges:
+        Level/high-water measurements from the observability registry
+        (peak RSS, numpy scratch bytes).  Unlike ``counters`` these are
+        *not* deterministic and never enter the CI perf gate.
     score:
         The solve's optimal score (``None`` until finalize).
     """
@@ -42,6 +46,7 @@ class RunReport:
     stages: dict[str, float] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
     score: float | None = None
 
     def record_stage(self, name: str, seconds: float) -> None:
@@ -60,6 +65,7 @@ class RunReport:
             "total_seconds": self.total_seconds,
             "stages": dict(self.stages),
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
             "meta": dict(self.meta),
         }
 

@@ -44,7 +44,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -57,6 +57,13 @@ from repro.core.region import compute_optimal_region
 from repro.core.result import MaxBRkNNResult
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import TRACER, span
+
+#: Deterministic work counters of the sharding layer itself, recorded in
+#: the parent process so serial and process modes count identically.
+_SHARD_TASKS = _obs_metrics.counter("shard_tasks")
+_HALO_ASSIGNMENTS = _obs_metrics.counter("halo_assignments")
 
 _MODES = ("auto", "serial", "process")
 
@@ -88,12 +95,20 @@ class _ShardOutput:
     """One shard's Phase I outcome, normalised for merging.
 
     ``entries`` preserves acceptance order: ``(min_hat, cover, rect)``
-    with ``cover`` as sorted global NLC indices.
+    with ``cover`` as sorted global NLC indices.  ``obs_counters`` /
+    ``obs_gauges`` are the tile's observability-registry deltas (captured
+    under :meth:`MetricsRegistry.isolated` in *both* execution modes, so
+    the counts flow to the parent registry only through :meth:`merge` and
+    never double); ``spans`` carries a worker's finished span records as
+    plain dicts for cross-process ingestion.
     """
 
     entries: list
     max_min: float
     stats: dict
+    obs_counters: dict = field(default_factory=dict)
+    obs_gauges: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
 
 
 # Interior tile cuts are shifted off the round fractions by this fraction
@@ -236,6 +251,8 @@ class ShardedMaxFirst:
                 continue  # nothing can score inside this tile
             kept_tiles.append(tile)
             kept_candidates.append(cand)
+        _HALO_ASSIGNMENTS.add(sum(int(c.shape[0])
+                                  for c in kept_candidates))
         return ShardPlan(space=space, resolution=resolution,
                          tiles=tuple(kept_tiles),
                          candidates=tuple(kept_candidates))
@@ -245,6 +262,7 @@ class ShardedMaxFirst:
         """Run Phase I over every planned tile (serial or processes)."""
         if plan.n_shards == 0:
             return []
+        _SHARD_TASKS.add(plan.n_shards)
         if plan.n_shards == 1 and plan.tiles[0] == plan.space:
             # Degenerate 1-shard plan: exactly the single-process run.
             return [self._run_tile(nlcs, plan.space, plan, None)]
@@ -296,34 +314,55 @@ class ShardedMaxFirst:
                     merged[name] = max(merged.get(name, 0), value)
                 else:
                     merged[name] = merged.get(name, 0) + value
+            # The only route shard counters take into the parent
+            # registry: _run_tile and the process worker both record
+            # under an isolated store, so nothing is double-counted.
+            _obs_metrics.REGISTRY.merge_counts(out.obs_counters)
+            _obs_metrics.REGISTRY.merge_gauges_max(out.obs_gauges)
         return max_min, regions, MaxFirstStats(**merged)
 
     # ------------------------------------------------------------------ #
 
     def _run_tile(self, nlcs: CircleSet, tile: Rect, plan: ShardPlan,
                   bound: "_SerialBound | None",
-                  candidates: np.ndarray | None = None) -> _ShardOutput:
-        """Solve one tile in-process over the full (global-index) set."""
-        solver = MaxFirst(**self.maxfirst_options)
-        initial = bound.get() if bound is not None else 0.0
-        backend = _TileBackend(nlcs, plan.resolution, candidates)
-        accepted, max_min, stats = solver.run_phase1(
-            nlcs, tile, backend=backend, resolution=plan.resolution,
-            initial_bound=initial,
-            bound_sync=bound.sync if bound is not None else None,
-            sync_interval=self.sync_interval if bound is not None else 0)
-        if bound is not None:
-            bound.sync(max_min)
-        entries = [(quad.min_hat, quad.containing, quad.rect)
-                   for quad in accepted]
+                  candidates: np.ndarray | None = None,
+                  shard_index: int = 0) -> _ShardOutput:
+        """Solve one tile in-process over the full (global-index) set.
+
+        Runs under an isolated metrics store so the tile's counter delta
+        ships in the output (and reaches the parent registry only via
+        :meth:`merge`) — the same flow the process mode uses, keeping the
+        two modes' merged counters identical.
+        """
+        with _obs_metrics.REGISTRY.isolated() as box:
+            with span(f"shard/tile{shard_index}", nlcs=(
+                    int(candidates.shape[0]) if candidates is not None
+                    else len(nlcs))):
+                solver = MaxFirst(**self.maxfirst_options)
+                initial = bound.get() if bound is not None else 0.0
+                backend = _TileBackend(nlcs, plan.resolution, candidates)
+                accepted, max_min, stats = solver.run_phase1(
+                    nlcs, tile, backend=backend,
+                    resolution=plan.resolution, initial_bound=initial,
+                    bound_sync=bound.sync if bound is not None else None,
+                    sync_interval=(self.sync_interval
+                                   if bound is not None else 0))
+                if bound is not None:
+                    bound.sync(max_min)
+                entries = [(quad.min_hat, quad.containing, quad.rect)
+                           for quad in accepted]
         return _ShardOutput(entries=entries, max_min=max_min,
-                            stats=stats.as_dict())
+                            stats=stats.as_dict(),
+                            obs_counters=dict(box["counters"]),
+                            obs_gauges=dict(box["gauges"]))
 
     def _execute_serial(self, nlcs: CircleSet,
                         plan: ShardPlan) -> list[_ShardOutput]:
         bound = _SerialBound()
-        return [self._run_tile(nlcs, tile, plan, bound, cand)
-                for tile, cand in zip(plan.tiles, plan.candidates)]
+        return [self._run_tile(nlcs, tile, plan, bound, cand,
+                               shard_index=i)
+                for i, (tile, cand) in enumerate(
+                    zip(plan.tiles, plan.candidates))]
 
     def _execute_processes(self, nlcs: CircleSet,
                            plan: ShardPlan) -> list[_ShardOutput]:
@@ -334,6 +373,7 @@ class ShardedMaxFirst:
         shared = ctx.Value("d", 0.0)
         workers = self.max_workers or min(plan.n_shards,
                                           os.cpu_count() or 1)
+        trace_enabled = TRACER.enabled
         payloads = [
             # SoA buffers: each shard ships only its tile's disks, plus
             # the global indices that keep covers comparable at merge.
@@ -341,12 +381,22 @@ class ShardedMaxFirst:
              nlcs.scores[cand], nlcs.owners[cand], nlcs.levels[cand],
              cand,
              (tile.xmin, tile.ymin, tile.xmax, tile.ymax),
-             plan.resolution, self.maxfirst_options, self.sync_interval)
-            for tile, cand in zip(plan.tiles, plan.candidates)]
+             plan.resolution, self.maxfirst_options, self.sync_interval,
+             i, trace_enabled)
+            for i, (tile, cand) in enumerate(
+                zip(plan.tiles, plan.candidates))]
+        launch_ts = TRACER.now() if trace_enabled else 0.0
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
                                  initializer=_init_worker,
                                  initargs=(shared,)) as pool:
-            return list(pool.map(_solve_tile_worker, payloads))
+            outputs = list(pool.map(_solve_tile_worker, payloads))
+        if trace_enabled:
+            # Splice each worker's spans in as its own pid track,
+            # offset to this process's launch time so the tracks line
+            # up with the surrounding pipeline/search span.
+            for i, out in enumerate(outputs):
+                TRACER.ingest(out.spans, pid=i + 1, ts_offset=launch_ts)
+        return outputs
 
 
 class _SerialBound:
@@ -420,16 +470,30 @@ def _shared_sync(local: float) -> float:
 
 def _solve_tile_worker(payload: tuple[Any, ...]) -> _ShardOutput:
     (cx, cy, r, scores, owners, levels, global_idx, tile_tuple,
-     resolution, options, sync_interval) = payload
-    local = CircleSet(cx, cy, r, scores, owners=owners, levels=levels)
-    tile = Rect(*tile_tuple)
-    solver = MaxFirst(**options)
-    initial = _shared_sync(0.0)
-    accepted, max_min, stats = solver.run_phase1(
-        local, tile, resolution=resolution, initial_bound=initial,
-        bound_sync=_shared_sync, sync_interval=sync_interval)
-    _shared_sync(max_min)
-    entries = [(quad.min_hat, global_idx[quad.containing], quad.rect)
-               for quad in accepted]
+     resolution, options, sync_interval, shard_index,
+     trace_enabled) = payload
+    # Pool workers are reused across tiles and fork-started workers
+    # inherit the parent's tracer records — reset per task so each
+    # shipped span set covers exactly this tile.
+    TRACER.reset(enabled=bool(trace_enabled))
+    with _obs_metrics.REGISTRY.isolated() as box:
+        with TRACER.span(f"shard/tile{shard_index}",
+                         nlcs=int(global_idx.shape[0])):
+            local = CircleSet(cx, cy, r, scores, owners=owners,
+                              levels=levels)
+            tile = Rect(*tile_tuple)
+            solver = MaxFirst(**options)
+            initial = _shared_sync(0.0)
+            accepted, max_min, stats = solver.run_phase1(
+                local, tile, resolution=resolution, initial_bound=initial,
+                bound_sync=_shared_sync, sync_interval=sync_interval)
+            _shared_sync(max_min)
+            entries = [(quad.min_hat, global_idx[quad.containing],
+                        quad.rect) for quad in accepted]
+    spans = ([record.as_dict() for record in TRACER.drain()]
+             if trace_enabled else [])
     return _ShardOutput(entries=entries, max_min=max_min,
-                        stats=stats.as_dict())
+                        stats=stats.as_dict(),
+                        obs_counters=dict(box["counters"]),
+                        obs_gauges=dict(box["gauges"]),
+                        spans=spans)

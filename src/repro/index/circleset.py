@@ -23,6 +23,17 @@ import numpy as np
 from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
 from repro.index._ckernel import load_quad_kernel
+from repro.obs import metrics as _obs_metrics
+
+#: Deterministic work counters over the batched classification kernel.
+#: Counted at call granularity — one batch per classify/quad_split
+#: invocation, rect count per batch — so the compiled fast path and the
+#: REPRO_NO_CKERNEL numpy fallback report identical values (a quad split
+#: is one batch of four rects on either path).
+_KERNEL_BATCHES = _obs_metrics.counter("kernel_batches")
+_KERNEL_RECTS = _obs_metrics.counter("kernel_rects")
+#: High-water mark of the compiled kernel's reusable scratch rows.
+_SCRATCH_BYTES = _obs_metrics.gauge("numpy_scratch_bytes_peak")
 
 # Broadcast chunking cap: float64 intermediates stay under ~16 MB.
 _BROADCAST_ELEMENTS = 2_000_000
@@ -388,6 +399,8 @@ class RectClassifier:
         counts = np.empty(4, dtype=np.int64)
         ccounts = np.empty(4, dtype=np.int64)
         self._scratch = (idx, mask, sc, csc, counts, ccounts)
+        _SCRATCH_BYTES.observe_max(float(sum(
+            a.nbytes for a in self._scratch)))
         packed = self._packed
         self._ptrs = tuple(a.ctypes.data for a in (
             packed[0], packed[1], packed[2], packed[3], packed[4],
@@ -407,7 +420,11 @@ class RectClassifier:
         fn = self._quad_fn
         if (fn is None or candidates.dtype != np.int64
                 or not candidates.flags["C_CONTIGUOUS"]):
+            # Counted by classify() instead: the caller retries there, so
+            # both kernel paths see one batch of four rects per split.
             return None
+        _KERNEL_BATCHES.add()
+        _KERNEL_RECTS.add(4)
         n = candidates.shape[0]
         empty = (candidates[:0], _EMPTY_MASK, 0.0, 0.0)
         if n == 0:
@@ -450,6 +467,8 @@ class RectClassifier:
         """
         arr = _rects_as_array(rects)
         n_rects = arr.shape[0]
+        _KERNEL_BATCHES.add()
+        _KERNEL_RECTS.add(n_rects)
         out: list[tuple[np.ndarray, np.ndarray, float, float]] = []
         if n_rects == 0:
             return out

@@ -14,6 +14,13 @@ import heapq
 import math
 from typing import Sequence
 
+from repro.obs import metrics as _obs_metrics
+
+#: Deterministic work counter: nodes examined by kNN/radius queries.
+#: Accumulated per call (one registry add per query) so the recursive
+#: descent stays handle-free.
+_NODE_VISITS = _obs_metrics.counter("kdtree_node_visits")
+
 
 class _KDNode:
     __slots__ = ("axis", "split", "left", "right", "points", "indices")
@@ -69,7 +76,7 @@ class KDTree:
             return []
         # Max-heap of the best k candidates, as (-distance, -index).
         best: list[tuple[float, int]] = []
-        self._search(self._root, x, y, k, best)
+        _NODE_VISITS.add(self._search(self._root, x, y, k, best))
         out = sorted((-d, -i) for d, i in best)
         return [(d, i) for d, i in out]
 
@@ -82,8 +89,10 @@ class KDTree:
             return out
         r2 = radius * radius
         stack = [self._root]
+        visits = 0
         while stack:
             node = stack.pop()
+            visits += 1
             if node.axis < 0:
                 for (px, py), idx in zip(node.points, node.indices):
                     dx = px - x
@@ -102,6 +111,7 @@ class KDTree:
                 stack.append(node.left)
             if gap >= 0.0 or gap * gap <= r2:
                 stack.append(node.right)
+        _NODE_VISITS.add(visits)
         out.sort()
         return out
 
@@ -123,7 +133,8 @@ class KDTree:
         return node
 
     def _search(self, node: _KDNode, x: float, y: float, k: int,
-                best: list[tuple[float, int]]) -> None:
+                best: list[tuple[float, int]]) -> int:
+        """Recursive kNN descent; returns the number of nodes visited."""
         if node.axis < 0:
             for (px, py), idx in zip(node.points, node.indices):
                 d = math.hypot(px - x, py - y)
@@ -132,11 +143,12 @@ class KDTree:
                     heapq.heappush(best, entry)
                 elif entry > best[0]:
                     heapq.heapreplace(best, entry)
-            return
+            return 1
         coord = x if node.axis == 0 else y
         near, far = ((node.left, node.right) if coord <= node.split
                      else (node.right, node.left))
-        self._search(near, x, y, k, best)
+        visits = 1 + self._search(near, x, y, k, best)
         plane_dist = abs(coord - node.split)
         if len(best) < k or plane_dist <= -best[0][0]:
-            self._search(far, x, y, k, best)
+            visits += self._search(far, x, y, k, best)
+        return visits

@@ -19,6 +19,12 @@ import math
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.geometry.rect import Rect
+from repro.obs import metrics as _obs_metrics
+
+#: Deterministic work counter: nodes examined by range/nearest queries.
+#: Accumulated per call (one registry add per query) so the traversal
+#: loops stay handle-free.
+_NODE_VISITS = _obs_metrics.counter("rtree_node_visits")
 
 DEFAULT_MAX_ENTRIES = 16
 
@@ -178,8 +184,10 @@ class RTree:
         if self._root.rect is None:
             return out
         stack = [self._root]
+        visits = 0
         while stack:
             node = stack.pop()
+            visits += 1
             if node.rect is None or not node.rect.intersects(query):
                 continue
             if node.is_leaf:
@@ -188,6 +196,7 @@ class RTree:
                         out.append(item)
             else:
                 stack.extend(node.entries)
+        _NODE_VISITS.add(visits)
         return out
 
     def search_point(self, x: float, y: float) -> list[Any]:
@@ -212,6 +221,7 @@ class RTree:
             (self._root.rect.min_distance_to_point(x, y), counter, False,
              self._root)
         ]
+        visits = 0
         while heap:
             dist, _, is_item, payload = heapq.heappop(heap)
             if dist > max_distance:
@@ -221,6 +231,7 @@ class RTree:
                 if len(out) == k:
                     break
                 continue
+            visits += 1
             node: _Node = payload
             if node.is_leaf:
                 for rect, item in node.entries:
@@ -236,6 +247,7 @@ class RTree:
                         heap,
                         (child.rect.min_distance_to_point(x, y), counter,
                          False, child))
+        _NODE_VISITS.add(visits)
         return out
 
     def items(self) -> Iterator[tuple[Rect, Any]]:

@@ -1,0 +1,51 @@
+"""Observability layer: spans, deterministic work counters, exporters.
+
+Three pieces (see docs/observability.md for the span taxonomy, the
+counter glossary, and the CI gate):
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with a true no-op
+  disabled mode (``trace.span("phase1/search")`` context manager and a
+  ``@traced`` decorator).  Disabled by default; the CLI's ``--trace``
+  flag and tests enable it.
+* :mod:`repro.obs.metrics` — process-wide registry of named counters
+  (deterministic work counts) and gauges (high-water levels),
+  incremented through cheap handles.  ``SolverPipeline`` drains the
+  registry into ``RunReport.counters`` after every solve.
+* :mod:`repro.obs.export` — JSON-lines span log, Chrome
+  ``trace_event`` output (Perfetto-loadable), and the flat
+  ``metrics.json`` the CI perf gate (:mod:`repro.obs.gate`,
+  ``python -m repro.obs.gate``) diffs against a checked-in baseline.
+
+This package is import-light on purpose: importing ``repro.obs`` pulls
+in nothing beyond the stdlib, so hot modules can hold handles at import
+time without dragging in bench/engine dependencies.
+"""
+
+from __future__ import annotations
+
+from .export import (chrome_trace_events, write_chrome_trace,
+                     write_metrics_json, write_spans_jsonl)
+from .metrics import (COUNTER_KEYS, GAUGE_KEYS, REGISTRY, Counter, Gauge,
+                      MetricsRegistry, counter, gauge, zeroed_counters)
+from .trace import TRACER, SpanRecord, Tracer, span, traced
+
+__all__ = [
+    "COUNTER_KEYS",
+    "GAUGE_KEYS",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "chrome_trace_events",
+    "counter",
+    "gauge",
+    "span",
+    "traced",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_spans_jsonl",
+    "zeroed_counters",
+]

@@ -1,0 +1,113 @@
+"""Exporters for spans and metrics.
+
+Three formats, one source of truth (:class:`repro.obs.trace.SpanRecord`
+plus registry snapshots):
+
+* **Chrome trace** (:func:`write_chrome_trace`) — the ``trace_event``
+  JSON array format, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Complete events (``ph: "X"``) with microsecond
+  ``ts``/``dur``; the span's nesting ``depth`` becomes the ``tid`` so
+  the viewer stacks children under parents, and ingested worker spans
+  keep their own ``pid`` track.
+* **JSON lines** (:func:`write_spans_jsonl`) — one span per line, in
+  completion order; greppable and diffable without a viewer.
+* **metrics.json** (:func:`write_metrics_json`) — flat counters +
+  gauges + metadata; the file the CI perf gate reads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .trace import SpanRecord
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "write_metrics_json",
+]
+
+
+def chrome_trace_events(
+    spans: Iterable[SpanRecord],
+    *,
+    process_name: str = "repro",
+) -> list[dict[str, Any]]:
+    """Convert spans to ``trace_event`` dicts (complete events)."""
+    events: list[dict[str, Any]] = []
+    pids_seen: set[int] = set()
+    for record in spans:
+        if record.pid not in pids_seen:
+            pids_seen.add(record.pid)
+            label = process_name if record.pid == 0 else (
+                f"{process_name} shard worker {record.pid}")
+            events.append({
+                "ph": "M", "name": "process_name", "pid": record.pid,
+                "tid": 0, "args": {"name": label},
+            })
+        event: dict[str, Any] = {
+            "ph": "X",
+            "name": record.name,
+            "cat": record.name.split("/", 1)[0],
+            "ts": record.ts * 1e6,
+            "dur": record.dur * 1e6,
+            "pid": record.pid,
+            # depth-as-tid renders the span tree as stacked rows; real
+            # thread ids carry no information here (solves are
+            # single-threaded per process).
+            "tid": record.depth,
+        }
+        if record.args:
+            event["args"] = dict(record.args)
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[SpanRecord],
+    *,
+    process_name: str = "repro",
+) -> Path:
+    """Write spans as a Chrome ``trace_event`` JSON array."""
+    path = Path(path)
+    events = chrome_trace_events(spans, process_name=process_name)
+    path.write_text(json.dumps(events, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+def write_spans_jsonl(path: str | Path, spans: Iterable[SpanRecord]) -> Path:
+    """Write spans as JSON lines (one ``SpanRecord.as_dict`` per line)."""
+    path = Path(path)
+    lines = [json.dumps(record.as_dict(), sort_keys=True)
+             for record in spans]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""),
+                    encoding="utf-8")
+    return path
+
+
+def write_metrics_json(
+    path: str | Path,
+    counters: Mapping[str, int],
+    gauges: Mapping[str, float] | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write the flat metrics document the perf gate consumes.
+
+    Keys are sorted so the file is diff-stable; counters and gauges are
+    kept in separate sections because only counters are deterministic
+    (and therefore gateable).
+    """
+    path = Path(path)
+    doc: dict[str, Any] = {
+        "counters": {k: int(counters[k]) for k in sorted(counters)},
+        "gauges": {k: float(v) for k, v in sorted((gauges or {}).items())},
+    }
+    if meta:
+        doc["meta"] = dict(meta)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,53 @@
+"""RPR005 (obs extension): counters ↔ docs/observability.md ↔ CLI ↔ gate."""
+
+from repro.analysis.project_rules import check_obs_drift
+from repro.obs.metrics import COUNTER_KEYS, GAUGE_KEYS
+
+from tests.analysis.conftest import REPO_ROOT
+
+
+class TestCurrentRepoIsInSync:
+    def test_no_drift_findings(self):
+        assert list(check_obs_drift(REPO_ROOT)) == []
+
+
+class TestSyntheticDrift:
+    def test_undocumented_counter_flagged(self, tmp_path):
+        """Strip one counter from a copy of the glossary: RPR005 names it."""
+        doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+        gutted = tmp_path / "observability.md"
+        gutted.write_text(doc.replace("refine_pair_tests", "redacted"))
+        findings = list(check_obs_drift(REPO_ROOT, obs_doc=gutted))
+        assert any("refine_pair_tests" in f.message for f in findings)
+
+    def test_missing_doc_flags_file_only(self, tmp_path):
+        """No glossary file: one finding for the file, not one per key
+        (the per-key findings would be pure noise on top)."""
+        findings = list(check_obs_drift(
+            REPO_ROOT, obs_doc=tmp_path / "missing.md"))
+        messages = [f.message for f in findings]
+        assert any("docs/observability.md is missing" in m
+                   for m in messages)
+        assert not any(key in m for key in COUNTER_KEYS for m in messages)
+
+    def test_unexercised_obs_flagged(self, tmp_path):
+        empty = tmp_path / "tests"
+        empty.mkdir()
+        findings = list(check_obs_drift(REPO_ROOT, tests_dir=empty))
+        assert any("never imported in tests/" in f.message
+                   for f in findings)
+
+    def test_findings_anchor_to_metrics_module(self, tmp_path):
+        findings = list(check_obs_drift(
+            REPO_ROOT, obs_doc=tmp_path / "missing.md"))
+        assert findings
+        assert all(f.path == "src/repro/obs/metrics.py"
+                   and f.code == "RPR005" for f in findings)
+
+    def test_gauges_are_covered_too(self, tmp_path):
+        doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+        gutted = tmp_path / "observability.md"
+        gutted.write_text(doc.replace("peak_rss_bytes", "redacted"))
+        findings = list(check_obs_drift(REPO_ROOT, obs_doc=gutted))
+        assert any("peak_rss_bytes" in f.message for f in findings)
+        assert "peak_rss_bytes" in GAUGE_KEYS

@@ -1,0 +1,100 @@
+"""CLI observability flags: --trace, --trace-format, --metrics."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.loader import save_points_csv
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import STAGES
+from repro.obs.trace import TRACER
+
+
+@pytest.fixture
+def instance_files(tmp_path):
+    customers, sites = synthetic_instance(60, 6, "uniform", seed=23)
+    c_path = tmp_path / "customers.csv"
+    s_path = tmp_path / "sites.csv"
+    save_points_csv(c_path, customers)
+    save_points_csv(s_path, sites)
+    return str(c_path), str(s_path)
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    yield
+    TRACER.reset(enabled=False)
+
+
+class TestTraceFlag:
+    def test_chrome_trace_covers_pipeline_stages(self, instance_files,
+                                                 tmp_path, capsys):
+        customers, sites = instance_files
+        trace_path = tmp_path / "trace.json"
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--trace", str(trace_path)])
+        assert code == 0
+        assert "trace (chrome" in capsys.readouterr().out
+        events = json.loads(trace_path.read_text())
+        assert isinstance(events, list)
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        for stage in STAGES:
+            assert f"pipeline/{stage}" in names
+        assert "phase1/search" in names
+
+    def test_jsonl_format(self, instance_files, tmp_path, capsys):
+        customers, sites = instance_files
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--trace", str(trace_path),
+                     "--trace-format", "jsonl"])
+        assert code == 0
+        assert "trace (jsonl" in capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in trace_path.read_text().splitlines()]
+        assert any(r["name"] == "pipeline/search" for r in records)
+
+    def test_tracer_disabled_after_solve(self, instance_files, tmp_path):
+        customers, sites = instance_files
+        main(["solve", "--customers", customers, "--sites", sites,
+              "--trace", str(tmp_path / "t.json")])
+        assert not TRACER.enabled
+
+    def test_no_trace_flag_records_nothing(self, instance_files):
+        customers, sites = instance_files
+        main(["solve", "--customers", customers, "--sites", sites])
+        assert not TRACER.enabled
+        assert TRACER.finished() == ()
+
+
+class TestMetricsFlag:
+    def test_metrics_json_written(self, instance_files, tmp_path, capsys):
+        customers, sites = instance_files
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--metrics", str(metrics_path)])
+        assert code == 0
+        assert "metrics written" in capsys.readouterr().out
+        doc = json.loads(metrics_path.read_text())
+        assert doc["counters"]["generated"] > 0
+        assert doc["counters"]["kernel_batches"] > 0
+        assert doc["meta"]["solver"] == "maxfirst"
+
+    def test_trace_and_metrics_with_sharded_solver(self, instance_files,
+                                                   tmp_path):
+        customers, sites = instance_files
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["solve", "--customers", customers, "--sites", sites,
+                     "--solver", "maxfirst-sharded", "--shards", "2",
+                     "--shard-mode", "serial",
+                     "--trace", str(trace_path),
+                     "--metrics", str(metrics_path)])
+        assert code == 0
+        names = {e["name"]
+                 for e in json.loads(trace_path.read_text())
+                 if e.get("ph") == "X"}
+        assert any(n.startswith("shard/tile") for n in names)
+        doc = json.loads(metrics_path.read_text())
+        assert doc["counters"]["shard_tasks"] >= 1

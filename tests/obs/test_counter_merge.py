@@ -1,0 +1,72 @@
+"""Cross-process counter merging: serial and process sharded runs must
+report identical merged counters (acceptance criterion), and counters
+must flow to the parent registry exactly once."""
+
+import pytest
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import run_pipeline
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(scope="module")
+def problem():
+    customers, sites = synthetic_instance(300, 16, "uniform", seed=11)
+    return MaxBRkNNProblem(customers, sites, k=1)
+
+
+def _process_counters(problem, shards):
+    try:
+        _, report = run_pipeline("maxfirst-sharded", problem,
+                                 shards=shards, mode="process")
+    except RuntimeError as exc:
+        pytest.skip(f"process-mode sharding unavailable here: {exc}")
+    return report.counters
+
+
+class TestSerialVsProcess:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_identical_merged_counters(self, problem, shards):
+        _, serial = run_pipeline("maxfirst-sharded", problem,
+                                 shards=shards, mode="serial")
+        process = _process_counters(problem, shards)
+        assert serial.counters == process
+
+    def test_sharding_layer_counters_recorded(self, problem):
+        _, report = run_pipeline("maxfirst-sharded", problem,
+                                 shards=4, mode="serial")
+        # 4 shards round to a full 2x2 grid; empty tiles are dropped at
+        # planning time, so the task count is bounded by the grid.
+        assert 1 <= report.counters["shard_tasks"] <= 4
+        # Halo inclusion assigns every NLC to at least the tile(s) it
+        # reaches, so assignments >= tasks on any non-trivial instance.
+        assert report.counters["halo_assignments"] \
+            >= report.counters["shard_tasks"]
+
+
+class TestSingleFlow:
+    def test_tile_counts_enter_registry_exactly_once(self, problem):
+        """The shard counters reach the parent registry only via merge():
+        the pipeline's delta equals the per-tile sums, not double."""
+        before = obs_metrics.REGISTRY.snapshot()
+        _, report = run_pipeline("maxfirst-sharded", problem,
+                                 shards=2, mode="serial")
+        delta = obs_metrics.REGISTRY.delta_since(before)
+        assert delta.get("kernel_batches", 0) \
+            == report.counters["kernel_batches"]
+
+    def test_sharded_kernel_work_matches_outputs(self, problem):
+        from repro.engine.sharded import ShardedMaxFirst
+        from repro.core.nlc import build_nlcs
+
+        solver = ShardedMaxFirst(shards=2, mode="serial")
+        nlcs = build_nlcs(problem)
+        plan = solver.plan(nlcs)
+        outputs = solver.execute(nlcs, plan)
+        per_tile = sum(out.obs_counters.get("kernel_batches", 0)
+                       for out in outputs)
+        before = obs_metrics.REGISTRY.snapshot()
+        solver.merge(nlcs, outputs)
+        delta = obs_metrics.REGISTRY.delta_since(before)
+        assert delta.get("kernel_batches", 0) == per_tile

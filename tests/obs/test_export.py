@@ -1,0 +1,105 @@
+"""Exporter formats, including the acceptance-criterion Chrome trace:
+a traced solve must cover all six pipeline stages with at least one
+sub-span inside ``search``."""
+
+import json
+
+import pytest
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import STAGES, run_pipeline
+from repro.obs.export import (chrome_trace_events, write_chrome_trace,
+                              write_metrics_json, write_spans_jsonl)
+from repro.obs.trace import TRACER, SpanRecord
+
+
+@pytest.fixture
+def spans():
+    return [
+        SpanRecord(name="solve/x", ts=0.0, dur=1.0, depth=0),
+        SpanRecord(name="pipeline/search", ts=0.1, dur=0.5, depth=1,
+                   args={"n": 3}),
+        SpanRecord(name="shard/tile0", ts=0.2, dur=0.2, depth=0, pid=1),
+    ]
+
+
+class TestChromeTrace:
+    def test_complete_events_in_microseconds(self, spans):
+        events = [e for e in chrome_trace_events(spans) if e["ph"] == "X"]
+        assert len(events) == 3
+        first = events[0]
+        assert first["ts"] == pytest.approx(0.0)
+        assert first["dur"] == pytest.approx(1.0e6)
+        assert first["pid"] == 0
+        assert first["tid"] == 0
+        assert events[1]["args"] == {"n": 3}
+        assert events[2]["pid"] == 1
+
+    def test_process_name_metadata_per_pid(self, spans):
+        meta = [e for e in chrome_trace_events(spans) if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {0, 1}
+        assert any("worker" in e["args"]["name"] for e in meta)
+
+    def test_written_file_is_a_json_array(self, spans, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", spans)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc, list)
+        assert any(e.get("name") == "pipeline/search" for e in doc)
+
+
+class TestJsonl:
+    def test_one_record_per_line(self, spans, tmp_path):
+        path = write_spans_jsonl(tmp_path / "t.jsonl", spans)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "solve/x"
+        assert parsed[2]["pid"] == 1
+
+    def test_empty_span_list(self, tmp_path):
+        path = write_spans_jsonl(tmp_path / "t.jsonl", [])
+        assert path.read_text() == ""
+
+
+class TestMetricsJson:
+    def test_sections_and_sorting(self, tmp_path):
+        path = write_metrics_json(tmp_path / "m.json",
+                                  {"b": 2, "a": 1}, {"g": 1.5},
+                                  meta={"scale": "tiny"})
+        doc = json.loads(path.read_text())
+        assert list(doc["counters"]) == ["a", "b"]
+        assert doc["gauges"] == {"g": 1.5}
+        assert doc["meta"]["scale"] == "tiny"
+
+    def test_gauges_optional(self, tmp_path):
+        path = write_metrics_json(tmp_path / "m.json", {"a": 1})
+        doc = json.loads(path.read_text())
+        assert doc["gauges"] == {}
+
+
+class TestTracedSolveAcceptance:
+    def test_trace_covers_all_stages_with_search_substructure(self, tmp_path):
+        customers, sites = synthetic_instance(120, 10, "uniform", seed=11)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        TRACER.reset(enabled=True)
+        try:
+            run_pipeline("maxfirst", problem)
+        finally:
+            TRACER.disable()
+        path = write_chrome_trace(tmp_path / "trace.json",
+                                  TRACER.finished())
+        TRACER.reset(enabled=False)
+        events = json.loads(path.read_text())
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        for stage in STAGES:
+            assert f"pipeline/{stage}" in names
+        # At least one sub-span inside search: Phase I's own span nests
+        # one level below pipeline/search.
+        by_name = {e["name"]: e for e in events if e.get("ph") == "X"}
+        search = by_name["pipeline/search"]
+        phase1 = by_name["phase1/search"]
+        assert phase1["tid"] == search["tid"] + 1
+        assert search["ts"] <= phase1["ts"]
+        assert (phase1["ts"] + phase1["dur"]
+                <= search["ts"] + search["dur"] + 1.0)  # µs slack

@@ -1,0 +1,112 @@
+"""Metrics registry semantics: handles, deltas, isolation, merging."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import COUNTER_KEYS, GAUGE_KEYS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_add_accumulates(self, registry):
+        c = registry.counter("x")
+        c.add()
+        c.add(4)
+        assert registry.snapshot() == {"x": 5}
+
+    def test_handles_share_the_named_counter(self, registry):
+        a = registry.counter("x")
+        b = registry.counter("x")
+        a.add(1)
+        b.add(2)
+        assert registry.snapshot() == {"x": 3}
+
+    def test_delta_since_reports_only_increments(self, registry):
+        c = registry.counter("x")
+        d = registry.counter("y")
+        c.add(10)
+        before = registry.snapshot()
+        c.add(5)
+        d.add(1)
+        assert registry.delta_since(before) == {"x": 5, "y": 1}
+
+    def test_snapshot_is_a_copy(self, registry):
+        registry.counter("x").add()
+        snap = registry.snapshot()
+        registry.counter("x").add()
+        assert snap == {"x": 1}
+
+    def test_zeroed_counters_covers_all_keys(self):
+        zeroed = obs_metrics.zeroed_counters()
+        assert tuple(zeroed) == COUNTER_KEYS
+        assert set(zeroed.values()) == {0}
+
+
+class TestGauges:
+    def test_set_and_observe_max(self, registry):
+        g = registry.gauge("rss")
+        g.set(10.0)
+        g.observe_max(5.0)   # below: keeps 10
+        g.observe_max(20.0)  # above: replaces
+        assert registry.gauges_snapshot() == {"rss": 20.0}
+
+    def test_merge_gauges_max_keeps_high_water(self, registry):
+        registry.gauge("a").set(3.0)
+        registry.merge_gauges_max({"a": 1.0, "b": 2.0})
+        assert registry.gauges_snapshot() == {"a": 3.0, "b": 2.0}
+
+
+class TestIsolation:
+    def test_isolated_captures_delta_and_restores(self, registry):
+        c = registry.counter("x")
+        c.add(7)
+        with registry.isolated() as box:
+            c.add(3)  # same handle keeps working inside the block
+            registry.gauge("g").set(1.5)
+        assert box["counters"] == {"x": 3}
+        assert box["gauges"] == {"g": 1.5}
+        # Outer values untouched; the isolated counts never leaked.
+        assert registry.snapshot() == {"x": 7}
+        assert registry.gauges_snapshot() == {}
+
+    def test_isolated_restores_on_exception(self, registry):
+        c = registry.counter("x")
+        c.add(1)
+        with pytest.raises(ValueError):
+            with registry.isolated() as box:
+                c.add(99)
+                raise ValueError
+        assert registry.snapshot() == {"x": 1}
+        assert box["counters"] == {"x": 99}
+
+    def test_nested_isolation(self, registry):
+        c = registry.counter("x")
+        with registry.isolated() as outer:
+            c.add(1)
+            with registry.isolated() as inner:
+                c.add(10)
+            c.add(2)
+        assert inner["counters"] == {"x": 10}
+        assert outer["counters"] == {"x": 3}
+        assert registry.snapshot() == {}
+
+    def test_merge_counts_adds(self, registry):
+        registry.counter("x").add(1)
+        registry.merge_counts({"x": 4, "y": 2})
+        assert registry.snapshot() == {"x": 5, "y": 2}
+
+
+class TestModuleRegistry:
+    def test_module_convenience_handles_hit_global_registry(self):
+        before = obs_metrics.REGISTRY.snapshot()
+        with obs_metrics.REGISTRY.isolated() as box:
+            obs_metrics.counter("test_only_counter").add(2)
+        assert box["counters"] == {"test_only_counter": 2}
+        assert obs_metrics.REGISTRY.snapshot() == before
+
+    def test_key_tuples_are_disjoint(self):
+        assert not set(COUNTER_KEYS) & set(GAUGE_KEYS)

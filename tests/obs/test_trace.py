@@ -1,0 +1,214 @@
+"""Span tracer semantics: nesting, exception safety, no-op mode, ingest."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.trace import SpanRecord, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestNesting:
+    def test_depths_follow_lexical_nesting(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["a"].depth == 0
+        assert by_name["b"].depth == 1
+        assert by_name["c"].depth == 2
+        assert by_name["d"].depth == 1
+
+    def test_children_recorded_before_parents(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.finished()]
+        assert names == ["inner", "outer"]
+
+    def test_child_interval_inside_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.finished()
+        assert outer.ts <= inner.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur + 1e-9
+
+    def test_sibling_spans_share_depth(self, tracer):
+        for name in ("x", "y", "z"):
+            with tracer.span(name):
+                pass
+        assert [s.depth for s in tracer.finished()] == [0, 0, 0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=6),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_random_nesting_shapes_restore_depth(self, pushes):
+        # Open a random tree of spans via an explicit stack of context
+        # managers; whatever the shape, the tracer's depth must return
+        # to zero and every record's depth must equal its nesting level.
+        t = Tracer()
+        t.enable()
+        stack = []
+        for target in pushes:
+            while len(stack) > target:
+                stack.pop().__exit__(None, None, None)
+            span = t.span(f"d{len(stack)}")
+            span.__enter__()
+            stack.append(span)
+        while stack:
+            stack.pop().__exit__(None, None, None)
+        assert t._depth == 0
+        for record in t.finished():
+            assert record.name == f"d{record.depth}"
+
+
+class TestExceptionSafety:
+    def test_span_records_on_raise(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (record,) = tracer.finished()
+        assert record.name == "boom"
+        assert record.dur >= 0.0
+
+    def test_depth_restored_after_raise(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    raise RuntimeError
+        with tracer.span("after"):
+            pass
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["after"].depth == 0
+
+    def test_exceptions_propagate(self, tracer):
+        # __exit__ must not swallow: the span is instrumentation only.
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with tracer.span("s"):
+                raise Boom
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_success_failure_chains(self, raising):
+        t = Tracer()
+        t.enable()
+        for i, should_raise in enumerate(raising):
+            if should_raise:
+                with pytest.raises(KeyError):
+                    with t.span(f"s{i}"):
+                        raise KeyError(i)
+            else:
+                with t.span(f"s{i}"):
+                    pass
+        records = t.finished()
+        assert len(records) == len(raising)
+        assert all(r.depth == 0 for r in records)
+        assert t._depth == 0
+
+
+class TestNoopMode:
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        with t.span("invisible"):
+            pass
+        assert t.finished() == ()
+
+    def test_disabled_span_is_shared_singleton(self):
+        t = Tracer()
+        assert t.span("a") is t.span("b")
+
+    def test_reenable_resumes_recording(self):
+        t = Tracer()
+        t.enable()
+        with t.span("one"):
+            pass
+        t.disable()
+        with t.span("hidden"):
+            pass
+        t.enable()
+        with t.span("two"):
+            pass
+        assert [s.name for s in t.finished()] == ["one", "two"]
+
+    def test_reset_clears_records_and_depth(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset(enabled=True)
+        assert tracer.finished() == ()
+        with tracer.span("y"):
+            pass
+        assert [s.name for s in tracer.finished()] == ["y"]
+
+
+class TestIngest:
+    def test_ingest_applies_pid_and_offset(self, tracer):
+        worker = Tracer()
+        worker.enable()
+        with worker.span("tile"):
+            pass
+        tracer.ingest(worker.drain(), pid=3, ts_offset=1.5)
+        (record,) = tracer.finished()
+        assert record.pid == 3
+        assert record.ts >= 1.5
+        assert record.name == "tile"
+
+    def test_ingest_accepts_dicts(self, tracer):
+        payload = SpanRecord(name="t", ts=0.0, dur=0.1, depth=0).as_dict()
+        tracer.ingest([payload], pid=7)
+        (record,) = tracer.finished()
+        assert record.pid == 7
+        assert record.dur == pytest.approx(0.1)
+
+    def test_drain_empties_the_tracer(self, tracer):
+        with tracer.span("x"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.finished() == ()
+
+    def test_record_dict_round_trip(self):
+        record = SpanRecord(name="n", ts=1.0, dur=2.0, depth=3, pid=4,
+                            args={"k": 5})
+        assert SpanRecord.from_dict(record.as_dict()) == record
+
+
+class TestDecorator:
+    def test_traced_wraps_and_records(self, monkeypatch):
+        import repro.obs.trace as trace_mod
+
+        trace_mod.TRACER.reset(enabled=True)
+        try:
+            @trace_mod.traced("custom/name")
+            def work(x):
+                return x + 1
+
+            assert work(1) == 2
+            assert [s.name for s in trace_mod.TRACER.finished()] \
+                == ["custom/name"]
+        finally:
+            trace_mod.TRACER.reset(enabled=False)
+
+    def test_traced_default_name_and_disabled_passthrough(self):
+        from repro.obs.trace import TRACER, traced
+
+        TRACER.reset(enabled=False)
+
+        @traced()
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert TRACER.finished() == ()
+        assert fn.__name__ == "fn"
