@@ -99,9 +99,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="tile count for --solver maxfirst-sharded "
                             "(rounded up to a full near-square grid)")
     solve.add_argument("--shard-mode",
-                       choices=("auto", "serial", "process"),
+                       choices=("auto", "serial", "tiles", "pool",
+                                "process"),
                        default="auto",
-                       help="execution mode for --solver maxfirst-sharded")
+                       help="execution mode for --solver maxfirst-sharded: "
+                            "serial = one unified in-process frontier, "
+                            "tiles = tile-at-a-time in-process, pool = "
+                            "worker processes (process is a legacy alias)")
+    solve.add_argument("--pool", type=int, default=None, metavar="WORKERS",
+                       help="worker-process count for pool-mode sharding "
+                            "(default: min(shards, cpu count))")
+    solve.add_argument("--oversubscribe", type=int, default=1,
+                       help="cut each shard into this many finer tiles so "
+                            "idle pool workers can steal queued work")
     solve.add_argument("--metric", choices=("l2", "l1"), default="l2",
                        help="distance metric: Euclidean (default) or "
                             "Manhattan (exact rectilinear sweep)")
@@ -159,6 +169,8 @@ def _cmd_solve(args) -> int:
     elif args.solver == "maxfirst-sharded":
         options["shards"] = args.shards
         options["mode"] = args.shard_mode
+        options["max_workers"] = args.pool
+        options["oversubscribe"] = args.oversubscribe
     tracing = args.trace is not None
     if tracing:
         from repro.obs.trace import TRACER

@@ -44,7 +44,7 @@ import itertools
 import os
 import time
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -123,6 +123,32 @@ class _FoundCovers:
             self._sums.append(quad.min_hat)
         else:
             self._frozen.append(frozenset(key))
+        return True
+
+    def seed(self, cover: tuple[int, ...], score_sum: float) -> bool:
+        """Pre-register a cover found *outside* this search (another tile).
+
+        Semantically identical to :meth:`add`: the caller asserts that
+        ``cover`` (sorted global NLC indices) is the cover of a region
+        some shard already accepted, with ``score_sum`` its ``m̂in`` sum
+        over the same global score array.  Theorem 3 then prunes this
+        search's quadrants whose ``Q.I`` the cover absorbs — the
+        cross-tile analogue of the in-search test, and sound for the
+        same reason: a tied region inside such a quadrant must equal the
+        seeded region, which the merge step already reports.
+        """
+        if cover in self._keys:
+            return False
+        self._keys.add(cover)
+        if self._use_arrays:
+            mask = np.zeros(self._n, dtype=bool)
+            if cover:
+                mask[np.asarray(cover, dtype=np.int64)] = True
+            self._masks.append(mask)
+            self._sizes.append(len(cover))
+            self._sums.append(float(score_sum))
+        else:
+            self._frozen.append(frozenset(cover))
         return True
 
     def prunes(self, quad: Quadrant, mode: str) -> bool:
@@ -353,7 +379,10 @@ class MaxFirst:
                    resolution: float | None = None,
                    initial_bound: float = 0.0,
                    bound_sync: Callable[[float], float] | None = None,
-                   sync_interval: int = 0
+                   sync_interval: int = 0,
+                   seed_covers: Iterable[tuple[tuple[int, ...], float]]
+                   | None = None,
+                   roots: "Sequence[tuple[Rect, np.ndarray]] | None" = None
                    ) -> tuple[list[Quadrant], float, MaxFirstStats]:
         """Public staged entry to Phase I (the engine layer's hook).
 
@@ -377,12 +406,34 @@ class MaxFirst:
             and returns the best bound any shard has proven.  Adopting it
             is Theorem-2-sound — the returned value is witnessed by a real
             quadrant in some shard.
+        seed_covers:
+            ``(cover, score_sum)`` pairs of regions other shards already
+            accepted (sorted global NLC indices plus their ``m̂in`` sum).
+            They enter the Theorem 3 registry before the first pop, so
+            this search never re-tessellates a region an earlier tile
+            discovered — the main cost of naive tile sharding.  Only
+            sound with ``top_t == 1`` and with index/score arrays
+            identical to the seeding search's (the merge step must
+            report the seeded regions).
+        roots:
+            ``(rect, candidate_indices)`` pairs replacing the single
+            ``space`` root: every pair is classified and pushed onto one
+            shared frontier, so the search pops the globally most
+            promising quadrant across all of them — a tile partition run
+            this way shares its ``MaxMin`` and Theorem 3 registry from
+            the first pop instead of per-tile, which is what keeps
+            serial sharding's overhead down to the cut tessellation.
+            The rects must tile ``space`` (correctness needs full
+            coverage) and each candidate set must contain every NLC that
+            can influence classification inside its rect (the planner's
+            halo invariant).  Only sound with ``top_t == 1``.
         """
         with span("phase1/search", nlcs=len(nlcs)):
             accepted, max_min, stats = self._phase1(
                 nlcs, space, backend=backend, resolution=resolution,
                 initial_bound=initial_bound, bound_sync=bound_sync,
-                sync_interval=sync_interval)
+                sync_interval=sync_interval, seed_covers=seed_covers,
+                roots=roots)
         return accepted, max_min, stats.freeze()
 
     def _phase1(self, nlcs: CircleSet, space: Rect, *,
@@ -390,7 +441,10 @@ class MaxFirst:
                 resolution: float | None = None,
                 initial_bound: float = 0.0,
                 bound_sync: Callable[[float], float] | None = None,
-                sync_interval: int = 0
+                sync_interval: int = 0,
+                seed_covers: Iterable[tuple[tuple[int, ...], float]]
+                | None = None,
+                roots: "Sequence[tuple[Rect, np.ndarray]] | None" = None
                 ) -> tuple[list[Quadrant], float, _MutableStats]:
         stats = _MutableStats()
         if resolution is None:
@@ -402,10 +456,13 @@ class MaxFirst:
         if backend is None:
             backend = make_backend(self.backend_name, nlcs,
                                    graze_tol=resolution)
-        if (initial_bound or bound_sync is not None) and self.top_t != 1:
+        if ((initial_bound or bound_sync is not None
+                or seed_covers is not None or roots is not None)
+                and self.top_t != 1):
             raise ValueError(
-                "external bounds (initial_bound/bound_sync) require "
-                "top_t == 1: the top-t frontier is not a global bound")
+                "external state (initial_bound/bound_sync/seed_covers/"
+                "roots) requires top_t == 1: the top-t frontier is not a "
+                "global bound and seeded covers would mask lower tiers")
         limit = self.max_iterations
         if limit is None:
             limit = 400 * len(nlcs) + 200_000
@@ -423,6 +480,9 @@ class MaxFirst:
             len(nlcs), use_arrays=batched,
             scores_nonneg=bool(len(nlcs))
             and bool((nlcs.scores >= 0.0).all()))
+        if seed_covers is not None:
+            for cover, score_sum in seed_covers:
+                found_covers.seed(cover, score_sum)
 
         def push(quad: Quadrant) -> None:
             nonlocal max_min
@@ -434,9 +494,13 @@ class MaxFirst:
             heapq.heappush(heap, (-quad.max_hat, next(counter), quad))
 
         with span("phase1/classify_root"):
-            root = backend.classify(space, backend.root_candidates(),
-                                    depth=0)
-        push(root)
+            if roots is None:
+                push(backend.classify(space, backend.root_candidates(),
+                                      depth=0))
+            else:
+                for tile_rect, tile_candidates in roots:
+                    push(backend.classify(tile_rect, tile_candidates,
+                                          depth=0))
 
         prev_split: Quadrant | None = None
         same_frontier_count = 0
@@ -543,7 +607,8 @@ class MaxFirst:
                          or quad.depth >= self.degeneracy_depth)
             if triggered:
                 stats.intersection_checks += 1
-                split_point = self._common_point_inside(quad, nlcs, space)
+                split_point = self._common_point_inside(quad, nlcs,
+                                                        resolution)
                 if same_frontier_count >= self.m_threshold:
                     same_frontier_count = 0
                 if split_point is None:
@@ -692,23 +757,39 @@ class MaxFirst:
         return found_covers.prunes(quad, self.theorem3)
 
     def _common_point_inside(self, quad: Quadrant, nlcs: CircleSet,
-                             space: Rect) -> tuple[float, float] | None:
+                             resolution: float) -> tuple[float, float] | None:
         """The intersection-point detector (Algorithm 1 line 26).
 
         Returns a point strictly inside the quadrant where every NLC in
         ``Q.I - Q.C`` meets, or ``None``.
+
+        The coincidence tolerance is the larger of the solver's geometric
+        ``resolution`` (global-space-derived — a tile shard must detect
+        the same coincidences as the full-space run, so the tolerance
+        cannot come from the local root rect) and a fraction of the
+        quadrant size.  The size-scaled term matters in the degenerate
+        regime: a float-smeared coincidence cluster spread over ~1e2 ulps
+        fails an absolute 1e-9-of-extent membership test, yet any circle
+        crossing a quadrant of width ``w`` passes within ``w`` of every
+        interior point — so at the depths where degeneracy triggers fire,
+        accepting agreement within ``w/16`` still pins the split to the
+        cluster while letting the detector see through the float smear.
+        Splitting at an approximate coincidence point is always sound
+        (``split_at`` on any interior point preserves exactness); the
+        tolerance only decides whether the cheap point split fires or the
+        quadrant tessellates to the resolution floor.
         """
         boundary = quad.boundary_only
         if len(boundary) < 2:
             return None
-        tol = max(space.width, space.height) * 1e-9
+        rect = quad.rect
+        tol = max(resolution, min(rect.width, rect.height) / 16.0)
         if self.hotpath == "batched":
             p = self._disks_common_point_arrays(nlcs, boundary, tol)
         else:
             p = disks_common_point(nlcs.circles(boundary), tol=tol)
         if p is None:
             return None
-        rect = quad.rect
         if not (rect.xmin < p.x < rect.xmax and rect.ymin < p.y < rect.ymax):
             return None
         return (p.x, p.y)

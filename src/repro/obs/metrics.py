@@ -34,6 +34,20 @@ __all__ = [
     "zeroed_counters",
 ]
 
+#: Transport counters: byte/job/steal counts of the zero-copy sharding
+#: transport (shared-memory publish, pool queue).  Unlike the
+#: deterministic work counters they depend on execution mode and worker
+#: topology —
+#: a serial run maps zero shared bytes, a 2-worker pool steals tiles a
+#: 1-worker pool cannot — so identity tests and the perf gate must
+#: exclude them.  They stay in ``COUNTER_KEYS`` so every report carries
+#: the full schema.
+TRANSPORT_COUNTER_KEYS: tuple[str, ...] = (
+    "shm_bytes_mapped",
+    "pool_tasks",
+    "tiles_stolen",
+)
+
 #: Every registry counter key, in report order.  The counter-schema test
 #: and :func:`repro.analysis.project_rules.check_obs_drift` hold this
 #: tuple, the counter glossary in docs/observability.md, and the gate
@@ -47,7 +61,7 @@ COUNTER_KEYS: tuple[str, ...] = (
     "region_grows",
     "shard_tasks",
     "halo_assignments",
-)
+) + TRANSPORT_COUNTER_KEYS
 
 #: Every registry gauge key.  Gauges are observational (non-deterministic
 #: allowed) and never enter the perf gate.

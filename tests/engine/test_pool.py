@@ -1,0 +1,63 @@
+"""PersistentPool lifecycle and the worker-side bound cell."""
+
+import pytest
+
+from repro.engine import pool as pool_mod
+from repro.engine.pool import PersistentPool
+
+
+class TestLifecycle:
+    def test_lazy_start(self):
+        pool = PersistentPool(max_workers=1)
+        assert not pool.running
+        pool.close()
+        assert not pool.running
+
+    def test_close_is_idempotent(self):
+        pool = PersistentPool(max_workers=1)
+        pool.close()
+        pool.close()
+
+    def test_start_method_avoids_fork(self):
+        # fork would snapshot the parent's registry/tracer mid-solve.
+        pool = PersistentPool(max_workers=1)
+        assert pool.start_method in ("forkserver", "spawn")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            PersistentPool(max_workers=0)
+
+    def test_discard_resets_executor(self):
+        pool = PersistentPool(max_workers=1)
+        first = pool.executor()
+        assert pool.running
+        pool.discard()
+        assert not pool.running
+        second = pool.executor()
+        try:
+            assert second is not first
+        finally:
+            pool.close()
+
+
+class TestBoundCell:
+    def test_reset_bound(self):
+        pool = PersistentPool(max_workers=1)
+        pool.reset_bound(3.5)
+        assert pool._bound.value == 3.5
+        pool.reset_bound(0.0)
+        assert pool._bound.value == 0.0
+        pool.close()
+
+    def test_shared_sync_without_cell_is_local(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_SHARED_BOUND", None)
+        assert pool_mod._shared_sync(2.25) == 2.25
+
+    def test_shared_sync_monotonic(self, monkeypatch):
+        pool = PersistentPool(max_workers=1)
+        monkeypatch.setattr(pool_mod, "_SHARED_BOUND", pool._bound)
+        assert pool_mod._shared_sync(1.5) == 1.5
+        # A worse local bound reads back the global best.
+        assert pool_mod._shared_sync(0.5) == 1.5
+        assert pool_mod._shared_sync(2.0) == 2.0
+        pool.close()

@@ -96,9 +96,9 @@ class TestShardedExactness:
     def test_process_identity(self):
         problem = _problem(60, 6, k=1, seed=5)
         single = MaxFirst().solve(problem)
-        sharded = ShardedMaxFirst(shards=4, mode="process",
-                                  sync_interval=64)
-        result = sharded.solve(problem)
+        with ShardedMaxFirst(shards=4, mode="process",
+                             sync_interval=64) as sharded:
+            result = sharded.solve(problem)
         assert result.score == single.score
         assert _region_keys(result) == _region_keys(single)
 

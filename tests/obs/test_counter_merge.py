@@ -1,6 +1,8 @@
-"""Cross-process counter merging: serial and process sharded runs must
-report identical merged counters (acceptance criterion), and counters
-must flow to the parent registry exactly once."""
+"""Cross-process counter merging: a tile-wise in-process run and a
+one-worker pool run execute the same schedule and must report identical
+merged work counters (acceptance criterion; transport counters are
+mode-dependent by design and compared separately), and counters must
+flow to the parent registry exactly once in every mode."""
 
 import pytest
 
@@ -16,22 +18,46 @@ def problem():
     return MaxBRkNNProblem(customers, sites, k=1)
 
 
-def _process_counters(problem, shards):
+def _pool_counters(problem, shards):
+    # max_workers=1 reproduces the tile-wise schedule (and hence the
+    # seed-cover pruning) exactly; more workers keep results
+    # bit-identical but shift work counters.
     try:
         _, report = run_pipeline("maxfirst-sharded", problem,
-                                 shards=shards, mode="process")
+                                 shards=shards, mode="pool",
+                                 max_workers=1)
     except RuntimeError as exc:
-        pytest.skip(f"process-mode sharding unavailable here: {exc}")
+        pytest.skip(f"pool-mode sharding unavailable here: {exc}")
     return report.counters
 
 
-class TestSerialVsProcess:
+def _work_only(counters):
+    return {key: value for key, value in counters.items()
+            if key not in obs_metrics.TRANSPORT_COUNTER_KEYS}
+
+
+class TestTilewiseVsPool:
     @pytest.mark.parametrize("shards", [2, 4])
     def test_identical_merged_counters(self, problem, shards):
-        _, serial = run_pipeline("maxfirst-sharded", problem,
-                                 shards=shards, mode="serial")
-        process = _process_counters(problem, shards)
-        assert serial.counters == process
+        _, tilewise = run_pipeline("maxfirst-sharded", problem,
+                                   shards=shards, mode="tiles")
+        pool = _pool_counters(problem, shards)
+        assert _work_only(tilewise.counters) == _work_only(pool)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_transport_counters_by_mode(self, problem, shards):
+        for mode in ("serial", "tiles"):
+            _, report = run_pipeline("maxfirst-sharded", problem,
+                                     shards=shards, mode=mode)
+            # In-process execution never touches the shm/pool transport.
+            for key in obs_metrics.TRANSPORT_COUNTER_KEYS:
+                assert report.counters[key] == 0
+        pool = _pool_counters(problem, shards)
+        # Pool execution publishes the NLC store once and queues one
+        # task per tile; nothing is stolen with a single worker.
+        assert pool["shm_bytes_mapped"] > 0
+        assert pool["pool_tasks"] == report.counters["shard_tasks"]
+        assert pool["tiles_stolen"] == 0
 
     def test_sharding_layer_counters_recorded(self, problem):
         _, report = run_pipeline("maxfirst-sharded", problem,
@@ -46,12 +72,13 @@ class TestSerialVsProcess:
 
 
 class TestSingleFlow:
-    def test_tile_counts_enter_registry_exactly_once(self, problem):
+    @pytest.mark.parametrize("mode", ["serial", "tiles"])
+    def test_tile_counts_enter_registry_exactly_once(self, problem, mode):
         """The shard counters reach the parent registry only via merge():
         the pipeline's delta equals the per-tile sums, not double."""
         before = obs_metrics.REGISTRY.snapshot()
         _, report = run_pipeline("maxfirst-sharded", problem,
-                                 shards=2, mode="serial")
+                                 shards=2, mode=mode)
         delta = obs_metrics.REGISTRY.delta_since(before)
         assert delta.get("kernel_batches", 0) \
             == report.counters["kernel_batches"]
