@@ -6,13 +6,19 @@ the ``k`` concentric NLCs with their Definition 2 scores.  The paper
 budgets ``O(|O| log |P|)`` for this step using an R-tree over the sites; we
 offer three engines and pick automatically:
 
-* ``"brute"`` — chunked numpy distance matrices with ``argpartition``;
-  fastest when ``|P|`` is small-to-moderate (the paper's regime,
-  ``|P| <= 1000``).
-* ``"kdtree"`` — our :class:`~repro.index.kdtree.KDTree`; wins when
-  ``|P|`` is large.
-* ``"rtree"`` — best-first kNN on our :class:`~repro.index.rtree.RTree`,
+* ``"brute"`` — chunked brute force, served by the compiled ``knn_brute``
+  kernel when available (``REPRO_NO_CKERNEL=1`` forces the numpy
+  ``argpartition`` fallback; both paths are bit-identical, including the
+  ``(distance, index)`` tie-break); fastest when ``|P|`` is
+  small-to-moderate (the paper's regime, ``|P| <= 1000``).
+* ``"kdtree"`` — batched traversal of our
+  :class:`~repro.index.kdtree.KDTree`; wins when ``|P|`` is large.
+* ``"rtree"`` — batched kNN on our :class:`~repro.index.rtree.RTree`,
   the literal structure from the paper (kept for fidelity and tests).
+
+Engine work is observable through the ``nlc_build_queries`` /
+``nlc_build_chunks`` counters (see docs/observability.md), which the CI
+perf gate diffs against its blessed baseline.
 """
 
 from __future__ import annotations
@@ -21,11 +27,21 @@ import numpy as np
 
 from repro.core.problem import MaxBRkNNProblem
 from repro.geometry.rect import Rect
+from repro.index._ckernel import load_knn_kernel
 from repro.index.circleset import CircleSet
 from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
+from repro.obs import metrics as _obs_metrics
 
 _BRUTE_CHUNK = 2048
+
+#: Deterministic work counters: kNN queries answered and brute-force
+#: chunks processed during NLC construction.  Counted by the same
+#: formula on the compiled and numpy kernel paths (like
+#: ``kernel_batches``), so the perf gate sees identical values on both
+#: CI arms.
+_NLC_QUERIES = _obs_metrics.counter("nlc_build_queries")
+_NLC_CHUNKS = _obs_metrics.counter("nlc_build_chunks")
 # Above this many sites the kd-tree's O(log |P|) per query beats the numpy
 # O(|P|) row scan (empirically calibrated; exact crossover is unimportant).
 _BRUTE_SITE_LIMIT = 4096
@@ -59,16 +75,22 @@ def build_knn_tree(points: np.ndarray,
     return None
 
 
-def knn_distances(queries: np.ndarray, points: np.ndarray, k: int,
-                  method: str = "auto",
-                  tree: KDTree | RTree | None = None) -> np.ndarray:
-    """Distances from each query to its ``k`` nearest ``points``.
+def knn_distances_indices(
+        queries: np.ndarray, points: np.ndarray, k: int,
+        method: str = "auto",
+        tree: KDTree | RTree | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distances *and* indices of each query's ``k`` nearest ``points``.
 
-    Returns an ``(n_queries, k)`` array of ascending distances.  The result
-    is engine-independent (ties do not affect *distances*), which the test
-    suite verifies by cross-checking all engines.  ``tree`` optionally
-    reuses a :func:`build_knn_tree` product for the matching method
-    instead of rebuilding it per call.
+    Returns ``(distances, indices)``, both ``(n_queries, k)``, rows
+    ascending by distance.  Every engine computes both arrays in one
+    pass, so callers that need distances and neighbour identities (e.g.
+    :func:`repro.core.queries.knn_sites` alongside :func:`build_nlcs`)
+    never run the distance matrix twice.  Distances are
+    engine-independent (ties do not affect *distances*); indices resolve
+    distance ties to the lowest site index on every engine.  ``tree``
+    optionally reuses a :func:`build_knn_tree` product for the matching
+    method instead of rebuilding it per call.
     """
     queries = np.asarray(queries, dtype=np.float64)
     points = np.asarray(points, dtype=np.float64)
@@ -77,10 +99,23 @@ def knn_distances(queries: np.ndarray, points: np.ndarray, k: int,
             f"k={k} out of range for {points.shape[0]} points")
     method = resolve_knn_method(points.shape[0], method)
     if method == "brute":
-        return _knn_brute(queries, points, k)
+        return knn_chunked(queries, points, k)
     if method == "kdtree":
         return _knn_kdtree(queries, points, k, tree=tree)
     return _knn_rtree(queries, points, k, tree=tree)
+
+
+def knn_distances(queries: np.ndarray, points: np.ndarray, k: int,
+                  method: str = "auto",
+                  tree: KDTree | RTree | None = None) -> np.ndarray:
+    """Distances from each query to its ``k`` nearest ``points``.
+
+    Returns an ``(n_queries, k)`` array of ascending distances.  Thin
+    wrapper over :func:`knn_distances_indices` for callers that only
+    need radii.
+    """
+    return knn_distances_indices(queries, points, k,
+                                 method=method, tree=tree)[0]
 
 
 def build_nlcs(problem: MaxBRkNNProblem, method: str = "auto",
@@ -96,7 +131,16 @@ def build_nlcs(problem: MaxBRkNNProblem, method: str = "auto",
     ``keep_zero_score=True`` to keep all ``k`` disks per object, matching
     the paper's presentation literally.  ``tree`` optionally reuses a
     prebuilt :func:`build_knn_tree` index over the sites.
+
+    An all-zero-weight instance is short-circuited before the kNN pass:
+    every disk would score zero and be dropped, so the build does no
+    counted work (the degenerate-instance schema tests rely on this).
     """
+    if not keep_zero_score and not np.any(problem.weights):
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_i = np.empty(0, dtype=np.int64)
+        return CircleSet(empty_f, empty_f, empty_f, empty_f,
+                         owners=empty_i, levels=empty_i)
     dists = knn_distances(problem.customers, problem.sites, problem.k,
                           method=method, tree=tree)
     n = problem.n_customers
@@ -149,62 +193,124 @@ def knn_chunked(queries: np.ndarray, points: np.ndarray,
     """Chunked brute-force kNN: ``(distances, indices)``, both
     ``(n_queries, k)``.
 
-    The single implementation behind :func:`knn_distances`'s brute
-    engine and :func:`repro.core.queries.knn_sites`.  Chunking bounds
-    the distance-matrix scratch at ``_BRUTE_CHUNK * |points|`` floats;
-    within each row the ``k`` winners are ordered by the deterministic
-    ``(distance, index)`` tie-break, so equidistant sites always report
-    in index order regardless of ``argpartition``'s internal choices.
+    The single implementation behind :func:`knn_distances_indices`'s
+    brute engine and :func:`repro.core.queries.knn_sites`.  The hot path
+    is the compiled ``knn_brute`` kernel (a bounded (distance², index)
+    max-heap per query — no distance-matrix scratch at all); with
+    ``REPRO_NO_CKERNEL=1`` or when the kernel is unavailable, the numpy
+    ``argpartition`` fallback computes bit-identical results, chunked to
+    bound its scratch at ``_BRUTE_CHUNK * |points|`` floats.  On both
+    paths each row's ``k`` winners follow the deterministic
+    ``(distance, index)`` tie-break — equidistant sites always resolve
+    to the lowest index, even when the tie straddles the selection
+    boundary.
     """
-    queries = np.asarray(queries, dtype=np.float64)
-    points = np.asarray(points, dtype=np.float64)
+    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    points = np.ascontiguousarray(points, dtype=np.float64)
     n = queries.shape[0]
+    n_points = points.shape[0]
+    if k < 1 or k > n_points:
+        raise ValueError(f"k={k} out of range for {n_points} points")
     dists = np.empty((n, k), dtype=np.float64)
     indices = np.empty((n, k), dtype=np.int64)
-    px = points[:, 0]
-    py = points[:, 1]
-    for start in range(0, n, _BRUTE_CHUNK):
-        chunk = queries[start:start + _BRUTE_CHUNK]
-        dx = chunk[:, 0:1] - px[None, :]
-        dy = chunk[:, 1:2] - py[None, :]
-        d2 = dx * dx + dy * dy
-        if k < points.shape[0]:
-            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        else:
-            part = np.tile(np.arange(points.shape[0], dtype=np.int64),
-                           (chunk.shape[0], 1))
-        rows = np.arange(part.shape[0])[:, None]
-        cand = d2[rows, part]
-        order = np.lexsort((part, cand), axis=1)
-        dists[start:start + _BRUTE_CHUNK] = np.sqrt(cand[rows, order])
-        indices[start:start + _BRUTE_CHUNK] = part[rows, order]
+    # Counted by formula, identically on both kernel paths.
+    _NLC_QUERIES.add(n)
+    _NLC_CHUNKS.add(-(-n // _BRUTE_CHUNK))
+    kernel = load_knn_kernel()
+    if kernel is not None:
+        for start in range(0, n, _BRUTE_CHUNK):
+            stop = min(start + _BRUTE_CHUNK, n)
+            rc = kernel(queries[start:stop].ctypes.data, stop - start,
+                        points.ctypes.data, n_points, k,
+                        dists[start:stop].ctypes.data,
+                        indices[start:stop].ctypes.data)
+            if rc == 0:
+                continue
+            # Allocation failure inside the kernel (k was validated
+            # above): fall through to the numpy path for the whole
+            # batch rather than trust partial output.
+            _knn_chunked_numpy(queries, points, k, dists, indices)
+            return dists, indices
+        return dists, indices
+    _knn_chunked_numpy(queries, points, k, dists, indices)
     return dists, indices
 
 
-def _knn_brute(queries: np.ndarray, points: np.ndarray,
-               k: int) -> np.ndarray:
-    return knn_chunked(queries, points, k)[0]
+def _knn_chunked_numpy(queries: np.ndarray, points: np.ndarray, k: int,
+                       dists: np.ndarray, indices: np.ndarray) -> None:
+    """Numpy fallback body of :func:`knn_chunked` (fills ``dists`` /
+    ``indices`` in place)."""
+    n = queries.shape[0]
+    n_points = points.shape[0]
+    px = points[:, 0]
+    py = points[:, 1]
+    # One row-index column vector for every full chunk; only the final
+    # partial chunk needs a shorter slice of it.
+    rows = np.arange(min(_BRUTE_CHUNK, n), dtype=np.int64)[:, None]
+    full_tile = (np.tile(np.arange(n_points, dtype=np.int64),
+                         (min(_BRUTE_CHUNK, n), 1))
+                 if k >= n_points else None)
+    for start in range(0, n, _BRUTE_CHUNK):
+        stop = min(start + _BRUTE_CHUNK, n)
+        chunk = queries[start:stop]
+        dx = chunk[:, 0:1] - px[None, :]
+        dy = chunk[:, 1:2] - py[None, :]
+        d2 = dx * dx + dy * dy
+        if full_tile is None:
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            part = full_tile[:stop - start]
+        r = rows[:stop - start]
+        cand = d2[r, part]
+        order = np.lexsort((part, cand), axis=1)
+        sel_idx = part[r, order]
+        sel_d2 = cand[r, order]
+        if full_tile is None:
+            _fix_boundary_ties(d2, sel_idx, sel_d2)
+        dists[start:stop] = np.sqrt(sel_d2)
+        indices[start:stop] = sel_idx
 
 
-def _knn_kdtree(queries: np.ndarray, points: np.ndarray, k: int,
-                tree: KDTree | RTree | None = None) -> np.ndarray:
+def _fix_boundary_ties(d2: np.ndarray, sel_idx: np.ndarray,
+                       sel_d2: np.ndarray) -> None:
+    """Re-select rows where a distance tie straddles the ``argpartition``
+    boundary (in place).
+
+    ``argpartition`` picks an *arbitrary* subset of a tie group that
+    crosses position ``k``; sorting afterwards fixes the order of the
+    chosen ``k`` but not which indices were chosen.  Rows where the
+    k-th distance has more ties in the full row than in the selection
+    are re-selected by the strict ``(distance², index)`` rule, so the
+    winners — not just their order — are deterministic and match the
+    compiled kernel bit for bit.
+    """
+    kth = sel_d2[:, -1:]
+    row_ties = (d2 == kth).sum(axis=1)
+    sel_ties = (sel_d2 == kth).sum(axis=1)
+    k = sel_idx.shape[1]
+    for row in np.flatnonzero(row_ties > sel_ties):
+        full = np.argsort(d2[row], kind="stable")[:k]
+        sel_idx[row] = full
+        sel_d2[row] = d2[row, full]
+
+
+def _knn_kdtree(
+        queries: np.ndarray, points: np.ndarray, k: int,
+        tree: KDTree | RTree | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     if not isinstance(tree, KDTree):
         tree = KDTree(points)
-    out = np.empty((queries.shape[0], k), dtype=np.float64)
-    for i, (x, y) in enumerate(queries):
-        for j, (d, _) in enumerate(tree.query(float(x), float(y), k=k)):
-            out[i, j] = d
-    return out
+    _NLC_QUERIES.add(queries.shape[0])
+    return tree.query_batch(queries, k)
 
 
-def _knn_rtree(queries: np.ndarray, points: np.ndarray, k: int,
-               tree: KDTree | RTree | None = None) -> np.ndarray:
+def _knn_rtree(
+        queries: np.ndarray, points: np.ndarray, k: int,
+        tree: KDTree | RTree | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     if not isinstance(tree, RTree):
         tree = RTree.bulk_load(
             (Rect(float(x), float(y), float(x), float(y)), i)
             for i, (x, y) in enumerate(points))
-    out = np.empty((queries.shape[0], k), dtype=np.float64)
-    for i, (x, y) in enumerate(queries):
-        for j, (d, _) in enumerate(tree.nearest(float(x), float(y), k=k)):
-            out[i, j] = d
-    return out
+    _NLC_QUERIES.add(queries.shape[0])
+    return tree.nearest_batch(queries, k)

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.arcs import ArcRegion
-from repro.geometry.intersection import intersect_disks
+from repro.geometry.intersection import (IncrementalDiskIntersection,
+                                         intersect_disks)
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.circleset import CircleSet
@@ -25,6 +26,10 @@ from repro.obs import metrics as _obs_metrics
 #: Deterministic work counter: optimal regions grown (one per distinct
 #: cover after Phase II deduplication).
 _REGION_GROWS = _obs_metrics.counter("region_grows")
+#: Deterministic work counter: disks Algorithm 2 actually clipped into
+#: regions (the sum of ``clipping_count`` over all grown regions) — the
+#: direct measure of Phase II work the ``d_max`` early stop saves.
+_PHASE2_CLIPS = _obs_metrics.counter("phase2_clips")
 
 
 @dataclass(frozen=True)
@@ -82,11 +87,78 @@ def compute_optimal_region(quadrant_rect: Rect, cover: np.ndarray,
     """Algorithm 2: grow the optimal region from a quadrant.
 
     ``cover`` are the indices of the NLCs containing the quadrant
-    (``Q.C``).  The distance-ordered heap and the ``d_max`` stopping rule
-    follow the pseudocode; the disk-intersection kernel is
-    :func:`repro.geometry.intersection.intersect_disks`.
+    (``Q.C``).  The distance ordering and the ``d_max`` stopping rule
+    follow the pseudocode; the disk-intersection kernel is the
+    :class:`~repro.geometry.intersection.IncrementalDiskIntersection`
+    clipper, which keeps per-circle interval state across additions and
+    is bit-identical to re-running ``intersect_disks`` from scratch on
+    every step (the pre-PR shape of this loop, preserved as
+    :func:`compute_optimal_region_reference`).  The clip ordering is
+    seeded with one vectorised ``signed_boundary_distances`` call over
+    the cover instead of one scalar ``Circle`` computation per disk.
     """
     _REGION_GROWS.add()
+    cover_tuple = tuple(int(i) for i in cover)
+    if not cover_tuple:
+        return OptimalRegion(score=score, shape=None,
+                             seed_quadrant=quadrant_rect,
+                             cover=(), clipping_count=0)
+
+    s = quadrant_rect.center
+    if len(cover_tuple) == 1:
+        only = nlcs.circle(cover_tuple[0])
+        shape = intersect_disks([only], tol=tol)
+        _PHASE2_CLIPS.add()
+        return OptimalRegion(score=score, shape=shape,
+                             seed_quadrant=quadrant_rect,
+                             cover=cover_tuple, clipping_count=1)
+
+    # Ascending (shortest distance from s to circumference, NLC index) —
+    # the heap pop order of the reference path, produced by one SoA pass
+    # over the CircleSet arrays.  The quadrant is inside every covering
+    # disk, so the signed distance r - dist(s, centre) is non-negative
+    # (up to rounding at the quadrant's own corners; clamp for safety).
+    cover_arr = np.asarray(cover_tuple, dtype=np.int64)
+    dist = np.maximum(
+        nlcs.signed_boundary_distances(s.x, s.y, cover_arr), 0.0)
+    order = np.lexsort((cover_arr, dist))
+
+    clipper = IncrementalDiskIntersection(tol=tol)
+    first = int(cover_arr[order[0]])
+    second = int(cover_arr[order[1]])
+    clipper.add(nlcs.circle(first))
+    clipper.add(nlcs.circle(second))
+    selected = [first, second]
+    region = clipper.region()
+    d_max = region.max_distance_from(s.x, s.y)
+
+    for pos in range(2, order.shape[0]):
+        if dist[order[pos]] >= d_max:
+            break  # no remaining disk can clip the overlap (Algorithm 2)
+        idx = int(cover_arr[order[pos]])
+        selected.append(idx)
+        clipper.add(nlcs.circle(idx))
+        region = clipper.region()
+        d_max = region.max_distance_from(s.x, s.y)
+
+    _PHASE2_CLIPS.add(len(selected))
+    return OptimalRegion(score=score, shape=region,
+                         seed_quadrant=quadrant_rect,
+                         cover=cover_tuple, clipping_count=len(selected))
+
+
+def compute_optimal_region_reference(
+        quadrant_rect: Rect, cover: np.ndarray, nlcs: CircleSet,
+        score: float, tol: float = 1e-9) -> OptimalRegion:
+    """The pre-optimisation Algorithm 2 loop, kept verbatim as the
+    identity oracle for :func:`compute_optimal_region`.
+
+    Scalar ``Circle`` heap seeding and a from-scratch
+    :func:`intersect_disks` rebuild on every accepted disk.  No work
+    counters — ``benchmarks/bench_phase2_nlc.py`` and the regression
+    tests run it inside counter-isolated scopes to assert per-region
+    identity without perturbing the gated counts.
+    """
     cover_tuple = tuple(int(i) for i in cover)
     if not cover_tuple:
         return OptimalRegion(score=score, shape=None,
@@ -101,10 +173,6 @@ def compute_optimal_region(quadrant_rect: Rect, cover: np.ndarray,
                              seed_quadrant=quadrant_rect,
                              cover=cover_tuple, clipping_count=1)
 
-    # Heap of (shortest distance from s to circumference, NLC index).  The
-    # quadrant is inside every covering disk, so the signed distance
-    # r - dist(s, centre) is non-negative (up to rounding at the quadrant's
-    # own corners; clamp for safety).
     heap: list[tuple[float, int]] = []
     for idx in cover_tuple:
         c = nlcs.circle(idx)
@@ -121,7 +189,7 @@ def compute_optimal_region(quadrant_rect: Rect, cover: np.ndarray,
     while heap:
         d, idx = heapq.heappop(heap)
         if d >= d_max:
-            break  # no remaining disk can clip the overlap (Algorithm 2)
+            break
         selected.append(idx)
         region = intersect_disks(nlcs.circles(selected), tol=tol)
         d_max = region.max_distance_from(s.x, s.y)

@@ -38,7 +38,14 @@ from typing import Any
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import TRACER
 
-__all__ = ["PersistentPool", "solve_tile"]
+__all__ = ["PersistentPool", "grow_regions", "run_phase2_pool",
+           "solve_tile"]
+
+#: Transport counter: Phase II region jobs dispatched through the pool.
+#: Like ``pool_tasks`` it depends on worker topology (a serial Phase II
+#: dispatches none), so it is excluded from the perf gate and identity
+#: checks.
+_PHASE2_POOL_TASKS = _obs_metrics.counter("phase2_pool_tasks")
 
 # ---------------------------------------------------------------------- #
 # Worker-process globals (set by the pool initializer / per-epoch)
@@ -142,6 +149,84 @@ def solve_tile(job: tuple) -> tuple:
             dict(box["counters"]), dict(box["gauges"]), spans)
 
 
+def grow_regions(job: tuple) -> tuple:
+    """Worker entry: grow Phase II regions against the shared NLC store.
+
+    ``job`` is ``(store_name, length, entries, trace_enabled)`` with
+    ``entries`` a list of ``(rect_tuple, cover_tuple, score)`` triples.
+    Returns ``(regions, obs_counters, obs_gauges, spans)``;
+    ``compute_optimal_region`` runs exactly as in the serial path, so
+    the merged ``region_grows`` / ``phase2_clips`` counters stay
+    bit-identical to a serial Phase II.
+    """
+    (store_name, length, entries, trace_enabled) = job
+    import numpy as np
+
+    from repro.core.region import compute_optimal_region
+    from repro.geometry.rect import Rect
+    from repro.index.circleset import CircleSet, detach_shared
+
+    TRACER.reset(enabled=bool(trace_enabled))
+    with _obs_metrics.REGISTRY.isolated() as box:
+        with TRACER.span("phase2/pool_batch", regions=len(entries)):
+            # Keep only this solve's store mapped (same rotation the
+            # Phase I epoch turn performs); the attachment cache makes
+            # every job after a worker's first a pure cache hit.
+            detach_shared(keep=(store_name,))
+            nlcs = CircleSet.from_shared((store_name, length))
+            regions = [
+                compute_optimal_region(
+                    Rect(*rect_tuple),
+                    np.asarray(cover, dtype=np.int64), nlcs,
+                    score=score)
+                for rect_tuple, cover, score in entries
+            ]
+    spans = ([record.as_dict() for record in TRACER.drain()]
+             if trace_enabled else [])
+    return (regions, dict(box["counters"]), dict(box["gauges"]), spans)
+
+
+def run_phase2_pool(pool: "PersistentPool", nlcs: Any,
+                    quads: list) -> list:
+    """Grow the regions of ``quads`` through a worker pool.
+
+    ``quads`` is a list of ``(rect_tuple, cover_tuple, score)`` triples
+    in the order the serial Phase II would process them; the returned
+    regions keep that order, so the caller's sort/top-t handling is
+    topology-independent.  The NLC store is published to shared memory
+    once, one job is dispatched per region (the executor queue is the
+    load balancer — region growth cost varies wildly with cover size),
+    and worker counters/gauges/spans are merged back exactly as the
+    Phase I shard merge does.
+    """
+    from repro.obs.trace import span
+
+    trace_enabled = TRACER.enabled
+    with span("phase2/shm_publish", nlcs=len(nlcs)):
+        store = nlcs.to_shared()
+    _PHASE2_POOL_TASKS.add(len(quads))
+    launch_ts = TRACER.now() if trace_enabled else 0.0
+    futures = []
+    try:
+        for entry in quads:
+            job = (store.name, store.length, [entry], trace_enabled)
+            futures.append(pool.submit_call(grow_regions, job))
+        with span("phase2/pool_wait", regions=len(quads)):
+            results = [future.result() for future in futures]
+    finally:
+        for future in futures:
+            future.cancel()
+        store.close()
+    regions: list = []
+    for i, (regs, counters, gauges, spans) in enumerate(results):
+        regions.extend(regs)
+        _obs_metrics.REGISTRY.merge_counts(counters)
+        _obs_metrics.REGISTRY.merge_gauges_max(gauges)
+        if trace_enabled:
+            TRACER.ingest(spans, pid=i + 1, ts_offset=launch_ts)
+    return regions
+
+
 class PersistentPool:
     """Lazily-started, reusable process pool with a shared bound cell.
 
@@ -205,3 +290,7 @@ class PersistentPool:
     def submit(self, job: tuple) -> Any:
         """Queue one tile job; any idle worker will pull it."""
         return self.executor().submit(solve_tile, job)
+
+    def submit_call(self, fn: Any, job: tuple) -> Any:
+        """Queue an arbitrary worker entry (e.g. :func:`grow_regions`)."""
+        return self.executor().submit(fn, job)

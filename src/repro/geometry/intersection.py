@@ -88,6 +88,129 @@ def intersect_disks(circles: Iterable[Circle], tol: float = 1e-9) -> ArcRegion:
     raise DisjointDisksError("the disks have no common point")
 
 
+class IncrementalDiskIntersection:
+    """Incrementally maintained intersection of closed disks.
+
+    Phase II of MaxFirst grows its region one disk at a time;
+    re-running :func:`intersect_disks` from scratch after every
+    addition repeats all earlier constraint work.  This class keeps the
+    per-circle :class:`AngularIntervals` state alive between additions,
+    so each :meth:`add` costs one constraint exchange per live circle
+    instead of a full O(n²) rebuild.
+
+    **Bit-identity.**  :meth:`region` returns float-for-float the
+    :class:`ArcRegion` that ``intersect_disks(added_circles, tol=tol)``
+    returns.  The from-scratch pass applies, to each circle *i*, the
+    angular constraints of the other circles in list order; adding disks
+    one at a time replays exactly that sequence — the new disk appends
+    one ``intersect_with`` call to every predecessor's interval set, and
+    the new circle's own intervals are built against the predecessors in
+    list order — so circle *i* sees constraints ``0, …, i-1, i+1, …, n``
+    in both constructions, and every interval endpoint (hence every arc)
+    comes out identical.  Dead circles stay dead: constraints only
+    shrink interval sets, which mirrors the from-scratch early ``break``
+    (the property test in ``tests/geometry`` checks the equivalence
+    prefix-by-prefix, degeneracies included).
+    """
+
+    __slots__ = ("_tol", "_circles", "_intervals", "_alive")
+
+    def __init__(self, tol: float = 1e-9) -> None:
+        self._tol = tol
+        self._circles: list[Circle] = []
+        self._intervals: list[AngularIntervals] = []
+        self._alive: list[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._circles)
+
+    @property
+    def circles(self) -> tuple[Circle, ...]:
+        """The deduplicated circles added so far, in insertion order."""
+        return tuple(self._circles)
+
+    def add(self, circle: Circle) -> bool:
+        """Clip the running intersection against one more disk.
+
+        Returns ``False`` (a no-op) when the disk duplicates one already
+        added — the same ``tol``-box test :func:`intersect_disks` uses
+        in its dedup pass — and ``True`` otherwise.
+        """
+        tol = self._tol
+        for o in self._circles:
+            if (abs(circle.cx - o.cx) <= tol
+                    and abs(circle.cy - o.cy) <= tol
+                    and abs(circle.r - o.r) <= tol):
+                return False
+        new_intervals = AngularIntervals()
+        new_alive = True
+        for j, cj in enumerate(self._circles):
+            if self._alive[j]:
+                # The new disk constrains live predecessor j.
+                constraint = _arc_inside(cj, circle, tol)
+                if constraint is not None:
+                    center, half_width = constraint
+                    if half_width <= 0.0:
+                        self._alive[j] = False
+                    else:
+                        intervals = self._intervals[j]
+                        intervals.intersect_with(center, half_width)
+                        if intervals.is_empty:
+                            self._alive[j] = False
+            if new_alive:
+                # Predecessor j constrains the new circle (list order,
+                # with the from-scratch early-stop once dead).
+                constraint = _arc_inside(circle, cj, tol)
+                if constraint is not None:
+                    center, half_width = constraint
+                    if half_width <= 0.0:
+                        new_alive = False
+                    else:
+                        new_intervals.intersect_with(center, half_width)
+                        if new_intervals.is_empty:
+                            new_alive = False
+        self._circles.append(circle)
+        self._intervals.append(new_intervals)
+        self._alive.append(new_alive)
+        return True
+
+    def region(self) -> ArcRegion:
+        """The current intersection as an :class:`ArcRegion`.
+
+        Identical (bit-for-bit) to ``intersect_disks`` over the added
+        circles; raises :class:`DisjointDisksError` /
+        :class:`ValueError` in the same cases.
+        """
+        unique = self._circles
+        if not unique:
+            raise ValueError("intersect_disks: no circles given")
+        if len(unique) == 1:
+            only = unique[0]
+            return ArcRegion(circles=(only,),
+                             arcs=(Arc(only, 0.0, TWO_PI),))
+        tol = self._tol
+        arcs: list[Arc] = []
+        for ci, alive, intervals in zip(unique, self._alive,
+                                        self._intervals):
+            if not alive:
+                continue
+            if intervals.is_full:
+                arcs.append(Arc(ci, 0.0, TWO_PI))
+            else:
+                for start, end in intervals.intervals():
+                    sweep = end - start
+                    if sweep > tol:
+                        arcs.append(Arc(ci, start, sweep))
+        if arcs:
+            return ArcRegion(circles=tuple(unique), arcs=tuple(arcs),
+                             _tol=tol)
+        point = _common_point(unique, tol)
+        if point is not None:
+            return ArcRegion(circles=tuple(unique), arcs=(),
+                             degenerate_point=point, _tol=tol)
+        raise DisjointDisksError("the disks have no common point")
+
+
 def disks_common_point(circles: Sequence[Circle],
                        tol: float = 1e-9) -> Point | None:
     """A point where *all* circle circumferences meet, if one exists.

@@ -1,16 +1,20 @@
-"""Build-and-load shim for the compiled quadrant-split kernel.
+"""Build-and-load shim for the compiled kernels (quad split + kNN).
 
 ``_quadkernel.c`` (next to this module) is compiled on first use with the
 system C compiler into a shared library cached under a private per-user
 cache directory, keyed by a hash of the source and compile flags, then
-loaded through :mod:`ctypes`.  Everything is best-effort: an *expected*
-failure — no compiler, unwritable cache dir, unsupported platform, a
-stale or unloadable library — emits a :class:`RuntimeWarning` naming the
-fallback and degrades to ``None``, and callers fall back to the
-pure-numpy batched kernel, which computes identical results.  Unexpected
-exception types propagate: a silent blanket ``except`` here once hid
-real kernel-load bugs behind a quiet 2–3x slowdown (rule ``RPR003`` of
-:mod:`repro.analysis`).
+loaded through :mod:`ctypes`.  The library carries every compiled entry
+point — ``classify_quad_split`` for Phase I rectangle classification and
+``knn_brute`` for NLC construction — and is built and loaded exactly
+once per process; :func:`load_quad_kernel` and :func:`load_knn_kernel`
+hand out the individually configured functions.  Everything is
+best-effort: an *expected* failure — no compiler, unwritable cache dir,
+unsupported platform, a stale or unloadable library — emits a
+:class:`RuntimeWarning` naming the fallback and degrades to ``None``,
+and callers fall back to the pure-numpy batched kernels, which compute
+identical results.  Unexpected exception types propagate: a silent
+blanket ``except`` here once hid real kernel-load bugs behind a quiet
+2–3x slowdown (rule ``RPR003`` of :mod:`repro.analysis`).
 
 The cache lives under ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``),
 falling back to a uid-suffixed temp subdirectory, created mode 0700 and
@@ -22,8 +26,8 @@ a malicious library for this process to execute.
 Set ``REPRO_NO_CKERNEL=1`` to force the numpy fallback (used by tests to
 cover both paths).
 
-``-ffp-contract=off`` is mandatory: the kernel's bit-identity contract
-with the numpy scalar kernel (see the header comment in ``_quadkernel.c``)
+``-ffp-contract=off`` is mandatory: the kernels' bit-identity contract
+with the numpy kernels (see the header comments in ``_quadkernel.c``)
 requires every multiply and add to round separately, exactly as numpy's
 ufunc loops do.
 """
@@ -43,7 +47,10 @@ _SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "_quadkernel.c")
 _CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
 
-_cached: tuple[object] | None = None  # 1-tuple so None is cacheable
+# Per-entry-point memo ({symbol: ctypes fn or None}); None = not loaded
+# yet.  A failed build/load memoises {symbol: None} for every entry so
+# the fallback warning fires at most once per process.
+_cached: dict[str, object | None] | None = None
 
 
 def _uid() -> int | None:
@@ -139,42 +146,88 @@ def _build(source_path: str) -> str | None:
     return lib_path if _owned_private(lib_path, want_dir=False) else None
 
 
+def _configure_quad(fn) -> None:
+    """ctypes signature for ``classify_quad_split``."""
+    c_d = ctypes.c_double
+    c_i64 = ctypes.c_int64
+    ptr = ctypes.c_void_p
+    fn.restype = None
+    fn.argtypes = [
+        ptr, ptr, ptr, ptr, ptr,       # cx cy r_in2 r_out2 sc
+        ptr, c_i64,                    # cand, n
+        c_d, c_d, c_d, c_d, c_d, c_d,  # rect + split point
+        c_i64,                         # stride
+        ptr, ptr, ptr, ptr,            # idx mask sc csc out
+        ptr, ptr,                      # counts ccounts
+    ]
+
+
+def _configure_knn(fn) -> None:
+    """ctypes signature for ``knn_brute``."""
+    c_i64 = ctypes.c_int64
+    ptr = ctypes.c_void_p
+    fn.restype = ctypes.c_int
+    fn.argtypes = [
+        ptr, c_i64,  # queries (n, 2), n_queries
+        ptr, c_i64,  # points (m, 2), n_points
+        c_i64,       # k
+        ptr, ptr,    # dist_out (n, k), idx_out (n, k)
+    ]
+
+
+_ENTRY_POINTS = {
+    "classify_quad_split": _configure_quad,
+    "knn_brute": _configure_knn,
+}
+
+
+def _load_entries() -> dict[str, object | None]:
+    """Build + load the library once; configure every entry point."""
+    fns: dict[str, object | None] = dict.fromkeys(_ENTRY_POINTS)
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        return fns
+    lib_path = _build(_SOURCE)
+    if lib_path is None:
+        return fns
+    try:
+        lib = ctypes.CDLL(lib_path)
+        loaded: dict[str, object | None] = {}
+        for name, configure in _ENTRY_POINTS.items():
+            fn = getattr(lib, name)
+            configure(fn)
+            loaded[name] = fn
+    # OSError: CDLL could not load the library; AttributeError: an
+    # expected symbol is missing (stale/foreign .so).  All entry points
+    # degrade together — a library missing one symbol is not trusted
+    # for the others either.
+    except (OSError, AttributeError) as exc:
+        # repro: fallback(kernel load failure degrades to the bit-identical numpy batch kernels)
+        warnings.warn(
+            f"compiled kernel load failed ({exc!r}); falling back to "
+            "the pure-numpy batched kernels (identical results, slower)",
+            RuntimeWarning, stacklevel=3)
+        return fns
+    return loaded
+
+
+def _entries() -> dict[str, object | None]:
+    global _cached
+    if _cached is None:
+        _cached = _load_entries()
+    return _cached
+
+
 def load_quad_kernel():
     """The compiled ``classify_quad_split`` entry point, or ``None``.
 
     The result (including a failed load) is cached for the process.
     """
-    global _cached
-    if _cached is not None:
-        return _cached[0]
-    fn = None
-    if not os.environ.get("REPRO_NO_CKERNEL"):
-        lib_path = _build(_SOURCE)
-        if lib_path is not None:
-            try:
-                lib = ctypes.CDLL(lib_path)
-                fn = lib.classify_quad_split
-                c_d = ctypes.c_double
-                c_i64 = ctypes.c_int64
-                ptr = ctypes.c_void_p
-                fn.restype = None
-                fn.argtypes = [
-                    ptr, ptr, ptr, ptr, ptr,       # cx cy r_in2 r_out2 sc
-                    ptr, c_i64,                    # cand, n
-                    c_d, c_d, c_d, c_d, c_d, c_d,  # rect + split point
-                    c_i64,                         # stride
-                    ptr, ptr, ptr, ptr,            # idx mask sc csc out
-                    ptr, ptr,                      # counts ccounts
-                ]
-            # OSError: CDLL could not load the library; AttributeError:
-            # the expected symbol is missing (stale/foreign .so).
-            except (OSError, AttributeError) as exc:
-                # repro: fallback(kernel load failure degrades to the bit-identical numpy batch kernel)
-                warnings.warn(
-                    f"quad-split kernel load failed ({exc!r}); falling "
-                    "back to the pure-numpy batched kernel (identical "
-                    "results, slower)",
-                    RuntimeWarning, stacklevel=2)
-                fn = None
-    _cached = (fn,)
-    return fn
+    return _entries()["classify_quad_split"]
+
+
+def load_knn_kernel():
+    """The compiled ``knn_brute`` entry point, or ``None``.
+
+    The result (including a failed load) is cached for the process.
+    """
+    return _entries()["knn_brute"]

@@ -27,6 +27,8 @@
  */
 
 #include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
 
 static inline double dmax(double a, double b) { return a > b ? a : b; }
 
@@ -89,4 +91,108 @@ void classify_quad_split(
         counts[c] = h[c];
         ccounts[c] = ch[c];
     }
+}
+
+/* Compiled brute-force kNN for NLC construction (knn_chunked fast path).
+ *
+ * Bit-identity contract with the numpy fallback in repro.core.nlc:
+ * per pair the squared distance is dx*dx + dy*dy with dx = qx - px,
+ * dy = qy - py — the same operand grouping as the numpy broadcast
+ * expression, each multiply and add rounded separately (build with
+ * -ffp-contract=off).  Selection keeps the k smallest by the strict
+ * lexicographic (d2, index) order, so distance ties always resolve to
+ * the lowest site index — the documented deterministic tie-break of
+ * knn_chunked.  Output distances are sqrt(d2); C's sqrt and np.sqrt are
+ * both IEEE-754 correctly rounded, so they agree bit for bit.
+ *
+ * Selection is a bounded max-heap of k (d2, index) entries per query:
+ * O(n log k) per query, no (chunk x n_points) temporary.  Returns 0 on
+ * success, -1 on invalid k or allocation failure (caller validates k,
+ * so -1 in practice means OOM and the caller falls back to numpy).
+ */
+
+static inline int knn_less(double da, int64_t ia, double db, int64_t ib)
+{
+    return da < db || (da == db && ia < ib);
+}
+
+static void knn_sift_down(double *hd, int64_t *hi,
+                          int64_t root, int64_t size)
+{
+    for (;;) {
+        int64_t child = 2 * root + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size &&
+            knn_less(hd[child], hi[child], hd[child + 1], hi[child + 1]))
+            child++;
+        if (knn_less(hd[root], hi[root], hd[child], hi[child])) {
+            double td = hd[root]; hd[root] = hd[child]; hd[child] = td;
+            int64_t ti = hi[root]; hi[root] = hi[child]; hi[child] = ti;
+            root = child;
+        } else {
+            break;
+        }
+    }
+}
+
+int knn_brute(
+    const double *queries,  /* (n_queries, 2) interleaved x,y */
+    int64_t n_queries,
+    const double *points,   /* (n_points, 2) interleaved x,y  */
+    int64_t n_points,
+    int64_t k,
+    double *dist_out,       /* (n_queries, k) sorted ascending */
+    int64_t *idx_out)       /* (n_queries, k) matching indices */
+{
+    if (k < 1 || k > n_points)
+        return -1;
+    double *hd = malloc((size_t)k * sizeof(double));
+    int64_t *hi = malloc((size_t)k * sizeof(int64_t));
+    if (hd == NULL || hi == NULL) {
+        free(hd);
+        free(hi);
+        return -1;
+    }
+    for (int64_t q = 0; q < n_queries; q++) {
+        const double qx = queries[2 * q];
+        const double qy = queries[2 * q + 1];
+        int64_t m = 0;
+        for (int64_t j = 0; j < n_points; j++) {
+            const double dx = qx - points[2 * j];
+            const double dy = qy - points[2 * j + 1];
+            const double d2 = dx * dx + dy * dy;
+            if (m < k) {
+                int64_t c = m++;
+                hd[c] = d2;
+                hi[c] = j;
+                while (c > 0) {  /* sift up into the max-heap */
+                    int64_t p = (c - 1) >> 1;
+                    if (!knn_less(hd[p], hi[p], hd[c], hi[c]))
+                        break;
+                    double td = hd[p]; hd[p] = hd[c]; hd[c] = td;
+                    int64_t ti = hi[p]; hi[p] = hi[c]; hi[c] = ti;
+                    c = p;
+                }
+            } else if (knn_less(d2, j, hd[0], hi[0])) {
+                hd[0] = d2;
+                hi[0] = j;
+                knn_sift_down(hd, hi, 0, k);
+            }
+        }
+        /* heapsort: repeatedly move the current max to the tail, so the
+         * scratch arrays end up ascending by (d2, index). */
+        for (int64_t c = m - 1; c > 0; c--) {
+            double td = hd[0]; hd[0] = hd[c]; hd[c] = td;
+            int64_t ti = hi[0]; hi[0] = hi[c]; hi[c] = ti;
+            knn_sift_down(hd, hi, 0, c);
+        }
+        for (int64_t c = 0; c < m; c++) {
+            dist_out[q * k + c] = sqrt(hd[c]);
+            idx_out[q * k + c] = hi[c];
+        }
+    }
+    free(hd);
+    free(hi);
+    return 0;
 }

@@ -127,6 +127,25 @@ class CircleSet:
         """Scalar circles for a batch of indices."""
         return [self.circle(int(i)) for i in indices]
 
+    def signed_boundary_distances(
+            self, x: float, y: float,
+            candidates: np.ndarray | None = None) -> np.ndarray:
+        """SoA batch of ``Circle.signed_boundary_distance``: distance from
+        ``(x, y)`` to each circumference, positive inside the disk.
+
+        ``candidates`` optionally restricts (and orders) the result to a
+        subset of indices — Phase II seeds its clip ordering with one
+        call over a quadrant's cover instead of one scalar call per
+        covering circle.
+        """
+        if candidates is None:
+            cx, cy, r = self.cx, self.cy, self.r
+        else:
+            cx = self.cx[candidates]
+            cy = self.cy[candidates]
+            r = self.r[candidates]
+        return r - np.hypot(x - cx, y - cy)
+
     def bounding_box(self) -> Rect:
         """Tight bounding box of all disks (cached)."""
         if self._bbox is None:

@@ -14,16 +14,19 @@ import heapq
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.obs import metrics as _obs_metrics
 
 #: Deterministic work counter: nodes examined by kNN/radius queries.
-#: Accumulated per call (one registry add per query) so the recursive
-#: descent stays handle-free.
+#: Accumulated per call (one registry add per query or batch) so the
+#: recursive descent stays handle-free.
 _NODE_VISITS = _obs_metrics.counter("kdtree_node_visits")
 
 
 class _KDNode:
-    __slots__ = ("axis", "split", "left", "right", "points", "indices")
+    __slots__ = ("axis", "split", "left", "right", "points", "indices",
+                 "px_arr", "py_arr", "idx_arr")
 
     def __init__(self) -> None:
         self.axis = -1          # -1 marks a leaf
@@ -32,6 +35,10 @@ class _KDNode:
         self.right: _KDNode | None = None
         self.points: list[tuple[float, float]] = []
         self.indices: list[int] = []
+        # Leaf contents as arrays, for the batched descent.
+        self.px_arr: np.ndarray | None = None
+        self.py_arr: np.ndarray | None = None
+        self.idx_arr: np.ndarray | None = None
 
 
 class KDTree:
@@ -80,6 +87,36 @@ class KDTree:
         out = sorted((-d, -i) for d, i in best)
         return [(d, i) for d, i in out]
 
+    def query_batch(self, queries: np.ndarray,
+                    k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Batched kNN: ``(distances, indices)``, both ``(n_queries, k)``.
+
+        One vectorised descent per tree node instead of one Python
+        recursion per query: queries are carried down as an index subset
+        and partitioned at every internal node, leaves score all their
+        resident points against all arriving queries at once.  Requires
+        ``1 <= k <= len(self)``.
+
+        Per query the visited node set is exactly the scalar
+        :meth:`query`'s — the far-subtree bound is evaluated *after* the
+        near subtree completes, as in the scalar descent, and the subset
+        recursions are row-disjoint — so ``kdtree_node_visits`` advances
+        by the same total.  Distance ties resolve to the lowest stored
+        index, also matching :meth:`query`.
+        """
+        if k < 1 or k > len(self._points):
+            raise ValueError(
+                f"k={k} out of range for {len(self._points)} points")
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        n = queries.shape[0]
+        best_d = np.full((n, k), np.inf, dtype=np.float64)
+        best_i = np.full((n, k), len(self._points), dtype=np.int64)
+        if n and self._root is not None:
+            subset = np.arange(n, dtype=np.int64)
+            _NODE_VISITS.add(self._batch_search(
+                self._root, queries, subset, k, best_d, best_i))
+        return best_d, best_i
+
     def query_radius(self, x: float, y: float, radius: float) -> list[int]:
         """Indices of all stored points within ``radius`` (closed ball)."""
         if radius < 0:
@@ -122,6 +159,11 @@ class KDTree:
         if len(indices) <= self._leaf_size:
             node.indices = indices
             node.points = [self._points[i] for i in indices]
+            node.px_arr = np.array([p[0] for p in node.points],
+                                   dtype=np.float64)
+            node.py_arr = np.array([p[1] for p in node.points],
+                                   dtype=np.float64)
+            node.idx_arr = np.array(indices, dtype=np.int64)
             return node
         axis = depth % 2
         indices.sort(key=lambda i: self._points[i][axis])
@@ -151,4 +193,49 @@ class KDTree:
         plane_dist = abs(coord - node.split)
         if len(best) < k or plane_dist <= -best[0][0]:
             visits += self._search(far, x, y, k, best)
+        return visits
+
+    def _batch_search(self, node: _KDNode, queries: np.ndarray,
+                      subset: np.ndarray, k: int,
+                      best_d: np.ndarray, best_i: np.ndarray) -> int:
+        """Vectorised kNN descent over a query subset; returns node
+        visits (``subset.size`` per node entered, one visit per arriving
+        query — the scalar count)."""
+        if node.axis < 0:
+            ld = np.hypot(queries[subset, 0:1] - node.px_arr[None, :],
+                          queries[subset, 1:2] - node.py_arr[None, :])
+            comb_d = np.concatenate([best_d[subset], ld], axis=1)
+            comb_i = np.concatenate(
+                [best_i[subset],
+                 np.broadcast_to(node.idx_arr[None, :], ld.shape)], axis=1)
+            # Ascending (distance, index): same tie-break as the scalar
+            # (-d, -idx) max-heap.
+            order = np.lexsort((comb_i, comb_d), axis=1)[:, :k]
+            rows = np.arange(subset.size, dtype=np.int64)[:, None]
+            best_d[subset] = comb_d[rows, order]
+            best_i[subset] = comb_i[rows, order]
+            return subset.size
+        visits = subset.size
+        coord = queries[subset, node.axis]
+        near_left = coord <= node.split
+        sel_left = subset[near_left]
+        sel_right = subset[~near_left]
+        if sel_left.size:
+            visits += self._batch_search(node.left, queries, sel_left,
+                                         k, best_d, best_i)
+        if sel_right.size:
+            visits += self._batch_search(node.right, queries, sel_right,
+                                         k, best_d, best_i)
+        # Far subtree, with each query's bound as it stands after its
+        # own near subtree (unfilled slots are +inf, so the bound also
+        # admits every query that has not seen k points yet).
+        go = np.abs(coord - node.split) <= best_d[subset, k - 1]
+        far_right = subset[near_left & go]
+        if far_right.size:
+            visits += self._batch_search(node.right, queries, far_right,
+                                         k, best_d, best_i)
+        far_left = subset[~near_left & go]
+        if far_left.size:
+            visits += self._batch_search(node.left, queries, far_left,
+                                         k, best_d, best_i)
         return visits

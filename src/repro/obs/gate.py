@@ -58,6 +58,10 @@ GATED_COUNTERS: tuple[str, ...] = (
     "point_splits",
     "kernel_batches",
     "kernel_rects",
+    "region_grows",
+    "phase2_clips",
+    "nlc_build_queries",
+    "nlc_build_chunks",
 )
 
 DEFAULT_BAND = 0.10

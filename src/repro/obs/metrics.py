@@ -46,6 +46,7 @@ TRANSPORT_COUNTER_KEYS: tuple[str, ...] = (
     "shm_bytes_mapped",
     "pool_tasks",
     "tiles_stolen",
+    "phase2_pool_tasks",
 )
 
 #: Every registry counter key, in report order.  The counter-schema test
@@ -59,6 +60,9 @@ COUNTER_KEYS: tuple[str, ...] = (
     "kdtree_node_visits",
     "refine_pair_tests",
     "region_grows",
+    "phase2_clips",
+    "nlc_build_queries",
+    "nlc_build_chunks",
     "shard_tasks",
     "halo_assignments",
 ) + TRANSPORT_COUNTER_KEYS

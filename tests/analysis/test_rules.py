@@ -21,7 +21,7 @@ CASES = [
     ("RPR002", "rpr002_bad.py", 3, "rpr002_clean.py", None),
     ("RPR003", "rpr003_bad.py", 3, "rpr003_clean.py", None),
     ("RPR004", "rpr004_bad.py", 4, "rpr004_clean.py", None),
-    ("RPR006", "rpr006_bad.py", 2, "rpr006_clean.py", None),
+    ("RPR006", "rpr006_bad.py", 4, "rpr006_clean.py", None),
     ("RPR007", "rpr007_bad.py", 3, "rpr007_clean.py",
      "src/repro/index/{name}"),
 ]

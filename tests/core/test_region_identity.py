@@ -1,0 +1,117 @@
+"""Per-region identity of the optimised Phase II against the pre-PR loop.
+
+``compute_optimal_region`` (incremental clipper + SoA heap seeding) must
+reproduce ``compute_optimal_region_reference`` (scalar heapq seeding,
+from-scratch ``intersect_disks`` per accepted disk) exactly: same score,
+cover, clipping_count, and float-identical region shape.  Exercised on
+synthetic random covers and on every region a real solve produces; CI
+runs this file on both ``REPRO_NO_CKERNEL`` arms so the identity holds
+regardless of which kNN kernel built the NLC radii.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.region import (compute_optimal_region,
+                               compute_optimal_region_reference)
+from repro.datasets.synthetic import synthetic_instance
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+from repro.obs import metrics as obs_metrics
+
+
+def assert_identical(new, ref):
+    assert new.score == ref.score
+    assert new.cover == ref.cover
+    assert new.clipping_count == ref.clipping_count
+    assert new.seed_quadrant == ref.seed_quadrant
+    assert (new.shape is None) == (ref.shape is None)
+    if new.shape is not None:
+        assert new.shape.circles == ref.shape.circles
+        assert new.shape.arcs == ref.shape.arcs
+        assert new.shape.degenerate_point == ref.shape.degenerate_point
+
+
+class TestRandomCovers:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_synthetic_covers_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        quad_center = rng.uniform(0.4, 0.6, 2)
+        circles = []
+        for _ in range(int(rng.integers(2, 12))):
+            cx, cy = quad_center + rng.uniform(-0.5, 0.5, 2)
+            d = np.hypot(cx - quad_center[0], cy - quad_center[1])
+            r = d + rng.uniform(0.05, 1.0)
+            circles.append(Circle(float(cx), float(cy), float(r)))
+        cs = CircleSet.from_circles(circles)
+        half = 0.004
+        quad = Rect(float(quad_center[0] - half),
+                    float(quad_center[1] - half),
+                    float(quad_center[0] + half),
+                    float(quad_center[1] + half))
+        cover = np.flatnonzero(cs.contains_rect_mask(quad))
+        with obs_metrics.REGISTRY.isolated():
+            new = compute_optimal_region(quad, cover, cs, score=1.0)
+        ref = compute_optimal_region_reference(quad, cover, cs, score=1.0)
+        assert_identical(new, ref)
+
+    def test_duplicate_disks_in_cover(self):
+        base = Circle(0.0, 0.0, 1.0)
+        cs = CircleSet.from_circles([base, base, Circle(0.3, 0.0, 1.1)])
+        quad = Rect(-0.01, -0.01, 0.01, 0.01)
+        cover = np.array([0, 1, 2], dtype=np.int64)
+        with obs_metrics.REGISTRY.isolated():
+            new = compute_optimal_region(quad, cover, cs, score=3.0)
+        ref = compute_optimal_region_reference(quad, cover, cs, score=3.0)
+        assert_identical(new, ref)
+
+    def test_empty_and_single_cover(self):
+        cs = CircleSet.from_circles([Circle(0, 0, 2)])
+        quad = Rect(-0.1, -0.1, 0.1, 0.1)
+        for cover in (np.array([], dtype=np.int64),
+                      np.array([0], dtype=np.int64)):
+            with obs_metrics.REGISTRY.isolated():
+                new = compute_optimal_region(quad, cover, cs, score=1.0)
+            ref = compute_optimal_region_reference(quad, cover, cs,
+                                                   score=1.0)
+            assert_identical(new, ref)
+
+
+class TestSolverRegions:
+    @pytest.mark.parametrize("seed,dist", [(0, "uniform"), (1, "uniform"),
+                                           (2, "normal")])
+    def test_every_solved_region_identical(self, seed, dist):
+        customers, sites = synthetic_instance(250, 16, dist, seed=seed)
+        problem = MaxBRkNNProblem(customers, sites, k=3)
+        result = MaxFirst(top_t=8).solve(problem)
+        nlcs = build_nlcs(problem)
+        assert result.regions
+        for region in result.regions:
+            cover = np.asarray(region.cover, dtype=np.int64)
+            with obs_metrics.REGISTRY.isolated():
+                new = compute_optimal_region(region.seed_quadrant, cover,
+                                             nlcs, score=region.score)
+            ref = compute_optimal_region_reference(
+                region.seed_quadrant, cover, nlcs, score=region.score)
+            assert_identical(new, ref)
+            # The solver's own region came through the optimised path.
+            assert region.clipping_count == ref.clipping_count
+            if region.shape is not None:
+                assert region.shape.arcs == ref.shape.arcs
+
+
+class TestCounters:
+    def test_phase2_clips_counts_selected_disks(self):
+        cs = CircleSet.from_circles(
+            [Circle(0.0, 0.0, 1.0), Circle(0.2, 0.0, 1.0),
+             Circle(0.0, 0.2, 1.0)])
+        quad = Rect(-0.01, -0.01, 0.01, 0.01)
+        cover = np.array([0, 1, 2], dtype=np.int64)
+        with obs_metrics.REGISTRY.isolated() as box:
+            region = compute_optimal_region(quad, cover, cs, score=3.0)
+        assert box["counters"]["region_grows"] == 1
+        assert box["counters"]["phase2_clips"] == region.clipping_count

@@ -1,0 +1,106 @@
+"""Pooled Phase II: identity with the serial path, counters, fallback.
+
+``MaxFirst(phase2_workers=N)`` runs ``compute_optimal_region`` for the
+pending covers in worker processes against the shared-memory NLC store.
+Results and the deterministic work counters (``region_grows``,
+``phase2_clips``) must be bit-identical to the serial in-process path;
+only the transport counter ``phase2_pool_tasks`` may differ.  A broken
+pool degrades to serial with identical output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.engine import pool as pool_mod
+from repro.obs import metrics as obs_metrics
+
+DETERMINISTIC = ("region_grows", "phase2_clips",
+                 "nlc_build_queries", "nlc_build_chunks")
+
+
+@pytest.fixture(scope="module")
+def problem():
+    customers, sites = synthetic_instance(400, 24, "uniform", seed=7)
+    return MaxBRkNNProblem(customers, sites, k=3)
+
+
+def assert_results_identical(a, b):
+    assert a.score == b.score
+    assert len(a.regions) == len(b.regions)
+    for r1, r2 in zip(a.regions, b.regions):
+        assert r1.score == r2.score
+        assert r1.cover == r2.cover
+        assert r1.clipping_count == r2.clipping_count
+        assert r1.seed_quadrant == r2.seed_quadrant
+        assert (r1.shape is None) == (r2.shape is None)
+        if r1.shape is not None:
+            assert r1.shape.arcs == r2.shape.arcs
+
+
+class TestPooledIdentity:
+    def test_pooled_matches_serial(self, problem):
+        with obs_metrics.REGISTRY.isolated() as serial_box:
+            serial = MaxFirst(top_t=6).solve(problem)
+        with obs_metrics.REGISTRY.isolated() as pooled_box:
+            with MaxFirst(top_t=6, phase2_workers=2) as solver:
+                pooled = solver.solve(problem)
+        assert_results_identical(serial, pooled)
+        for key in DETERMINISTIC:
+            assert serial_box["counters"].get(key, 0) \
+                == pooled_box["counters"].get(key, 0), key
+        assert serial_box["counters"].get("phase2_pool_tasks", 0) == 0
+        assert pooled_box["counters"]["phase2_pool_tasks"] > 0
+
+    def test_pool_reused_across_solves(self, problem):
+        with MaxFirst(top_t=4, phase2_workers=2) as solver:
+            first = solver.solve(problem)
+            pool = solver._phase2_pool
+            assert isinstance(pool, pool_mod.PersistentPool)
+            second = solver.solve(problem)
+            assert solver._phase2_pool is pool
+        assert_results_identical(first, second)
+        assert solver._phase2_pool is None  # context exit closed it
+
+    def test_single_pending_region_stays_serial(self):
+        # top_t=1 with a tiny instance: <= 1 pending cover, no pool spin.
+        customers, sites = synthetic_instance(40, 4, "uniform", seed=3)
+        problem = MaxBRkNNProblem(customers, sites, k=1)
+        with obs_metrics.REGISTRY.isolated() as box:
+            with MaxFirst(top_t=1, phase2_workers=2) as solver:
+                result = solver.solve(problem)
+        assert result.regions
+        assert box["counters"].get("phase2_pool_tasks", 0) == 0
+
+
+class TestFallback:
+    def test_broken_pool_degrades_to_serial(self, problem, monkeypatch):
+        def boom(self, fn, job):
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool("injected")
+
+        monkeypatch.setattr(pool_mod.PersistentPool, "submit_call", boom)
+        with obs_metrics.REGISTRY.isolated() as serial_box:
+            serial = MaxFirst(top_t=6).solve(problem)
+        with obs_metrics.REGISTRY.isolated() as pooled_box:
+            with MaxFirst(top_t=6, phase2_workers=2) as solver:
+                with pytest.warns(RuntimeWarning,
+                                  match="Phase II pool failed"):
+                    pooled = solver.solve(problem)
+                assert solver._phase2_pool is None  # discarded
+        assert_results_identical(serial, pooled)
+        for key in DETERMINISTIC:
+            assert serial_box["counters"].get(key, 0) \
+                == pooled_box["counters"].get(key, 0), key
+
+    def test_invalid_phase2_workers_rejected(self):
+        with pytest.raises(ValueError, match="phase2_workers"):
+            MaxFirst(phase2_workers=0)
+
+    def test_close_without_pool_is_noop(self):
+        solver = MaxFirst(phase2_workers=2)
+        solver.close()
+        solver.close()

@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.geometry.circle import (Circle, circle_circle_intersection,
@@ -173,7 +173,11 @@ class TestCircleRectPredicates:
     @given(circles(), rects())
     def test_contains_implies_intersects_when_interior_overlaps(self, c, r):
         # contains (closed) plus a genuinely interior rect point implies
-        # open-disk intersection.
+        # open-disk intersection.  Only exact-real true: a rect tangent
+        # to the circle with sub-ulp extent (width ~1e-160) has no
+        # float-representable point strictly inside the open disk, so
+        # require the extent to dwarf the rounding at the tangency.
+        assume(r.width >= 1e-9 and r.height >= 1e-9)
         if circle_contains_rect(c, r) and r.area > 0:
             assert circle_intersects_rect(c, r)
 

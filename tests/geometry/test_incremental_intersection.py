@@ -1,0 +1,155 @@
+"""Bit-identity of IncrementalDiskIntersection against intersect_disks.
+
+Phase II's incremental clipper must return, after every prefix of
+additions, float-for-float the ArcRegion the from-scratch construction
+returns on the same prefix — arcs (circle, start, sweep), circle list,
+degenerate point, and error behaviour.  This is the contract the new
+``compute_optimal_region`` rests on; the property tests here exercise
+overlapping families (with duplicates), tangent/disjoint configurations,
+and the single-circle quirk, and CI runs them on both kernel arms
+(``REPRO_NO_CKERNEL`` set and unset) even though the clipper itself is
+pure Python — the seeding distances upstream come from the kernels.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.intersection import (DisjointDisksError,
+                                         IncrementalDiskIntersection,
+                                         intersect_disks)
+
+
+@st.composite
+def overlapping_families(draw, max_circles=6):
+    """Circle lists sharing a common interior point, duplicates allowed."""
+    n = draw(st.integers(min_value=1, max_value=max_circles))
+    px = draw(st.floats(min_value=-5, max_value=5))
+    py = draw(st.floats(min_value=-5, max_value=5))
+    out = []
+    for _ in range(n):
+        if out and draw(st.booleans()) and draw(st.booleans()):
+            # Exact duplicate: must be deduplicated identically.
+            out.append(out[draw(st.integers(0, len(out) - 1))])
+            continue
+        cx = px + draw(st.floats(min_value=-0.8, max_value=0.8))
+        cy = py + draw(st.floats(min_value=-0.8, max_value=0.8))
+        d = math.hypot(cx - px, cy - py)
+        r = d + draw(st.floats(min_value=0.05, max_value=2.0))
+        out.append(Circle(cx, cy, r))
+    return out
+
+
+@st.composite
+def arbitrary_families(draw, max_circles=5):
+    """Unconstrained circles: prefixes may go degenerate or disjoint."""
+    n = draw(st.integers(min_value=1, max_value=max_circles))
+    return [Circle(draw(st.floats(min_value=-3, max_value=3)),
+                   draw(st.floats(min_value=-3, max_value=3)),
+                   draw(st.floats(min_value=0.05, max_value=3)))
+            for _ in range(n)]
+
+
+def _scratch_outcome(circles, tol):
+    try:
+        return ("region", intersect_disks(circles, tol=tol))
+    except DisjointDisksError:
+        return ("disjoint", None)
+
+
+def _incremental_outcome(clipper):
+    try:
+        return ("region", clipper.region())
+    except DisjointDisksError:
+        return ("disjoint", None)
+
+
+def _assert_regions_identical(a, b):
+    assert a.circles == b.circles
+    assert a.arcs == b.arcs
+    assert a.degenerate_point == b.degenerate_point
+
+
+class TestPrefixIdentity:
+    @settings(max_examples=120, deadline=None)
+    @given(overlapping_families())
+    def test_overlapping_prefixes_bit_identical(self, circles):
+        clipper = IncrementalDiskIntersection(tol=1e-9)
+        for i, c in enumerate(circles, start=1):
+            clipper.add(c)
+            scratch = intersect_disks(circles[:i], tol=1e-9)
+            _assert_regions_identical(clipper.region(), scratch)
+
+    @settings(max_examples=120, deadline=None)
+    @given(arbitrary_families())
+    def test_arbitrary_prefixes_share_outcome(self, circles):
+        """Degenerate-point and disjoint prefixes match too."""
+        clipper = IncrementalDiskIntersection(tol=1e-9)
+        for i, c in enumerate(circles, start=1):
+            clipper.add(c)
+            kind_s, region_s = _scratch_outcome(circles[:i], tol=1e-9)
+            kind_i, region_i = _incremental_outcome(clipper)
+            assert kind_i == kind_s
+            if kind_s == "region":
+                _assert_regions_identical(region_i, region_s)
+
+    @settings(max_examples=60, deadline=None)
+    @given(overlapping_families(), st.floats(min_value=1e-12,
+                                             max_value=1e-6))
+    def test_tolerance_threaded_identically(self, circles, tol):
+        clipper = IncrementalDiskIntersection(tol=tol)
+        for c in circles:
+            clipper.add(c)
+        kind_s, region_s = _scratch_outcome(circles, tol=tol)
+        kind_i, region_i = _incremental_outcome(clipper)
+        assert kind_i == kind_s
+        if kind_s == "region":
+            _assert_regions_identical(region_i, region_s)
+
+
+class TestClipperApi:
+    def test_empty_raises_like_scratch(self):
+        with pytest.raises(ValueError, match="no circles given"):
+            IncrementalDiskIntersection().region()
+
+    def test_duplicate_add_is_refused(self):
+        clipper = IncrementalDiskIntersection()
+        assert clipper.add(Circle(0, 0, 1)) is True
+        assert clipper.add(Circle(0, 0, 1)) is False
+        assert len(clipper) == 1
+        assert clipper.circles == (Circle(0, 0, 1),)
+
+    def test_near_duplicate_within_tol_refused(self):
+        clipper = IncrementalDiskIntersection(tol=1e-6)
+        clipper.add(Circle(0, 0, 1))
+        assert clipper.add(Circle(5e-7, 0, 1 + 5e-7)) is False
+
+    def test_single_circle_matches_scratch_quirk(self):
+        # The one-circle ArcRegion carries the default _tol in both
+        # constructions (a preserved intersect_disks quirk).
+        only = Circle(1, 2, 3)
+        clipper = IncrementalDiskIntersection(tol=1e-7)
+        clipper.add(only)
+        _assert_regions_identical(clipper.region(),
+                                  intersect_disks([only], tol=1e-7))
+
+    def test_disjoint_raises_disjointdiskserror(self):
+        clipper = IncrementalDiskIntersection()
+        clipper.add(Circle(0, 0, 1))
+        clipper.add(Circle(5, 0, 1))
+        with pytest.raises(DisjointDisksError):
+            clipper.region()
+
+    def test_dead_circle_stays_dead(self):
+        # A nested sequence kills the big circle's boundary; adding more
+        # disks afterwards must not resurrect it.
+        clipper = IncrementalDiskIntersection()
+        clipper.add(Circle(0, 0, 5))
+        clipper.add(Circle(0.5, 0, 1))   # big circle contributes no arcs
+        clipper.add(Circle(0.4, 0, 1.2))
+        circles = list(clipper.circles)
+        _assert_regions_identical(clipper.region(),
+                                  intersect_disks(circles, tol=1e-9))
