@@ -22,14 +22,15 @@ RPR005    registry-drift       registry ↔ docs/api.md ↔ CLI ↔ tests stay
                                in sync (undocumented shard semantics)
 RPR006    unguarded-kernel-    every native load honours
           load                 ``REPRO_NO_CKERNEL``
-RPR007    implicit-array-      explicit ``dtype=`` in index/engine
+RPR007    implicit-array-      explicit ``dtype=`` in index/engine/store
           dtype                (float64 bit-identity across shards)
 ========  ===================  ===========================================
 
 Run it as ``python -m repro.analysis [paths]``; see
 ``docs/development.md`` for the pragma syntax and the baseline
 shrink-only policy.  The companion gates — ``mypy --strict`` over
-``repro.geometry``/``repro.core``/``repro.engine`` and a narrow ``ruff``
+``repro.geometry``/``repro.core``/``repro.engine``/``repro.obs``/
+``repro.store`` and a narrow ``ruff``
 tier — are configured in ``pyproject.toml`` and wired into the same CI
 job.
 """

@@ -343,25 +343,28 @@ _DTYPE_CTORS = frozenset({
 
 
 class ImplicitArrayDtype(Rule):
-    """RPR007 — numpy construction without ``dtype=`` in index/engine.
+    """RPR007 — numpy construction without ``dtype=`` in index/engine/store.
 
     The sharded engine's bit-identity contract assumes float64
     everywhere; a constructor left to infer its dtype can silently pick
     int64 (``arange``) or whatever the inputs coerce to, and a float32
     or integer array crossing a shard boundary breaks score identity.
-    Scoped to ``repro/index`` and ``repro/engine``, the packages under
-    that contract.
+    Scoped to ``repro/index``, ``repro/engine`` and ``repro/store`` —
+    the packages under that contract (a store buffer's layout is
+    8-byte-element by definition; an inferred dtype there corrupts every
+    consumer's views at once).
     """
 
     code = "RPR007"
     name = "implicit-array-dtype"
     pragma_tag = "dtype"
     summary = ("numpy array construction without explicit dtype= in "
-               "repro.index / repro.engine")
+               "repro.index / repro.engine / repro.store")
 
     def applies_to(self, module: ModuleContext) -> bool:
         rel = module.relpath
-        return "repro/index" in rel or "repro/engine" in rel
+        return ("repro/index" in rel or "repro/engine" in rel
+                or "repro/store" in rel)
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -112,6 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--oversubscribe", type=int, default=1,
                        help="cut each shard into this many finer tiles so "
                             "idle pool workers can steal queued work")
+    solve.add_argument("--store", choices=("ram", "shm", "memmap"),
+                       default=None,
+                       help="NLC storage backend: ram keeps in-process "
+                            "arrays (default), shm publishes one POSIX "
+                            "shared-memory block, memmap a paged "
+                            "on-disk file (out-of-core scale tier); "
+                            "unset defers to the REPRO_STORE "
+                            "environment variable")
     solve.add_argument("--metric", choices=("l2", "l1"), default="l2",
                        help="distance metric: Euclidean (default) or "
                             "Manhattan (exact rectilinear sweep)")
@@ -171,6 +179,8 @@ def _cmd_solve(args) -> int:
         options["mode"] = args.shard_mode
         options["max_workers"] = args.pool
         options["oversubscribe"] = args.oversubscribe
+    if args.store is not None:
+        options["store"] = args.store
     tracing = args.trace is not None
     if tracing:
         from repro.obs.trace import TRACER

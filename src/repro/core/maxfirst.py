@@ -125,25 +125,38 @@ class _FoundCovers:
             self._frozen.append(frozenset(key))
         return True
 
-    def seed(self, cover: tuple[int, ...], score_sum: float) -> bool:
+    def seed(self, cover: tuple[int, ...], score_sum: float,
+             members: tuple[int, ...] | None = None) -> bool:
         """Pre-register a cover found *outside* this search (another tile).
 
         Semantically identical to :meth:`add`: the caller asserts that
-        ``cover`` (sorted global NLC indices) is the cover of a region
-        some shard already accepted, with ``score_sum`` its ``m̂in`` sum
-        over the same global score array.  Theorem 3 then prunes this
-        search's quadrants whose ``Q.I`` the cover absorbs — the
-        cross-tile analogue of the in-search test, and sound for the
-        same reason: a tied region inside such a quadrant must equal the
-        seeded region, which the merge step already reports.
+        ``cover`` (sorted NLC indices in *this search's* index space) is
+        the cover of a region some shard already accepted, with
+        ``score_sum`` its ``m̂in`` sum over the same score values.
+        Theorem 3 then prunes this search's quadrants whose ``Q.I`` the
+        cover absorbs — the cross-tile analogue of the in-search test,
+        and sound for the same reason: a tied region inside such a
+        quadrant must equal the seeded region, which the merge step
+        already reports.
+
+        A search running over a row *slice* of the store passes
+        ``members``: the subset of ``cover`` that falls inside its
+        window (the rest of the cover shifts out of range and cannot be
+        masked).  ``cover`` itself keeps every member, so the dedupe
+        key, the cardinality early exit, and the score-sum margin are
+        those of the full cover — any ``Q.I`` of this search lies
+        wholly inside the window, making the membership test over
+        ``members`` equivalent to the full-set test, bit for bit.
         """
         if cover in self._keys:
             return False
         self._keys.add(cover)
+        if members is None:
+            members = cover
         if self._use_arrays:
             mask = np.zeros(self._n, dtype=bool)
-            if cover:
-                mask[np.asarray(cover, dtype=np.int64)] = True
+            if members:
+                mask[np.asarray(members, dtype=np.int64)] = True
             self._masks.append(mask)
             self._sizes.append(len(cover))
             self._sums.append(float(score_sum))
@@ -489,7 +502,9 @@ class MaxFirst:
             quadrant in some shard.
         seed_covers:
             ``(cover, score_sum)`` pairs of regions other shards already
-            accepted (sorted global NLC indices plus their ``m̂in`` sum).
+            accepted (sorted NLC indices plus their ``m̂in`` sum); a
+            slice-attached caller appends a third ``members`` element
+            per entry (see :meth:`_FoundCovers.seed`).
             They enter the Theorem 3 registry before the first pop, so
             this search never re-tessellates a region an earlier tile
             discovered — the main cost of naive tile sharding.  Only
@@ -562,8 +577,11 @@ class MaxFirst:
             scores_nonneg=bool(len(nlcs))
             and bool((nlcs.scores >= 0.0).all()))
         if seed_covers is not None:
-            for cover, score_sum in seed_covers:
-                found_covers.seed(cover, score_sum)
+            # 2-tuples ``(cover, score_sum)`` from whole-set callers;
+            # slice-attached workers add a third ``members`` element
+            # (see :meth:`_FoundCovers.seed`).
+            for entry in seed_covers:
+                found_covers.seed(*entry)
 
         def push(quad: Quadrant) -> None:
             nonlocal max_min

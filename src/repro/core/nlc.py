@@ -23,8 +23,16 @@ perf gate diffs against its blessed baseline.
 
 from __future__ import annotations
 
+import sys
+from typing import TYPE_CHECKING, Iterable, Iterator
+
 import numpy as np
 
+from repro.core.probability import (
+    ProbabilityLike,
+    ProbabilityModel,
+    resolve_models,
+)
 from repro.core.problem import MaxBRkNNProblem
 from repro.geometry.rect import Rect
 from repro.index._ckernel import load_knn_kernel
@@ -32,6 +40,9 @@ from repro.index.circleset import CircleSet
 from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
 from repro.obs import metrics as _obs_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.store import NLCStore
 
 _BRUTE_CHUNK = 2048
 
@@ -42,6 +53,9 @@ _BRUTE_CHUNK = 2048
 #: CI arms.
 _NLC_QUERIES = _obs_metrics.counter("nlc_build_queries")
 _NLC_CHUNKS = _obs_metrics.counter("nlc_build_chunks")
+#: High-water process RSS observed after each streamed build chunk — the
+#: figure the out-of-core tier keeps at O(chunk) while the store grows.
+_CHUNK_RSS_PEAK = _obs_metrics.gauge("nlc_build_chunk_rss_peak")
 # Above this many sites the kd-tree's O(log |P|) per query beats the numpy
 # O(|P|) row scan (empirically calibrated; exact crossover is unimportant).
 _BRUTE_SITE_LIMIT = 4096
@@ -170,6 +184,168 @@ def build_nlcs(problem: MaxBRkNNProblem, method: str = "auto",
         owners, levels = owners[keep], levels[keep]
 
     return CircleSet(cx, cy, radii, scores, owners=owners, levels=levels)
+
+
+def _score_base(model: "ProbabilityModel",
+                cache: dict[tuple, np.ndarray]) -> np.ndarray:
+    """Unit-weight Definition 2 score row of one model, cached by its
+    probability tuple (shared across chunks of a streaming build)."""
+    base = cache.get(model.probs)
+    if base is None:
+        base = np.array(model.scores(1.0), dtype=np.float64)
+        cache[model.probs] = base
+    return base
+
+
+def _rss_peak_bytes() -> float | None:
+    """Process peak RSS in bytes (None where ``resource`` is absent)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    return float(peak * (1 if sys.platform == "darwin" else 1024))
+
+
+def nlc_soa_chunk(customers: np.ndarray, weights: np.ndarray,
+                  score_rows: np.ndarray, dists: np.ndarray,
+                  owner_base: int, keep_zero_score: bool
+                  ) -> tuple[np.ndarray, ...]:
+    """Assemble one store-ready SoA chunk from its kNN distances.
+
+    ``score_rows`` are the *unit-weight* per-customer score rows (they
+    are scaled by ``weights`` here); ``owner_base`` offsets the owner
+    indices so streamed chunks carry global customer ids.  The zero-
+    score filter matches :func:`build_nlcs` element for element, so
+    concatenating every chunk reproduces the batch build bit-for-bit.
+    """
+    m, k = dists.shape
+    scores = (score_rows * weights[:, None]).reshape(-1)
+    owners = np.repeat(
+        np.arange(owner_base, owner_base + m, dtype=np.int64), k)
+    levels = np.tile(np.arange(1, k + 1, dtype=np.int64), m)
+    cx = np.repeat(customers[:, 0], k)
+    cy = np.repeat(customers[:, 1], k)
+    radii = dists.reshape(-1)
+    if not keep_zero_score:
+        keep = scores > 0.0
+        cx, cy = cx[keep], cy[keep]
+        radii, scores = radii[keep], scores[keep]
+        owners, levels = owners[keep], levels[keep]
+    return (cx, cy, radii, scores, owners, levels)
+
+
+def stream_nlc_chunks(customer_chunks: "Iterable[np.ndarray]",
+                      sites: np.ndarray, k: int,
+                      weight_chunks: "Iterable[np.ndarray] | None" = None,
+                      probability: "ProbabilityLike" = None,
+                      method: str = "auto",
+                      keep_zero_score: bool = False,
+                      tree: KDTree | RTree | None = None,
+                      ) -> "Iterator[tuple[np.ndarray, ...]]":
+    """Yield store-ready SoA chunks from streamed customer coordinates.
+
+    The problem-free core of :func:`build_nlcs_streaming`: the full
+    customer set never materialises — each ``(m, 2)`` chunk is kNN'd,
+    scored, zero-filtered and yielded as the six field arrays (global
+    owner ids), ready for a :class:`repro.store.StoreWriter`.  Peak RAM
+    is O(chunk) + O(sites).  ``probability`` accepts the shared forms
+    (``None``, one model, one sequence); per-customer model lists need
+    the problem-level API.  The ``nlc_build_chunk_rss_peak`` gauge
+    records the process high-water mark after every chunk.
+    """
+    sites = np.asarray(sites, dtype=np.float64)
+    method = resolve_knn_method(sites.shape[0], method)
+    if tree is None:
+        tree = build_knn_tree(sites, method)
+    base = np.array(
+        resolve_models(probability, int(k), 1)[0].scores(1.0),
+        dtype=np.float64)
+    weight_iter = iter(weight_chunks) if weight_chunks is not None else None
+    offset = 0
+    for chunk in customer_chunks:
+        chunk = np.asarray(chunk, dtype=np.float64)
+        m = chunk.shape[0]
+        if weight_iter is None:
+            weights = np.ones(m, dtype=np.float64)
+        else:
+            weights = np.asarray(next(weight_iter), dtype=np.float64)
+            if weights.shape[0] != m:
+                raise ValueError(
+                    "weight chunk length does not match customer chunk")
+        dists = knn_distances(chunk, sites, k, method=method, tree=tree)
+        yield nlc_soa_chunk(chunk, weights,
+                            np.broadcast_to(base, (m, base.shape[0])),
+                            dists, offset, keep_zero_score)
+        offset += m
+        rss = _rss_peak_bytes()
+        if rss is not None:
+            _CHUNK_RSS_PEAK.observe_max(rss)
+
+
+def build_nlcs_streaming(problem: MaxBRkNNProblem,
+                         store: str | None = None,
+                         chunk_size: int = 65536,
+                         method: str = "auto",
+                         keep_zero_score: bool = False,
+                         tree: KDTree | RTree | None = None) -> "NLCStore":
+    """Build the NLC set straight into a storage backend, chunk by chunk.
+
+    The streaming sibling of :func:`build_nlcs`: customers are processed
+    in ``chunk_size`` slices and each finished SoA chunk goes straight
+    into a :func:`repro.store.writer` reservation of ``n * k`` rows, so
+    peak RAM stays O(chunk) while the store grows to O(n) — the basis of
+    the out-of-core tier (``store="memmap"``).  Returns the sealed
+    :class:`repro.store.NLCStore`; attach views with
+    :func:`repro.store.attach` / ``attach_slice``.
+
+    The attached arrays are bit-identical to ``build_nlcs(problem)`` for
+    every backend and chunk size (per-chunk kNN, scoring and the
+    zero-score filter are element-wise identical; chunks concatenate in
+    customer order).  Work counters also match whenever ``chunk_size``
+    is a multiple of the brute engine's internal chunk (2048), because
+    only the final chunk is then partial — the identity tests pin this.
+    The all-zero-weight short-circuit of :func:`build_nlcs` applies: the
+    sealed store is empty and no counted work runs.
+    """
+    from repro import store as repro_store
+
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    n, k = problem.n_customers, problem.k
+    degenerate = not keep_zero_score and not np.any(problem.weights)
+    writer = repro_store.writer(0 if degenerate else n * k, store)
+    try:
+        if not degenerate:
+            if tree is None:
+                tree = build_knn_tree(
+                    problem.sites,
+                    resolve_knn_method(problem.n_sites, method))
+            cache: dict[tuple, np.ndarray] = {}
+            score_rows = np.empty((0, k), dtype=np.float64)
+            for start in range(0, n, chunk_size):
+                stop = min(start + chunk_size, n)
+                m = stop - start
+                if score_rows.shape[0] != m:
+                    score_rows = np.empty((m, k), dtype=np.float64)
+                for i in range(start, stop):
+                    score_rows[i - start] = _score_base(
+                        problem.models[i], cache)
+                dists = knn_distances(problem.customers[start:stop],
+                                      problem.sites, k,
+                                      method=method, tree=tree)
+                writer.append(nlc_soa_chunk(
+                    problem.customers[start:stop],
+                    problem.weights[start:stop], score_rows, dists,
+                    start, keep_zero_score))
+                rss = _rss_peak_bytes()
+                if rss is not None:
+                    _CHUNK_RSS_PEAK.observe_max(rss)
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.finalize()
 
 
 def nlc_space(nlcs: CircleSet, margin_fraction: float = 1e-6) -> Rect:

@@ -8,6 +8,8 @@ deterministic, so experiments and tests are reproducible bit-for-bit.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.geometry.rect import Rect
@@ -95,6 +97,71 @@ def clustered_points(n: int, clusters: int = 8,
     pts = np.vstack((clustered, background))
     rng.shuffle(pts, axis=0)
     return pts
+
+
+def uniform_points_chunks(n: int, chunk_size: int,
+                          seed: int | np.random.Generator | None = 0,
+                          bounds: Rect = UNIT_SQUARE
+                          ) -> Iterator[np.ndarray]:
+    """Yield :func:`uniform_points`\\ (n) in ``chunk_size`` slices.
+
+    The Generator draws its variates sequentially, so chunked draws
+    concatenate **bit-identically** to the one-shot array — the
+    streaming NLC build can consume customers without ever holding all
+    ``n`` points (peak RAM O(chunk_size)).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    rng = _rng(seed)
+    for start in range(0, n, chunk_size):
+        yield uniform_points(min(chunk_size, n - start), rng, bounds)
+
+
+def normal_points_chunks(n: int, chunk_size: int,
+                         seed: int | np.random.Generator | None = 0,
+                         bounds: Rect = UNIT_SQUARE,
+                         spread: float = 0.15) -> Iterator[np.ndarray]:
+    """Chunked :func:`normal_points` (bit-identical concatenation, like
+    :func:`uniform_points_chunks`)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    rng = _rng(seed)
+    for start in range(0, n, chunk_size):
+        yield normal_points(min(chunk_size, n - start), rng, bounds,
+                            spread=spread)
+
+
+def striped_uniform_chunks(n: int, strips: int, seed: int = 0,
+                           bounds: Rect = UNIT_SQUARE
+                           ) -> Iterator[np.ndarray]:
+    """Yield ``strips`` chunks, chunk ``j`` uniform over the ``j``-th
+    vertical strip of ``bounds`` — a *spatially ordered* customer stream
+    for the out-of-core tier.
+
+    Stream position tracks x, so the NLC store's row order is spatial
+    and an x-aligned tile's candidate disks land in a tight row range —
+    exactly what makes per-tile ``attach_slice`` windows small in
+    ``benchmarks/bench_scale.py``.  Each strip draws from its own
+    spawned substream (``default_rng([seed, j])``), so any strip is
+    regenerable independently of the rest.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if strips < 1:
+        raise ValueError("strips must be positive")
+    base = n // strips
+    extra = n % strips
+    x0 = bounds.xmin
+    for j in range(strips):
+        m = base + (1 if j < extra else 0)
+        x1 = bounds.xmin + bounds.width * (j + 1) / strips
+        strip = Rect(x0, bounds.ymin, x1, bounds.ymax)
+        yield uniform_points(m, np.random.default_rng([seed, j]), strip)
+        x0 = x1
 
 
 def synthetic_instance(n_customers: int, n_sites: int,

@@ -1,0 +1,295 @@
+"""Out-of-core tile-at-a-time solve over a published NLC store.
+
+The scale tier: solve a MaxBRkNN instance whose NLC set lives in a
+:mod:`repro.store` backend (typically ``memmap``) without ever holding
+all rows in memory.  Planning scans the store in fixed-size row chunks
+(peak RSS O(chunk)), and the solve visits one tile at a time through
+:func:`repro.store.attach_slice` windows — the same slice-local index
+translation the pool workers use (:mod:`repro.engine.pool`), driven
+in-process.
+
+Exactness
+---------
+The streamed solve replays :class:`~repro.engine.sharded.ShardedMaxFirst`'s
+``mode="tiles"`` schedule bit for bit:
+
+* the data space is the chunk-wise union of slice bounding boxes —
+  float min/max commutes with chunking, so the box (and the resolution
+  derived from it) is identical to the in-RAM ``nlc_space``;
+* each tile's candidate row window covers *every* disk intersecting
+  the tile, so slice-local classification sums the same scores in the
+  same ascending index order as a full-set run (see
+  ``engine/pool.py`` for why the translated seed covers also prune
+  identically);
+* the per-tile seed bound is the root ``m̂in`` classified over the
+  tile's own window — equal to the planner's full-set root classify.
+
+Scores, regions, and the merged Phase I stats are therefore identical
+to the in-RAM tiles-mode solve (asserted by
+``tests/engine/test_outofcore.py``).  Only the *planning-stage* kernel
+counters may differ: the chunked scan classifies in different batch
+shapes than one full-set call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro import store as nlc_store
+from repro.core.maxfirst import MaxFirst
+from repro.core.quadrant import MaxFirstStats
+from repro.core.region import compute_optimal_region
+from repro.core.result import MaxBRkNNResult
+from repro.engine.pool import _slice_seeds
+from repro.engine.sharded import (_SerialBound, _ShardOutput,
+                                  _TileBackend, _extend_seed_covers,
+                                  tile_grid)
+from repro.geometry.rect import Rect
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span
+from repro.store.base import StoreHandle
+
+__all__ = ["StreamPlan", "plan_streamed", "solve_streamed"]
+
+#: Same deterministic sharding-layer counters the in-RAM engine records
+#: (see ``engine/sharded.py``), so streamed reports keep the schema.
+_SHARD_TASKS = _obs_metrics.counter("shard_tasks")
+_HALO_ASSIGNMENTS = _obs_metrics.counter("halo_assignments")
+
+#: Default row-chunk size for the planning scans: 256 Ki rows map 12 MB
+#: of SoA per window, and each window's views die before the next
+#: attaches, so scan RSS stays O(chunk) whatever the store length.
+_DEFAULT_CHUNK_ROWS = 262_144
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """The tile layout of one streamed solve.
+
+    ``tiles``, ``windows`` and ``candidate_counts`` are parallel:
+    tile ``i`` is solved over the store rows ``windows[i] = (lo, hi)``,
+    of which ``candidate_counts[i]`` actually intersect the tile.
+    Tiles no disk reaches are dropped at planning time, exactly as
+    :meth:`~repro.engine.sharded.ShardedMaxFirst.plan` drops them.
+    """
+
+    space: Rect
+    resolution: float
+    tiles: tuple[Rect, ...]
+    windows: tuple[tuple[int, int], ...]
+    candidate_counts: tuple[int, ...]
+    seed_bound: float
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.tiles)
+
+
+def _chunk_bounds(length: int, chunk_rows: int) -> Iterator[tuple[int, int]]:
+    for lo in range(0, length, chunk_rows):
+        yield lo, min(lo + chunk_rows, length)
+
+
+def plan_streamed(handle: StoreHandle, shards: int, *,
+                  resolution_fraction: float | None = None,
+                  chunk_rows: int = _DEFAULT_CHUNK_ROWS) -> StreamPlan:
+    """Chunk-scan a published store into a :class:`StreamPlan`.
+
+    Two O(chunk)-memory passes over the store: the first unions slice
+    bounding boxes into the data space, the second assigns each tile
+    its candidate row window; a final per-tile root classification over
+    each window yields the Theorem 2 seed bound.  Every quantity is
+    bit-identical to the in-RAM planner's (see the module docstring).
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be positive")
+    length = int(handle[2])
+    if length == 0:
+        raise ValueError("cannot plan over an empty NLC store")
+    if resolution_fraction is None:
+        resolution_fraction = MaxFirst().resolution_fraction
+
+    with span("stream/scan_bbox", rows=length):
+        xmin = ymin = np.inf
+        xmax = ymax = -np.inf
+        for lo, hi in _chunk_bounds(length, chunk_rows):
+            box = nlc_store.attach_slice(handle, lo, hi).bounding_box()
+            xmin, ymin = min(xmin, box.xmin), min(ymin, box.ymin)
+            xmax, ymax = max(xmax, box.xmax), max(ymax, box.ymax)
+        box = Rect(xmin, ymin, xmax, ymax)
+        # nlc_space's margin, verbatim, so the space matches bit-exactly.
+        margin = max(box.width, box.height, 1.0) * 1e-6
+        space = box.expanded(margin)
+
+    resolution = max(space.width, space.height) * resolution_fraction
+    tiles = tile_grid(space, shards)
+    n_tiles = len(tiles)
+
+    with span("stream/scan_windows", rows=length, tiles=n_tiles):
+        lo_row = [length] * n_tiles
+        hi_row = [0] * n_tiles
+        counts = [0] * n_tiles
+        for lo, hi in _chunk_bounds(length, chunk_rows):
+            chunk = nlc_store.attach_slice(handle, lo, hi)
+            for t, cand in enumerate(chunk.rects_intersecting(tiles)):
+                if cand.shape[0] == 0:
+                    continue
+                lo_row[t] = min(lo_row[t], lo + int(cand[0]))
+                hi_row[t] = max(hi_row[t], lo + int(cand[-1]) + 1)
+                counts[t] += int(cand.shape[0])
+
+    kept_tiles = []
+    kept_windows = []
+    kept_counts = []
+    for t, tile in enumerate(tiles):
+        if counts[t] == 0:
+            continue  # nothing can score inside this tile
+        kept_tiles.append(tile)
+        kept_windows.append((lo_row[t], hi_row[t]))
+        kept_counts.append(counts[t])
+    _HALO_ASSIGNMENTS.add(sum(kept_counts))
+
+    # The root m̂in of a tile classified over its own window equals the
+    # full-set classification: the window covers every disk that
+    # intersects the tile, and the containing subset sums in the same
+    # ascending row order either way.  Classification runs over just the
+    # tile's candidate rows — the candidate gather extracts the identical
+    # ascending subset, while the O(window) classify temps (several
+    # float64 arrays per row) shrink to O(candidates).
+    seed_bound = 0.0
+    with span("stream/seed_bound", tiles=len(kept_tiles)):
+        for tile, (lo, hi) in zip(kept_tiles, kept_windows):
+            window = nlc_store.attach_slice(handle, lo, hi)
+            cand = window.rects_intersecting([tile])[0]
+            root = window.classify_rects([tile], candidates=cand,
+                                         graze_tol=resolution)[0]
+            seed_bound = max(seed_bound, float(root[3]))
+
+    return StreamPlan(space=space, resolution=resolution,
+                      tiles=tuple(kept_tiles),
+                      windows=tuple(kept_windows),
+                      candidate_counts=tuple(kept_counts),
+                      seed_bound=seed_bound)
+
+
+def solve_streamed(handle: StoreHandle, *, shards: int = 2,
+                   sync_interval: int = 1024,
+                   chunk_rows: int = _DEFAULT_CHUNK_ROWS,
+                   plan: StreamPlan | None = None,
+                   **maxfirst_options: Any) -> MaxBRkNNResult:
+    """Tile-at-a-time MaxFirst over a published store, O(window) memory.
+
+    Solves the instance whose NLC set ``handle`` points at — published
+    with :func:`repro.store.publish` or streamed in through
+    :func:`repro.core.nlc.build_nlcs_streaming` — visiting one tile
+    window at a time.  Results (scores, regions, merged Phase I stats)
+    are bit-identical to
+    ``ShardedMaxFirst(shards=shards, mode="tiles")`` over the same
+    rows; pass a precomputed ``plan`` to amortise the planning scans
+    across repeated solves.
+
+    ``maxfirst_options`` forward to the per-tile :class:`MaxFirst`
+    (``top_t`` must stay 1, as for every sharded execution).
+    """
+    if maxfirst_options.get("top_t", 1) != 1:
+        raise ValueError("streamed execution requires top_t == 1")
+    solver = MaxFirst(**maxfirst_options)
+    t0 = time.perf_counter()
+    if plan is None:
+        plan = plan_streamed(handle, shards,
+                             resolution_fraction=solver.resolution_fraction,
+                             chunk_rows=chunk_rows)
+    t1 = time.perf_counter()
+
+    _SHARD_TASKS.add(plan.n_shards)
+    bound = _SerialBound(plan.seed_bound)
+    seeds: list[tuple[tuple[int, ...], float]] = []
+    seen: set[tuple[int, ...]] = set()
+    outputs: list[_ShardOutput] = []
+    for i, (tile, (lo, hi)) in enumerate(zip(plan.tiles, plan.windows)):
+        with _obs_metrics.REGISTRY.isolated() as box:
+            with span(f"stream/tile{i}", rows=hi - lo):
+                nlcs = nlc_store.attach_slice(handle, lo, hi)
+                candidates = nlcs.rects_intersecting([tile])[0]
+                backend = _TileBackend(nlcs, plan.resolution, candidates)
+                tile_solver = MaxFirst(**maxfirst_options)
+                accepted, max_min, stats = tile_solver.run_phase1(
+                    nlcs, tile, backend=backend,
+                    resolution=plan.resolution,
+                    initial_bound=bound.get(), bound_sync=bound.sync,
+                    sync_interval=sync_interval,
+                    seed_covers=_slice_seeds(seeds, lo, hi))
+                bound.sync(max_min)
+                entries = [(quad.min_hat, quad.containing + lo, quad.rect)
+                           for quad in accepted]
+                _extend_seed_covers(seeds, seen, entries)
+                # Release this window before the next attaches: the
+                # backend's packed matrix and the slice's mapped pages
+                # are O(window), and letting two tiles' copies coexist
+                # would double the solve's memory high-water.
+                del nlcs, candidates, backend, accepted
+        outputs.append(_ShardOutput(
+            entries=entries, max_min=max_min, stats=stats.as_dict(),
+            obs_counters=dict(box["counters"]),
+            obs_gauges=dict(box["gauges"])))
+    t2 = time.perf_counter()
+
+    max_min, regions, merged = _merge_streamed(handle, plan, outputs,
+                                               solver.tie_tol)
+    t3 = time.perf_counter()
+    return MaxBRkNNResult(
+        score=max_min, regions=tuple(regions),
+        nlcs=nlc_store.attach(handle), space=plan.space, stats=merged,
+        timings={"plan": t1 - t0, "phase1": t2 - t1, "phase2": t3 - t2})
+
+
+def _merge_streamed(handle: StoreHandle, plan: StreamPlan,
+                    outputs: list[_ShardOutput], tie_tol: float
+                    ) -> tuple[float, list, MaxFirstStats]:
+    """:meth:`ShardedMaxFirst.merge`, growing regions from tile slices.
+
+    Entries are visited in tile order then acceptance order, covers
+    deduplicate on first sight, and only entries within the tie
+    tolerance of the global best grow regions — each grown over its own
+    tile's window (the cover lies wholly inside it) with the cover
+    indices translated back to store rows afterwards, so the emitted
+    regions are bit-identical to a full-set Phase II.
+    """
+    max_min = max((out.max_min for out in outputs), default=0.0)
+    tol = tie_tol * max(1.0, abs(max_min))
+    regions = []
+    seen_covers: set[tuple[int, ...]] = set()
+    with span("stream/merge", tiles=len(outputs)):
+        for out, (lo, hi) in zip(outputs, plan.windows):
+            window = None
+            for min_hat, cover, rect in out.entries:
+                if min_hat < max_min - tol:
+                    continue
+                key = tuple(int(i) for i in cover)
+                if key in seen_covers:
+                    continue
+                seen_covers.add(key)
+                if window is None:
+                    window = nlc_store.attach_slice(handle, lo, hi)
+                local = np.asarray(cover, dtype=np.int64) - lo
+                region = compute_optimal_region(rect, local, window,
+                                                score=min_hat)
+                regions.append(dataclasses.replace(region, cover=key))
+    regions.sort(key=lambda r: -r.score)
+    merged: dict[str, int] = {}
+    for out in outputs:
+        for name, value in out.stats.items():
+            if name == "max_depth":
+                merged[name] = max(merged.get(name, 0), value)
+            else:
+                merged[name] = merged.get(name, 0) + value
+        _obs_metrics.REGISTRY.merge_counts(out.obs_counters)
+        _obs_metrics.REGISTRY.merge_gauges_max(out.obs_gauges)
+    return max_min, regions, MaxFirstStats(**merged)

@@ -73,6 +73,7 @@ class PipelineContext:
     grid: Any
     search: Any
     inner: Any
+    store_owner: Any
 
     def __init__(self, problem: MaxBRkNNProblem,
                  report: RunReport) -> None:
@@ -103,6 +104,10 @@ class SolverPipeline:
 
     def __init__(self, **options: Any) -> None:
         self.options = dict(options)
+        #: Requested NLC storage backend (``"ram"`` / ``"shm"`` /
+        #: ``"memmap"``), popped here so solver constructors never see
+        #: it; ``None`` defers to ``REPRO_STORE`` and then ``"ram"``.
+        self.store_request: str | None = self.options.pop("store", None)
 
     def run(self, problem: MaxBRkNNProblem
             ) -> tuple[MaxBRkNNResult, RunReport]:
@@ -173,13 +178,47 @@ class SolverPipeline:
         pass
 
     def cleanup(self, ctx: PipelineContext) -> None:
-        """Release solver-held resources (worker pools, shared memory).
+        """Release solver-held resources (worker pools, stores).
 
         Runs after the stage loop on both the success and the exception
         path — pipelines that acquire OS-level resources must override
-        this rather than rely on ``finalize``, which a raising stage
-        skips.
+        this (calling ``super().cleanup``) rather than rely on
+        ``finalize``, which a raising stage skips.  The base version
+        unlinks the store :meth:`_publish_store` opened; the result's
+        attached views stay readable — the OS keeps the mapped pages
+        alive until the views die.
         """
+        owner = getattr(ctx, "store_owner", None)
+        if owner is not None:
+            ctx.store_owner = None
+            from repro import store as nlc_store
+
+            nlc_store.detach()
+            owner.close()
+
+    def _publish_store(self, ctx: PipelineContext) -> None:
+        """Move the built NLC set into the requested storage backend.
+
+        With ``store="shm"`` / ``"memmap"`` the SoA arrays are
+        published once and every later stage reads zero-copy views
+        over the segment / paged file; ``"ram"`` (the default) keeps
+        the in-process arrays untouched.  A solver exposing an
+        ``external_store`` slot (sharded pool mode) reuses the
+        published handle as its transport instead of publishing a
+        second copy.
+        """
+        from repro import store as nlc_store
+
+        name = nlc_store.resolve_store_name(self.store_request)
+        ctx.report.meta["store"] = name
+        if name == "ram" or len(ctx.nlcs) == 0:
+            return
+        owner = nlc_store.publish(ctx.nlcs, name)
+        ctx.store_owner = owner
+        ctx.nlcs = nlc_store.attach(owner.handle)
+        solver = getattr(self, "solver", None)
+        if hasattr(solver, "external_store"):
+            solver.external_store = owner
 
 
 def _peak_rss_bytes() -> float | None:
@@ -222,6 +261,7 @@ class _NlcStageMixin:
                               keep_zero_score=keep_zero_score,
                               tree=self._site_tree(ctx, method))
         ctx.report.meta["n_nlcs"] = len(ctx.nlcs)
+        self._publish_store(ctx)
         if len(ctx.nlcs) == 0:
             # Legal degenerate instance (e.g. all weights zero): short-
             # circuit to finalize with an empty result.
@@ -333,7 +373,11 @@ class ShardedMaxFirstPipeline(_NlcStageMixin, SolverPipeline):
         report.counters = ctx.stats.as_dict()
 
     def cleanup(self, ctx: PipelineContext) -> None:
-        self.solver.close()
+        solver = getattr(self, "solver", None)
+        if solver is not None:
+            solver.external_store = None
+            solver.close()
+        super().cleanup(ctx)
 
 
 class MaxOverlapPipeline(_NlcStageMixin, SolverPipeline):

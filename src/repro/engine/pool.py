@@ -10,13 +10,15 @@ process, immune to the parent's thread state) with a ``spawn`` fallback;
 parent's metrics registry and tracer mid-solve.
 
 Workers never receive NLC payloads: tiles arrive as a few-dozen-byte
-job tuple carrying a shared-memory handle
-(:meth:`~repro.index.circleset.CircleSet.to_shared`), and each worker
-maps the block once per solve *epoch* and rebuilds zero-copy views.
-Tile jobs are submitted individually to the executor, whose single
-internal call queue is the work-stealing mechanism: any idle worker
-pulls the next tile, so a dense tile cannot straggle the run behind a
-static assignment.
+job tuple carrying a storage-backend handle (:mod:`repro.store`) plus
+the tile's candidate row window ``[lo, hi)``, and each worker attaches
+read-only views over *just that slice* — an ``shm``/``memmap`` worker
+maps O(hi - lo) bytes, not the whole store.  (A ``ram`` handle ships
+the arrays by value; it is the compatibility transport, not the
+default.)  Tile jobs are submitted individually to the executor, whose
+single internal call queue is the work-stealing mechanism: any idle
+worker pulls the next tile, so a dense tile cannot straggle the run
+behind a static assignment.
 
 Worker-local seed covers
 ------------------------
@@ -56,7 +58,8 @@ _PHASE2_POOL_TASKS = _obs_metrics.counter("phase2_pool_tasks")
 _SHARED_BOUND: Any = None
 
 #: This worker's seed-cover history for the current epoch:
-#: ``(epoch, store_name, seeds, seen)``.
+#: ``(epoch, store_key, seeds, seen)`` — seeds live in *global* NLC
+#: index space and are translated per tile (:func:`_slice_seeds`).
 _EPOCH_STATE: list = [(-1, "", [], set())]
 
 
@@ -85,52 +88,76 @@ def _shared_sync(local: float) -> float:
         return float(shared.value)
 
 
-def _epoch_seeds(epoch: int, store_name: str) -> tuple[list, set]:
+def _epoch_seeds(epoch: int, store_key: str) -> tuple[list, set]:
     """This worker's (seeds, seen) for ``epoch``, rotating stale state.
 
-    An epoch turn also drops the previous solve's cached shared-memory
-    attachment — the parent unlinks its block right after the solve, so
-    holding the mapping would only pin dead pages.
+    An epoch turn also drops the previous solve's cached store
+    attachments — the parent unlinks its segment/file right after the
+    solve, so holding a mapping would only pin dead pages.
     """
-    from repro.index.circleset import detach_shared
+    from repro import store as nlc_store
 
-    prev_epoch, _prev_name, seeds, seen = _EPOCH_STATE[0]
+    prev_epoch, _prev_key, seeds, seen = _EPOCH_STATE[0]
     if prev_epoch != epoch:
-        detach_shared(keep=(store_name,))
+        nlc_store.detach(keep=(store_key,))
         seeds, seen = [], set()
-        _EPOCH_STATE[0] = (epoch, store_name, seeds, seen)
+        _EPOCH_STATE[0] = (epoch, store_key, seeds, seen)
     return seeds, seen
 
 
-def solve_tile(job: tuple) -> tuple:
-    """Worker entry: solve one tile against the shared NLC store.
+def _slice_seeds(seeds: list, lo: int, hi: int) -> tuple:
+    """Translate global seed covers into a tile slice's index space.
 
-    Returns ``(tile_index, worker_pid, entries, max_min, stats,
-    obs_counters, obs_gauges, spans)``; ``entries`` carry global NLC
-    indices so the parent's merge is mode-independent.
+    Every member shifts by ``-lo`` in the dedupe key (out-of-window
+    members go negative — they only ever feed tuple identity), while
+    the third ``members`` element keeps just the maskable in-window
+    part.  Cover sizes and score sums stay those of the full cover, so
+    the Theorem 3 cardinality and score-sum early exits fire exactly as
+    they would over the full set — which is what keeps ``tiles`` and
+    one-worker ``pool`` merged counters bit-identical now that workers
+    attach only a row slice.
     """
-    (epoch, store_name, length, tile_tuple, tile_index, resolution,
+    return tuple(
+        (tuple(i - lo for i in key), score,
+         tuple(i - lo for i in key if lo <= i < hi))
+        for key, score in seeds)
+
+
+def solve_tile(job: tuple) -> tuple:
+    """Worker entry: solve one tile against a slice of the NLC store.
+
+    ``job`` ships a store handle plus the tile's candidate row window
+    ``[lo, hi)``; the worker attaches read-only views over that slice
+    only and runs Phase I in slice-local indices — incoming seed covers
+    shift by ``-lo`` (:func:`_slice_seeds`), accepted covers shift back
+    before shipping.  Returns ``(tile_index, worker_pid, entries,
+    max_min, stats, obs_counters, obs_gauges, spans)``; ``entries``
+    carry global NLC indices so the parent's merge is mode-independent.
+    """
+    (epoch, handle, tile_tuple, lo, hi, tile_index, resolution,
      options, sync_interval, trace_enabled, fail) = job
+    from repro import store as nlc_store
     from repro.core.maxfirst import MaxFirst
     from repro.engine.sharded import _TileBackend, _extend_seed_covers
     from repro.geometry.rect import Rect
-    from repro.index.circleset import CircleSet
 
     # Persistent workers carry the previous task's tracer records —
     # reset per task so each shipped span set covers exactly this tile.
     TRACER.reset(enabled=bool(trace_enabled))
     with _obs_metrics.REGISTRY.isolated() as box:
         with TRACER.span(f"shard/tile{tile_index}"):
-            seeds, seen = _epoch_seeds(epoch, store_name)
-            nlcs = CircleSet.from_shared((store_name, length))
+            seeds, seen = _epoch_seeds(epoch, handle[1])
+            nlcs = nlc_store.attach_slice(handle, lo, hi)
             if fail:
                 raise RuntimeError(
                     f"injected failure in tile {tile_index} (test hook)")
             tile = Rect(*tile_tuple)
-            # Halo candidates are recomputed here from the full shared
-            # set (bit-identical to the parent's plan; the predicate is
-            # uncounted in both places) — cheaper than pickling an index
-            # array per tile, and it keeps the job payload O(1).
+            # Halo candidates are recomputed here over the slice — bit-
+            # identical to the parent's plan minus ``lo``, since every
+            # global candidate lies inside the shipped window and the
+            # predicate is uncounted in both places.  Cheaper than
+            # pickling an index array per tile, and it keeps the job
+            # payload O(1).
             candidates = nlcs.rects_intersecting([tile])[0]
             solver = MaxFirst(**options)
             backend = _TileBackend(nlcs, resolution, candidates)
@@ -138,9 +165,10 @@ def solve_tile(job: tuple) -> tuple:
             accepted, max_min, stats = solver.run_phase1(
                 nlcs, tile, backend=backend, resolution=resolution,
                 initial_bound=initial, bound_sync=_shared_sync,
-                sync_interval=sync_interval, seed_covers=tuple(seeds))
+                sync_interval=sync_interval,
+                seed_covers=_slice_seeds(seeds, lo, hi))
             _shared_sync(max_min)
-            entries = [(quad.min_hat, quad.containing, quad.rect)
+            entries = [(quad.min_hat, quad.containing + lo, quad.rect)
                        for quad in accepted]
             _extend_seed_covers(seeds, seen, entries)
     spans = ([record.as_dict() for record in TRACER.drain()]
@@ -150,21 +178,21 @@ def solve_tile(job: tuple) -> tuple:
 
 
 def grow_regions(job: tuple) -> tuple:
-    """Worker entry: grow Phase II regions against the shared NLC store.
+    """Worker entry: grow Phase II regions against the published store.
 
-    ``job`` is ``(store_name, length, entries, trace_enabled)`` with
-    ``entries`` a list of ``(rect_tuple, cover_tuple, score)`` triples.
-    Returns ``(regions, obs_counters, obs_gauges, spans)``;
+    ``job`` is ``(handle, entries, trace_enabled)`` with ``entries`` a
+    list of ``(rect_tuple, cover_tuple, score)`` triples.  Returns
+    ``(regions, obs_counters, obs_gauges, spans)``;
     ``compute_optimal_region`` runs exactly as in the serial path, so
     the merged ``region_grows`` / ``phase2_clips`` counters stay
     bit-identical to a serial Phase II.
     """
-    (store_name, length, entries, trace_enabled) = job
+    (handle, entries, trace_enabled) = job
     import numpy as np
 
+    from repro import store as nlc_store
     from repro.core.region import compute_optimal_region
     from repro.geometry.rect import Rect
-    from repro.index.circleset import CircleSet, detach_shared
 
     TRACER.reset(enabled=bool(trace_enabled))
     with _obs_metrics.REGISTRY.isolated() as box:
@@ -172,8 +200,8 @@ def grow_regions(job: tuple) -> tuple:
             # Keep only this solve's store mapped (same rotation the
             # Phase I epoch turn performs); the attachment cache makes
             # every job after a worker's first a pure cache hit.
-            detach_shared(keep=(store_name,))
-            nlcs = CircleSet.from_shared((store_name, length))
+            nlc_store.detach(keep=(handle[1],))
+            nlcs = nlc_store.attach(handle)
             regions = [
                 compute_optimal_region(
                     Rect(*rect_tuple),
@@ -187,36 +215,41 @@ def grow_regions(job: tuple) -> tuple:
 
 
 def run_phase2_pool(pool: "PersistentPool", nlcs: Any,
-                    quads: list) -> list:
+                    quads: list, store: str | None = None) -> list:
     """Grow the regions of ``quads`` through a worker pool.
 
     ``quads`` is a list of ``(rect_tuple, cover_tuple, score)`` triples
     in the order the serial Phase II would process them; the returned
     regions keep that order, so the caller's sort/top-t handling is
-    topology-independent.  The NLC store is published to shared memory
-    once, one job is dispatched per region (the executor queue is the
-    load balancer — region growth cost varies wildly with cover size),
-    and worker counters/gauges/spans are merged back exactly as the
-    Phase I shard merge does.
+    topology-independent.  The NLC set is published once through the
+    storage backend named by ``store`` (default ``shm``; ``REPRO_STORE``
+    overrides), one job is dispatched per region (the executor queue is
+    the load balancer — region growth cost varies wildly with cover
+    size), and worker counters/gauges/spans are merged back exactly as
+    the Phase I shard merge does.
     """
+    from repro import store as nlc_store
     from repro.obs.trace import span
 
+    backend_name = nlc_store.resolve_store_name(store, default="shm")
     trace_enabled = TRACER.enabled
-    with span("phase2/shm_publish", nlcs=len(nlcs)):
-        store = nlcs.to_shared()
+    with span("phase2/store_publish", nlcs=len(nlcs),
+              store=backend_name):
+        owner = nlc_store.publish(nlcs, backend_name)
+    handle = owner.handle
     _PHASE2_POOL_TASKS.add(len(quads))
     launch_ts = TRACER.now() if trace_enabled else 0.0
     futures = []
     try:
         for entry in quads:
-            job = (store.name, store.length, [entry], trace_enabled)
+            job = (handle, [entry], trace_enabled)
             futures.append(pool.submit_call(grow_regions, job))
         with span("phase2/pool_wait", regions=len(quads)):
             results = [future.result() for future in futures]
     finally:
         for future in futures:
             future.cancel()
-        store.close()
+        owner.close()
     regions: list = []
     for i, (regs, counters, gauges, spans) in enumerate(results):
         regions.extend(regs)

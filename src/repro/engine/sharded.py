@@ -29,11 +29,13 @@ Execution modes
 ---------------
 ``"pool"`` (alias ``"process"``) runs tiles on the instance's persistent
 worker pool (:mod:`repro.engine.pool`): the NLC arrays are published
-once per solve into a shared-memory block
-(:meth:`~repro.index.circleset.CircleSet.to_shared`), each tile job is a
-few-dozen-byte tuple, and the executor's single call queue is the
-work-stealing mechanism — idle workers pull the next tile, so a dense
-tile cannot straggle the run.  The Theorem-2 bound lives in a shared
+once per solve through a :mod:`repro.store` backend (``shm`` by
+default; the ``store`` option or ``REPRO_STORE`` picks ``memmap`` /
+``ram``), each tile job is a few-dozen-byte tuple carrying the handle
+plus the tile's candidate row window, workers attach only that slice,
+and the executor's single call queue is the work-stealing mechanism —
+idle workers pull the next tile, so a dense tile cannot straggle the
+run.  The Theorem-2 bound lives in a shared
 ``multiprocessing.Value`` owned by the pool.  ``"serial"`` runs all
 tiles in-process on one *unified frontier*: every tile root is pushed
 onto a single best-first heap, so the one worker always steals the
@@ -233,6 +235,13 @@ class ShardedMaxFirst:
         shard.
     sync_interval:
         Pops between bound-exchange polls inside each shard's Phase I.
+    store:
+        Storage backend for the pool transport (``"ram"`` / ``"shm"`` /
+        ``"memmap"``); ``None`` defers to ``REPRO_STORE`` and then
+        ``"shm"``.  Ignored when :attr:`external_store` is set — the
+        engine pipeline publishes the NLC set once and hands its store
+        over, so pool mode ships that handle instead of publishing a
+        second copy.
     maxfirst_options:
         Forwarded to every per-shard :class:`MaxFirst` (``top_t`` must
         stay 1: the top-t frontier is not a global bound).
@@ -246,6 +255,7 @@ class ShardedMaxFirst:
                  max_workers: int | None = None,
                  oversubscribe: int = 1,
                  sync_interval: int = 1024,
+                 store: str | None = None,
                  **maxfirst_options: Any) -> None:
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -257,11 +267,21 @@ class ShardedMaxFirst:
             raise ValueError("sync_interval must be positive")
         if oversubscribe < 1:
             raise ValueError("oversubscribe must be positive")
+        if store is not None:
+            from repro.store import resolve_store_name
+
+            resolve_store_name(store)  # fail fast on unknown backends
         self.shards = shards
         self.mode = mode
         self.max_workers = max_workers
         self.oversubscribe = oversubscribe
         self.sync_interval = sync_interval
+        self.store = store
+        #: A live :class:`repro.store.NLCStore` whose rows are exactly
+        #: the NLC set being solved; when set (by the engine pipeline),
+        #: pool mode reuses its handle instead of publishing its own
+        #: copy, and never closes it.
+        self.external_store: Any = None
         self.maxfirst_options = dict(maxfirst_options)
         self._solver = MaxFirst(**maxfirst_options)
         self._pool: Any = None
@@ -533,21 +553,34 @@ class ShardedMaxFirst:
 
     def _execute_processes(self, nlcs: CircleSet,
                            plan: ShardPlan) -> list[_ShardOutput]:
-        """Pool execution: shared-memory publish + work-stealing queue.
+        """Pool execution: store publish + work-stealing queue.
 
         The NLC arrays cross the process boundary exactly once per
-        solve, as one shared block; each tile job is a ``(epoch, handle,
-        tile, options)`` tuple of a few dozen bytes.  Jobs are submitted
-        individually — the executor's call queue is the stealing
-        mechanism, so whichever worker goes idle takes the next tile.
-        The block is unlinked in the ``finally`` whatever happens to the
-        workers; Linux keeps the pages alive for already-mapped workers,
-        so a straggler finishing after an unlink is still safe.
+        solve, published through the configured :mod:`repro.store`
+        backend (or reusing :attr:`external_store`'s handle when the
+        pipeline already published); each tile job is a few-dozen-byte
+        tuple carrying the handle plus the tile's candidate row window
+        ``[lo, hi)``, so a worker attaches only the halo-relevant
+        slice.  Jobs are submitted individually — the executor's call
+        queue is the stealing mechanism, so whichever worker goes idle
+        takes the next tile.  The segment/file is unlinked in the
+        ``finally`` whatever happens to the workers; Linux keeps the
+        pages alive for already-mapped workers, so a straggler
+        finishing after an unlink is still safe.
         """
+        from repro import store as nlc_store
+
         pool = self._ensure_pool()
         trace_enabled = TRACER.enabled
-        with span("shard/shm_publish", nlcs=len(nlcs)):
-            store = nlcs.to_shared()
+        owner = self.external_store
+        external = owner is not None and owner.length == len(nlcs)
+        if not external:
+            backend_name = nlc_store.resolve_store_name(self.store,
+                                                        default="shm")
+            with span("shard/store_publish", nlcs=len(nlcs),
+                      store=backend_name):
+                owner = nlc_store.publish(nlcs, backend_name)
+        handle = owner.handle
         self._epoch += 1
         epoch = self._epoch
         pool.reset_bound(plan.seed_bound)
@@ -555,9 +588,16 @@ class ShardedMaxFirst:
         launch_ts = TRACER.now() if trace_enabled else 0.0
         futures = []
         try:
-            for i, tile in enumerate(plan.tiles):
-                job = (epoch, store.name, store.length,
-                       (tile.xmin, tile.ymin, tile.xmax, tile.ymax), i,
+            for i, (tile, cand) in enumerate(zip(plan.tiles,
+                                                 plan.candidates)):
+                # The planner never keeps a tile without candidates, and
+                # rects_intersecting returns ascending indices, so the
+                # window [cand[0], cand[-1] + 1) covers every disk the
+                # worker's slice-local recomputation can find.
+                lo, hi = int(cand[0]), int(cand[-1]) + 1
+                job = (epoch, handle,
+                       (tile.xmin, tile.ymin, tile.xmax, tile.ymax),
+                       lo, hi, i,
                        plan.resolution, self.maxfirst_options,
                        self.sync_interval, trace_enabled,
                        i in self._fail_tiles)
@@ -567,7 +607,8 @@ class ShardedMaxFirst:
         finally:
             for future in futures:
                 future.cancel()
-            store.close()
+            if not external:
+                owner.close()
         outputs = []
         slots: dict[int, int] = {}
         stolen = 0

@@ -16,8 +16,6 @@ is retained for the ablation benchmark).
 
 from __future__ import annotations
 
-import itertools
-import os
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -386,166 +384,67 @@ class CircleSet:
     # Shared-memory transport (zero-copy hand-off to worker processes)
     # ------------------------------------------------------------------ #
 
-    def to_shared(self) -> "SharedNLCStore":
-        """Publish the SoA arrays into one shared-memory block.
+    def to_shared(self):
+        """Publish the SoA arrays into one shared-memory store.
 
-        Returns the owning :class:`SharedNLCStore`; ship its
-        :attr:`~SharedNLCStore.handle` (a ``(name, length)`` pair — a few
-        dozen bytes) to worker processes and rebuild views with
-        :meth:`from_shared`.  The caller owns the lifecycle: call
-        :meth:`SharedNLCStore.close` (idempotent, exception-safe) when
-        every consumer is done; a ``weakref.finalize`` backstop unlinks
-        the segment at interpreter exit if the owner forgets.
+        Compatibility shim over :func:`repro.store.publish` with the
+        ``shm`` backend — the segment lifecycle (attachment cache,
+        BufferError graveyard, finally-unlink) lives in
+        :mod:`repro.store.shm` since the storage-tier refactor.  Ship
+        the returned store's picklable ``handle`` to workers and
+        rebuild views with :meth:`from_shared`; the caller owns the
+        lifecycle via ``close()`` (idempotent, exception-safe).
         """
-        return SharedNLCStore.create(self)
+        from repro import store
+
+        return store.get_backend("shm").publish(self)
 
     @classmethod
-    def from_shared(cls, handle: tuple[str, int]) -> "CircleSet":
-        """Rebuild a ``CircleSet`` as zero-copy views onto a shared block.
+    def from_shared(cls, handle) -> "CircleSet":
+        """Rebuild a ``CircleSet`` as zero-copy views onto a store.
 
-        Attachments are cached per process (keyed by segment name), so a
-        pool worker re-running tiles of the same solve maps the block
-        once; the ``shm_bytes_mapped`` counter records each *fresh*
-        attach.  The views are read-only — ``CircleSet`` never mutates
-        its arrays, and a stray write in a worker must fail loudly
-        rather than corrupt every sibling's data.
+        Compatibility shim over :func:`repro.store.attach`.  Accepts a
+        full store handle from any backend, or the legacy
+        ``(name, length)`` pair for a shm segment published with
+        capacity == length.  Attachments are cached per process (keyed
+        by store key); views are read-only — ``CircleSet`` never
+        mutates its arrays, and a stray write in a worker must fail
+        loudly rather than corrupt every sibling's data.
         """
-        name, length = handle
-        cached = _ATTACHMENTS.get(name)
-        if cached is not None:
-            return cached[1]
-        from multiprocessing import shared_memory
+        from repro import store
 
-        seg = shared_memory.SharedMemory(name=name)
-        # Note on the resource tracker: attaching registers the segment
-        # again (3.13's track=False is not available here).  Pool
-        # workers run under forkserver/spawn contexts whose tracker is
-        # the parent's, and registration is a set-add — the owner's
-        # eventual unlink/unregister balances it, so no deregistration
-        # dance is needed (an explicit unregister here would clobber
-        # the owner's entry in the shared tracker).
-        nlcs = cls(*_views_over(seg.buf, length))
-        _ATTACHMENTS[name] = (seg, nlcs)
-        _SHM_BYTES_MAPPED.add(seg.size)
-        return nlcs
-
-
-#: Per-process table of attached (not owned) shared segments:
-#: ``name -> (SharedMemory, CircleSet views)``.
-_ATTACHMENTS: dict = {}
-
-
-def _views_over(buf, length: int) -> tuple:
-    """The six read-only SoA array views over a shared buffer."""
-    views = []
-    for i, dtype in enumerate(_SHARED_FIELD_DTYPES):
-        view = np.frombuffer(buf, dtype=dtype, count=length,
-                             offset=i * 8 * length)
-        view.flags.writeable = False
-        views.append(view)
-    return tuple(views)
-
-
-#: Field order and dtypes inside a shared block: six parallel arrays of
-#: 8-byte elements, back to back (offset of field ``i`` is ``i*8*n``).
-_SHARED_FIELD_DTYPES = (np.float64, np.float64, np.float64, np.float64,
-                        np.int64, np.int64)
-
-#: Bytes mapped by fresh shared-memory attaches (transport counter:
-#: mode- and topology-dependent, excluded from identity checks and the
-#: perf gate — see docs/observability.md).
-_SHM_BYTES_MAPPED = _obs_metrics.counter("shm_bytes_mapped")
-
-_SHM_SEQ = itertools.count()
-
-
-class SharedNLCStore:
-    """Owner of one shared-memory block holding a ``CircleSet``'s arrays.
-
-    Created by :meth:`CircleSet.to_shared` in the parent process.  The
-    picklable :attr:`handle` is all a worker needs; the store itself
-    never crosses a process boundary.  ``close()`` is idempotent and
-    safe to call with workers still mapped: POSIX keeps the pages alive
-    until the last attachment unmaps, so unlinking early only removes
-    the name.
-    """
-
-    __slots__ = ("name", "length", "_seg", "_finalizer", "__weakref__")
-
-    def __init__(self, seg, length: int) -> None:
-        import weakref
-
-        self._seg = seg
-        self.name = seg.name
-        self.length = int(length)
-        self._finalizer = weakref.finalize(
-            self, _release_segment, seg)
-
-    @classmethod
-    def create(cls, nlcs: CircleSet) -> "SharedNLCStore":
-        from multiprocessing import shared_memory
-
-        n = len(nlcs)
-        size = max(1, 6 * 8 * n)  # zero-length sets still need a block
-        seg = shared_memory.SharedMemory(
-            name=f"repro-nlc-{os.getpid()}-{next(_SHM_SEQ)}",
-            create=True, size=size)
-        offset = 0
-        for arr in (nlcs.cx, nlcs.cy, nlcs.r, nlcs.scores,
-                    nlcs.owners, nlcs.levels):
-            seg.buf[offset:offset + 8 * n] = arr.tobytes()
-            offset += 8 * n
-        return cls(seg, n)
-
-    @property
-    def handle(self) -> tuple[str, int]:
-        """Picklable ``(name, length)`` pair for :meth:`from_shared`."""
-        return (self.name, self.length)
-
-    @property
-    def nbytes(self) -> int:
-        return int(self._seg.size)
-
-    def close(self) -> None:
-        """Unmap and unlink the block (idempotent)."""
-        self._finalizer()
-
-
-def _release_segment(seg) -> None:
-    """Unmap + unlink one owned segment, tolerating double release."""
-    seg.close()
-    try:
-        seg.unlink()
-    except FileNotFoundError:  # repro: fallback(already unlinked — close
-        # races interpreter-exit finalizers with explicit close calls)
-        pass
-
-
-#: Attached segments whose unmap was deferred because numpy views were
-#: still live at detach time; retried on the next :func:`detach_shared`.
-_DETACH_PENDING: list = []
+        if len(handle) == 2:  # legacy (name, length) shm pair
+            name, length = handle
+            handle = ("shm", name, int(length), int(length), None)
+        return store.attach(handle)
 
 
 def detach_shared(keep: tuple[str, ...] = ()) -> None:
-    """Drop this process's cached shared attachments (worker epoch turn).
+    """Drop this process's cached shm attachments (worker epoch turn).
 
-    Closes every cached mapping whose segment name is not in ``keep``.
-    Views handed out earlier become invalid — callers rotate stores
-    between solves, never during one.
+    Compatibility shim over the shm backend's ``detach`` — ``keep``
+    names segment/store keys whose mappings survive.  Views handed out
+    earlier become invalid — callers rotate stores between solves,
+    never during one.
     """
-    for name in [n for n in _ATTACHMENTS if n not in keep]:
-        seg, nlcs = _ATTACHMENTS.pop(name)
-        del nlcs  # the views die here unless a caller still holds them
-        _DETACH_PENDING.append(seg)
-    still_exported = []
-    for seg in _DETACH_PENDING:
-        try:
-            seg.close()
-        except BufferError:  # repro: fallback(a caller still holds the
-            # numpy views; park the segment and retry next rotation —
-            # nothing leaks, /dev/shm cleanup is the owner's unlink)
-            still_exported.append(seg)
-    _DETACH_PENDING[:] = still_exported
+    from repro import store
+
+    store.get_backend("shm").detach(keep)
+
+
+def _shared_nlc_store():
+    from repro.store.shm import ShmStore
+
+    return ShmStore
+
+
+def __getattr__(name: str):
+    if name == "SharedNLCStore":
+        # Legacy alias for the relocated shm store owner (lazy to keep
+        # repro.store importing circleset without a cycle).
+        return _shared_nlc_store()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class RectClassifier:

@@ -34,10 +34,10 @@ __all__ = [
     "zeroed_counters",
 ]
 
-#: Transport counters: byte/job/steal counts of the zero-copy sharding
-#: transport (shared-memory publish, pool queue).  Unlike the
-#: deterministic work counters they depend on execution mode and worker
-#: topology —
+#: Transport counters: byte/job/steal/attach counts of the zero-copy
+#: sharding transport (store publish, pool queue, slice attaches).
+#: Unlike the deterministic work counters they depend on execution mode
+#: and worker topology —
 #: a serial run maps zero shared bytes, a 2-worker pool steals tiles a
 #: 1-worker pool cannot — so identity tests and the perf gate must
 #: exclude them.  They stay in ``COUNTER_KEYS`` so every report carries
@@ -47,6 +47,7 @@ TRANSPORT_COUNTER_KEYS: tuple[str, ...] = (
     "pool_tasks",
     "tiles_stolen",
     "phase2_pool_tasks",
+    "store_slice_views",
 )
 
 #: Every registry counter key, in report order.  The counter-schema test
@@ -72,6 +73,8 @@ COUNTER_KEYS: tuple[str, ...] = (
 GAUGE_KEYS: tuple[str, ...] = (
     "peak_rss_bytes",
     "numpy_scratch_bytes_peak",
+    "nlc_store_bytes_mapped",
+    "nlc_build_chunk_rss_peak",
 )
 
 

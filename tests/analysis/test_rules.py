@@ -95,15 +95,19 @@ class TestScoping:
         assert lint_file(FIXTURES / "rpr006_bad.py",
                          relpath="tests/test_cli.py", is_test=True) == []
 
-    def test_rpr007_scoped_to_index_and_engine(self):
+    def test_rpr007_scoped_to_index_engine_and_store(self):
         outside = lint_file(FIXTURES / "rpr007_bad.py",
                             relpath="src/repro/bench/runner.py",
                             is_test=False)
         assert outside == []
-        inside = lint_file(FIXTURES / "rpr007_bad.py",
-                           relpath="src/repro/engine/sharded.py",
-                           is_test=False)
-        assert {f.code for f in inside} == {"RPR007"}
+        for relpath in ("src/repro/engine/sharded.py",
+                        "src/repro/store/ram.py"):
+            inside = lint_file(FIXTURES / "rpr007_bad.py",
+                               relpath=relpath, is_test=False)
+            assert {f.code for f in inside} == {"RPR007"}, relpath
+            clean = lint_file(FIXTURES / "rpr007_clean.py",
+                              relpath=relpath, is_test=False)
+            assert clean == [], relpath
 
     def test_syntax_error_becomes_rpr000(self, tmp_path):
         broken = tmp_path / "broken.py"

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.datasets.synthetic import (UNIT_SQUARE, clustered_points,
-                                      normal_points, synthetic_instance,
-                                      uniform_points)
+                                      normal_points, normal_points_chunks,
+                                      striped_uniform_chunks,
+                                      synthetic_instance, uniform_points,
+                                      uniform_points_chunks)
 from repro.geometry.rect import Rect
 
 
@@ -85,6 +87,51 @@ class TestClustered:
                                     range=[[0, 1], [0, 1]])
         top_cells = np.sort(hist.ravel())[::-1]
         assert top_cells[:6].sum() > 0.6 * len(pts)
+
+
+class TestChunkedGenerators:
+    """The streaming build's contract: chunked draws concatenate
+    bit-identically to the one-shot arrays."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 1000])
+    def test_uniform_chunks_concatenate_identically(self, chunk_size):
+        chunks = list(uniform_points_chunks(100, chunk_size, seed=13))
+        assert all(len(c) <= chunk_size for c in chunks)
+        np.testing.assert_array_equal(np.concatenate(chunks),
+                                      uniform_points(100, seed=13))
+
+    def test_normal_chunks_concatenate_identically(self):
+        chunks = list(normal_points_chunks(123, 40, seed=14, spread=0.2))
+        np.testing.assert_array_equal(
+            np.concatenate(chunks),
+            normal_points(123, seed=14, spread=0.2))
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            list(uniform_points_chunks(-1, 10))
+        with pytest.raises(ValueError):
+            list(uniform_points_chunks(10, 0))
+        with pytest.raises(ValueError):
+            list(normal_points_chunks(10, 0))
+
+    def test_striped_chunks_are_x_ordered_strips(self):
+        n, strips = 103, 4
+        chunks = list(striped_uniform_chunks(n, strips, seed=15))
+        assert len(chunks) == strips
+        base, extra = divmod(n, strips)
+        assert [len(c) for c in chunks] == [
+            base + (1 if j < extra else 0) for j in range(strips)]
+        width = 1.0 / strips
+        for j, chunk in enumerate(chunks):
+            assert (chunk[:, 0] >= j * width).all()
+            assert (chunk[:, 0] <= (j + 1) * width).all()
+        assert sum(len(c) for c in chunks) == n
+
+    def test_striped_strips_regenerate_independently(self):
+        whole = list(striped_uniform_chunks(50, 5, seed=16))
+        again = list(striped_uniform_chunks(50, 5, seed=16))
+        for a, b in zip(whole, again):
+            np.testing.assert_array_equal(a, b)
 
 
 class TestInstance:

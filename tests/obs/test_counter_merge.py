@@ -4,12 +4,19 @@ merged work counters (acceptance criterion; transport counters are
 mode-dependent by design and compared separately), and counters must
 flow to the parent registry exactly once in every mode."""
 
+import os
+
 import pytest
 
 from repro.core.problem import MaxBRkNNProblem
 from repro.datasets.synthetic import synthetic_instance
 from repro.engine import run_pipeline
 from repro.obs import metrics as obs_metrics
+
+#: ``REPRO_STORE`` changes which transport the pipeline publishes the
+#: NLC store through; the pool transport defaults to ``shm``.
+_ENV_STORE = os.environ.get("REPRO_STORE")
+_POOL_STORE = _ENV_STORE or "shm"
 
 
 @pytest.fixture(scope="module")
@@ -49,13 +56,22 @@ class TestTilewiseVsPool:
         for mode in ("serial", "tiles"):
             _, report = run_pipeline("maxfirst-sharded", problem,
                                      shards=shards, mode=mode)
-            # In-process execution never touches the shm/pool transport.
+            # In-process execution never touches the pool transport.
+            # (With REPRO_STORE=shm the pipeline itself publishes and
+            # attaches the store, so even in-process modes map bytes.)
             for key in obs_metrics.TRANSPORT_COUNTER_KEYS:
-                assert report.counters[key] == 0
+                if key == "shm_bytes_mapped" and _ENV_STORE == "shm":
+                    continue
+                assert report.counters[key] == 0, key
         pool = _pool_counters(problem, shards)
         # Pool execution publishes the NLC store once and queues one
-        # task per tile; nothing is stolen with a single worker.
-        assert pool["shm_bytes_mapped"] > 0
+        # task per tile; nothing is stolen with a single worker, and
+        # every worker tile attaches its row window as a slice view.
+        if _POOL_STORE == "shm":
+            assert pool["shm_bytes_mapped"] > 0
+        else:
+            assert pool["shm_bytes_mapped"] == 0
+        assert pool["store_slice_views"] >= 1
         assert pool["pool_tasks"] == report.counters["shard_tasks"]
         assert pool["tiles_stolen"] == 0
 
