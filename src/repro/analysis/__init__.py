@@ -26,6 +26,16 @@ RPR007    implicit-array-      explicit ``dtype=`` in index/engine/store
           dtype                (float64 bit-identity across shards)
 ========  ===================  ===========================================
 
+The RPR101–RPR106 family (:mod:`repro.analysis.concurrency_rules`)
+extends the guard *interprocedurally*: a module-level call graph
+(:mod:`repro.analysis.callgraph`) marks everything reachable from the
+pool worker entry points, and the rules police worker-side module-state
+mutation (RPR101), global-singleton RNGs (RPR102), set-ordered
+accumulation (RPR103), store handle lifecycles (RPR104), unpicklable
+pool submissions (RPR105), and environment reads outside the audited
+config seams (RPR106).  The static RPR104 shape check is backed at
+runtime by ``REPRO_SANITIZE=1`` (:mod:`repro.store.sanitize`).
+
 Run it as ``python -m repro.analysis [paths]``; see
 ``docs/development.md`` for the pragma syntax and the baseline
 shrink-only policy.  The companion gates — ``mypy --strict`` over
@@ -42,10 +52,11 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.findings import Finding
 from repro.analysis.linter import lint_file, lint_paths
-from repro.analysis.rules import ALL_RULES, rule_codes
+from repro.analysis.rules import ALL_RULES, all_rules, rule_codes
 
 __all__ = [
     "ALL_RULES",
+    "all_rules",
     "Finding",
     "lint_file",
     "lint_paths",

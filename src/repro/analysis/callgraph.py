@@ -1,0 +1,408 @@
+"""Lightweight module-level call graph + worker-reachability marking.
+
+The RPR1xx concurrency rules (:mod:`repro.analysis.concurrency_rules`)
+need one piece of whole-program context the per-module rules never did:
+*does this function run inside a pool worker process?*  A mutation of
+module state is a latent bug in a worker (each worker mutates its own
+copy, the parent never sees it, and bit-identity quietly depends on the
+task schedule) but perfectly fine on the parent's serial path.
+
+This builder is deliberately *lightweight* — name-level resolution over
+the parsed modules of one lint run, no type inference beyond
+``x = KnownClass(...)`` locals:
+
+* every ``def``/``async def`` (including methods and nested functions)
+  becomes a node, qualified as ``package.module.Class.method``;
+* call edges resolve through module-local names, ``import``/``from``
+  aliases (function-level imports included — the pool workers import
+  lazily), ``self.method`` inside a class, and locals assigned from a
+  known class constructor;
+* **entry points** are the functions named in a module-level
+  ``WORKER_ENTRY_POINTS = ("name", ...)`` tuple (``engine/pool.py``
+  declares its worker entries there) plus any function passed by name
+  as the first argument to a ``submit``/``submit_call``/``apply_async``
+  call;
+* everything BFS-reachable from an entry point is **worker-reachable**.
+
+Unresolvable calls (duck-typed receivers, dynamic dispatch) simply add
+no edge — the pass under-approximates reachability, which is the right
+failure mode for a linter: a missed edge can miss a finding, never
+invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from repro.analysis.loader import ModuleContext
+
+__all__ = ["CallGraph", "FunctionInfo", "module_name_for"]
+
+#: Call names (last dotted segment) that submit work to a pool; the
+#: first positional argument, when it resolves to a function, is a
+#: worker entry point.
+SUBMIT_NAMES = frozenset({"submit", "submit_call", "apply_async"})
+
+#: Call names (last dotted segment) that release a store resource —
+#: used by RPR104 to credit a function (or a direct callee) with
+#: handling a lifecycle it opened.
+RELEASE_NAMES = frozenset({"detach", "close", "abort", "finalize"})
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/engine/pool.py`` → ``repro.engine.pool``;
+    ``src/repro/store/__init__.py`` → ``repro.store``.  Paths outside a
+    ``src`` layout keep their remaining parts, which is enough for the
+    name-level matching this graph does.
+    """
+    parts = list(PurePosixPath(relpath).parts)
+    if parts and parts[0] in ("src", "."):
+        parts = parts[1:]
+    if not parts:
+        return relpath
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    elif parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    return ".".join(parts) if parts else relpath
+
+
+def _is_package(relpath: str) -> bool:
+    return PurePosixPath(relpath).name == "__init__.py"
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted-ish name of a call target (mirrors ``rules._call_name``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        parts = [func.attr]
+        value = func.value
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            parts.append(value.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class FunctionInfo:
+    """One function node in the graph."""
+
+    qualname: str  # module.[Class.][outer.]name
+    module: str  # dotted module name
+    name: str  # unqualified name
+    node: ast.AST  # the FunctionDef / AsyncFunctionDef
+    cls: str | None = None  # enclosing class qualname, if a method
+    parent: str | None = None  # enclosing function qualname, if nested
+    calls: list[str] = field(default_factory=list)  # raw dotted names
+
+
+@dataclass
+class _ModuleInfo:
+    name: str
+    aliases: dict[str, str]  # import name → dotted module
+    fromimports: dict[str, str]  # from-import name → dotted target
+    entry_names: list[str]  # WORKER_ENTRY_POINTS declarations
+
+
+class _Collector(ast.NodeVisitor):
+    """Collect functions/classes of one module with qualified names."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.stack: list[tuple[str, str]] = []  # (kind, name)
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, set[str]] = {}  # class qual → methods
+
+    def _qual(self, name: str) -> str:
+        return ".".join([self.module, *(n for _, n in self.stack), name])
+
+    def _visit_func(self, node: ast.AST, name: str) -> None:
+        qual = self._qual(name)
+        cls = None
+        parent = None
+        if self.stack:
+            kind, _ = self.stack[-1]
+            enclosing = ".".join(
+                [self.module, *(n for _, n in self.stack)])
+            if kind == "class":
+                cls = enclosing
+                self.classes.setdefault(enclosing, set()).add(name)
+            else:
+                parent = enclosing
+        self.functions[qual] = FunctionInfo(
+            qualname=qual, module=self.module, name=name, node=node,
+            cls=cls, parent=parent)
+        self.stack.append(("func", name))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qual = self._qual(node.name)
+        self.classes.setdefault(qual, set())
+        self.stack.append(("class", node.name))
+        self.generic_visit(node)
+        self.stack.pop()
+
+
+def _collect_imports(module: _ModuleInfo, tree: ast.Module,
+                     is_package: bool) -> None:
+    """Fill the alias/from-import maps from every import in the file."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    module.aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = module.name.split(".")
+                # level 1 is the containing package: the module's own
+                # name for a package __init__, its parent otherwise.
+                up = node.level - (1 if is_package else 0)
+                if up:
+                    parts = parts[:-up] if up < len(parts) else []
+                base = ".".join([p for p in (".".join(parts), base) if p])
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                module.fromimports[alias.asname or alias.name] = target
+
+
+def _entry_declarations(tree: ast.Module) -> list[str]:
+    """Names in a module-level ``WORKER_ENTRY_POINTS = (...)`` tuple."""
+    names: list[str] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "WORKER_ENTRY_POINTS" not in targets:
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str):
+                    names.append(elt.value)
+    return names
+
+
+class CallGraph:
+    """Name-level call graph over one lint run's modules."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, set[str]] = {}
+        self.modules: dict[str, _ModuleInfo] = {}
+        self.edges: dict[str, set[str]] = {}
+        self.entry_points: set[str] = set()
+        self.worker_reachable: set[str] = set()
+        self._releases: set[str] | None = None
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleContext]) -> "CallGraph":
+        graph = cls()
+        collected: list[tuple[ModuleContext, _Collector]] = []
+        for module in modules:
+            name = module_name_for(module.relpath)
+            collector = _Collector(name)
+            collector.visit(module.tree)
+            graph.functions.update(collector.functions)
+            graph.classes.update(collector.classes)
+            info = _ModuleInfo(name=name, aliases={}, fromimports={},
+                               entry_names=[])
+            _collect_imports(info, module.tree,
+                             _is_package(module.relpath))
+            info.entry_names = _entry_declarations(module.tree)
+            graph.modules[name] = info
+            collected.append((module, collector))
+
+        for module, collector in collected:
+            info = graph.modules[collector.module]
+            for func in collector.functions.values():
+                graph._resolve_function(func, info)
+
+        graph._mark_entry_points()
+        graph._mark_reachable()
+        return graph
+
+    def _resolve_function(self, func: FunctionInfo,
+                          info: _ModuleInfo) -> None:
+        var_types = self._local_class_vars(func, info)
+        targets: set[str] = set()
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name:
+                continue
+            func.calls.append(name)
+            resolved = self._resolve(name, func, info, var_types)
+            if resolved is not None:
+                targets.add(resolved)
+            if (name.rsplit(".", 1)[-1] in SUBMIT_NAMES and node.args
+                    and isinstance(node.args[0], ast.Name)):
+                entry = self._resolve(node.args[0].id, func, info,
+                                      var_types)
+                if entry is not None:
+                    self.entry_points.add(entry)
+        self.edges[func.qualname] = targets
+
+    def _local_class_vars(self, func: FunctionInfo,
+                          info: _ModuleInfo) -> dict[str, str]:
+        """``x = KnownClass(...)`` locals → class qualname."""
+        out: dict[str, str] = {}
+        for node in ast.walk(func.node):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            ctor = call_name(node.value)
+            qual = self._resolve_class(ctor, func, info)
+            if qual is not None:
+                out[node.targets[0].id] = qual
+        return out
+
+    def _resolve_class(self, name: str, func: FunctionInfo,
+                       info: _ModuleInfo) -> str | None:
+        if "." in name:
+            head, _, rest = name.partition(".")
+            base = info.aliases.get(head) or info.fromimports.get(head)
+            if base is not None:
+                name = f"{base}.{rest}"
+            return name if name in self.classes else None
+        local = f"{info.name}.{name}"
+        if local in self.classes:
+            return local
+        target = info.fromimports.get(name)
+        if target is not None and target in self.classes:
+            return target
+        return None
+
+    def _resolve(self, dotted: str, func: FunctionInfo,
+                 info: _ModuleInfo,
+                 var_types: dict[str, str] | None = None) -> str | None:
+        """Resolve a dotted call name to a function qualname, or None."""
+        var_types = var_types or {}
+        parts = dotted.split(".")
+        head = parts[0]
+
+        if len(parts) == 1:
+            # Nested scope chain: inner defs shadow module level.
+            scope: str | None = func.parent
+            while scope is not None:
+                cand = f"{scope}.{head}"
+                if cand in self.functions:
+                    return cand
+                scope = self.functions[scope].parent \
+                    if scope in self.functions else None
+            cand = f"{info.name}.{head}"
+            if cand in self.functions:
+                return cand
+            if cand in self.classes:
+                return self._ctor(cand)
+            target = info.fromimports.get(head)
+            if target is not None:
+                if target in self.functions:
+                    return target
+                if target in self.classes:
+                    return self._ctor(target)
+            return None
+
+        if head == "self" and func.cls is not None and len(parts) == 2:
+            cand = f"{func.cls}.{parts[1]}"
+            return cand if cand in self.functions else None
+
+        if head in var_types and len(parts) == 2:
+            cand = f"{var_types[head]}.{parts[1]}"
+            return cand if cand in self.functions else None
+
+        rest = ".".join(parts[1:])
+        for base in (info.aliases.get(head), info.fromimports.get(head)):
+            if base is None:
+                continue
+            cand = f"{base}.{rest}"
+            if cand in self.functions:
+                return cand
+            if cand in self.classes:
+                return self._ctor(cand)
+        if dotted in self.functions:
+            return dotted
+        return None
+
+    def _ctor(self, class_qual: str) -> str | None:
+        cand = f"{class_qual}.__init__"
+        return cand if cand in self.functions else None
+
+    def _mark_entry_points(self) -> None:
+        for info in self.modules.values():
+            for name in info.entry_names:
+                qual = f"{info.name}.{name}"
+                if qual in self.functions:
+                    self.entry_points.add(qual)
+
+    def _mark_reachable(self) -> None:
+        seen = set(self.entry_points)
+        frontier = list(seen)
+        while frontier:
+            qual = frontier.pop()
+            for callee in self.edges.get(qual, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        self.worker_reachable = seen
+
+    # -- queries -------------------------------------------------------- #
+
+    def functions_in(self, module_name: str) -> list[FunctionInfo]:
+        return [f for f in self.functions.values()
+                if f.module == module_name]
+
+    def is_worker_reachable(self, qualname: str) -> bool:
+        return qualname in self.worker_reachable
+
+    def callees(self, qualname: str) -> set[str]:
+        return self.edges.get(qualname, set())
+
+    def releases_transitively(self, qualname: str) -> bool:
+        """Does ``qualname`` (or anything it reaches) make a
+        detach/close/abort/finalize call?"""
+        if self._releases is None:
+            releasing = {
+                qual for qual, func in self.functions.items()
+                if any(c.rsplit(".", 1)[-1] in RELEASE_NAMES
+                       for c in func.calls)}
+            # Propagate release-ness backwards to callers (fixpoint —
+            # the graphs are small, a few hundred nodes).
+            changed = True
+            while changed:
+                changed = False
+                for qual, targets in self.edges.items():
+                    if qual in releasing:
+                        continue
+                    if targets & releasing:
+                        releasing.add(qual)
+                        changed = True
+            self._releases = releasing
+        return qualname in self._releases

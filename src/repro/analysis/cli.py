@@ -2,7 +2,10 @@
 
 Exit codes: ``0`` clean (every finding grandfathered, baseline not
 stale), ``1`` new findings or stale baseline entries or a failed
-mypy/ruff gate, ``2`` usage errors.
+mypy/ruff gate, ``2`` tool errors — usage errors, unparsable files,
+crashed rules.  Tool errors are reported per file and the run
+*continues* (one broken file does not hide findings in the rest), but
+they always force exit 2 and never enter baseline arithmetic.
 """
 
 from __future__ import annotations
@@ -21,14 +24,16 @@ from repro.analysis.baseline import (
 from repro.analysis.gates import run_mypy_gate, run_ruff_gate
 from repro.analysis.linter import lint_paths
 from repro.analysis.project_rules import find_repo_root
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import all_rules
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Exactness linter: this codebase's correctness "
-                    "invariants as mechanical AST rules (RPR001–RPR007).")
+                    "invariants as mechanical AST rules (RPR001–RPR007 "
+                    "module-local, RPR101–RPR106 with call-graph "
+                    "context).")
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files/directories to lint "
                              "(default: src tests)")
@@ -47,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(shrink-only policy: review the diff)")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text")
+    parser.add_argument("--json-report", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE "
+                             "(independent of --format; CI uploads it "
+                             "as an artifact)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
     parser.add_argument("--typing", action="store_true",
@@ -60,7 +69,7 @@ def _split_codes(raw: str | None) -> tuple[str, ...] | None:
         return None
     codes = tuple(code.strip().upper() for code in raw.split(",")
                   if code.strip())
-    known = {rule.code for rule in ALL_RULES} | {"RPR000", "RPR005"}
+    known = {rule.code for rule in all_rules()} | {"RPR000", "RPR005"}
     unknown = [code for code in codes if code not in known]
     if unknown:
         raise SystemExit(
@@ -87,10 +96,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         print("RPR000 internal        parse failures and malformed "
               "`# repro:` pragmas")
-        for rule in ALL_RULES:
+        for rule in all_rules():
             print(f"{rule.code} {rule.name:<22} {rule.summary}")
-        print("RPR005 registry-drift         registry vs docs/api.md, "
-              "CLI --solver, and test coverage")
+        print("RPR005 registry-drift         registry/obs/store vs "
+              "docs, CLI choices, and test coverage")
         return 0
 
     try:
@@ -106,27 +115,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    # Tool errors (unparsable file, crashed rule) never enter baseline
+    # arithmetic: a broken file must fail the run even if someone tries
+    # to grandfather it.
+    errors = [f for f in findings if f.kind == "error"]
+    lints = [f for f in findings if f.kind != "error"]
+
     baseline_path = _resolve_baseline(args)
     if args.write_baseline:
         if baseline_path is None:
             print("error: no baseline path (pass --baseline FILE)",
                   file=sys.stderr)
             return 2
-        write_baseline(baseline_path, findings)
+        if errors:
+            for finding in errors:
+                print(finding.render(), file=sys.stderr)
+            print("error: refusing to write a baseline while the run "
+                  "has tool errors", file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, lints)
         print(f"baseline written: {baseline_path} "
-              f"({len(findings)} finding(s))")
+              f"({len(lints)} finding(s))")
         return 0
 
     baseline = load_baseline(baseline_path)
-    new, grandfathered, stale = split_against_baseline(findings, baseline)
+    new, grandfathered, stale = split_against_baseline(lints, baseline)
 
+    payload = {
+        "new": [vars(f) for f in new],
+        "grandfathered": [vars(f) for f in grandfathered],
+        "stale_baseline": stale,
+        "errors": [vars(f) for f in errors],
+    }
+    if args.json_report:
+        Path(args.json_report).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     if args.format == "json":
-        print(json.dumps({
-            "new": [vars(f) for f in new],
-            "grandfathered": [vars(f) for f in grandfathered],
-            "stale_baseline": stale,
-        }, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
+        for finding in errors:
+            print(finding.render())
         for finding in new:
             print(finding.render())
         for key in stale:
@@ -134,7 +162,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"see --write-baseline): {key}")
         summary = (f"{len(new)} new finding(s), "
                    f"{len(grandfathered)} grandfathered, "
-                   f"{len(stale)} stale baseline entr(y/ies)")
+                   f"{len(stale)} stale baseline entr(y/ies), "
+                   f"{len(errors)} tool error(s)")
         print(summary, file=sys.stderr)
 
     failed = bool(new or stale)
@@ -149,4 +178,6 @@ def main(argv: list[str] | None = None) -> int:
                 print(gate.output)
             failed = failed or not gate.ok
 
+    if errors:
+        return 2
     return 1 if failed else 0

@@ -1,0 +1,830 @@
+"""The RPR1xx family: concurrency/determinism rules with call-graph context.
+
+The PR-3 exactness rules are module-local; these are not — each one
+receives the lint run's :class:`~repro.analysis.callgraph.CallGraph` so
+it can ask whether a function is **worker-reachable** (runs inside a
+pool worker process) or whether a callee transitively releases a store
+handle.  The shared motivation is the repo's bit-identity contract:
+serial, sharded, pooled, and streamed solves must return bit-identical
+results, and every rule here encodes a way concurrent code can silently
+break that (or leak the resources the concurrency is built on).
+
+========  ===================  ==========================================
+code      name                 invariant
+========  ===================  ==========================================
+RPR101    worker-state         worker-reachable code never mutates
+                               module/global state (each worker mutates
+                               its own copy; results depend on schedule)
+RPR102    global-rng           no legacy ``np.random.*`` / bare
+                               ``random.*`` singleton RNG in solver paths
+RPR103    unordered-iter       no set iteration feeding sums, heaps, or
+                               result lists (hash order breaks float
+                               accumulation identity)
+RPR104    store-lifecycle      publish/writer/attach acquire sites
+                               release (or escape) on every exit path
+RPR105    pool-pickle          no lambdas / nested functions / bound
+                               methods submitted to a pool
+RPR106    env-read             env vars are read only in the audited
+                               config seams
+========  ===================  ==========================================
+
+Deliberate per-process state (the pool initializer's bound cell, the
+backend singleton cache) carries audited pragmas — the rules exist to
+make the *next* such site a conscious, documented decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import (RELEASE_NAMES, SUBMIT_NAMES,
+                                      CallGraph, FunctionInfo, call_name,
+                                      module_name_for)
+from repro.analysis.findings import Finding
+from repro.analysis.loader import ModuleContext
+from repro.analysis.rules import Rule
+
+__all__ = ["ContextRule", "CONTEXT_RULES"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class ContextRule(Rule):
+    """A rule that needs the run's call graph alongside the module."""
+
+    def check(self, module: ModuleContext,  # type: ignore[override]
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _assigned_module_names(tree: ast.Module) -> set[str]:
+    """Names bound by assignment at module top level."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for el in ast.walk(target):
+                    if isinstance(el, ast.Name):
+                        names.add(el.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _locally_bound(func: ast.AST) -> set[str]:
+    """Parameter and local-store names of one function (no nesting)."""
+    assert isinstance(func, _FUNC_NODES)
+    args = func.args
+    bound = {a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    declared_global: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, _FUNC_NODES) and node is not func:
+            continue  # shallow: nested defs have their own scope
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    return bound - declared_global
+
+
+class WorkerStateMutation(ContextRule):
+    """RPR101 — mutation of module/global state in worker-reachable code.
+
+    A worker that rebinds a module global (``global X; X = ...``) or
+    stores through one (``CACHE[key] = ...``, ``STATE.attr = ...``)
+    mutates its *own* process's copy: the parent never sees it, other
+    workers never see it, and whether two runs agree depends on which
+    worker ran which task.  Worker state must flow through job tuples
+    and return values; deliberate per-process state (the pool
+    initializer) carries a ``# repro: worker-state(<reason>)`` audit.
+    """
+
+    code = "RPR101"
+    name = "worker-state"
+    pragma_tag = "worker-state"
+    summary = ("module/global state mutated in worker-reachable code "
+               "(invisible to the parent; schedule-dependent)")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.is_test
+
+    def check(self, module: ModuleContext,
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        assert graph is not None
+        module_names = _assigned_module_names(module.tree)
+        mod = module_name_for(module.relpath)
+        for info in graph.functions_in(mod):
+            if not graph.is_worker_reachable(info.qualname):
+                continue
+            func = info.node
+            assert isinstance(func, _FUNC_NODES)
+            declared_global: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            local = _locally_bound(func)
+            for node in ast.walk(func):
+                if isinstance(node, _FUNC_NODES) and node is not func:
+                    continue
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    for el in _flatten_targets(target):
+                        finding = self._target_finding(
+                            module, info, el, module_names,
+                            declared_global, local)
+                        if finding is not None:
+                            yield finding
+
+    def _target_finding(self, module: ModuleContext, info: FunctionInfo,
+                        target: ast.expr, module_names: set[str],
+                        declared_global: set[str],
+                        local: set[str]) -> Finding | None:
+        if isinstance(target, ast.Name):
+            if target.id not in declared_global:
+                return None
+            site, what = target, f"global {target.id!r} is rebound"
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if not isinstance(base, ast.Name):
+                return None
+            name = base.id
+            if name in local or name not in module_names:
+                return None
+            site = target
+            what = f"module-level {name!r} is mutated in place"
+        else:
+            return None
+        if module.suppressed(site.lineno, self.pragma_tag):
+            return None
+        return self.finding(
+            module, site,
+            f"{what} inside worker-reachable {info.name!r}: each worker "
+            "mutates its own copy, so results depend on the task "
+            "schedule; pass state through job tuples/returns or mark "
+            "deliberate per-process state with "
+            "`# repro: worker-state(<reason>)`")
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            yield from _flatten_targets(el)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target
+
+
+#: ``numpy.random`` attributes that are part of the seeded Generator
+#: API (constructing one is fine; the legacy singleton functions are
+#: not).
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+#: ``random`` module attributes that construct an owned instance.
+_STDLIB_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+
+class GlobalRng(ContextRule):
+    """RPR102 — unseeded / global-singleton RNG use in solver paths.
+
+    ``np.random.rand`` and friends draw from one process-global legacy
+    singleton, and bare ``random.*`` from the stdlib's: two runs (or a
+    serial run and a pool worker) consume the stream in different
+    orders and diverge.  Randomness must come from an explicitly seeded
+    ``np.random.default_rng(seed)`` (or ``random.Random(seed)``)
+    plumbed through options — the pattern every dataset generator and
+    test fixture here already follows.
+    """
+
+    code = "RPR102"
+    name = "global-rng"
+    pragma_tag = "rng"
+    summary = ("legacy np.random.* / bare random.* singleton RNG "
+               "(unseeded, process-global — breaks reproducibility)")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.is_test
+
+    def check(self, module: ModuleContext,
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        random_aliases, from_random = self._random_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            message = self._violation(name, random_aliases, from_random)
+            if message is None:
+                continue
+            if module.suppressed(node.lineno, self.pragma_tag):
+                continue
+            yield self.finding(module, node, message)
+
+    @staticmethod
+    def _random_imports(tree: ast.Module) -> tuple[set[str], set[str]]:
+        """(aliases of the stdlib random module, names imported from
+        random/numpy.random that hit a global singleton)."""
+        aliases: set[str] = set()
+        singletons: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                    "random", "numpy.random"):
+                ok = (_STDLIB_RANDOM_OK if node.module == "random"
+                      else _NP_RANDOM_OK)
+                for alias in node.names:
+                    if alias.name not in ok:
+                        singletons.add(alias.asname or alias.name)
+        return aliases, singletons
+
+    @staticmethod
+    def _violation(name: str, random_aliases: set[str],
+                   from_random: set[str]) -> str | None:
+        parts = name.split(".")
+        if len(parts) >= 3 and parts[-2] == "random" and parts[0] in (
+                "np", "numpy") and parts[-1] not in _NP_RANDOM_OK:
+            return (f"legacy np.random.{parts[-1]} draws from the "
+                    "process-global singleton: use "
+                    "np.random.default_rng(seed) plumbed through "
+                    "options, or mark with `# repro: rng(<reason>)`")
+        if (len(parts) == 2 and parts[0] in random_aliases
+                and parts[1] not in _STDLIB_RANDOM_OK):
+            return (f"bare random.{parts[1]} uses the stdlib's global "
+                    "singleton RNG: construct random.Random(seed) (or "
+                    "np.random.default_rng), or mark with "
+                    "`# repro: rng(<reason>)`")
+        if len(parts) == 1 and parts[0] in from_random:
+            return (f"{parts[0]} was imported from a global-singleton "
+                    "RNG module: construct a seeded generator instead, "
+                    "or mark with `# repro: rng(<reason>)`")
+        return None
+
+
+class UnorderedIteration(ContextRule):
+    """RPR103 — set iteration feeding order-dependent accumulation.
+
+    Float addition does not commute bit-for-bit, and heaps/result lists
+    keep their insertion order — so iterating a ``set`` (hash order:
+    arbitrary, salt- and history-dependent) into ``total += x``,
+    ``heappush``, or ``out.append(...)`` makes the answer depend on the
+    iteration order.  Sort the set first (``sorted(s)``) or accumulate
+    into an order-insensitive structure.  Scoped to the exact-solver
+    packages plus any worker-reachable function; dict iteration is
+    exempt (insertion-ordered by language guarantee).
+    """
+
+    code = "RPR103"
+    name = "unordered-iter"
+    pragma_tag = "iter-order"
+    summary = ("set iteration feeds a sum/heap/result list "
+               "(hash order breaks bit-identity)")
+
+    _SCOPED = ("repro/core", "repro/engine", "repro/index", "repro/store",
+               "repro/geometry")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.is_test
+
+    def _in_scope(self, module: ModuleContext) -> bool:
+        return any(pkg in module.relpath for pkg in self._SCOPED)
+
+    def check(self, module: ModuleContext,
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        assert graph is not None
+        if self._in_scope(module):
+            scopes: list[ast.AST] = [module.tree]
+        else:
+            mod = module_name_for(module.relpath)
+            scopes = [info.node for info in graph.functions_in(mod)
+                      if graph.is_worker_reachable(info.qualname)]
+        seen: set[int] = set()
+        for scope in scopes:
+            set_names = self._set_locals(scope)
+            for node in ast.walk(scope):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                yield from self._check_node(module, node, set_names)
+
+    @staticmethod
+    def _set_locals(scope: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and _is_set_expr(node.value, ())):
+                names.add(node.targets[0].id)
+        return names
+
+    def _check_node(self, module: ModuleContext, node: ast.AST,
+                    set_names: set[str]) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and _is_set_expr(node.iter,
+                                                      set_names):
+            if self._accumulates(node):
+                if not module.suppressed(node.lineno, self.pragma_tag):
+                    yield self.finding(
+                        module, node,
+                        "iterating a set into an accumulator: hash "
+                        "order is arbitrary, so the sum/heap/list "
+                        "depends on it; iterate sorted(...) or mark "
+                        "with `# repro: iter-order(<reason>)`")
+        elif (isinstance(node, ast.Call)
+                and call_name(node).rsplit(".", 1)[-1] in ("sum", "fsum")
+                and node.args
+                and _is_set_expr(node.args[0], set_names)):
+            if not module.suppressed(node.lineno, self.pragma_tag):
+                yield self.finding(
+                    module, node,
+                    "summing a set accumulates floats in hash order; "
+                    "sum(sorted(...)) fixes the order, or mark with "
+                    "`# repro: iter-order(<reason>)`")
+
+    @staticmethod
+    def _accumulates(loop: ast.For) -> bool:
+        for node in ast.walk(loop):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.target, ast.Name)
+                    and isinstance(node.op, (ast.Add, ast.Sub, ast.Mult))):
+                return True
+            if isinstance(node, ast.Call):
+                base = call_name(node).rsplit(".", 1)[-1]
+                if base in ("heappush", "append"):
+                    return True
+        return False
+
+
+def _is_set_expr(expr: ast.expr, set_names: tuple | set) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        return name in ("set", "frozenset")
+    return isinstance(expr, ast.Name) and expr.id in set_names
+
+
+#: Store acquire calls, by last dotted segment.
+_OWNER_ACQUIRES = frozenset({"publish", "writer"})
+_VIEW_ACQUIRES = frozenset({"attach", "attach_slice"})
+
+
+class StoreLifecycle(ContextRule):
+    """RPR104 — store acquire without a release on every exit path.
+
+    ``publish``/``writer`` own a segment or file: the owner must be
+    closed (or aborted/finalized) under ``finally``/``with``, or follow
+    the abort-on-raise + finalize-on-success writer pattern, or escape
+    to a caller who owns the lifecycle.  ``attach``/``attach_slice``
+    cache views per process: a function that attaches and neither
+    detaches (itself or via a callee — the call graph supplies that),
+    nor hands the views out, pins mapped pages until someone else's
+    rotation.  The per-function walk is ``with``/``finally``-aware;
+    audited exceptions (the out-of-core planner's uncached memmap
+    slices) carry ``# repro: store-lifecycle(<reason>)``.
+    """
+
+    code = "RPR104"
+    name = "store-lifecycle"
+    pragma_tag = "store-lifecycle"
+    summary = ("store publish/writer/attach without release or escape "
+               "on every exit path")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if module.is_test:
+            return False
+        return any("repro.store" in line or "from repro import store"
+                   in line for line in module.lines)
+
+    def check(self, module: ModuleContext,
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        assert graph is not None
+        mod = module_name_for(module.relpath)
+        store_froms = self._store_fromimports(module.tree)
+        for info in graph.functions_in(mod):
+            func = info.node
+            assert isinstance(func, _FUNC_NODES)
+            yield from self._check_function(module, graph, info, func,
+                                            store_froms)
+
+    @staticmethod
+    def _store_fromimports(tree: ast.Module) -> set[str]:
+        """Bare names imported from the store package."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.ImportFrom) and node.module
+                    and node.module.startswith("repro.store")):
+                names.update(a.asname or a.name for a in node.names)
+        return names
+
+    def _check_function(self, module: ModuleContext, graph: CallGraph,
+                        info: FunctionInfo, func: ast.AST,
+                        store_froms: set[str]) -> Iterator[Finding]:
+        acquires = []
+        for node in ast.walk(func):
+            if isinstance(node, _FUNC_NODES) and node is not func:
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._acquire_kind(node, store_froms)
+            if kind is not None:
+                acquires.append((node, kind))
+        if not acquires:
+            return
+
+        releases = self._release_sites(func)
+        callee_releases = any(
+            graph.releases_transitively(callee)
+            for callee in graph.callees(info.qualname))
+        protected_spans = self._protected_spans(func)
+
+        for node, kind in acquires:
+            if module.suppressed(node.lineno, self.pragma_tag):
+                continue
+            if self._is_protected(node, kind, func, releases,
+                                  callee_releases, protected_spans):
+                continue
+            if kind == "owner":
+                message = (
+                    "store owner acquired here may leak its "
+                    "segment/file on an exception path: close/abort it "
+                    "under finally or with, return it to the caller, "
+                    "or mark with `# repro: store-lifecycle(<reason>)`")
+            else:
+                message = (
+                    "attached store views are never detached on this "
+                    "path: cached attachments pin mapped pages until "
+                    "another rotation; call detach(), hand the views "
+                    "out, or mark with "
+                    "`# repro: store-lifecycle(<reason>)`")
+            yield self.finding(module, node, message)
+
+    @staticmethod
+    def _acquire_kind(node: ast.Call,
+                      store_froms: set[str]) -> str | None:
+        name = call_name(node)
+        prefix, _, base = name.rpartition(".")
+        if base in _OWNER_ACQUIRES:
+            kind = "owner"
+        elif base in _VIEW_ACQUIRES:
+            kind = "view"
+        else:
+            return None
+        if prefix:
+            storeish = "store" in prefix.lower() or "backend" in \
+                prefix.lower()
+            return kind if storeish else None
+        return kind if base in store_froms else None
+
+    @staticmethod
+    def _release_sites(func: ast.AST) -> dict[str, list[ast.Call]]:
+        """Release calls in the function, split by structural position:
+        ``finally`` bodies, broad except handlers, and the main path."""
+        out: dict[str, list[ast.Call]] = {
+            "finally": [], "handler": [], "main": []}
+        finally_ids: set[int] = set()
+        handler_ids: set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        finally_ids.add(id(sub))
+                for handler in node.handlers:
+                    if StoreLifecycle._broad_handler(handler):
+                        for sub in ast.walk(handler):
+                            handler_ids.add(id(sub))
+        for node in ast.walk(func):
+            if isinstance(node, _FUNC_NODES) and node is not func:
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node).rsplit(".", 1)[-1] not in RELEASE_NAMES:
+                continue
+            if id(node) in finally_ids:
+                out["finally"].append(node)
+            elif id(node) in handler_ids:
+                out["handler"].append(node)
+            else:
+                out["main"].append(node)
+        return out
+
+    @staticmethod
+    def _broad_handler(handler: ast.ExceptHandler) -> bool:
+        t = handler.type
+        if t is None:
+            return True
+        return (isinstance(t, ast.Name)
+                and t.id in ("Exception", "BaseException"))
+
+    @staticmethod
+    def _protected_spans(func: ast.AST) -> list[tuple[int, int]]:
+        """Line spans of ``with`` context expressions and of ``try``
+        bodies whose ``finally`` is present."""
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    spans.append((expr.lineno,
+                                  getattr(expr, "end_lineno",
+                                          expr.lineno)))
+            elif isinstance(node, ast.Try) and node.finalbody:
+                start = node.body[0].lineno if node.body else node.lineno
+                end = max(getattr(stmt, "end_lineno", stmt.lineno)
+                          for stmt in node.body)
+                spans.append((start, end))
+        return spans
+
+    def _is_protected(self, node: ast.Call, kind: str, func: ast.AST,
+                      releases: dict[str, list[ast.Call]],
+                      callee_releases: bool,
+                      protected_spans: list[tuple[int, int]]) -> bool:
+        if self._escapes(node, kind, func):
+            return True
+        if kind == "view":
+            return bool(releases["finally"] or releases["handler"]
+                        or releases["main"]) or callee_releases
+        # Owners: a finally-release covers any acquire inside (or
+        # before) the protected try; a with-statement acquire manages
+        # itself; the writer pattern releases in a broad handler AND on
+        # the success path.
+        line = node.lineno
+        in_protected = any(lo <= line <= hi
+                           for lo, hi in protected_spans)
+        if releases["finally"] and (in_protected or self._precedes_try(
+                node, func)):
+            return True
+        if any(lo <= line <= hi for lo, hi in protected_spans
+               if not releases["finally"]):
+            # acquire IS a with context expr (span match without a
+            # finally nearby) — the with manages the lifecycle.
+            return self._in_with_item(node, func)
+        if releases["handler"] and releases["main"]:
+            return True
+        return self._in_with_item(node, func)
+
+    @staticmethod
+    def _precedes_try(node: ast.Call, func: ast.AST) -> bool:
+        """Acquire assigned just before a try whose finally releases —
+        the ``owner = publish(...); try: ... finally: owner.close()``
+        idiom with the acquire outside the try body."""
+        for t in ast.walk(func):
+            if isinstance(t, ast.Try) and t.finalbody:
+                if node.lineno <= t.lineno:
+                    return True
+        return False
+
+    @staticmethod
+    def _in_with_item(node: ast.Call, func: ast.AST) -> bool:
+        for w in ast.walk(func):
+            if not isinstance(w, (ast.With, ast.AsyncWith)):
+                continue
+            for item in w.items:
+                for sub in ast.walk(item.context_expr):
+                    if sub is node:
+                        return True
+        return False
+
+    @staticmethod
+    def _escapes(node: ast.Call, kind: str, func: ast.AST) -> bool:
+        """Does the acquired object leave this function's custody?
+
+        Return/yield of the call (or of the name it is assigned to),
+        storage into an attribute/subscript, and — for owners — being
+        passed on as a call argument all transfer the lifecycle to the
+        caller/callee.
+        """
+        assigned: str | None = None
+        for stmt in ast.walk(func):
+            if (isinstance(stmt, ast.Assign) and stmt.value is node
+                    and len(stmt.targets) == 1):
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    assigned = target.id
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True  # stored straight onto an object
+            elif (isinstance(stmt, (ast.Return, ast.Yield))
+                    and stmt.value is not None):
+                for sub in ast.walk(stmt.value):
+                    if sub is node:
+                        return True
+        if assigned is None:
+            # Bare expression or argument: an owner passed directly to
+            # a call escapes; a view consumed in place does not.
+            if kind == "owner":
+                for call in ast.walk(func):
+                    if isinstance(call, ast.Call) and any(
+                            sub is node for arg in call.args
+                            for sub in ast.walk(arg)):
+                        return True
+            return False
+        for stmt in ast.walk(func):
+            if (isinstance(stmt, (ast.Return, ast.Yield))
+                    and stmt.value is not None):
+                for sub in ast.walk(stmt.value):
+                    if isinstance(sub, ast.Name) and sub.id == assigned:
+                        return True
+            elif isinstance(stmt, ast.Assign):
+                target = stmt.targets[0]
+                if (isinstance(target, (ast.Attribute, ast.Subscript))
+                        and any(isinstance(sub, ast.Name)
+                                and sub.id == assigned
+                                for sub in ast.walk(stmt.value))):
+                    return True
+            elif kind == "owner" and isinstance(stmt, ast.Call):
+                if any(isinstance(sub, ast.Name) and sub.id == assigned
+                       for arg in (*stmt.args,
+                                   *(k.value for k in stmt.keywords))
+                       for sub in ast.walk(arg)):
+                    return True
+        return False
+
+
+class PoolPickle(ContextRule):
+    """RPR105 — unpicklable callables submitted to a pool.
+
+    ``submit``/``submit_call``/``apply_async`` pickle the callable by
+    qualified name: a lambda, a function defined inside another
+    function, or a bound method of an instance (``self.step``) either
+    fails to pickle outright or drags the whole instance across the
+    process boundary.  Worker entries must be module-level functions —
+    the convention ``engine/pool.py`` declares with
+    ``WORKER_ENTRY_POINTS``.
+    """
+
+    code = "RPR105"
+    name = "pool-pickle"
+    pragma_tag = "pool-pickle"
+    summary = ("lambda / nested function / bound method passed to pool "
+               "submission (not picklable by qualified name)")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.is_test
+
+    def check(self, module: ModuleContext,
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        module_aliases = self._module_aliases(module.tree)
+        for func in ast.walk(module.tree):
+            if not isinstance(func, _FUNC_NODES):
+                continue
+            nested = {sub.name for sub in ast.walk(func)
+                      if isinstance(sub, _FUNC_NODES) and sub is not func}
+            for node in ast.walk(func):
+                if isinstance(node, _FUNC_NODES) and node is not func:
+                    continue
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                if call_name(node).rsplit(".", 1)[-1] not in SUBMIT_NAMES:
+                    continue
+                first = node.args[0]
+                reason = self._unpicklable(first, nested, module_aliases)
+                if reason is None:
+                    continue
+                if module.suppressed(node.lineno, self.pragma_tag):
+                    continue
+                yield self.finding(
+                    module, node,
+                    f"{reason} submitted to a pool: worker entries must "
+                    "be module-level functions (picklable by qualified "
+                    "name), or mark with "
+                    "`# repro: pool-pickle(<reason>)`")
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                # `from x import y` may bind a submodule; treat the
+                # bound name as a possible module alias so `y.fn` is
+                # not misread as a bound method.
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    @staticmethod
+    def _unpicklable(arg: ast.expr, nested: set[str],
+                     module_aliases: set[str]) -> str | None:
+        if isinstance(arg, ast.Lambda):
+            return "lambda"
+        if isinstance(arg, ast.Name) and arg.id in nested:
+            return f"locally-defined function {arg.id!r}"
+        if isinstance(arg, ast.Attribute):
+            base = arg.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id in module_aliases:
+                return None  # module attribute: picklable by name
+            label = (f"{base.id}.{arg.attr}"
+                     if isinstance(base, ast.Name) else arg.attr)
+            return f"bound method {label!r}"
+        return None
+
+
+#: Functions allowed to read the environment: the audited config seams.
+_ENV_SEAM_FUNCTIONS = frozenset({
+    "resolve_store_name",  # repro.store — REPRO_STORE precedence
+    "store_dir",  # repro.store.memmap — REPRO_STORE_DIR
+    "get_profile",  # repro.bench.config — REPRO_SCALE
+})
+#: Modules allowed to read the environment anywhere (whole-module
+#: seams: the kernel loader's cache/CC/gate plumbing, the sanitizer's
+#: own switch).
+_ENV_SEAM_MODULES = ("repro/index/_ckernel.py", "repro/store/sanitize.py")
+
+_ENV_CALLS = frozenset({"os.environ.get", "environ.get", "os.getenv",
+                        "getenv"})
+
+
+class EnvRead(ContextRule):
+    """RPR106 — environment reads outside the audited config seams.
+
+    Every env var is an invisible input: it changes behaviour without
+    appearing in options, reports, or job tuples, and a worker spawned
+    under a different environment silently diverges from its parent.
+    Reads are confined to the audited seams (``resolve_store_name``,
+    ``store_dir``, ``get_profile``, the ``_ckernel`` loader, the
+    sanitizer switch) where docs and tests pin the precedence; any new
+    knob either threads through options/config or carries a
+    ``# repro: env-read(<reason>)`` audit.
+    """
+
+    code = "RPR106"
+    name = "env-read"
+    pragma_tag = "env-read"
+    summary = ("environment variable read outside the audited config "
+               "seams")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if module.is_test:
+            return False
+        return not any(module.relpath.endswith(m)
+                       for m in _ENV_SEAM_MODULES)
+
+    def check(self, module: ModuleContext,
+              graph: CallGraph | None = None) -> Iterator[Finding]:
+        seam_spans = []
+        for node in ast.walk(module.tree):
+            if (isinstance(node, _FUNC_NODES)
+                    and node.name in _ENV_SEAM_FUNCTIONS):
+                seam_spans.append((node.lineno,
+                                   getattr(node, "end_lineno",
+                                           node.lineno)))
+        for node in ast.walk(module.tree):
+            site = self._env_read(node)
+            if site is None:
+                continue
+            if any(lo <= site.lineno <= hi for lo, hi in seam_spans):
+                continue
+            if module.suppressed(site.lineno, self.pragma_tag):
+                continue
+            yield self.finding(
+                module, site,
+                "environment read outside the audited config seams: an "
+                "env var is an invisible input workers may not share; "
+                "thread it through options/config, or mark with "
+                "`# repro: env-read(<reason>)`")
+
+    @staticmethod
+    def _env_read(node: ast.AST) -> ast.expr | None:
+        if isinstance(node, ast.Call) and call_name(node) in _ENV_CALLS:
+            return node
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "environ"):
+            return node
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "environ"):
+            return node
+        return None
+
+
+#: Registration order is report order for same-line findings.
+CONTEXT_RULES: tuple[ContextRule, ...] = (
+    WorkerStateMutation(),
+    GlobalRng(),
+    UnorderedIteration(),
+    StoreLifecycle(),
+    PoolPickle(),
+    EnvRead(),
+)

@@ -15,13 +15,20 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one site."""
+    """One rule violation at one site.
+
+    ``kind`` separates lint findings (rule violations — CLI exit 1)
+    from tool errors (unparsable file, crashed rule — CLI exit 2).
+    Errors never participate in baseline arithmetic: a broken file must
+    fail the run even if someone tries to grandfather it.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    kind: str = "lint"  # "lint" | "error"
 
     def baseline_key(self) -> str:
         """Line-insensitive identity used for baseline matching."""

@@ -1,11 +1,21 @@
-"""The linter driver: files → contexts → rules → findings.
+"""The linter driver: files → contexts → call graph → rules → findings.
 
 :func:`lint_paths` is the programmatic entry point (the CLI and the test
-suite both call it): it walks the requested paths, runs every applicable
-per-module rule plus the project-level registry cross-check, and returns
-the findings sorted by location.  Baseline arithmetic is the caller's
-job (:mod:`repro.analysis.baseline`), so library users can inspect raw
-findings.
+suite both call it): it loads every requested file first, builds the
+run's :class:`~repro.analysis.callgraph.CallGraph` over the modules that
+parsed, then runs every applicable rule — module-local RPR0xx rules and
+context RPR1xx rules, which receive the graph — plus the project-level
+drift cross-checks, returning findings sorted by location.
+
+Failure isolation is part of the contract: a syntax error in one file
+becomes an ``RPR000`` *error* finding for that file and the run
+continues; a rule that crashes on one module likewise becomes an error
+finding naming the rule instead of aborting the run.  Error findings
+(``Finding.kind == "error"``) are the CLI's exit-2 signal and never
+enter baseline arithmetic.
+
+Baseline arithmetic is the caller's job (:mod:`repro.analysis.baseline`),
+so library users can inspect raw findings.
 """
 
 from __future__ import annotations
@@ -13,31 +23,65 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.concurrency_rules import CONTEXT_RULES, ContextRule
 from repro.analysis.findings import Finding
-from repro.analysis.loader import iter_python_files, load_module
+from repro.analysis.loader import (ModuleContext, iter_python_files,
+                                   load_module)
 from repro.analysis.project_rules import (check_obs_drift,
                                           check_registry_drift,
+                                          check_store_drift,
                                           find_repo_root)
-from repro.analysis.rules import rules_for_module
+from repro.analysis.rules import all_rules, rules_for_module
+
+
+def _syntax_finding(shown: str, exc: SyntaxError) -> Finding:
+    return Finding(path=shown, line=exc.lineno or 1, col=1,
+                   code="RPR000", kind="error",
+                   message=f"file does not parse: {exc.msg}")
+
+
+def _run_rules(module: ModuleContext, graph: CallGraph, *,
+               select: Iterable[str] | None,
+               ignore: Iterable[str] | None) -> list[Finding]:
+    findings = list(module.pragma_findings())
+    for rule in rules_for_module(module, select=select, ignore=ignore,
+                                 rules=all_rules()):
+        try:
+            if isinstance(rule, ContextRule):
+                findings.extend(rule.check(module, graph))
+            else:
+                findings.extend(rule.check(module))
+        except Exception as exc:  # repro: fallback(the crash is not
+            # swallowed — it becomes an RPR000 error finding that
+            # forces exit 2; isolating it keeps one broken rule from
+            # hiding every other rule's findings)
+            findings.append(Finding(
+                path=module.relpath, line=1, col=1, code="RPR000",
+                kind="error",
+                message=(f"rule {rule.code} ({rule.name}) crashed on "
+                         f"this file: {type(exc).__name__}: {exc}")))
+    return findings
 
 
 def lint_file(path: Path | str, *, relpath: str | None = None,
               is_test: bool | None = None,
               select: Iterable[str] | None = None,
               ignore: Iterable[str] | None = None) -> list[Finding]:
-    """Lint one file with the per-module rules (no project checks)."""
+    """Lint one file with the per-module rules (no project checks).
+
+    Context rules see a call graph built from this file alone, so
+    worker-reachability comes from the file's own
+    ``WORKER_ENTRY_POINTS`` declaration or submit calls — which is how
+    the fixture tests drive the RPR1xx rules hermetically.
+    """
     path = Path(path)
     try:
         module = load_module(path, relpath=relpath, is_test=is_test)
     except SyntaxError as exc:
-        shown = relpath or path.as_posix()
-        return [Finding(path=shown, line=exc.lineno or 1, col=1,
-                        code="RPR000",
-                        message=f"file does not parse: {exc.msg}")]
-    findings = list(module.pragma_findings())
-    for rule in rules_for_module(module, select=select, ignore=ignore):
-        findings.extend(rule.check(module))
-    return findings
+        return [_syntax_finding(relpath or path.as_posix(), exc)]
+    graph = CallGraph.build([module])
+    return _run_rules(module, graph, select=select, ignore=ignore)
 
 
 def lint_paths(paths: Sequence[Path | str], *,
@@ -52,16 +96,27 @@ def lint_paths(paths: Sequence[Path | str], *,
     select = tuple(select) if select else None
     ignore = tuple(ignore) if ignore else None
     findings: list[Finding] = []
+    modules: list[ModuleContext] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, select=select, ignore=ignore))
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(path.as_posix(), exc))
 
-    if project_checks and _code_enabled("RPR005", select, ignore):
+    graph = CallGraph.build(modules)
+    for module in modules:
+        findings.extend(_run_rules(module, graph,
+                                   select=select, ignore=ignore))
+
+    if project_checks:
         roots = {find_repo_root(Path(p)) for p in paths}
         roots.discard(None)
         for root in sorted(roots, key=str):
             assert root is not None
-            findings.extend(check_registry_drift(root))
-            findings.extend(check_obs_drift(root))
+            if _code_enabled("RPR005", select, ignore):
+                findings.extend(check_registry_drift(root))
+                findings.extend(check_obs_drift(root))
+                findings.extend(check_store_drift(root))
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

@@ -39,18 +39,41 @@ class ModuleContext:
     is_test: bool = False
 
     def suppressed(self, line: int, tag: str) -> bool:
-        """True when a matching pragma sits on ``line`` or just above.
+        """True when a matching pragma covers ``line``.
 
-        A malformed pragma (empty reason) never suppresses — it is
-        reported via :meth:`pragma_findings` instead.
+        A pragma covers the line it sits on and the line below; a
+        pragma written as a comment line of its own also covers the
+        next *code* line across any intervening comment lines, so long
+        reasons may wrap over several comment lines.  A malformed
+        pragma (empty reason) never suppresses — it is reported via
+        :meth:`pragma_findings` instead.
         """
-        return any(p.tag == tag and p.reason and p.line in (line, line - 1)
-                   for p in self.pragmas)
+        for p in self.pragmas:
+            if p.tag != tag or not p.reason:
+                continue
+            if p.line in (line, line - 1):
+                return True
+            if p.line < line - 1 and self._comment_only(p.line) and all(
+                    self._comment_only(n) for n in range(p.line + 1, line)):
+                return True
+        return False
+
+    def _comment_only(self, line: int) -> bool:
+        """Is 1-based ``line`` a comment-only source line?"""
+        if not 1 <= line <= len(self.lines):
+            return False
+        return self.lines[line - 1].lstrip().startswith("#")
 
     def pragma_findings(self) -> Iterator[Finding]:
         """Malformed pragmas: unknown tag or missing reason (RPR000)."""
         for p in self.pragmas:
-            if p.tag not in PRAGMA_TAGS:
+            if p.malformed:
+                yield Finding(
+                    path=self.relpath, line=p.line, col=1, code="RPR000",
+                    message=(f"malformed pragma near {p.tag!r}: expected "
+                             "`# repro: <tag>(<reason>)` with a lowercase "
+                             "tag and parenthesised reason"))
+            elif p.tag not in PRAGMA_TAGS:
                 yield Finding(
                     path=self.relpath, line=p.line, col=1, code="RPR000",
                     message=(f"unknown pragma tag {p.tag!r}; known tags: "

@@ -6,8 +6,20 @@ A pragma is this codebase's equivalent of ``noqa`` — except it is *typed*
 as malformed, because the whole point is that every suppressed site
 carries its audit rationale in-line.
 
-A pragma applies to the line it sits on, or — when written as a comment
-line of its own — to the following line.
+Accepted grammar (also documented in ``docs/development.md``):
+
+* ``# repro: <tag>(<reason>)`` — tag is lowercase ``[a-z][a-z0-9-]*``;
+  the reason may contain anything but a close-paren.
+* The close-paren may be omitted when the reason runs to end of line —
+  long rationales may therefore wrap across *comment* lines, with the
+  continuation lines being plain comments.
+* A pragma applies to the line it sits on, or — when written as a
+  comment line of its own — to the following line.
+* Several pragmas may share one line; each suppresses independently.
+* Anything that *looks* like a pragma (``# repro: <word>...``) but does
+  not parse — wrong tag charset, missing parentheses — is reported as
+  RPR000 rather than silently ignored, so a typo cannot masquerade as a
+  suppression.
 """
 
 from __future__ import annotations
@@ -24,10 +36,26 @@ PRAGMA_TAGS: dict[str, str] = {
     "registry-drift": "RPR005",
     "unguarded-load": "RPR006",
     "dtype": "RPR007",
+    "worker-state": "RPR101",
+    "rng": "RPR102",
+    "iter-order": "RPR103",
+    "store-lifecycle": "RPR104",
+    "pool-pickle": "RPR105",
+    "env-read": "RPR106",
 }
 
+#: A well-formed pragma.  The close-paren is optional so that long
+#: reasons may run to end-of-line and continue on following comment
+#: lines.
 _PRAGMA_RE = re.compile(
-    r"#\s*repro:\s*(?P<tag>[a-z][a-z0-9-]*)\s*\(\s*(?P<reason>[^)]*?)\s*\)")
+    r"#\s*repro:\s*(?P<tag>[a-z][a-z0-9-]*)\s*"
+    r"\(\s*(?P<reason>[^)]*?)\s*(?:\)|$)")
+
+#: Anything that *starts* like a pragma — used to report near-misses
+#: (bad tag charset, missing parens) as malformed instead of silently
+#: ignoring them.
+_CANDIDATE_RE = re.compile(
+    r"#\s*repro:\s*(?P<tag>[A-Za-z_][A-Za-z0-9_-]*)")
 
 
 @dataclass(frozen=True)
@@ -37,6 +65,7 @@ class Pragma:
     line: int  # 1-based source line the comment sits on
     tag: str
     reason: str
+    malformed: bool = False  # looked like a pragma but did not parse
 
     @property
     def code(self) -> str | None:
@@ -45,12 +74,25 @@ class Pragma:
 
 
 def parse_pragmas(lines: list[str]) -> list[Pragma]:
-    """All ``# repro:`` pragmas in ``lines`` (1-based line numbers)."""
+    """All ``# repro:`` pragmas in ``lines`` (1-based line numbers).
+
+    Well-formed pragmas come back with their tag and reason; text that
+    starts like a pragma but fails the grammar comes back with
+    ``malformed=True`` so the loader can report it as RPR000.
+    """
     found: list[Pragma] = []
     for lineno, text in enumerate(lines, start=1):
         if "repro:" not in text:
             continue
+        spans: list[tuple[int, int]] = []
         for match in _PRAGMA_RE.finditer(text):
+            spans.append(match.span())
             found.append(Pragma(line=lineno, tag=match.group("tag"),
                                 reason=match.group("reason")))
+        for match in _CANDIDATE_RE.finditer(text):
+            start = match.start()
+            if any(lo <= start < hi for lo, hi in spans):
+                continue
+            found.append(Pragma(line=lineno, tag=match.group("tag"),
+                                reason="", malformed=True))
     return found

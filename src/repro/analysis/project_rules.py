@@ -250,3 +250,85 @@ def check_obs_drift(repo_root: Path, *,
                         message=(f"baseline key '{flat_key}' gates "
                                  f"unknown counter '{name}' — not in "
                                  "repro.obs.gate.GATED_COUNTERS"))
+
+
+STORE_REL = "src/repro/store/__init__.py"
+
+
+def _cli_store_choices() -> tuple[str, ...] | None:
+    """The ``--store`` choices the CLI actually offers, or None."""
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    for action in parser._actions:  # noqa: SLF001 — argparse introspection
+        if not hasattr(action, "choices") or not isinstance(
+                action.choices, dict):
+            continue
+        solve = action.choices.get("solve")
+        if solve is None:
+            continue
+        for sub_action in solve._actions:
+            if "--store" in getattr(sub_action, "option_strings", ()):
+                choices = sub_action.choices
+                return tuple(choices) if choices is not None else None
+    return None
+
+
+def check_store_drift(repo_root: Path, *,
+                      api_doc: Path | None = None,
+                      tests_dir: Path | None = None) -> Iterator[Finding]:
+    """RPR005 for the store layer: backends ↔ docs ↔ CLI ↔ tests.
+
+    The same name-level triangle the solver registry gets: every backend
+    in ``repro.store.STORE_NAMES`` must be documented in ``docs/api.md``,
+    offered by the CLI ``--store`` choices, and named somewhere under
+    ``tests/store/`` — a backend nobody exercises has an unproven
+    lifecycle, which for shm means a potential segment leak.
+    """
+    store_path = repo_root / STORE_REL
+    if not store_path.is_file():
+        return  # not this repository's layout — rule does not apply
+    api_doc = api_doc or repo_root / "docs" / "api.md"
+    tests_dir = tests_dir or repo_root / "tests" / "store"
+    relpath = STORE_REL
+    store_source = store_path.read_text(encoding="utf-8")
+
+    from repro.store import STORE_NAMES
+
+    doc_text = (api_doc.read_text(encoding="utf-8")
+                if api_doc.is_file() else "")
+    test_text = ""
+    if tests_dir.is_dir():
+        test_text = "\n".join(
+            test_file.read_text(encoding="utf-8", errors="replace")
+            for test_file in sorted(tests_dir.rglob("*.py"))
+            if "fixtures" not in test_file.parts)
+
+    cli_choices = _cli_store_choices()
+
+    for name in STORE_NAMES:
+        line = _key_line(store_source, name)
+        if name not in doc_text:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"store backend '{name}' is registered but "
+                         "absent from docs/api.md — document it "
+                         "(lifecycle, process model, when to pick it)"))
+        if cli_choices is not None and name not in cli_choices:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"store backend '{name}' is registered but "
+                         "missing from the CLI --store choices"))
+        if f'"{name}"' not in test_text:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"store backend '{name}' is never named in "
+                         "tests/store/ — its handle lifecycle is "
+                         "unexercised"))
+
+    if cli_choices is None:
+        yield Finding(
+            path=relpath, line=1, col=1, code="RPR005",
+            message=("could not introspect the CLI --store choices "
+                     "(argparse layout changed?) — RPR005 cannot verify "
+                     "the store CLI surface"))

@@ -397,17 +397,35 @@ ALL_RULES: tuple[Rule, ...] = (
 
 
 def rule_codes() -> tuple[str, ...]:
-    """All per-module rule codes, sorted."""
-    return tuple(sorted(rule.code for rule in ALL_RULES))
+    """All per-module rule codes, sorted (RPR0xx and RPR1xx families)."""
+    return tuple(sorted(rule.code for rule in all_rules()))
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """The combined registry: module-local RPR0xx + context RPR1xx.
+
+    Imported lazily — :mod:`repro.analysis.concurrency_rules` imports
+    this module for the :class:`Rule` base, so a top-level import here
+    would be circular.
+    """
+    from repro.analysis.concurrency_rules import CONTEXT_RULES
+    return ALL_RULES + CONTEXT_RULES
 
 
 def rules_for_module(module: ModuleContext,
                      select: Iterable[str] | None = None,
-                     ignore: Iterable[str] | None = None) -> list[Rule]:
-    """The rules that apply to ``module`` after select/ignore filtering."""
+                     ignore: Iterable[str] | None = None,
+                     rules: Iterable[Rule] | None = None) -> list[Rule]:
+    """The rules that apply to ``module`` after select/ignore filtering.
+
+    ``rules`` overrides the registry being filtered (the driver passes
+    the combined RPR0xx+RPR1xx set; default stays the module-local
+    rules for backwards compatibility).
+    """
     selected = set(select) if select else None
     ignored = set(ignore or ())
-    return [rule for rule in ALL_RULES
+    pool = tuple(rules) if rules is not None else ALL_RULES
+    return [rule for rule in pool
             if (selected is None or rule.code in selected)
             and rule.code not in ignored
             and rule.applies_to(module)]

@@ -607,6 +607,9 @@ class MaxFirst:
 
         # Set REPRO_MAXFIRST_DEBUG=<N> to log search progress every N pops
         # (diagnosing slow convergence on adversarial instances).
+        # repro: env-read(diagnostic logging cadence only — it cannot
+        # change any computed value, so worker/parent divergence on this
+        # variable is harmless by construction)
         debug = int(os.environ.get("REPRO_MAXFIRST_DEBUG", "0"))
         while heap:
             pops += 1

@@ -120,6 +120,9 @@ def plan_streamed(handle: StoreHandle, shards: int, *,
         xmin = ymin = np.inf
         xmax = ymax = -np.inf
         for lo, hi in _chunk_bounds(length, chunk_rows):
+            # repro: store-lifecycle(memmap slice attaches are uncached
+            # by design — the mapping dies with the views at the end of
+            # this statement, which is the O(chunk) RSS contract)
             box = nlc_store.attach_slice(handle, lo, hi).bounding_box()
             xmin, ymin = min(xmin, box.xmin), min(ymin, box.ymin)
             xmax, ymax = max(xmax, box.xmax), max(ymax, box.ymax)
@@ -137,6 +140,8 @@ def plan_streamed(handle: StoreHandle, shards: int, *,
         hi_row = [0] * n_tiles
         counts = [0] * n_tiles
         for lo, hi in _chunk_bounds(length, chunk_rows):
+            # repro: store-lifecycle(uncached slice window; the views
+            # die when `chunk` is rebound on the next iteration)
             chunk = nlc_store.attach_slice(handle, lo, hi)
             for t, cand in enumerate(chunk.rects_intersecting(tiles)):
                 if cand.shape[0] == 0:
@@ -166,6 +171,8 @@ def plan_streamed(handle: StoreHandle, shards: int, *,
     seed_bound = 0.0
     with span("stream/seed_bound", tiles=len(kept_tiles)):
         for tile, (lo, hi) in zip(kept_tiles, kept_windows):
+            # repro: store-lifecycle(uncached slice window, dropped at
+            # each rebind — planning never holds two windows at once)
             window = nlc_store.attach_slice(handle, lo, hi)
             cand = window.rects_intersecting([tile])[0]
             root = window.classify_rects([tile], candidates=cand,
@@ -216,6 +223,9 @@ def solve_streamed(handle: StoreHandle, *, shards: int = 2,
     for i, (tile, (lo, hi)) in enumerate(zip(plan.tiles, plan.windows)):
         with _obs_metrics.REGISTRY.isolated() as box:
             with span(f"stream/tile{i}", rows=hi - lo):
+                # repro: store-lifecycle(uncached slice; the explicit
+                # del below releases the window before the next tile
+                # attaches — that release is the memory contract here)
                 nlcs = nlc_store.attach_slice(handle, lo, hi)
                 candidates = nlcs.rects_intersecting([tile])[0]
                 backend = _TileBackend(nlcs, plan.resolution, candidates)
@@ -277,6 +287,9 @@ def _merge_streamed(handle: StoreHandle, plan: StreamPlan,
                     continue
                 seen_covers.add(key)
                 if window is None:
+                    # repro: store-lifecycle(uncached slice, one per
+                    # tile at most, dropped when `window` goes out of
+                    # scope with the loop iteration)
                     window = nlc_store.attach_slice(handle, lo, hi)
                 local = np.asarray(cover, dtype=np.int64) - lo
                 region = compute_optimal_region(rect, local, window,

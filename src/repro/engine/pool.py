@@ -40,8 +40,15 @@ from typing import Any
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import TRACER
 
-__all__ = ["PersistentPool", "grow_regions", "run_phase2_pool",
-           "solve_tile"]
+__all__ = ["PersistentPool", "WORKER_ENTRY_POINTS", "grow_regions",
+           "run_phase2_pool", "solve_tile"]
+
+#: Functions that run inside pool worker processes.  The analysis
+#: layer's call graph roots its worker-reachability marking here (in
+#: addition to detecting direct ``submit(...)`` first arguments), so
+#: keep this tuple in sync when adding a worker entry.
+WORKER_ENTRY_POINTS: tuple[str, ...] = (
+    "_init_pool_worker", "solve_tile", "grow_regions")
 
 #: Transport counter: Phase II region jobs dispatched through the pool.
 #: Like ``pool_tasks`` it depends on worker topology (a serial Phase II
@@ -71,6 +78,9 @@ def _init_pool_worker(shared: Any) -> None:
     tile arrives, so job latency never includes a compiler run.
     """
     global _SHARED_BOUND
+    # repro: worker-state(the initializer is the one sanctioned writer:
+    # it installs the inherited bound cell exactly once per worker,
+    # before any task can run)
     _SHARED_BOUND = shared
     from repro.index._ckernel import load_quad_kernel
 
@@ -101,6 +111,10 @@ def _epoch_seeds(epoch: int, store_key: str) -> tuple[list, set]:
     if prev_epoch != epoch:
         nlc_store.detach(keep=(store_key,))
         seeds, seen = [], set()
+        # repro: worker-state(per-worker seed-cover history is the
+        # documented design — see "Worker-local seed covers" above;
+        # seeds only ever prune, so results stay exact regardless of
+        # which worker accumulated what)
         _EPOCH_STATE[0] = (epoch, store_key, seeds, seen)
     return seeds, seen
 
@@ -140,11 +154,12 @@ def solve_tile(job: tuple) -> tuple:
     from repro.core.maxfirst import MaxFirst
     from repro.engine.sharded import _TileBackend, _extend_seed_covers
     from repro.geometry.rect import Rect
+    from repro.store import sanitize
 
     # Persistent workers carry the previous task's tracer records —
     # reset per task so each shipped span set covers exactly this tile.
     TRACER.reset(enabled=bool(trace_enabled))
-    with _obs_metrics.REGISTRY.isolated() as box:
+    with sanitize.task("solve_tile"), _obs_metrics.REGISTRY.isolated() as box:
         with TRACER.span(f"shard/tile{tile_index}"):
             seeds, seen = _epoch_seeds(epoch, handle[1])
             nlcs = nlc_store.attach_slice(handle, lo, hi)
@@ -193,9 +208,11 @@ def grow_regions(job: tuple) -> tuple:
     from repro import store as nlc_store
     from repro.core.region import compute_optimal_region
     from repro.geometry.rect import Rect
+    from repro.store import sanitize
 
     TRACER.reset(enabled=bool(trace_enabled))
-    with _obs_metrics.REGISTRY.isolated() as box:
+    with sanitize.task("grow_regions"), \
+            _obs_metrics.REGISTRY.isolated() as box:
         with TRACER.span("phase2/pool_batch", regions=len(entries)):
             # Keep only this solve's store mapped (same rotation the
             # Phase I epoch turn performs); the attachment cache makes

@@ -75,6 +75,7 @@ GAUGE_KEYS: tuple[str, ...] = (
     "numpy_scratch_bytes_peak",
     "nlc_store_bytes_mapped",
     "nlc_build_chunk_rss_peak",
+    "store_sanitize_violations",
 )
 
 

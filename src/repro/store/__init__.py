@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 
 from repro.index.circleset import CircleSet
+from repro.store import sanitize as _sanitize
 from repro.store.base import (
     BYTES_PER_ROW,
     FIELD_DTYPES,
@@ -88,6 +89,9 @@ def get_backend(name: str) -> NLCStoreBackend:
             raise ValueError(
                 f"unknown store backend {name!r} "
                 f"(choose from {', '.join(STORE_NAMES)})")
+        # repro: worker-state(deliberate per-process singleton cache —
+        # each process owns its backend instances and their attachment
+        # caches; workers filling their own copy is the design)
         _BACKENDS[name] = backend
     return backend
 
@@ -116,16 +120,19 @@ def writer(capacity: int, store: str | None = None) -> StoreWriter:
 
 def attach(handle: StoreHandle) -> CircleSet:
     """Read-only views over every row of a published store."""
+    _sanitize.attached(handle[1])
     return get_backend(handle[0]).attach(handle)
 
 
 def attach_slice(handle: StoreHandle, lo: int, hi: int) -> CircleSet:
     """Read-only views over rows ``[lo, hi)`` of a published store."""
+    _sanitize.attached(handle[1])
     return get_backend(handle[0]).attach_slice(handle, lo, hi)
 
 
 def detach(keep: tuple[str, ...] = ()) -> None:
     """Drop every backend's cached attachments except the store keys in
     ``keep`` (worker epoch turn)."""
+    _sanitize.detached(keep)
     for backend in _BACKENDS.values():
         backend.detach(keep)

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.index.circleset import CircleSet
 from repro.obs import metrics as _obs_metrics
+from repro.store import sanitize as _sanitize
 
 #: Field order and dtypes inside a store: six parallel arrays of 8-byte
 #: elements (centres, radii, scores as float64; owners, levels as int64).
@@ -146,6 +147,7 @@ class NLCStore:
         self.key = key
         self.length = int(length)
         self.capacity = int(capacity)
+        _sanitize.store_created(self)
 
     @property
     def handle(self) -> StoreHandle:
@@ -181,12 +183,17 @@ class StoreWriter:
     reservation if the build dies part way.
     """
 
-    __slots__ = ("capacity", "cursor", "_done")
+    __slots__ = ("capacity", "cursor", "_done", "_san_token")
+
+    #: Ledger token assigned by the REPRO_SANITIZE sanitizer (only when
+    #: the mode is on; the slot costs nothing otherwise).
+    _san_token: int
 
     def __init__(self, capacity: int) -> None:
         self.capacity = int(capacity)
         self.cursor = 0
         self._done = False
+        _sanitize.writer_opened(self)
 
     def append(self, arrays: Sequence[np.ndarray]) -> None:
         if self._done:
@@ -205,11 +212,13 @@ class StoreWriter:
         if self._done:
             raise RuntimeError("writer already finalized/aborted")
         self._done = True
+        _sanitize.writer_done(self)
         return self._seal(self.cursor)
 
     def abort(self) -> None:
         if not self._done:
             self._done = True
+            _sanitize.writer_done(self)
             self._release()
 
     def _write(self, chunk: tuple[np.ndarray, ...], at: int) -> None:

@@ -30,6 +30,7 @@ from typing import Any, BinaryIO
 import numpy as np
 
 from repro.index.circleset import CircleSet
+from repro.store import sanitize as _sanitize
 from repro.store.base import (
     FIELD_DTYPES,
     NLCStore,
@@ -112,6 +113,7 @@ class MemmapStore(NLCStore):
         return HEADER_BYTES + store_nbytes(self.capacity)
 
     def close(self) -> None:
+        _sanitize.store_closed(self)
         self._finalizer()
 
 

@@ -20,6 +20,7 @@ from typing import Any
 import numpy as np
 
 from repro.index.circleset import CircleSet
+from repro.store import sanitize as _sanitize
 from repro.store.base import (
     FIELD_DTYPES,
     NLCStore,
@@ -49,6 +50,7 @@ class RamStore(NLCStore):
         return self._arrays
 
     def close(self) -> None:
+        _sanitize.store_closed(self)
         self._arrays = ()
 
 

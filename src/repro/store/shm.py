@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.index.circleset import CircleSet
 from repro.obs import metrics as _obs_metrics
+from repro.store import sanitize as _sanitize
 from repro.store.base import (
     NLCStore,
     StoreHandle,
@@ -92,6 +93,7 @@ class ShmStore(NLCStore):
 
     def close(self) -> None:
         """Unmap and unlink the segment (idempotent)."""
+        _sanitize.store_closed(self)
         self._finalizer()
 
 

@@ -6,6 +6,7 @@ import subprocess
 
 
 def load(path):
+    # repro: env-read(this fixture models the audited kernel gate itself)
     if os.environ.get("REPRO_NO_CKERNEL"):
         return None
     return ctypes.CDLL(path)

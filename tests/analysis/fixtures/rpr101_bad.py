@@ -1,0 +1,20 @@
+"""RPR101 fixture: worker-reachable code mutating module state."""
+
+WORKER_ENTRY_POINTS = ("solve_tile",)
+
+_CACHE = {}
+_BEST = 0.0
+_STATE = [0]
+
+
+def solve_tile(job):
+    global _BEST
+    _BEST = job[0]  # rebind of a global inside a worker
+    _CACHE[job[1]] = job[0]  # in-place mutation of module state
+    return _helper(job)
+
+
+def _helper(job):
+    # reachable only through solve_tile — the call graph must find it
+    _STATE[0] = job[1]
+    return job

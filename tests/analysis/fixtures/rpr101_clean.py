@@ -1,0 +1,22 @@
+"""RPR101 clean twin: worker state flows through jobs and returns."""
+
+WORKER_ENTRY_POINTS = ("solve_tile",)
+
+_PARENT_CACHE = {}
+
+
+def solve_tile(job):
+    best = job[0]
+    local = {job[1]: best}
+    return _helper(job, local)
+
+
+def _helper(job, acc):
+    acc[job[1]] = job[0]  # parameter, not module state
+    return job, acc
+
+
+def merge_in_parent(result):
+    # not worker-reachable: the parent-side merge may keep state
+    _PARENT_CACHE[result[0]] = result[1]
+    return _PARENT_CACHE

@@ -1,0 +1,14 @@
+"""RPR102 fixture: global-singleton RNG use in solver code."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def jitter(points):
+    noise = np.random.rand(len(points))  # legacy singleton
+    np.random.seed(0)  # reseeds the singleton for everyone
+    pick = random.choice(points)  # stdlib singleton
+    shuffle(points)  # imported from the singleton module
+    return noise, pick

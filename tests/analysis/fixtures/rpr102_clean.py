@@ -1,0 +1,12 @@
+"""RPR102 clean twin: explicitly seeded generators, plumbed through."""
+
+import numpy as np
+from random import Random
+
+
+def jitter(points, seed):
+    rng = np.random.default_rng(seed)
+    noise = rng.normal(size=len(points))
+    local = Random(seed)
+    pick = local.choice(points)
+    return noise, pick

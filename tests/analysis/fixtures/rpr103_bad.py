@@ -1,0 +1,20 @@
+"""RPR103 fixture: set iteration feeding order-dependent accumulation."""
+
+
+def total_score(scores):
+    total = 0.0
+    for s in {round(x, 6) for x in scores}:  # hash order into a float sum
+        total += s
+    return total
+
+
+def collect(items):
+    pending = set(items)
+    out = []
+    for item in pending:  # hash order into a result list
+        out.append(item)
+    return out
+
+
+def fast_sum(values):
+    return sum(frozenset(values))  # hash order inside sum()

@@ -1,0 +1,26 @@
+"""RPR103 clean twin: sorted sets, and dict iteration (insertion-ordered)."""
+
+
+def total_score(scores):
+    total = 0.0
+    for s in sorted({round(x, 6) for x in scores}):
+        total += s
+    return total
+
+
+def collect(items):
+    out = []
+    for item in sorted(set(items)):
+        out.append(item)
+    return out
+
+
+def fast_sum(values):
+    return sum(sorted(frozenset(values)))
+
+
+def merge(counts):
+    total = 0
+    for key in counts:  # dicts iterate in insertion order — exempt
+        total += counts[key]
+    return total

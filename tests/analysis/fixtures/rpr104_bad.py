@@ -1,0 +1,25 @@
+"""RPR104 fixture: store acquires with no release on some exit path."""
+
+from repro import store
+
+
+def leak_owner(nlcs, solve):
+    owner = store.publish(nlcs, "shm")  # no close on any path
+    handle = owner.handle
+    solve(handle)
+    return None
+
+
+def leak_views(handle):
+    views = store.attach(handle)  # never detached, never handed out
+    best = float(views.scores[0])
+    return best
+
+
+def leak_writer(chunks, capacity, solve):
+    writer = store.writer(capacity, "shm")  # append may raise → leak
+    for chunk in chunks:
+        writer.append(chunk)
+    sealed = writer.finalize()
+    sealed.close()
+    return None

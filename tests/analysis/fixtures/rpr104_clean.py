@@ -1,0 +1,35 @@
+"""RPR104 clean twin: every acquire released, escaped, or protected."""
+
+from repro import store
+
+
+def publish_owned(nlcs, solve):
+    owner = store.publish(nlcs, "shm")
+    try:
+        solve(owner.handle)
+    finally:
+        owner.close()
+    return None
+
+
+def publish_escaping(nlcs):
+    return store.publish(nlcs, "shm")  # caller owns the lifecycle
+
+
+def windowed(handle, lo, hi):
+    views = store.attach_slice(handle, lo, hi)
+    best = float(views.scores[0])
+    store.detach()
+    return best
+
+
+def stream(chunks, capacity):
+    writer = store.writer(capacity, "shm")
+    try:
+        for chunk in chunks:
+            writer.append(chunk)
+    except Exception:
+        writer.abort()
+        raise
+    sealed = writer.finalize()
+    return sealed

@@ -1,0 +1,20 @@
+"""RPR105 fixture: unpicklable callables submitted to a pool."""
+
+
+class Runner:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def dispatch(self, jobs):
+        return [self.pool.submit(lambda j: j, job) for job in jobs]
+
+
+def run(pool, jobs):
+    def helper(job):
+        return job
+
+    return [pool.submit(helper, job) for job in jobs]
+
+
+def run_method(pool, runner, jobs):
+    return [pool.submit_call(runner.step, job) for job in jobs]

@@ -1,0 +1,16 @@
+"""RPR106 fixture: environment reads outside the audited seams."""
+
+import os
+from os import environ
+
+
+def pick_backend():
+    return os.environ.get("REPRO_STORE_FALLBACK", "ram")
+
+
+def poll_interval():
+    return int(os.getenv("REPRO_POLL", "0"))
+
+
+def flag():
+    return environ["REPRO_FLAG"]

@@ -1,0 +1,21 @@
+"""RPR106 clean twin: reads confined to seams, or explicitly audited."""
+
+import os
+
+
+def resolve_store_name(name=None):
+    # the audited seam: precedence pinned by docs and tests
+    return name or os.environ.get("REPRO_STORE") or "ram"
+
+
+def get_profile():
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+def audited():
+    # repro: env-read(example of the audited escape hatch)
+    return os.environ.get("REPRO_EXAMPLE")
+
+
+def solve(options):
+    return options.get("store", "ram")

@@ -1,0 +1,144 @@
+"""Call-graph builder: reachability, entry points, release propagation."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph, module_name_for
+from repro.analysis.loader import load_module
+
+
+def _module(tmp_path, relpath, source):
+    path = tmp_path / relpath.replace("/", "__")
+    path.write_text(source, encoding="utf-8")
+    return load_module(path, relpath=relpath, is_test=False)
+
+
+class TestModuleNames:
+    @pytest.mark.parametrize("relpath,expected", [
+        ("src/repro/engine/pool.py", "repro.engine.pool"),
+        ("src/repro/store/__init__.py", "repro.store"),
+        ("benchmarks/run_bench.py", "benchmarks.run_bench"),
+    ])
+    def test_module_name_for(self, relpath, expected):
+        assert module_name_for(relpath) == expected
+
+
+class TestReachability:
+    def test_cross_module_worker_reachability(self, tmp_path):
+        pool = _module(tmp_path, "src/repro/engine/pool.py", (
+            "from repro.core import maxfirst\n"
+            "\n"
+            "WORKER_ENTRY_POINTS = (\"solve_tile\",)\n"
+            "\n"
+            "def solve_tile(job):\n"
+            "    return maxfirst.solve(job)\n"
+            "\n"
+            "def merge(results):\n"
+            "    return sorted(results)\n"
+        ))
+        core = _module(tmp_path, "src/repro/core/maxfirst.py", (
+            "def solve(job):\n"
+            "    return _score(job)\n"
+            "\n"
+            "def _score(job):\n"
+            "    return job\n"
+            "\n"
+            "def parent_only(job):\n"
+            "    return job\n"
+        ))
+        graph = CallGraph.build([pool, core])
+        assert graph.is_worker_reachable("repro.engine.pool.solve_tile")
+        assert graph.is_worker_reachable("repro.core.maxfirst.solve")
+        assert graph.is_worker_reachable("repro.core.maxfirst._score")
+        assert not graph.is_worker_reachable("repro.engine.pool.merge")
+        assert not graph.is_worker_reachable(
+            "repro.core.maxfirst.parent_only")
+
+    def test_submit_first_arg_becomes_entry_point(self, tmp_path):
+        mod = _module(tmp_path, "src/repro/engine/driver.py", (
+            "def work(job):\n"
+            "    return _inner(job)\n"
+            "\n"
+            "def _inner(job):\n"
+            "    return job\n"
+            "\n"
+            "def dispatch(pool, jobs):\n"
+            "    return [pool.submit(work, j) for j in jobs]\n"
+        ))
+        graph = CallGraph.build([mod])
+        assert "repro.engine.driver.work" in graph.entry_points
+        assert graph.is_worker_reachable("repro.engine.driver.work")
+        assert graph.is_worker_reachable("repro.engine.driver._inner")
+        assert not graph.is_worker_reachable(
+            "repro.engine.driver.dispatch")
+
+    def test_from_import_alias_edges(self, tmp_path):
+        a = _module(tmp_path, "src/repro/engine/a.py", (
+            "from repro.engine.b import helper as h\n"
+            "\n"
+            "WORKER_ENTRY_POINTS = (\"entry\",)\n"
+            "\n"
+            "def entry(x):\n"
+            "    return h(x)\n"
+        ))
+        b = _module(tmp_path, "src/repro/engine/b.py", (
+            "def helper(x):\n"
+            "    return x\n"
+        ))
+        graph = CallGraph.build([a, b])
+        assert graph.is_worker_reachable("repro.engine.b.helper")
+
+    def test_self_method_and_local_ctor_resolution(self, tmp_path):
+        mod = _module(tmp_path, "src/repro/engine/obj.py", (
+            "WORKER_ENTRY_POINTS = (\"entry\",)\n"
+            "\n"
+            "class Solver:\n"
+            "    def run(self):\n"
+            "        return self._step()\n"
+            "\n"
+            "    def _step(self):\n"
+            "        return 1\n"
+            "\n"
+            "def entry():\n"
+            "    s = Solver()\n"
+            "    return s.run()\n"
+        ))
+        graph = CallGraph.build([mod])
+        assert graph.is_worker_reachable("repro.engine.obj.Solver.run")
+        assert graph.is_worker_reachable("repro.engine.obj.Solver._step")
+
+
+class TestReleasePropagation:
+    def test_releases_propagate_to_callers(self, tmp_path):
+        mod = _module(tmp_path, "src/repro/engine/rel.py", (
+            "def outer(handle):\n"
+            "    return middle(handle)\n"
+            "\n"
+            "def middle(handle):\n"
+            "    return closer(handle)\n"
+            "\n"
+            "def closer(handle):\n"
+            "    handle.close()\n"
+            "\n"
+            "def bystander(handle):\n"
+            "    return handle\n"
+        ))
+        graph = CallGraph.build([mod])
+        for name in ("outer", "middle", "closer"):
+            assert graph.releases_transitively(f"repro.engine.rel.{name}")
+        assert not graph.releases_transitively(
+            "repro.engine.rel.bystander")
+
+    def test_unresolvable_calls_add_no_edges(self, tmp_path):
+        mod = _module(tmp_path, "src/repro/engine/duck.py", (
+            "WORKER_ENTRY_POINTS = (\"entry\",)\n"
+            "\n"
+            "def entry(obj):\n"
+            "    return obj.mystery()\n"
+            "\n"
+            "def elsewhere():\n"
+            "    return 0\n"
+        ))
+        graph = CallGraph.build([mod])
+        assert graph.callees("repro.engine.duck.entry") == set()
+        assert not graph.is_worker_reachable(
+            "repro.engine.duck.elsewhere")

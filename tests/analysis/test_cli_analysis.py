@@ -41,6 +41,28 @@ class TestExitCodes:
         assert code == 2
         assert "no such file" in err
 
+    def test_syntax_error_is_exit_2_and_keeps_linting(
+            self, tmp_path, capsys):
+        """One unparsable file must not abort the run: the other files
+        still get linted (their findings are reported), and the tool
+        exits 2 — distinct from the plain findings exit 1."""
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n", encoding="utf-8")
+        code, out, err = run_cli(
+            [str(broken), str(bad), "--no-baseline"], capsys)
+        assert code == 2
+        assert "does not parse" in out  # the broken file is reported
+        assert "RPR004" in out  # ...and the healthy file was still linted
+        assert "1 tool error(s)" in err
+
+    def test_findings_without_errors_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n", encoding="utf-8")
+        code, _, _ = run_cli([str(bad), "--no-baseline"], capsys)
+        assert code == 1
+
 
 class TestSelectIgnore:
     def test_select_restricts_rules(self, capsys):
@@ -100,6 +122,18 @@ class TestBaselineFlow:
         assert code == 1
         assert "RPR004" in out and "'g'" in out
 
+    def test_write_baseline_refuses_tool_errors(self, tmp_path, capsys):
+        """An unparsable file cannot be grandfathered: --write-baseline
+        exits 2 and leaves no baseline behind."""
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.txt"
+        code, _, err = run_cli(
+            [str(broken), "--baseline", str(baseline),
+             "--write-baseline"], capsys)
+        assert code == 2
+        assert not baseline.is_file()
+
 
 class TestOutputFormats:
     def test_json_format(self, capsys):
@@ -112,11 +146,37 @@ class TestOutputFormats:
         assert payload["new"][0]["code"] == "RPR002"
         assert payload["stale_baseline"] == []
 
+    def test_json_errors_field(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        code, out, _ = run_cli(
+            [str(broken), "--no-baseline", "--format", "json"], capsys)
+        assert code == 2
+        payload = json.loads(out)
+        assert len(payload["errors"]) == 1
+        assert payload["errors"][0]["code"] == "RPR000"
+        assert payload["new"] == []
+
+    def test_json_report_written_alongside_text(self, tmp_path, capsys):
+        """--json-report captures the machine payload even when the
+        console format stays human-readable (the CI artifact path)."""
+        report = tmp_path / "lint-report.json"
+        code, out, _ = run_cli(
+            [str(FIXTURES / "rpr002_bad.py"), "--no-baseline",
+             "--json-report", str(report)], capsys)
+        assert code == 1
+        assert "RPR002" in out  # console output is still text
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert len(payload["new"]) == 3
+        assert payload["errors"] == []
+
     def test_list_rules(self, capsys):
         code, out, _ = run_cli(["--list-rules"], capsys)
         assert code == 0
         for rule_code in ("RPR001", "RPR002", "RPR003", "RPR004",
-                          "RPR005", "RPR006", "RPR007"):
+                          "RPR005", "RPR006", "RPR007", "RPR101",
+                          "RPR102", "RPR103", "RPR104", "RPR105",
+                          "RPR106"):
             assert rule_code in out
 
 

@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis.linter import lint_file
 from repro.analysis.loader import load_module
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import all_rules
 
 from tests.analysis.conftest import FIXTURES
 
@@ -24,6 +24,15 @@ CASES = [
     ("RPR006", "rpr006_bad.py", 4, "rpr006_clean.py", None),
     ("RPR007", "rpr007_bad.py", 3, "rpr007_clean.py",
      "src/repro/index/{name}"),
+    ("RPR101", "rpr101_bad.py", 3, "rpr101_clean.py",
+     "src/repro/engine/{name}"),
+    ("RPR102", "rpr102_bad.py", 4, "rpr102_clean.py", None),
+    ("RPR103", "rpr103_bad.py", 3, "rpr103_clean.py",
+     "src/repro/core/{name}"),
+    ("RPR104", "rpr104_bad.py", 3, "rpr104_clean.py",
+     "src/repro/engine/{name}"),
+    ("RPR105", "rpr105_bad.py", 3, "rpr105_clean.py", None),
+    ("RPR106", "rpr106_bad.py", 3, "rpr106_clean.py", None),
 ]
 
 
@@ -59,7 +68,8 @@ class TestRuleFixtures:
         assert _lint_fixture(bad, relpath, ignore=[code]) == []
 
     def test_every_rule_has_a_fixture_case(self):
-        assert {case[0] for case in CASES} == {r.code for r in ALL_RULES}
+        assert ({case[0] for case in CASES}
+                == {r.code for r in all_rules()})
 
 
 class TestPragmaHygiene:
@@ -69,6 +79,50 @@ class TestPragmaHygiene:
         # unknown tag + empty reason → two RPR000; the empty-reason
         # pragma must NOT suppress the float equality beneath it.
         assert codes == ["RPR000", "RPR000", "RPR002"]
+
+    def test_near_miss_pragma_is_rpr000_malformed(self, tmp_path):
+        """A comment that looks like a pragma but fails the grammar
+        (missing parens) is reported, not silently ignored."""
+        bad = tmp_path / "near_miss.py"
+        # built by concatenation so the pragma scanner (which reads raw
+        # source lines, string literals included) ignores THIS file
+        near_miss = "# repro" + ": float-eq missing the reason parens"
+        bad.write_text(
+            f"def f(x):\n    {near_miss}\n    return x == 0.0\n",
+            encoding="utf-8")
+        findings = lint_file(bad, relpath="src/near_miss.py")
+        codes = sorted(f.code for f in findings)
+        assert codes == ["RPR000", "RPR002"]
+        rpr000 = next(f for f in findings if f.code == "RPR000")
+        assert "malformed pragma" in rpr000.message
+        assert "float-eq" in rpr000.message
+
+    def test_stacked_pragmas_on_one_line(self, tmp_path):
+        """Two pragmas on the same trailing comment each suppress their
+        own rule on that line."""
+        src = tmp_path / "stacked.py"
+        src.write_text(
+            "def f(x, cache={}):  "
+            "# repro: mutable-default(shared on purpose) "
+            "# repro: float-eq(exact sentinel)\n"
+            "    return x == 0.0\n",
+            encoding="utf-8")
+        assert lint_file(src, relpath="src/stacked.py") == []
+
+    def test_pragma_on_decorator_line_covers_the_def(self, tmp_path):
+        """A pragma trailing a decorator suppresses a finding anchored
+        on the decorated def's own line (the line below)."""
+        src = tmp_path / "decorated.py"
+        src.write_text(
+            "def deco(fn):\n"
+            "    return fn\n"
+            "\n"
+            "\n"
+            "@deco  # repro: mutable-default(memo table shared on purpose)\n"
+            "def f(x, cache={}):\n"
+            "    return cache.setdefault(x, x)\n",
+            encoding="utf-8")
+        assert lint_file(src, relpath="src/decorated.py") == []
 
     def test_rule_messages_name_their_pragma(self):
         """Every finding message teaches its escape hatch (or the rule

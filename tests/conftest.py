@@ -92,3 +92,20 @@ def polygon_area_by_sampling(region, samples: int = 400,
 
 def circle_angle(circle: Circle, x: float, y: float) -> float:
     return math.atan2(y - circle.cy, x - circle.cx)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """REPRO_SANITIZE=1 runs end with a lifecycle audit: any store
+    owner, writer, attachment, or pool task the suite leaked fails the
+    whole session here, naming the creating call sites."""
+    from repro.store import sanitize
+
+    if not sanitize.active():
+        return
+    try:
+        sanitize.check()
+    except sanitize.StoreLeakError as exc:
+        tr = session.config.pluginmanager.get_plugin("terminalreporter")
+        if tr is not None:
+            tr.write_line(f"REPRO_SANITIZE: {exc}", red=True)
+        session.exitstatus = 1
