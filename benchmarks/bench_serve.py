@@ -1,0 +1,191 @@
+"""Serve-layer benchmark: queries/sec against a published instance.
+
+Publishes the scripted workload instance (:mod:`repro.serve.workload`)
+once, then times batched request rounds against it through two arms:
+
+* ``inprocess`` — :class:`~repro.serve.service.QueryService` called
+  directly (no socket, no pool): the ceiling the front end is measured
+  against.
+* ``socket``    — a real ``repro serve`` daemon subprocess on an
+  ephemeral port, driven through
+  :class:`~repro.serve.client.ServeClient`: JSON codec + HTTP + batch
+  scheduler included, which is the number a deployment sees.
+
+Each round replays the same mixed batch (a full BRkNN sweep over all
+sites plus a what-if grid); queries/sec is requests divided by the
+**best** round time.  Every response of the first round is asserted
+**bit-identical** to a direct in-process :mod:`repro.core.queries`
+call on the same problem — a throughput number obtained by answering
+differently is a bug, not a result.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --tiny   # CI smoke
+
+Writes ``BENCH_serve.json`` (see ``--out``); the headline is
+``headline.socket_qps``.  Timings move with the machine; the identity
+assertions and per-batch counter behaviour must not move at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.core.queries import (brknn_of_site, impact_of_new_site,
+                                knn_sites)
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (BrknnRequest, BrknnResponse,
+                                  ImpactRequest, ImpactResponse)
+from repro.serve.service import QueryService
+from repro.serve.smoke import _boot_daemon
+from repro.serve.workload import publish_doc, tiny_problem
+
+
+def _bench_batch(instance_id: str, n_sites: int) -> list:
+    """The timed batch: BRkNN of every site + a 4x4 what-if grid."""
+    batch: list = [BrknnRequest(instance_id, j) for j in range(n_sites)]
+    batch += [ImpactRequest(instance_id, 12.5 * i, 12.5 * j)
+              for i in range(1, 5) for j in range(1, 5)]
+    return batch
+
+
+def _assert_identity(batch, responses, problem, ranks) -> None:
+    for request, response in zip(batch, responses):
+        if isinstance(request, BrknnRequest):
+            direct = brknn_of_site(problem, request.site, ranks=ranks)
+            assert isinstance(response, BrknnResponse), response
+            assert response.members == direct.members
+            assert response.influence == direct.influence
+        else:
+            direct = impact_of_new_site(problem, request.x, request.y,
+                                        ranks=ranks)
+            assert isinstance(response, ImpactResponse), response
+            assert response.gain == direct.gain
+            assert response.customer_ranks == direct.customer_ranks
+            assert response.incumbent_losses == direct.incumbent_losses
+
+
+def _time_rounds(run_batch, batch_size: int, rounds: int) -> dict:
+    best = float("inf")
+    total = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run_batch()
+        elapsed = time.perf_counter() - t0
+        total += elapsed
+        if elapsed < best:
+            best = elapsed
+    return {
+        "rounds": rounds,
+        "batch_requests": batch_size,
+        "best_round_s": round(best, 6),
+        "mean_round_s": round(total / rounds, 6),
+        "qps": round(batch_size / best, 1),
+    }
+
+
+def run(rounds: int = 20, workers: int | None = None) -> dict:
+    problem = tiny_problem()
+    ranks = knn_sites(problem)
+    n_sites = problem.n_sites
+    rows = []
+
+    # -- in-process arm -------------------------------------------------- #
+    with QueryService(store="ram", workers=workers) as service:
+        instance = service.publish(problem)
+        batch = _bench_batch(instance.instance_id, n_sites)
+        responses = service.execute(batch)          # warm-up + identity
+        _assert_identity(batch, responses, problem, ranks)
+        row = {"arm": "inprocess",
+               **_time_rounds(lambda: service.execute(batch),
+                              len(batch), rounds)}
+    rows.append(row)
+    print(f"  inprocess: {row['qps']:>9.1f} queries/s "
+          f"(batch={row['batch_requests']}, "
+          f"best={row['best_round_s']:.4f}s)")
+
+    # -- socket arm ------------------------------------------------------ #
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+    os.makedirs(out_dir, exist_ok=True)
+    proc, host, port = _boot_daemon(out_dir, "shm", workers)
+    try:
+        with ServeClient(host, port) as client:
+            instance_id = client.publish(publish_doc("shm"))
+            batch = _bench_batch(instance_id, n_sites)
+            responses = client.query(batch)         # warm-up + identity
+            _assert_identity(batch, responses, problem, ranks)
+            row = {"arm": "socket",
+                   **_time_rounds(lambda: client.query(batch),
+                                  len(batch), rounds)}
+            client.shutdown()
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    rows.append(row)
+    print(f"  socket:    {row['qps']:>9.1f} queries/s "
+          f"(batch={row['batch_requests']}, "
+          f"best={row['best_round_s']:.4f}s)")
+
+    by_arm = {r["arm"]: r for r in rows}
+    return {
+        "benchmark": "serve",
+        "workload": ("fig11-tiny instance (800 uniform customers, "
+                     "40 sites, k=2, seed 11); batch = BRkNN of every "
+                     "site + 4x4 what-if grid"),
+        "timing": "best round of N; identity asserted on round 1",
+        "rounds": rounds,
+        "workers": workers,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "identity": ("every round-1 response bit-identical to direct "
+                     "in-process repro.core.queries calls"),
+        "headline": {
+            "socket_qps": by_arm["socket"]["qps"],
+            "inprocess_qps": by_arm["inprocess"]["qps"],
+            "socket_overhead": round(
+                by_arm["inprocess"]["qps"] / by_arm["socket"]["qps"], 2),
+        },
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="timed rounds per arm (best is reported)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool workers for the service (default: "
+                             "in-process execution)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke: 5 rounds")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_serve.json"))
+    args = parser.parse_args(argv)
+    rounds = 5 if args.tiny else args.rounds
+    report = run(rounds=rounds, workers=args.workers)
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nsocket throughput: {report['headline']['socket_qps']:.1f} "
+          f"queries/s ({report['headline']['socket_overhead']:.2f}x "
+          "in-process)")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.analysis.loader import (ModuleContext, iter_python_files,
                                    load_module)
 from repro.analysis.project_rules import (check_obs_drift,
                                           check_registry_drift,
+                                          check_serve_drift,
                                           check_store_drift,
                                           find_repo_root)
 from repro.analysis.rules import all_rules, rules_for_module
@@ -117,6 +118,7 @@ def lint_paths(paths: Sequence[Path | str], *,
                 findings.extend(check_registry_drift(root))
                 findings.extend(check_obs_drift(root))
                 findings.extend(check_store_drift(root))
+                findings.extend(check_serve_drift(root))
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

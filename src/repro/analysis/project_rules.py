@@ -187,7 +187,7 @@ def check_obs_drift(repo_root: Path, *,
     relpath = METRICS_REL
     metrics_source = metrics_path.read_text(encoding="utf-8")
 
-    from repro.obs.gate import GATED_COUNTERS
+    from repro.obs.gate import GATED_COUNTERS, SERVE_GATED_COUNTERS
     from repro.obs.metrics import COUNTER_KEYS, GAUGE_KEYS
 
     doc_text = (obs_doc.read_text(encoding="utf-8")
@@ -241,7 +241,7 @@ def check_obs_drift(repo_root: Path, *,
                          "baseline ({'counters': {...}}) — regenerate "
                          "with python -m repro.obs.gate --write-baseline"))
         else:
-            gated = set(GATED_COUNTERS)
+            gated = set(GATED_COUNTERS) | set(SERVE_GATED_COUNTERS)
             for flat_key in counters:
                 name = flat_key.rpartition("/")[2]
                 if name not in gated:
@@ -249,7 +249,8 @@ def check_obs_drift(repo_root: Path, *,
                         path=relpath, line=1, col=1, code="RPR005",
                         message=(f"baseline key '{flat_key}' gates "
                                  f"unknown counter '{name}' — not in "
-                                 "repro.obs.gate.GATED_COUNTERS"))
+                                 "repro.obs.gate.GATED_COUNTERS or "
+                                 "SERVE_GATED_COUNTERS"))
 
 
 STORE_REL = "src/repro/store/__init__.py"
@@ -332,3 +333,86 @@ def check_store_drift(repo_root: Path, *,
             message=("could not introspect the CLI --store choices "
                      "(argparse layout changed?) — RPR005 cannot verify "
                      "the store CLI surface"))
+
+
+SERVE_PROTOCOL_REL = "src/repro/serve/protocol.py"
+
+
+def _cli_query_kind_choices() -> tuple[str, ...] | None:
+    """The ``query --kind`` choices the CLI actually offers, or None."""
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    for action in parser._actions:  # noqa: SLF001 — argparse introspection
+        if not hasattr(action, "choices") or not isinstance(
+                action.choices, dict):
+            continue
+        query = action.choices.get("query")
+        if query is None:
+            continue
+        for sub_action in query._actions:
+            if "--kind" in getattr(sub_action, "option_strings", ()):
+                choices = sub_action.choices
+                return tuple(choices) if choices is not None else None
+    return None
+
+
+def check_serve_drift(repo_root: Path, *,
+                      api_doc: Path | None = None,
+                      tests_dir: Path | None = None) -> Iterator[Finding]:
+    """RPR005 for the serve layer: request kinds ↔ docs ↔ CLI ↔ tests.
+
+    ``repro.serve.protocol.REQUEST_KINDS`` is the service's registry;
+    every kind must be documented in ``docs/api.md`` (the request-kind
+    table), offered by the CLI ``query --kind`` choices, and named
+    somewhere under ``tests/serve/`` — a request kind nobody exercises
+    means an untested wire codec and an untested executor branch.
+    """
+    protocol_path = repo_root / SERVE_PROTOCOL_REL
+    if not protocol_path.is_file():
+        return  # not this repository's layout — rule does not apply
+    api_doc = api_doc or repo_root / "docs" / "api.md"
+    tests_dir = tests_dir or repo_root / "tests" / "serve"
+    relpath = SERVE_PROTOCOL_REL
+    protocol_source = protocol_path.read_text(encoding="utf-8")
+
+    from repro.serve.protocol import REQUEST_KINDS
+
+    doc_text = (api_doc.read_text(encoding="utf-8")
+                if api_doc.is_file() else "")
+    test_text = ""
+    if tests_dir.is_dir():
+        test_text = "\n".join(
+            test_file.read_text(encoding="utf-8", errors="replace")
+            for test_file in sorted(tests_dir.rglob("*.py"))
+            if "fixtures" not in test_file.parts)
+
+    cli_choices = _cli_query_kind_choices()
+
+    for kind in REQUEST_KINDS:
+        line = _key_line(protocol_source, kind)
+        if kind not in doc_text:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"serve request kind '{kind}' is registered "
+                         "but absent from docs/api.md — add it to the "
+                         "request-kind table"))
+        if cli_choices is not None and kind not in cli_choices:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"serve request kind '{kind}' is registered "
+                         "but missing from the CLI query --kind "
+                         "choices"))
+        if f'"{kind}"' not in test_text:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"serve request kind '{kind}' is never named "
+                         "in tests/serve/ — its codec and executor "
+                         "branch are unexercised"))
+
+    if cli_choices is None:
+        yield Finding(
+            path=relpath, line=1, col=1, code="RPR005",
+            message=("could not introspect the CLI query --kind choices "
+                     "(argparse layout changed?) — RPR005 cannot verify "
+                     "the serve CLI surface"))

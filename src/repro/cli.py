@@ -1,14 +1,21 @@
 """Command-line interface.
 
-Three subcommands::
+Five subcommands::
 
     repro-maxbrknn solve --customers o.csv --sites p.csv -k 2 \
         --probability 0.8,0.2
     repro-maxbrknn generate --kind uniform -n 1000 -o points.csv --seed 7
     repro-maxbrknn bench --figure fig10a --scale tiny
+    repro-maxbrknn serve --port 0 --store shm --workers 2
+    repro-maxbrknn query --url 127.0.0.1:8421 --instance ID --kind brknn \
+        --site 3
 
 ``solve`` prints the optimum, its regions and the Phase I statistics;
-``bench`` regenerates one paper figure as a table and ASCII chart.
+``bench`` regenerates one paper figure as a table and ASCII chart;
+``serve`` runs the persistent query daemon (:mod:`repro.serve`) and
+``query`` talks to one — publish an instance once, then issue
+``brknn`` / ``site_influence`` / ``impact`` / ``solve`` /
+``solve_anytime`` requests against it over the socket.
 """
 
 from __future__ import annotations
@@ -61,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     parser.print_help()
     return 2
 
@@ -144,6 +155,75 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="re-run one paper figure")
     bench.add_argument("--figure", choices=sorted(_FIGURES), required=True)
     bench.add_argument("--scale", choices=profile_names(), default=None)
+
+    from repro.serve.protocol import REQUEST_KINDS
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent query daemon")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (loopback by default)")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="bind port; 0 picks an ephemeral one (the "
+                            "daemon prints the bound address)")
+    serve.add_argument("--store", choices=("ram", "shm", "memmap"),
+                       default=None,
+                       help="NLC storage backend for published "
+                            "instances (unset defers to REPRO_STORE, "
+                            "then ram)")
+    serve.add_argument("--workers", type=int, default=None,
+                       metavar="N",
+                       help="answer batches through N pool worker "
+                            "processes mapping the store zero-copy "
+                            "(default: in-process)")
+    serve.add_argument("--linger", type=float, default=0.005,
+                       help="batch-coalescing window in seconds")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="record serve spans; write a Chrome trace "
+                            "to PATH on shutdown")
+    serve.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write final counters/gauges as "
+                            "metrics.json to PATH on shutdown")
+
+    query = sub.add_parser(
+        "query", help="talk to a running serve daemon")
+    query.add_argument("--url", required=True, metavar="HOST:PORT",
+                       help="daemon address, e.g. 127.0.0.1:8421")
+    query.add_argument("--publish", action="store_true",
+                       help="publish an instance first (needs "
+                            "--customers/--sites/-k); its id becomes "
+                            "the target of --kind")
+    query.add_argument("--customers", default=None,
+                       help="CSV of customer points (with --publish)")
+    query.add_argument("--sites", default=None,
+                       help="CSV of service-site points (with "
+                            "--publish)")
+    query.add_argument("-k", type=int, default=1,
+                       help="neighbourhood size (with --publish)")
+    query.add_argument("--probability", default=None,
+                       help="comma-separated model or a named one "
+                            "(uniform/linear/harmonic; with --publish)")
+    query.add_argument("--weights", default=None,
+                       help="CSV with one weight per customer (with "
+                            "--publish)")
+    query.add_argument("--store", choices=("ram", "shm", "memmap"),
+                       default=None,
+                       help="storage backend for --publish (daemon "
+                            "default otherwise)")
+    query.add_argument("--instance", default=None, metavar="ID",
+                       help="target instance id (from a previous "
+                            "--publish)")
+    query.add_argument("--kind", choices=REQUEST_KINDS, default=None,
+                       help="request kind to issue")
+    query.add_argument("--site", type=int, default=None,
+                       help="site index (--kind brknn)")
+    query.add_argument("--x", type=float, default=None,
+                       help="candidate x (--kind impact)")
+    query.add_argument("--y", type=float, default=None,
+                       help="candidate y (--kind impact)")
+    query.add_argument("--top-t", type=int, default=1,
+                       help="distinct regions to return (--kind solve)")
+    query.add_argument("--epsilon", type=float, default=0.1,
+                       help="approximation bound (--kind solve_anytime)")
     return parser
 
 
@@ -239,6 +319,115 @@ def _cmd_bench(args) -> int:
             {k: [row.get(k) for row in result.rows] for k in numeric},
             title=f"{result.experiment} (seconds, log scale)"))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.daemon import ServeDaemon
+
+    tracing = args.trace is not None
+    if tracing:
+        from repro.obs.trace import TRACER
+        TRACER.reset(enabled=True)
+    daemon = ServeDaemon(host=args.host, port=args.port,
+                         store=args.store, workers=args.workers,
+                         linger=args.linger)
+    host, port = daemon.address
+    # The smoke harness parses this line to find an ephemeral port, so
+    # keep the format stable and flush before blocking.
+    print(f"serving on {host}:{port}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.close()
+    if tracing:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.trace import TRACER
+        TRACER.disable()
+        spans = TRACER.finished()
+        write_chrome_trace(args.trace, spans)
+        print(f"trace ({len(spans)} spans) written to {args.trace}")
+    if args.metrics is not None:
+        from repro.obs import metrics as _obs_metrics
+        from repro.obs.export import write_metrics_json
+        write_metrics_json(args.metrics,
+                           _obs_metrics.REGISTRY.snapshot(),
+                           _obs_metrics.REGISTRY.gauges_snapshot(),
+                           meta={"component": "serve"})
+        print(f"metrics written to {args.metrics}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
+                                      ImpactRequest, SiteInfluenceRequest,
+                                      SolveRequest, encode_response)
+
+    host, _, port = args.url.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--url must be HOST:PORT, got {args.url!r}",
+              file=sys.stderr)
+        return 2
+    with ServeClient(host, int(port)) as client:
+        try:
+            instance = args.instance
+            if args.publish:
+                if not args.customers or not args.sites:
+                    print("--publish needs --customers and --sites",
+                          file=sys.stderr)
+                    return 2
+                doc = {
+                    "customers": load_points_csv(
+                        args.customers).tolist(),
+                    "sites": load_points_csv(args.sites).tolist(),
+                    "k": args.k,
+                }
+                if args.probability:
+                    if "," in args.probability:
+                        doc["probability"] = [
+                            float(p)
+                            for p in args.probability.split(",")]
+                    else:
+                        doc["probability"] = args.probability
+                if args.weights:
+                    doc["weights"] = np.loadtxt(
+                        args.weights, delimiter=",", usecols=0,
+                        ndmin=1).tolist()
+                if args.store:
+                    doc["store"] = args.store
+                instance = client.publish(doc)
+                print(f"published instance {instance}")
+            if args.kind is None:
+                return 0
+            if instance is None:
+                print("--kind needs --instance (or --publish)",
+                      file=sys.stderr)
+                return 2
+            if args.kind == "brknn":
+                if args.site is None:
+                    print("--kind brknn needs --site", file=sys.stderr)
+                    return 2
+                request = BrknnRequest(instance, args.site)
+            elif args.kind == "site_influence":
+                request = SiteInfluenceRequest(instance)
+            elif args.kind == "impact":
+                if args.x is None or args.y is None:
+                    print("--kind impact needs --x and --y",
+                          file=sys.stderr)
+                    return 2
+                request = ImpactRequest(instance, args.x, args.y)
+            elif args.kind == "solve":
+                request = SolveRequest(instance, top_t=args.top_t)
+            else:
+                request = AnytimeSolveRequest(instance, args.epsilon)
+            response, = client.query([request])
+            print(_json.dumps(encode_response(response), indent=2))
+            return 0
+        except ServeError as exc:
+            print(f"serve error: {exc}", file=sys.stderr)
+            return 1
 
 
 if __name__ == "__main__":

@@ -269,6 +269,17 @@ class MaxFirst:
         classification and per-pop frozenset algebra — kept solely as
         the baseline arm of ``benchmarks/bench_phase1_hotpath.py``; both
         paths produce identical results and stats.
+    epsilon:
+        Anytime mode (``top_t == 1`` only).  With ``epsilon > 0`` Phase I
+        stops at the first pop whose ``m̂ax`` — the certified global
+        upper bound, by the best-first heap order — is within a factor
+        ``1 + epsilon`` of the proven lower bound ``MaxMin``: the
+        returned score is a certified ``1/(1+epsilon)``-approximation of
+        the optimum, reached without tessellating the last plateau to
+        the resolution floor.  The certificate itself is exposed as
+        :attr:`last_upper_bound` after every solve (with ``epsilon == 0``
+        it equals the exact score).  ``epsilon = 0`` (default) is the
+        paper's exact algorithm.
     max_iterations:
         Safety valve on heap pops; ``None`` derives a generous bound from
         the instance size.
@@ -294,6 +305,7 @@ class MaxFirst:
                  nlc_method: str = "auto",
                  keep_zero_score_nlcs: bool = False,
                  hotpath: str = "batched",
+                 epsilon: float = 0.0,
                  max_iterations: int | None = None,
                  phase2_workers: int | None = None) -> None:
         if m_threshold < 1:
@@ -312,6 +324,13 @@ class MaxFirst:
             raise ValueError("phase2_workers must be positive (or None)")
         if tie_tol < 0 or resolution_fraction < 0:
             raise ValueError("tolerances must be non-negative")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if epsilon > 0 and top_t != 1:
+            raise ValueError(
+                "epsilon (anytime mode) requires top_t == 1: the top-t "
+                "frontier is not a global lower bound, so an early stop "
+                "certifies nothing about the lower tiers")
         self.m_threshold = m_threshold
         self.backend_name = backend
         self.theorem3 = theorem3
@@ -322,9 +341,16 @@ class MaxFirst:
         self.nlc_method = nlc_method
         self.keep_zero_score_nlcs = keep_zero_score_nlcs
         self.hotpath = hotpath
+        self.epsilon = epsilon
         self.max_iterations = max_iterations
         self.phase2_workers = phase2_workers
         self._phase2_pool: object | None = None
+        #: Certified global upper bound of the most recent Phase I run:
+        #: the last popped ``m̂ax`` at an anytime stop, or the final
+        #: ``MaxMin`` on natural completion (then it IS the exact score).
+        #: Deliberately an attribute, not a ``MaxFirstStats`` field — the
+        #: stats schema is identity-checked across execution modes.
+        self.last_upper_bound: float = 0.0
 
     def close(self) -> None:
         """Shut the Phase II worker pool down (idempotent no-op when
@@ -583,13 +609,22 @@ class MaxFirst:
             for entry in seed_covers:
                 found_covers.seed(*entry)
 
+        # The best lower-bound witness seen so far: a quadrant whose m̂in
+        # raised MaxMin.  An anytime stop accepts it when nothing on the
+        # accepted list ties MaxMin yet, so the reported score always has
+        # an in-search region behind it (an externally seeded
+        # initial_bound has no local witness; its regions live with the
+        # seeding caller, which merges them back — see repro.serve).
+        incumbent: Quadrant | None = None
+
         def push(quad: Quadrant) -> None:
-            nonlocal max_min
+            nonlocal max_min, incumbent
             stats.generated += 1
             stats.max_depth = max(stats.max_depth, quad.depth)
             if self.top_t == 1:
                 if quad.min_hat > max_min:
                     max_min = quad.min_hat
+                    incumbent = quad
             heapq.heappush(heap, (-quad.max_hat, next(counter), quad))
 
         with span("phase1/classify_root"):
@@ -637,6 +672,25 @@ class MaxFirst:
                     "guard — raise resolution_fraction or max_iterations")
             _, _, quad = heapq.heappop(heap)
             tol = self.tie_tol * max(1.0, abs(max_min))
+
+            if self.epsilon > 0.0:
+                # The heap is ordered by m̂ax, so the popped quadrant's
+                # m̂ax bounds EVERY unexplored location: once it sinks to
+                # MaxMin · (1 + ε) the incumbent is a certified
+                # 1/(1+ε)-approximation and the search may stop.  Guarded
+                # on a positive MaxMin — a zero lower bound certifies a
+                # ratio of nothing (the m̂ax ≤ tol case exits through the
+                # exact tests on its own).
+                if (max_min > 0.0
+                        and quad.max_hat <= max_min * (1.0 + self.epsilon)
+                        + tol):
+                    if (incumbent is not None
+                            and not any(q.min_hat >= max_min - tol
+                                        for q in accepted)):
+                        self._accept(incumbent, accepted, found_covers,
+                                     frontier, stats)
+                    self.last_upper_bound = quad.max_hat
+                    return accepted, max_min, stats
 
             if quad.max_hat < max_min - tol:
                 stats.pruned_theorem2 += 1  # Theorem 2
@@ -751,6 +805,7 @@ class MaxFirst:
                     for child in children_q:
                         if child.min_hat > max_min:
                             max_min = child.min_hat
+                            incumbent = child
                 for child in children_q:
                     heapq.heappush(
                         heap, (-child.max_hat, next(counter), child))
@@ -763,6 +818,9 @@ class MaxFirst:
             final = max_min
         else:
             final = max((q.min_hat for q in accepted), default=0.0)
+        # Natural completion: the heap drained, so nothing above MaxMin
+        # remains unexplored — the upper bound collapses onto the score.
+        self.last_upper_bound = final
         return accepted, final, stats
 
     # ------------------------------------------------------------------ #

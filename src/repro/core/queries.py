@@ -78,14 +78,18 @@ def brknn_of_site(problem: MaxBRkNNProblem, site_index: int,
                         influence=influence)
 
 
-def site_influence(problem: MaxBRkNNProblem) -> np.ndarray:
+def site_influence(problem: MaxBRkNNProblem,
+                   ranks: np.ndarray | None = None) -> np.ndarray:
     """Current influence of every existing site (vectorised).
 
     ``result[j] = sum over customers ranking j at position i of
     w(o) * prob_i(o)`` — the denominator against which a new site's gain
-    is judged.
+    is judged.  ``ranks`` optionally reuses a precomputed
+    :func:`knn_sites` matrix (the serving layer computes it once per
+    published instance and passes it to every operator).
     """
-    ranks = knn_sites(problem)
+    if ranks is None:
+        ranks = knn_sites(problem)
     n, k = ranks.shape
     prob_rows = np.empty((n, k), dtype=np.float64)
     for i, model in enumerate(problem.models):
@@ -121,18 +125,20 @@ class NewSiteImpact:
         return sum(self.incumbent_losses.values())
 
 
-def impact_of_new_site(problem: MaxBRkNNProblem, x: float,
-                       y: float) -> NewSiteImpact:
+def impact_of_new_site(problem: MaxBRkNNProblem, x: float, y: float,
+                       ranks: np.ndarray | None = None) -> NewSiteImpact:
     """Competitive what-if analysis for a candidate location.
 
     Strict-distance semantics (consistent with the library's region
     semantics): the newcomer takes rank ``i`` for a customer when it is
     strictly closer than the current ``i``-th site; exact ties leave the
-    incumbent in place.
+    incumbent in place.  ``ranks`` optionally reuses a precomputed
+    :func:`knn_sites` matrix.
     """
     x = float(x)
     y = float(y)
-    ranks = knn_sites(problem)
+    if ranks is None:
+        ranks = knn_sites(problem)
     customers = problem.customers
     sites = problem.sites
 

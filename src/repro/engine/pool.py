@@ -41,14 +41,15 @@ from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import TRACER
 
 __all__ = ["PersistentPool", "WORKER_ENTRY_POINTS", "grow_regions",
-           "run_phase2_pool", "solve_tile"]
+           "run_phase2_pool", "serve_query_batch", "solve_tile"]
 
 #: Functions that run inside pool worker processes.  The analysis
 #: layer's call graph roots its worker-reachability marking here (in
 #: addition to detecting direct ``submit(...)`` first arguments), so
 #: keep this tuple in sync when adding a worker entry.
 WORKER_ENTRY_POINTS: tuple[str, ...] = (
-    "_init_pool_worker", "solve_tile", "grow_regions")
+    "_init_pool_worker", "solve_tile", "grow_regions",
+    "serve_query_batch")
 
 #: Transport counter: Phase II region jobs dispatched through the pool.
 #: Like ``pool_tasks`` it depends on worker topology (a serial Phase II
@@ -229,6 +230,71 @@ def grow_regions(job: tuple) -> tuple:
     spans = ([record.as_dict() for record in TRACER.drain()]
              if trace_enabled else [])
     return (regions, dict(box["counters"]), dict(box["gauges"]), spans)
+
+
+#: This worker's cached serve instance: ``(instance_key, problem,
+#: ranks, nlcs)``.  One instance per worker — a long-lived query
+#: service typically serves one published dataset per pool, and a
+#: single slot makes the store-attachment rotation trivial.
+_SERVE_STATE: list = [("", None, None, None)]
+
+
+def serve_query_batch(job: tuple) -> tuple:
+    """Worker entry: answer one instance-group of serve requests.
+
+    ``job`` is ``(instance_key, payload, handle, space_tuple,
+    request_docs, certificate, trace_enabled)`` — the tiny problem
+    payload plus the NLC store *handle*; NLC bytes never ride in the
+    job.  The worker's first batch for an instance rebuilds the problem
+    and the customer→site rank matrix once and attaches the published
+    store zero-copy (``shm``/``memmap``); every later batch is a pure
+    cache hit.  Requests are executed by the same
+    :func:`repro.serve.service.execute_requests` the in-process path
+    uses, so pooled responses are bit-identical to in-process ones.
+    Returns ``(response_docs, new_certificate, obs_counters,
+    obs_gauges, spans)``.
+    """
+    (instance_key, payload, handle, space_tuple, request_docs,
+     certificate, trace_enabled) = job
+    from repro import store as nlc_store
+    from repro.geometry.rect import Rect
+    from repro.serve.instance import problem_from_payload
+    from repro.serve.protocol import decode_request, encode_response
+    from repro.serve.service import execute_requests
+    from repro.store import sanitize
+
+    TRACER.reset(enabled=bool(trace_enabled))
+    with sanitize.task("serve_query_batch"), \
+            _obs_metrics.REGISTRY.isolated() as box:
+        with TRACER.span("serve/batch", requests=len(request_docs)):
+            cached_key, problem, ranks, nlcs = _SERVE_STATE[0]
+            if cached_key != instance_key:
+                from repro.core.queries import knn_sites
+
+                # Rotate: keep only this instance's store mapped (same
+                # idiom as the Phase I epoch turn / grow_regions).
+                if handle is not None:
+                    nlc_store.detach(keep=(handle[1],))
+                    nlcs = nlc_store.attach(handle)
+                else:
+                    nlc_store.detach()
+                    nlcs = None
+                problem = problem_from_payload(payload)
+                ranks = knn_sites(problem)
+                # repro: worker-state(single-slot per-worker instance
+                # cache: the rank matrix and problem are pure functions
+                # of the shipped payload, so a hit and a rebuild answer
+                # identically — caching only skips the recompute)
+                _SERVE_STATE[0] = (instance_key, problem, ranks, nlcs)
+            space = Rect(*space_tuple)
+            requests = [decode_request(doc) for doc in request_docs]
+            responses, new_certificate = execute_requests(
+                problem, ranks, nlcs, space, requests, certificate)
+            docs = [encode_response(response) for response in responses]
+    spans = ([record.as_dict() for record in TRACER.drain()]
+             if trace_enabled else [])
+    return (docs, new_certificate, dict(box["counters"]),
+            dict(box["gauges"]), spans)
 
 
 def run_phase2_pool(pool: "PersistentPool", nlcs: Any,

@@ -213,6 +213,10 @@ def _load_entries() -> dict[str, object | None]:
 def _entries() -> dict[str, object | None]:
     global _cached
     if _cached is None:
+        # repro: worker-state(per-process compiled-kernel handle cache:
+        # every process loads the same .so (or the same numpy fallback)
+        # from the same source hash, so a cache hit and a fresh load
+        # answer identically — caching only skips dlopen/compile)
         _cached = _load_entries()
     return _cached
 

@@ -38,9 +38,11 @@ from typing import Any, Iterator, Mapping, Sequence
 
 __all__ = [
     "GATED_COUNTERS",
+    "SERVE_GATED_COUNTERS",
     "DEFAULT_BAND",
     "DEFAULT_BASELINE",
     "collect_counters",
+    "collect_serve_counters",
     "compare",
     "main",
 ]
@@ -62,6 +64,18 @@ GATED_COUNTERS: tuple[str, ...] = (
     "phase2_clips",
     "nlc_build_queries",
     "nlc_build_chunks",
+)
+
+#: Serve-layer counters pinned by the gate's ``serve`` arm.  They count
+#: batch composition, not timing: the scripted workload
+#: (:mod:`repro.serve.workload`) has a fixed number of requests and
+#: batches, and pool submissions are counted parent-side per instance
+#: group — independent of worker count — so the arm is exactly as
+#: deterministic as the solver arms.
+SERVE_GATED_COUNTERS: tuple[str, ...] = (
+    "serve_requests",
+    "serve_batches",
+    "serve_pool_submissions",
 )
 
 DEFAULT_BAND = 0.10
@@ -114,6 +128,29 @@ def collect_counters(scale: str = "tiny") -> dict[str, int]:
         for name in GATED_COUNTERS:
             flat[f"{arm}/sharded4/{name}"] = int(sharded.counters[name])
     return flat
+
+
+def collect_serve_counters(scale: str = "tiny") -> dict[str, int]:
+    """Replay the scripted serve workload; return flat
+    ``serve_{scale}/{counter}`` values.
+
+    The workload runs through a pooled :class:`~repro.serve.service
+    .QueryService` (``workers=1``) so the pool-submission path is
+    exercised, inside an isolated metrics registry so concurrent solver
+    arms cannot leak into the serve numbers (or vice versa).
+    """
+    from repro.obs import metrics as _obs_metrics
+    from repro.serve.service import QueryService
+    from repro.serve.workload import scripted_batches, tiny_problem
+
+    with _obs_metrics.REGISTRY.isolated() as box:
+        with QueryService(store="ram", workers=1) as service:
+            instance = service.publish(tiny_problem())
+            for batch in scripted_batches(instance.instance_id):
+                service.execute(batch)
+    counters = box["counters"]
+    return {f"serve_{scale}/{name}": int(counters.get(name, 0))
+            for name in SERVE_GATED_COUNTERS}
 
 
 def compare(current: Mapping[str, int], baseline: Mapping[str, int],
@@ -205,13 +242,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         current = _load_flat(args.current)
     else:
         current = collect_counters(args.scale)
+        current.update(collect_serve_counters(args.scale))
 
     from repro.obs.export import write_metrics_json
 
     if args.out is not None:
         write_metrics_json(args.out, current,
                            meta={"scale": args.scale,
-                                 "gated_counters": list(GATED_COUNTERS)})
+                                 "gated_counters": list(GATED_COUNTERS)
+                                 + list(SERVE_GATED_COUNTERS)})
         print(f"wrote {args.out} ({len(current)} metrics)")
 
     if args.write_baseline is not None:
@@ -219,7 +258,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         write_metrics_json(args.write_baseline, current,
                            meta={"scale": args.scale,
                                  "band": args.band,
-                                 "gated_counters": list(GATED_COUNTERS)})
+                                 "gated_counters": list(GATED_COUNTERS)
+                                 + list(SERVE_GATED_COUNTERS)})
         print(f"wrote baseline {args.write_baseline} "
               f"({len(current)} metrics)")
         return 0

@@ -66,6 +66,9 @@ COUNTER_KEYS: tuple[str, ...] = (
     "nlc_build_chunks",
     "shard_tasks",
     "halo_assignments",
+    "serve_requests",
+    "serve_batches",
+    "serve_pool_submissions",
 ) + TRANSPORT_COUNTER_KEYS
 
 #: Every registry gauge key.  Gauges are observational (non-deterministic

@@ -1,0 +1,66 @@
+"""Persistent query service over the shared NLC store.
+
+Publish a MaxBRkNN instance once — NLC SoA into a :mod:`repro.store`
+backend, site kd-tree, customer→site rank matrix, Theorem-2/3
+certificate registry — then serve batched requests against the mapped
+store with zero NLC copies per request.  Layers, bottom up:
+
+* :mod:`~repro.serve.protocol` — request/response dataclasses and the
+  lossless JSON codecs (``REQUEST_KINDS`` is the drift-checked
+  registry);
+* :mod:`~repro.serve.instance` — :class:`InstanceRegistry` /
+  :class:`ServedInstance`, the publish step and per-instance shared
+  state;
+* :mod:`~repro.serve.service` — :class:`QueryService`, batch execution
+  in-process or through ``serve_query_batch`` pool workers;
+* :mod:`~repro.serve.batching` — :class:`BatchScheduler`, request
+  coalescing for concurrent front-end callers;
+* :mod:`~repro.serve.daemon` / :mod:`~repro.serve.client` — the stdlib
+  HTTP socket front end (``repro serve`` / ``repro query``).
+"""
+
+from repro.serve.batching import BatchScheduler, Ticket
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon, problem_from_doc
+from repro.serve.instance import (InstanceRegistry, ServedInstance,
+                                  problem_from_payload)
+from repro.serve.protocol import (REQUEST_KINDS, AnytimeSolveRequest,
+                                  BrknnRequest, BrknnResponse,
+                                  ErrorResponse, ImpactRequest,
+                                  ImpactResponse, RegionSummary,
+                                  SiteInfluenceRequest,
+                                  SiteInfluenceResponse, SolveRequest,
+                                  SolveResponse, decode_request,
+                                  decode_response, encode_request,
+                                  encode_response)
+from repro.serve.service import QueryService, execute_requests
+
+__all__ = [
+    "REQUEST_KINDS",
+    "AnytimeSolveRequest",
+    "BatchScheduler",
+    "BrknnRequest",
+    "BrknnResponse",
+    "ErrorResponse",
+    "ImpactRequest",
+    "ImpactResponse",
+    "InstanceRegistry",
+    "QueryService",
+    "RegionSummary",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServedInstance",
+    "SiteInfluenceRequest",
+    "SiteInfluenceResponse",
+    "SolveRequest",
+    "SolveResponse",
+    "Ticket",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "execute_requests",
+    "problem_from_doc",
+    "problem_from_payload",
+]

@@ -1,0 +1,100 @@
+"""Thin stdlib HTTP client for a running serve daemon.
+
+:class:`ServeClient` speaks the daemon's JSON surface and hands back
+decoded :mod:`repro.serve.protocol` dataclasses — since the codecs are
+lossless, a response received here compares equal (bit-identical
+floats) to the response the service produced in the daemon process.
+The benchmark, the smoke job, and ``repro query`` are all built on it.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Sequence
+
+from repro.serve.protocol import (Request, Response, decode_response,
+                                  encode_request)
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An envelope-level failure (HTTP 4xx/5xx from the daemon)."""
+
+
+class ServeClient:
+    """Client for one daemon at ``host:port``.
+
+    Keeps a single persistent connection (reconnecting transparently if
+    the daemon dropped it); not thread-safe — use one client per
+    thread.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: HTTPConnection | None = None
+
+    # -- transport ------------------------------------------------------ #
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        payload = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        headers = ({"Content-Type": "application/json"}
+                   if payload is not None else {})
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = HTTPConnection(self.host, self.port,
+                                            timeout=self.timeout)
+            try:
+                self._conn.request(method, path, body=payload,
+                                   headers=headers)
+                response = self._conn.getresponse()
+                break
+            except (ConnectionError, OSError):
+                # Stale keep-alive connection: reconnect once.
+                self.close()
+                if attempt:
+                    raise
+        doc = json.loads(response.read().decode("utf-8"))
+        if response.status != 200:
+            raise ServeError(
+                doc.get("error", f"HTTP {response.status}"))
+        return doc
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- surface -------------------------------------------------------- #
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def publish(self, doc: dict[str, Any]) -> str:
+        """Publish an instance from a ``/publish`` body; returns its id."""
+        return str(self._request("POST", "/publish", doc)["instance"])
+
+    def query(self, requests: Sequence[Request]) -> list[Response]:
+        """Send one batch of requests; responses align positionally."""
+        doc = self._request("POST", "/query", {
+            "requests": [encode_request(r) for r in requests]})
+        return [decode_response(d) for d in doc["responses"]]
+
+    def shutdown(self) -> None:
+        self._request("POST", "/shutdown")
+        self.close()

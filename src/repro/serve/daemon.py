@@ -1,0 +1,210 @@
+"""Stdlib HTTP front end for the query service.
+
+``ServeDaemon`` wraps a :class:`~repro.serve.service.QueryService` and a
+:class:`~repro.serve.batching.BatchScheduler` behind a
+``ThreadingHTTPServer`` (loopback by default; ``port=0`` binds an
+ephemeral port).  The surface is four JSON endpoints:
+
+=========================  ===========================================
+``POST /publish``          publish an instance; body carries the
+                           problem (``customers``/``sites``/``k`` plus
+                           optional ``weights``/``probability``/
+                           ``store``), returns ``{"instance": id,
+                           "nlcs": n, "store": backend}``.
+``POST /query``            ``{"requests": [...]}`` — each entry a
+                           :mod:`repro.serve.protocol` request doc;
+                           returns ``{"responses": [...]}``
+                           positionally.  All requests of one POST
+                           enter the batch scheduler together, so they
+                           coalesce (with any concurrent callers') into
+                           shared service batches.
+``GET  /health``           liveness + published instance ids.
+``GET  /metrics``          counters/gauges snapshot of the registry.
+``POST /shutdown``         graceful stop.
+=========================  ===========================================
+
+Errors follow the protocol's split: per-request problems come back as
+``error``-kind response docs (HTTP 200 — the batch succeeded), while a
+malformed envelope (bad JSON, unknown path) is an HTTP 4xx with
+``{"error": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from repro.core.probability import ProbabilityModel
+from repro.core.problem import MaxBRkNNProblem
+from repro.obs import metrics as _obs_metrics
+from repro.serve.batching import BatchScheduler
+from repro.serve.protocol import decode_request, encode_response
+from repro.serve.service import QueryService
+
+__all__ = ["ServeDaemon", "problem_from_doc"]
+
+_NAMED_MODELS = {
+    "uniform": ProbabilityModel.uniform,
+    "linear": ProbabilityModel.linear,
+    "harmonic": ProbabilityModel.harmonic,
+}
+
+
+def problem_from_doc(doc: dict[str, Any]) -> MaxBRkNNProblem:
+    """Build a problem from a ``/publish`` JSON body.
+
+    ``probability`` may be omitted (uniform), one of the named models
+    (``uniform``/``linear``/``harmonic``), a flat probability sequence,
+    or a per-customer list of sequences.
+    """
+    try:
+        customers = doc["customers"]
+        sites = doc["sites"]
+        k = int(doc["k"])
+    except KeyError as exc:
+        raise ValueError(
+            f"publish body is missing field {exc.args[0]!r}") from exc
+    probability: Any = doc.get("probability")
+    if isinstance(probability, str):
+        factory = _NAMED_MODELS.get(probability)
+        if factory is None:
+            raise ValueError(
+                f"unknown probability model {probability!r} (choose "
+                f"from {', '.join(sorted(_NAMED_MODELS))})")
+        probability = factory(k)
+    elif (isinstance(probability, list) and probability
+          and isinstance(probability[0], list)):
+        probability = [ProbabilityModel.from_sequence(row)
+                       for row in probability]
+    weights = doc.get("weights")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+    return MaxBRkNNProblem(customers=customers, sites=sites, k=k,
+                           weights=weights, probability=probability)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the daemon installs itself as ``server.daemon``."""
+
+    # Quiet by default — the smoke/CI logs only want the daemon's own
+    # lines, not one access-log line per request.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _send_json(self, status: int, doc: dict[str, Any]) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        doc = json.loads(raw.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    # -- routes --------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        daemon: "ServeDaemon" = self.server.daemon  # type: ignore[attr-defined]
+        if self.path == "/health":
+            self._send_json(200, {
+                "status": "ok",
+                "instances": list(daemon.service.registry.ids())})
+        elif self.path == "/metrics":
+            self._send_json(200, {
+                "counters": _obs_metrics.REGISTRY.snapshot(),
+                "gauges": _obs_metrics.REGISTRY.gauges_snapshot()})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        daemon: "ServeDaemon" = self.server.daemon  # type: ignore[attr-defined]
+        try:
+            if self.path == "/publish":
+                doc = self._read_json()
+                problem = problem_from_doc(doc)
+                instance = daemon.service.publish(
+                    problem, store=doc.get("store"))
+                self._send_json(200, {
+                    "instance": instance.instance_id,
+                    "nlcs": len(instance.nlcs),
+                    "store": instance.store})
+            elif self.path == "/query":
+                doc = self._read_json()
+                request_docs = doc.get("requests")
+                if not isinstance(request_docs, list):
+                    raise ValueError(
+                        "query body needs a 'requests' list")
+                requests = [decode_request(d) for d in request_docs]
+                tickets = [daemon.scheduler.submit(r) for r in requests]
+                responses = [t.result(timeout=daemon.request_timeout)
+                             for t in tickets]
+                self._send_json(200, {
+                    "responses": [encode_response(r)
+                                  for r in responses]})
+            elif self.path == "/shutdown":
+                self._send_json(200, {"status": "stopping"})
+                daemon.request_shutdown()
+            else:
+                self._send_json(404,
+                                {"error": f"unknown path {self.path}"})
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+
+class ServeDaemon:
+    """The persistent server process body (``repro serve`` runs one).
+
+    Composes service + scheduler + HTTP server; ``serve_forever()``
+    blocks until a ``/shutdown`` POST (or :meth:`request_shutdown`),
+    then tears everything down — scheduler first (flushing), then the
+    service (pool and published stores).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 store: str | None = None, workers: int | None = None,
+                 linger: float = 0.005,
+                 request_timeout: float = 300.0) -> None:
+        self.service = QueryService(store=store, workers=workers)
+        self.scheduler = BatchScheduler(self.service, linger=linger)
+        self.request_timeout = float(request_timeout)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon = self  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — authoritative under ``port=0``."""
+        host, port = self._httpd.server_address[:2]
+        return (str(host), int(port))
+
+    def request_shutdown(self) -> None:
+        """Ask ``serve_forever`` to return (safe from handler threads)."""
+        import threading
+
+        threading.Thread(target=self._httpd.shutdown,
+                         daemon=True).start()
+
+    def serve_forever(self) -> None:
+        """Run until shutdown; always releases service resources."""
+        self.scheduler.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Tear down HTTP server, scheduler, and service (idempotent)."""
+        self._httpd.server_close()
+        self.scheduler.stop()
+        self.service.close()

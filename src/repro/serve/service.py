@@ -1,0 +1,346 @@
+"""The query service: batched request execution over published instances.
+
+:class:`QueryService` is the in-process core the HTTP daemon and the
+CLI wrap.  One ``execute()`` call handles one *batch* of requests: the
+batch is grouped by instance, and each group runs either directly in
+this process (``workers=None``) or as **one job** through a persistent
+:class:`repro.engine.pool.PersistentPool` (``workers=N``) — the job
+ships the tiny problem payload and the NLC store *handle*, never NLC
+bytes, so a worker serves every request against its zero-copy mapped
+view of the published store.
+
+Both paths funnel into :func:`execute_requests`, so pooled and
+in-process answers are bit-identical by construction (the codecs are
+lossless; ``tests/serve/test_pool_service.py`` asserts it).
+
+Counters (``repro.obs``): ``serve_requests`` and ``serve_batches``
+count what arrived, ``serve_pool_submissions`` counts instance-group
+jobs dispatched to the pool (zero for an in-process service; the count
+depends only on the batch composition, not on how many workers drain
+the queue, so a fixed scripted workload gates deterministically).
+Spans: ``serve/batch`` per ``execute()``, ``serve/request`` per
+request, ``serve/solve`` around each MaxFirst run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.maxfirst import MaxFirst
+from repro.core.problem import MaxBRkNNProblem
+from repro.core.queries import (brknn_of_site, impact_of_new_site,
+                                site_influence)
+from repro.core.region import compute_optimal_region
+from repro.geometry.rect import Rect
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import TRACER, span
+from repro.serve.instance import (InstanceRegistry, SeedEntry,
+                                  ServedInstance)
+from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
+                                  BrknnResponse, ErrorResponse,
+                                  ImpactRequest, ImpactResponse,
+                                  RegionSummary, SiteInfluenceRequest,
+                                  SiteInfluenceResponse, SolveRequest,
+                                  SolveResponse)
+
+__all__ = ["QueryService", "execute_requests"]
+
+_SERVE_REQUESTS = _obs_metrics.counter("serve_requests")
+_SERVE_BATCHES = _obs_metrics.counter("serve_batches")
+_SERVE_POOL_SUBMISSIONS = _obs_metrics.counter("serve_pool_submissions")
+
+#: ``(bound, seed_entries)`` — the Theorem-2/3 registry snapshot a batch
+#: executes under (see :meth:`repro.serve.instance.ServedInstance
+#: .certificate`).
+Certificate = tuple[float, tuple[SeedEntry, ...]]
+
+
+def _rect_tuple(rect: Rect) -> tuple[float, float, float, float]:
+    return (rect.xmin, rect.ymin, rect.xmax, rect.ymax)
+
+
+def _solve_instance(nlcs: Any, space: Rect, top_t: int, epsilon: float,
+                    certificate: Certificate
+                    ) -> tuple[SolveResponse, Certificate | None]:
+    """Run one MaxFirst solve against the attached store views.
+
+    Returns the response plus a fresh certificate to install when this
+    was the instance's first completed *exact* top-1 solve (``None``
+    otherwise).  A ``top_t == 1`` solve is seeded with the certificate:
+    ``bound`` enters as ``initial_bound`` (Theorem 2 prunes against the
+    proven optimum from the first pop) and the recorded covers enter
+    the Theorem 3 registry — quadrants of already-found regions prune
+    immediately, and the regions themselves are merged back from the
+    seed entries below, exactly as the sharded engine re-reports covers
+    seeded across tiles.
+    """
+    if nlcs is None or len(nlcs) == 0:
+        # Degenerate instance: nothing scores anywhere.
+        return SolveResponse(score=0.0, upper_bound=0.0, regions=()), None
+
+    solver = MaxFirst(top_t=top_t, epsilon=epsilon)
+    if top_t != 1:
+        accepted, max_min, _stats = solver.run_phase1(nlcs, space)
+        regions = solver.build_regions(accepted, max_min, nlcs)
+        summaries = []
+        for region in regions:
+            p = region.representative_point()
+            summaries.append(RegionSummary(
+                score=region.score, area=region.area, x=p.x, y=p.y,
+                cover=tuple(int(i) for i in region.cover)))
+        return SolveResponse(score=max_min,
+                             upper_bound=solver.last_upper_bound,
+                             regions=tuple(summaries)), None
+
+    bound, seeds = certificate
+    seed_covers = (tuple((cover, score) for cover, score, _rect in seeds)
+                   or None)
+    accepted, max_min, _stats = solver.run_phase1(
+        nlcs, space, initial_bound=bound, seed_covers=seed_covers)
+    upper = solver.last_upper_bound
+    tol = solver.tie_tol * max(1.0, abs(max_min))
+
+    # Accepted covers of this run plus every seeded cover, deduplicated
+    # by cover identity.  Seeding makes the search *skip* regions the
+    # certificate already proved, so those regions must come back from
+    # the seed entries — dropping this merge would under-report exactly
+    # the regions the speedup avoided re-tessellating.
+    entries: dict[tuple[int, ...], tuple[float, tuple]] = {}
+    all_entries: list[SeedEntry] = []
+    for quad in accepted:
+        key = quad.cover_key()
+        rect = _rect_tuple(quad.rect)
+        all_entries.append((key, float(quad.min_hat), rect))
+        if quad.min_hat >= max_min - tol and key not in entries:
+            entries[key] = (float(quad.min_hat), rect)
+    for cover, score, rect in seeds:
+        all_entries.append((cover, score, rect))
+        if score >= max_min - tol and cover not in entries:
+            entries[cover] = (score, rect)
+
+    regions = [
+        compute_optimal_region(Rect(*rect),
+                               np.asarray(cover, dtype=np.int64), nlcs,
+                               score=score)
+        for cover, (score, rect) in entries.items()
+    ]
+    regions.sort(key=lambda r: -r.score)
+    summaries = []
+    for region in regions:
+        p = region.representative_point()
+        summaries.append(RegionSummary(
+            score=region.score, area=region.area, x=p.x, y=p.y,
+            cover=tuple(int(i) for i in region.cover)))
+    response = SolveResponse(score=max_min, upper_bound=upper,
+                             regions=tuple(summaries))
+    new_certificate: Certificate | None = None
+    # repro: float-eq(epsilon is a user-supplied mode flag, not a
+    # computed value: exactly 0.0 selects the exact solve, anything
+    # else the anytime mode — no arithmetic ever produces it)
+    if epsilon == 0.0:
+        # Exact completion: the score is the proven optimum and every
+        # accepted cover (this run's and the inherited seeds') is a
+        # sound Theorem 3 seed for later solves on this instance.
+        new_certificate = (float(max_min), tuple(all_entries))
+    return response, new_certificate
+
+
+def execute_requests(problem: MaxBRkNNProblem, ranks: np.ndarray,
+                     nlcs: Any, space: Rect, requests: Sequence[Any],
+                     certificate: Certificate
+                     ) -> tuple[list[Any], Certificate | None]:
+    """Execute one instance-group of requests; the shared core of the
+    in-process and pool-worker paths (both answer bit-identically
+    because both run exactly this code against the same arrays).
+
+    Per-request failures (bad site index, invalid epsilon) come back as
+    :class:`ErrorResponse` entries; only infrastructure failures raise.
+    Returns ``(responses, new_certificate)`` — the certificate from the
+    first exact solve in the batch, or ``None``.
+    """
+    responses: list[Any] = []
+    new_certificate: Certificate | None = None
+    for request in requests:
+        with span("serve/request", kind=request.kind):
+            try:
+                if isinstance(request, BrknnRequest):
+                    found = brknn_of_site(problem, request.site,
+                                          ranks=ranks)
+                    responses.append(BrknnResponse(
+                        site=found.site, members=dict(found.members),
+                        influence=found.influence))
+                elif isinstance(request, SiteInfluenceRequest):
+                    values = site_influence(problem, ranks=ranks)
+                    responses.append(SiteInfluenceResponse(
+                        influence=tuple(float(v) for v in values)))
+                elif isinstance(request, ImpactRequest):
+                    impact = impact_of_new_site(problem, request.x,
+                                                request.y, ranks=ranks)
+                    responses.append(ImpactResponse(
+                        x=impact.x, y=impact.y, gain=impact.gain,
+                        customer_ranks=dict(impact.customer_ranks),
+                        incumbent_losses=dict(impact.incumbent_losses)))
+                elif isinstance(request, (SolveRequest,
+                                          AnytimeSolveRequest)):
+                    top_t = getattr(request, "top_t", 1)
+                    epsilon = getattr(request, "epsilon", 0.0)
+                    # Later solves in the batch see an earlier exact
+                    # solve's certificate immediately.
+                    active = (new_certificate if new_certificate
+                              is not None else certificate)
+                    with span("serve/solve", top_t=top_t,
+                              epsilon=epsilon):
+                        response, fresh = _solve_instance(
+                            nlcs, space, top_t, epsilon, active)
+                    responses.append(response)
+                    if fresh is not None and new_certificate is None:
+                        new_certificate = fresh
+                else:
+                    responses.append(ErrorResponse(
+                        message=f"unhandled request {request!r}"))
+            except ValueError as exc:
+                responses.append(ErrorResponse(message=str(exc)))
+    return responses, new_certificate
+
+
+class QueryService:
+    """Batched request execution over an :class:`InstanceRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        An existing registry to serve; default builds a fresh one.
+    store:
+        NLC storage backend for publishes through this service
+        (``resolve_store_name`` semantics).
+    workers:
+        ``None`` (default) executes every batch in-process.  A positive
+        integer routes each batch's instance groups through a persistent
+        worker pool of that size as single jobs
+        (:func:`repro.engine.pool.serve_query_batch`); a broken pool
+        degrades to the in-process path with a ``RuntimeWarning``.
+    """
+
+    def __init__(self, registry: InstanceRegistry | None = None, *,
+                 store: str | None = None, workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive (or None)")
+        self.registry = (InstanceRegistry(store=store)
+                         if registry is None else registry)
+        self.workers = workers
+        self.start_method = start_method
+        self._pool: Any = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def publish(self, problem: MaxBRkNNProblem, *,
+                store: str | None = None) -> ServedInstance:
+        """Publish an instance through the registry (see
+        :meth:`InstanceRegistry.publish`)."""
+        return self.registry.publish(problem, store=store)
+
+    def close(self) -> None:
+        """Shut the pool down and release every instance (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        self.registry.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------- #
+
+    def execute(self, requests: Sequence[Any]) -> list[Any]:
+        """Execute one batch; responses align with ``requests``."""
+        _SERVE_BATCHES.add(1)
+        _SERVE_REQUESTS.add(len(requests))
+        responses: list[Any] = [None] * len(requests)
+        with span("serve/batch", requests=len(requests)):
+            groups: dict[str, list[int]] = {}
+            for i, request in enumerate(requests):
+                groups.setdefault(request.instance, []).append(i)
+            for instance_id, positions in groups.items():
+                try:
+                    instance = self.registry.get(instance_id)
+                except ValueError as exc:
+                    for i in positions:
+                        responses[i] = ErrorResponse(message=str(exc))
+                    continue
+                group = [requests[i] for i in positions]
+                answers = self._execute_group(instance, group)
+                for i, answer in zip(positions, answers):
+                    responses[i] = answer
+        return responses
+
+    def _execute_group(self, instance: ServedInstance,
+                       group: list[Any]) -> list[Any]:
+        if self.workers is not None:
+            answers = self._execute_group_pooled(instance, group)
+            if answers is not None:
+                return answers
+        answers, fresh = execute_requests(
+            instance.problem, instance.ranks, instance.nlcs,
+            instance.space, group, instance.certificate())
+        if fresh is not None:
+            instance.record_certificate(*fresh)
+        return answers
+
+    def _execute_group_pooled(self, instance: ServedInstance,
+                              group: list[Any]) -> list[Any] | None:
+        """One pool job for the whole group, or ``None`` to fall back.
+
+        The job ships request docs, the tiny problem payload, and the
+        store *handle* — a worker's first job for an instance rebuilds
+        the problem and rank matrix once and maps the store zero-copy;
+        every later job is a pure cache hit (see
+        :func:`repro.engine.pool.serve_query_batch`).
+        """
+        import pickle
+        import warnings
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine.pool import (PersistentPool, serve_query_batch)
+        from repro.serve.protocol import decode_response, encode_request
+
+        pool = self._pool
+        if not isinstance(pool, PersistentPool):
+            pool = PersistentPool(max_workers=int(self.workers or 1),
+                                  start_method=self.start_method)
+            self._pool = pool
+        trace_enabled = TRACER.enabled
+        job = (instance.instance_id, instance.payload(), instance.handle,
+               _rect_tuple(instance.space),
+               tuple(encode_request(r) for r in group),
+               instance.certificate(), trace_enabled)
+        _SERVE_POOL_SUBMISSIONS.add(1)
+        launch_ts = TRACER.now() if trace_enabled else 0.0
+        try:
+            future = pool.submit_call(serve_query_batch, job)
+            docs, fresh, counters, gauges, spans = future.result()
+        # A dead worker or an unpicklable payload must not take the
+        # service down: drop the executor and answer in-process —
+        # identical responses, just without the pool.
+        except (BrokenProcessPool, pickle.PicklingError) as exc:
+            # repro: fallback(pooled serve batches degrade to the
+            # in-process execution path on worker/pickling failure)
+            warnings.warn(
+                f"serve pool failed ({exc!r}); answering in-process "
+                "(identical results, no pool)",
+                RuntimeWarning, stacklevel=2)
+            pool.discard()
+            self._pool = None
+            return None
+        _obs_metrics.REGISTRY.merge_counts(counters)
+        _obs_metrics.REGISTRY.merge_gauges_max(gauges)
+        if trace_enabled:
+            TRACER.ingest(spans, pid=1, ts_offset=launch_ts)
+        if fresh is not None:
+            instance.record_certificate(*fresh)
+        return [decode_response(doc) for doc in docs]

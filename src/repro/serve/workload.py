@@ -1,0 +1,74 @@
+"""The scripted serve workload shared by benchmark, gate, and smoke.
+
+One fixed instance (the fig11 ``tiny``-profile point: 800 uniform
+customers, 40 sites, ``k=2``, seed 11) and one fixed request script.
+Three consumers replay it:
+
+* ``benchmarks/bench_serve.py`` — the queries/sec headline plus
+  result-identity assertions;
+* :func:`repro.obs.gate.collect_serve_counters` — the serve counters
+  the perf gate pins;
+* ``python -m repro.serve.smoke`` — the CI socket round trip.
+
+Keeping the script in one place is what makes "the gate baseline, the
+benchmark, and the smoke answered the same workload" true by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
+                                  ImpactRequest, Request,
+                                  SiteInfluenceRequest, SolveRequest)
+
+__all__ = ["tiny_problem", "scripted_batches", "publish_doc"]
+
+_N_CUSTOMERS = 800
+_N_SITES = 40
+_K = 2
+_SEED = 11
+
+
+def tiny_problem() -> MaxBRkNNProblem:
+    """The workload instance (fig11 tiny point, ``k=2`` so rank shifts
+    and anytime pruning are both exercised)."""
+    customers, sites = synthetic_instance(_N_CUSTOMERS, _N_SITES,
+                                          "uniform", seed=_SEED)
+    return MaxBRkNNProblem(customers, sites, k=_K)
+
+
+def scripted_batches(instance_id: str) -> list[list[Request]]:
+    """The fixed request script against a published instance.
+
+    Four batches: a BRkNN sweep, a what-if grid, the mixed batch with
+    the exact solve (which installs the instance's certificate), and a
+    post-certificate batch whose solves are seeded.
+    """
+    return [
+        [BrknnRequest(instance_id, j) for j in range(0, _N_SITES, 5)],
+        [ImpactRequest(instance_id, 10.0 * i, 10.0 * j)
+         for i in range(1, 4) for j in range(1, 4)],
+        [SiteInfluenceRequest(instance_id),
+         SolveRequest(instance_id),
+         AnytimeSolveRequest(instance_id, epsilon=0.25)],
+        [SolveRequest(instance_id),
+         BrknnRequest(instance_id, 7),
+         ImpactRequest(instance_id, 55.0, 45.0)],
+    ]
+
+
+def publish_doc(store: str | None = None) -> dict[str, Any]:
+    """The instance as a ``/publish`` JSON body (socket consumers)."""
+    problem = tiny_problem()
+    doc: dict[str, Any] = {
+        "customers": problem.customers.tolist(),
+        "sites": problem.sites.tolist(),
+        "k": _K,
+    }
+    if store is not None:
+        doc["store"] = store
+    return doc

@@ -1,0 +1,48 @@
+"""RPR005 (serve extension): request kinds ↔ docs/api.md ↔ CLI ↔ tests/serve/."""
+
+from repro.analysis.project_rules import (SERVE_PROTOCOL_REL,
+                                          check_serve_drift)
+from repro.serve.protocol import REQUEST_KINDS
+
+from tests.analysis.conftest import REPO_ROOT
+
+
+class TestCurrentRepoIsInSync:
+    def test_no_drift_findings(self):
+        assert list(check_serve_drift(REPO_ROOT)) == []
+
+    def test_all_kinds_registered(self):
+        assert set(REQUEST_KINDS) >= {"brknn", "site_influence",
+                                      "impact", "solve", "solve_anytime"}
+
+
+class TestSyntheticDrift:
+    def test_undocumented_kind_flagged(self, tmp_path):
+        """Strip one kind from a copy of docs/api.md: RPR005 names it."""
+        doc = (REPO_ROOT / "docs" / "api.md").read_text()
+        gutted = tmp_path / "api.md"
+        gutted.write_text(doc.replace("solve_anytime", "redacted"))
+        findings = list(check_serve_drift(REPO_ROOT, api_doc=gutted))
+        assert any("solve_anytime" in f.message
+                   and "docs/api.md" in f.message for f in findings)
+
+    def test_missing_doc_flags_every_kind(self, tmp_path):
+        findings = list(check_serve_drift(
+            REPO_ROOT, api_doc=tmp_path / "missing.md"))
+        flagged = {kind for kind in REQUEST_KINDS
+                   if any(f"'{kind}'" in f.message for f in findings)}
+        assert flagged == set(REQUEST_KINDS)
+
+    def test_unexercised_kind_flagged(self, tmp_path):
+        empty = tmp_path / "serve_tests"
+        empty.mkdir()
+        findings = list(check_serve_drift(REPO_ROOT, tests_dir=empty))
+        assert any("never named in tests/serve/" in f.message
+                   for f in findings)
+
+    def test_findings_anchor_to_serve_protocol(self, tmp_path):
+        findings = list(check_serve_drift(
+            REPO_ROOT, api_doc=tmp_path / "missing.md"))
+        assert findings
+        assert all(f.path == SERVE_PROTOCOL_REL and f.code == "RPR005"
+                   for f in findings)

@@ -79,7 +79,7 @@ class TestBenchArtifacts:
             assert tuple(row["stats"].keys()) == MAXFIRST_COUNTER_KEYS
 
     def test_gate_baseline_counters_are_known(self):
-        from repro.obs.gate import GATED_COUNTERS
+        from repro.obs.gate import GATED_COUNTERS, SERVE_GATED_COUNTERS
 
         path = _REPO_ROOT / "bench-baselines" / "counters_tiny.json"
         if not path.exists():
@@ -90,4 +90,7 @@ class TestBenchArtifacts:
             arm, _, name = key.rpartition("/")
             assert arm, f"flat key {key!r} lacks an arm prefix"
             assert name in known
-            assert name in GATED_COUNTERS
+            if arm.startswith("serve_"):
+                assert name in SERVE_GATED_COUNTERS
+            else:
+                assert name in GATED_COUNTERS

@@ -9,14 +9,21 @@ import json
 
 import pytest
 
-from repro.obs.gate import (DEFAULT_BAND, GATED_COUNTERS, collect_counters,
-                            compare, main)
+from repro.obs.gate import (DEFAULT_BAND, GATED_COUNTERS,
+                            SERVE_GATED_COUNTERS, collect_counters,
+                            collect_serve_counters, compare, main)
 
 
 @pytest.fixture(scope="module")
 def tiny_counters():
     """One real gate collection run (module-scoped: ~seconds)."""
     return collect_counters("tiny")
+
+
+@pytest.fixture(scope="module")
+def serve_counters():
+    """One scripted serve-workload run (module-scoped)."""
+    return collect_serve_counters("tiny")
 
 
 class TestCompare:
@@ -90,6 +97,31 @@ class TestCollect:
         assert tiny_counters["fig13_uniform/kernel_batches"] > 0
 
 
+class TestCollectServe:
+    def test_serve_arm_reports_every_gated_counter(self, serve_counters):
+        assert set(serve_counters) == {
+            f"serve_tiny/{name}" for name in SERVE_GATED_COUNTERS}
+
+    def test_serve_counters_are_deterministic(self, serve_counters):
+        assert collect_serve_counters("tiny") == serve_counters
+
+    def test_real_requests_were_counted(self, serve_counters):
+        assert serve_counters["serve_tiny/serve_requests"] > 0
+        assert serve_counters["serve_tiny/serve_batches"] > 0
+        # The gate arm runs pooled, so submissions must be non-zero —
+        # a zero here means the pool path silently fell back.
+        assert serve_counters["serve_tiny/serve_pool_submissions"] > 0
+
+    def test_serve_collection_does_not_leak_into_registry(self):
+        from repro.obs import metrics as _obs_metrics
+
+        before = _obs_metrics.REGISTRY.snapshot()
+        collect_serve_counters("tiny")
+        after = _obs_metrics.REGISTRY.snapshot()
+        for name in SERVE_GATED_COUNTERS:
+            assert after.get(name, 0) == before.get(name, 0)
+
+
 class TestMain:
     def test_write_then_pass(self, tiny_counters, tmp_path, capsys):
         baseline = tmp_path / "counters_tiny.json"
@@ -146,7 +178,8 @@ class TestMain:
 
 
 class TestCheckedInBaseline:
-    def test_repo_baseline_matches_current_run(self, tiny_counters):
+    def test_repo_baseline_matches_current_run(self, tiny_counters,
+                                               serve_counters):
         """The committed baseline must pass against a fresh tiny run —
         the same check the CI perf-gate job performs on main."""
         from pathlib import Path
@@ -158,5 +191,6 @@ class TestCheckedInBaseline:
             "with: PYTHONPATH=src python -m repro.obs.gate --scale tiny "
             "--write-baseline bench-baselines/counters_tiny.json")
         baseline = json.loads(baseline_path.read_text())["counters"]
-        ok, messages = compare(tiny_counters, baseline, band=DEFAULT_BAND)
+        current = {**tiny_counters, **serve_counters}
+        ok, messages = compare(current, baseline, band=DEFAULT_BAND)
         assert ok, messages

@@ -1,0 +1,19 @@
+"""Shared fixtures for the serve-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import MaxBRkNNProblem
+from repro.datasets.synthetic import synthetic_instance
+
+
+@pytest.fixture(scope="module")
+def serve_problem() -> MaxBRkNNProblem:
+    """A deterministic 120-customer / 10-site instance, k=2.
+
+    Module-scoped: the problem is immutable and every serve test only
+    reads it (publishes copy the NLC arrays into a store anyway).
+    """
+    customers, sites = synthetic_instance(120, 10, "uniform", seed=7)
+    return MaxBRkNNProblem(customers, sites, k=2)

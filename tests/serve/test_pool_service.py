@@ -1,0 +1,85 @@
+"""Pooled serve path: one worker, zero NLC copies, bit-identical answers.
+
+``warnings.simplefilter("error")`` around the pooled calls is the
+teeth: the service degrades to in-process execution with a
+``RuntimeWarning`` when the pool breaks, so an accidental fallback
+fails these tests instead of silently passing them.
+"""
+
+import warnings
+
+import pytest
+
+from repro.obs import metrics as _obs_metrics
+from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
+                                  ErrorResponse, ImpactRequest,
+                                  SiteInfluenceRequest, SolveRequest)
+from repro.serve.service import QueryService
+
+
+def _scripted(instance_id):
+    return [
+        BrknnRequest(instance_id, 0),
+        BrknnRequest(instance_id, 5),
+        SiteInfluenceRequest(instance_id),
+        ImpactRequest(instance_id, 40.0, 60.0),
+        SolveRequest(instance_id),
+        AnytimeSolveRequest(instance_id, 0.5),
+    ]
+
+
+@pytest.fixture(scope="module")
+def pooled_vs_inprocess(serve_problem):
+    """The same scripted batches through both execution paths."""
+    with QueryService(store="ram") as reference:
+        instance_id = reference.publish(serve_problem).instance_id
+        expected = [reference.execute(_scripted(instance_id)),
+                    reference.execute(_scripted(instance_id))]
+    with QueryService(store="ram", workers=1) as service:
+        instance_id = service.publish(serve_problem).instance_id
+        with warnings.catch_warnings(), \
+                _obs_metrics.REGISTRY.isolated() as box:
+            warnings.simplefilter("error")
+            # Two batches: the first is the worker's cache-miss path
+            # (attach + rebuild), the second a pure cache hit.
+            got = [service.execute(_scripted(instance_id)),
+                   service.execute(_scripted(instance_id))]
+        counters = dict(box["counters"])  # filled when isolated() exits
+    return expected, got, counters
+
+
+class TestPooledIdentity:
+    def test_cache_miss_batch_is_bit_identical(self, pooled_vs_inprocess):
+        expected, got, _counters = pooled_vs_inprocess
+        assert got[0] == expected[0]
+
+    def test_cache_hit_batch_is_bit_identical(self, pooled_vs_inprocess):
+        expected, got, _counters = pooled_vs_inprocess
+        assert got[1] == expected[1]
+
+    def test_no_error_responses(self, pooled_vs_inprocess):
+        _expected, got, _counters = pooled_vs_inprocess
+        assert not any(isinstance(r, ErrorResponse)
+                       for batch in got for r in batch)
+
+    def test_pool_submissions_counted(self, pooled_vs_inprocess):
+        _expected, _got, counters = pooled_vs_inprocess
+        # One instance group per batch → one pool job per batch; the
+        # arrival counters count what the parent accepted, regardless
+        # of where the batch executed.
+        assert counters["serve_pool_submissions"] == 2
+        assert counters["serve_batches"] == 2
+        assert counters["serve_requests"] == 12
+
+
+class TestPooledCertificate:
+    def test_worker_solve_certificate_reaches_parent(self, serve_problem):
+        with QueryService(store="ram", workers=1) as service:
+            instance = service.publish(serve_problem)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                (response,) = service.execute(
+                    [SolveRequest(instance.instance_id)])
+            bound, seeds = instance.certificate()
+            assert bound == response.score
+            assert seeds
