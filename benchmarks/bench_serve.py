@@ -1,22 +1,30 @@
 """Serve-layer benchmark: queries/sec against a published instance.
 
 Publishes the scripted workload instance (:mod:`repro.serve.workload`)
-once, then times batched request rounds against it through two arms:
+once, then times batched request rounds against it through four arms:
 
-* ``inprocess`` — :class:`~repro.serve.service.QueryService` called
-  directly (no socket, no pool): the ceiling the front end is measured
+* ``inprocess_cold`` — :class:`~repro.serve.service.QueryService` with
+  the result cache disabled (``cache_bytes=0``): every round pays the
+  full geometric computation.  The ceiling the serve path is measured
   against.
-* ``socket``    — a real ``repro serve`` daemon subprocess on an
-  ephemeral port, driven through
-  :class:`~repro.serve.client.ServeClient`: JSON codec + HTTP + batch
-  scheduler included, which is the number a deployment sees.
+* ``inprocess_warm`` — the same service with the default cache,
+  prewarmed by one untimed round: every timed round answers from the
+  result cache.  This is the repeat-read number the cache exists for.
+* ``socket_cold``    — a real ``repro serve --cache-bytes 0`` daemon
+  subprocess on an ephemeral port, driven through the persistent
+  :class:`~repro.serve.client.ServeClient` connection: JSON codec +
+  HTTP/1.1 keep-alive + batch scheduler, recomputing every round.
+* ``socket_warm``    — the same daemon shape with the default cache,
+  prewarmed: what a deployment sees on repeated reads.
 
 Each round replays the same mixed batch (a full BRkNN sweep over all
 sites plus a what-if grid); queries/sec is requests divided by the
-**best** round time.  Every response of the first round is asserted
-**bit-identical** to a direct in-process :mod:`repro.core.queries`
-call on the same problem — a throughput number obtained by answering
-differently is a bug, not a result.
+**best** round time.  Before any timing, cold responses are asserted
+**bit-identical** to direct in-process :mod:`repro.core.queries` calls,
+and warm (cached) responses are asserted byte-identical to the cold
+ones — a throughput number obtained by answering differently is a bug,
+not a result.  The report refuses to write unless the warm in-process
+arm is at least 5x the cold one.
 
 Run:
 
@@ -24,8 +32,8 @@ Run:
     PYTHONPATH=src python benchmarks/bench_serve.py --tiny   # CI smoke
 
 Writes ``BENCH_serve.json`` (see ``--out``); the headline is
-``headline.socket_qps``.  Timings move with the machine; the identity
-assertions and per-batch counter behaviour must not move at all.
+``headline.warm_inprocess_qps``.  Timings move with the machine; the
+identity assertions and the >=5x cache floor must not move at all.
 """
 
 from __future__ import annotations
@@ -46,8 +54,10 @@ from repro.serve.client import ServeClient
 from repro.serve.protocol import (BrknnRequest, BrknnResponse,
                                   ImpactRequest, ImpactResponse)
 from repro.serve.service import QueryService
-from repro.serve.smoke import _boot_daemon
+from repro.serve.smoke import _boot_daemon, _canonical
 from repro.serve.workload import publish_doc, tiny_problem
+
+MIN_CACHE_SPEEDUP = 5.0
 
 
 def _bench_batch(instance_id: str, n_sites: int) -> list:
@@ -93,69 +103,99 @@ def _time_rounds(run_batch, batch_size: int, rounds: int) -> dict:
     }
 
 
+def _print_row(row: dict) -> None:
+    print(f"  {row['arm']:<15} {row['qps']:>11.1f} queries/s "
+          f"(batch={row['batch_requests']}, "
+          f"best={row['best_round_s']:.4f}s)")
+
+
 def run(rounds: int = 20, workers: int | None = None) -> dict:
     problem = tiny_problem()
     ranks = knn_sites(problem)
     n_sites = problem.n_sites
     rows = []
 
-    # -- in-process arm -------------------------------------------------- #
-    with QueryService(store="ram", workers=workers) as service:
+    # -- in-process arms ------------------------------------------------- #
+    with QueryService(store="ram", workers=workers,
+                      cache_bytes=0) as service:
         instance = service.publish(problem)
         batch = _bench_batch(instance.instance_id, n_sites)
-        responses = service.execute(batch)          # warm-up + identity
-        _assert_identity(batch, responses, problem, ranks)
-        row = {"arm": "inprocess",
+        cold = service.execute(batch)               # warm-up + identity
+        _assert_identity(batch, cold, problem, ranks)
+        blessed = [_canonical(r) for r in cold]
+        row = {"arm": "inprocess_cold",
                **_time_rounds(lambda: service.execute(batch),
                               len(batch), rounds)}
     rows.append(row)
-    print(f"  inprocess: {row['qps']:>9.1f} queries/s "
-          f"(batch={row['batch_requests']}, "
-          f"best={row['best_round_s']:.4f}s)")
+    _print_row(row)
 
-    # -- socket arm ------------------------------------------------------ #
+    with QueryService(store="ram", workers=workers) as service:
+        instance = service.publish(problem)
+        batch = _bench_batch(instance.instance_id, n_sites)
+        miss_pass = service.execute(batch)          # fills the cache
+        hit_pass = service.execute(batch)           # answered from it
+        # Bit-identity before timing: cached bytes == fresh bytes.
+        assert [_canonical(r) for r in miss_pass] == blessed
+        assert [_canonical(r) for r in hit_pass] == blessed
+        row = {"arm": "inprocess_warm",
+               **_time_rounds(lambda: service.execute(batch),
+                              len(batch), rounds)}
+    rows.append(row)
+    _print_row(row)
+
+    # -- socket arms ----------------------------------------------------- #
     out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "results")
     os.makedirs(out_dir, exist_ok=True)
-    proc, host, port = _boot_daemon(out_dir, "shm", workers)
-    try:
-        with ServeClient(host, port) as client:
-            instance_id = client.publish(publish_doc("shm"))
-            batch = _bench_batch(instance_id, n_sites)
-            responses = client.query(batch)         # warm-up + identity
-            _assert_identity(batch, responses, problem, ranks)
-            row = {"arm": "socket",
-                   **_time_rounds(lambda: client.query(batch),
-                                  len(batch), rounds)}
-            client.shutdown()
-        proc.wait(timeout=30)
-    finally:
-        if proc.poll() is None:
-            proc.kill()
-            proc.wait()
-    rows.append(row)
-    print(f"  socket:    {row['qps']:>9.1f} queries/s "
-          f"(batch={row['batch_requests']}, "
-          f"best={row['best_round_s']:.4f}s)")
+    for arm, cache_bytes in (("socket_cold", 0), ("socket_warm", None)):
+        proc, host, port = _boot_daemon(out_dir, "shm", workers,
+                                        cache_bytes=cache_bytes)
+        try:
+            with ServeClient(host, port) as client:
+                instance_id = client.publish(publish_doc("shm"))
+                batch = _bench_batch(instance_id, n_sites)
+                first = client.query(batch)         # warm-up + identity
+                _assert_identity(batch, first, problem, ranks)
+                assert [_canonical(r) for r in first] == blessed
+                row = {"arm": arm,
+                       **_time_rounds(lambda: client.query(batch),
+                                      len(batch), rounds)}
+                client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        rows.append(row)
+        _print_row(row)
 
     by_arm = {r["arm"]: r for r in rows}
+    speedup = round(by_arm["inprocess_warm"]["qps"]
+                    / by_arm["inprocess_cold"]["qps"], 2)
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"warm in-process arm is only {speedup}x the cold arm "
+        f"(floor {MIN_CACHE_SPEEDUP}x)")
     return {
         "benchmark": "serve",
         "workload": ("fig11-tiny instance (800 uniform customers, "
                      "40 sites, k=2, seed 11); batch = BRkNN of every "
                      "site + 4x4 what-if grid"),
-        "timing": "best round of N; identity asserted on round 1",
+        "timing": ("best round of N; cold identity vs repro.core."
+                   "queries and warm byte-identity vs cold asserted "
+                   "before timing"),
         "rounds": rounds,
         "workers": workers,
         "python": sys.version.split()[0],
         "numpy": np.__version__,
-        "identity": ("every round-1 response bit-identical to direct "
-                     "in-process repro.core.queries calls"),
+        "identity": ("cold responses bit-identical to direct in-process "
+                     "repro.core.queries calls; cached responses "
+                     "byte-identical to cold ones"),
         "headline": {
-            "socket_qps": by_arm["socket"]["qps"],
-            "inprocess_qps": by_arm["inprocess"]["qps"],
-            "socket_overhead": round(
-                by_arm["inprocess"]["qps"] / by_arm["socket"]["qps"], 2),
+            "warm_inprocess_qps": by_arm["inprocess_warm"]["qps"],
+            "cold_inprocess_qps": by_arm["inprocess_cold"]["qps"],
+            "cache_speedup": speedup,
+            "socket_warm_qps": by_arm["socket_warm"]["qps"],
+            "socket_cold_qps": by_arm["socket_cold"]["qps"],
         },
         "rows": rows,
     }
@@ -180,9 +220,11 @@ def main(argv=None) -> int:
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    print(f"\nsocket throughput: {report['headline']['socket_qps']:.1f} "
-          f"queries/s ({report['headline']['socket_overhead']:.2f}x "
-          "in-process)")
+    headline = report["headline"]
+    print(f"\nwarm repeat reads: {headline['warm_inprocess_qps']:.1f} "
+          f"queries/s in-process ({headline['cache_speedup']:.1f}x "
+          f"cold), {headline['socket_warm_qps']:.1f} queries/s over "
+          "the socket")
     print(f"wrote {out_path}")
     return 0
 

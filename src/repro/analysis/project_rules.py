@@ -336,6 +336,7 @@ def check_store_drift(repo_root: Path, *,
 
 
 SERVE_PROTOCOL_REL = "src/repro/serve/protocol.py"
+SERVE_WORKLOAD_REL = "src/repro/serve/workload.py"
 
 
 def _cli_query_kind_choices() -> tuple[str, ...] | None:
@@ -359,14 +360,19 @@ def _cli_query_kind_choices() -> tuple[str, ...] | None:
 
 def check_serve_drift(repo_root: Path, *,
                       api_doc: Path | None = None,
-                      tests_dir: Path | None = None) -> Iterator[Finding]:
-    """RPR005 for the serve layer: request kinds ↔ docs ↔ CLI ↔ tests.
+                      tests_dir: Path | None = None,
+                      workload_path: Path | None = None
+                      ) -> Iterator[Finding]:
+    """RPR005 for the serve layer: kinds ↔ docs ↔ CLI ↔ tests ↔ workload.
 
     ``repro.serve.protocol.REQUEST_KINDS`` is the service's registry;
     every kind must be documented in ``docs/api.md`` (the request-kind
-    table), offered by the CLI ``query --kind`` choices, and named
+    table), offered by the CLI ``query --kind`` choices, named
     somewhere under ``tests/serve/`` — a request kind nobody exercises
-    means an untested wire codec and an untested executor branch.
+    means an untested wire codec and an untested executor branch — and
+    built by the scripted workload (its request class must appear in
+    ``src/repro/serve/workload.py``), so the serve smoke and the
+    counter gate replay every kind end to end.
     """
     protocol_path = repo_root / SERVE_PROTOCOL_REL
     if not protocol_path.is_file():
@@ -376,10 +382,13 @@ def check_serve_drift(repo_root: Path, *,
     relpath = SERVE_PROTOCOL_REL
     protocol_source = protocol_path.read_text(encoding="utf-8")
 
-    from repro.serve.protocol import REQUEST_KINDS
+    from repro.serve.protocol import _REQUEST_TYPES, REQUEST_KINDS
 
     doc_text = (api_doc.read_text(encoding="utf-8")
                 if api_doc.is_file() else "")
+    workload_path = workload_path or repo_root / SERVE_WORKLOAD_REL
+    workload_text = (workload_path.read_text(encoding="utf-8")
+                     if workload_path.is_file() else "")
     test_text = ""
     if tests_dir.is_dir():
         test_text = "\n".join(
@@ -409,6 +418,15 @@ def check_serve_drift(repo_root: Path, *,
                 message=(f"serve request kind '{kind}' is never named "
                          "in tests/serve/ — its codec and executor "
                          "branch are unexercised"))
+        request_cls = _REQUEST_TYPES[kind].__name__
+        if request_cls not in workload_text:
+            yield Finding(
+                path=relpath, line=line, col=1, code="RPR005",
+                message=(f"serve request kind '{kind}' "
+                         f"({request_cls}) is missing from the "
+                         f"scripted workload ({SERVE_WORKLOAD_REL}) — "
+                         "the serve smoke and the counter gate never "
+                         "replay it"))
 
     if cli_choices is None:
         yield Finding(

@@ -177,6 +177,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: in-process)")
     serve.add_argument("--linger", type=float, default=0.005,
                        help="batch-coalescing window in seconds")
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="result-cache byte budget (default 64 MiB; "
+                            "0 disables caching)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="record serve spans; write a Chrome trace "
                             "to PATH on shutdown")
@@ -224,6 +228,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="distinct regions to return (--kind solve)")
     query.add_argument("--epsilon", type=float, default=0.1,
                        help="approximation bound (--kind solve_anytime)")
+    query.add_argument("--nx", type=int, default=32,
+                       help="tile columns (--kind heatmap)")
+    query.add_argument("--ny", type=int, default=32,
+                       help="tile rows (--kind heatmap)")
+    query.add_argument("--svg", default=None, metavar="PATH",
+                       help="with --kind heatmap: render the tiles to "
+                            "an SVG at PATH instead of printing JSON")
     return parser
 
 
@@ -328,9 +339,12 @@ def _cmd_serve(args) -> int:
     if tracing:
         from repro.obs.trace import TRACER
         TRACER.reset(enabled=True)
+    kwargs = {}
+    if args.cache_bytes is not None:
+        kwargs["cache_bytes"] = args.cache_bytes
     daemon = ServeDaemon(host=args.host, port=args.port,
                          store=args.store, workers=args.workers,
-                         linger=args.linger)
+                         linger=args.linger, **kwargs)
     host, port = daemon.address
     # The smoke harness parses this line to find an ephemeral port, so
     # keep the format stable and flush before blocking.
@@ -357,13 +371,30 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _save_heatmap_svg(response, path: str) -> None:
+    """Render a served ``heatmap`` response to an SVG file."""
+    from repro.core.heatmap import InfluenceHeatmap
+    from repro.geometry.rect import Rect
+    from repro.viz.heatmap import render_heatmap
+
+    nx, ny = response.nx, response.ny
+    heatmap = InfluenceHeatmap(
+        space=Rect(*response.bounds), nx=nx, ny=ny,
+        lower=np.asarray(response.lower,
+                         dtype=np.float64).reshape(ny, nx),
+        upper=np.asarray(response.upper,
+                         dtype=np.float64).reshape(ny, nx))
+    render_heatmap(heatmap).save(path)
+
+
 def _cmd_query(args) -> int:
     import json as _json
 
     from repro.serve.client import ServeClient, ServeError
     from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
-                                      ImpactRequest, SiteInfluenceRequest,
-                                      SolveRequest, encode_response)
+                                      HeatmapRequest, ImpactRequest,
+                                      SiteInfluenceRequest, SolveRequest,
+                                      encode_response)
 
     host, _, port = args.url.rpartition(":")
     if not host or not port.isdigit():
@@ -420,9 +451,19 @@ def _cmd_query(args) -> int:
                 request = ImpactRequest(instance, args.x, args.y)
             elif args.kind == "solve":
                 request = SolveRequest(instance, top_t=args.top_t)
+            elif args.kind == "heatmap":
+                request = HeatmapRequest(instance, nx=args.nx,
+                                         ny=args.ny)
             else:
                 request = AnytimeSolveRequest(instance, args.epsilon)
             response, = client.query([request])
+            if args.kind == "heatmap" and args.svg is not None:
+                if response.kind != "heatmap":
+                    print(f"serve error: {response!r}", file=sys.stderr)
+                    return 1
+                _save_heatmap_svg(response, args.svg)
+                print(f"heat map written to {args.svg}")
+                return 0
             print(_json.dumps(encode_response(response), indent=2))
             return 0
         except ServeError as exc:

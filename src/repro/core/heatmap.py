@@ -1,0 +1,136 @@
+"""Influence heat maps: the Phase I tessellation as a tile grid.
+
+MaxFirst scores every quadrant it explores — upper bound ``m̂ax`` from
+the intersecting NLCs, proven lower bound ``m̂in`` from the containing
+ones — and then discards everything but the argmax.  This module keeps
+the whole field instead: :func:`build_heatmap` runs Phase I with the
+``tessellation`` capture hook of
+:meth:`repro.core.maxfirst.MaxFirst.run_phase1` and rasterises the
+finished quadrants onto an ``nx`` × ``ny`` grid, producing the product
+shape of "Reverse Nearest Neighbor Heat Maps" (PAPERS.md): per tile, a
+*proven* influence value attained inside the tile (``lower``) and a
+certified bound on every location in it (``upper``).
+
+Determinism: the heat map always runs a **fresh, unseeded** Phase I.
+Certificate seeding (``seed_covers`` / ``initial_bound``) makes the
+search prune earlier and therefore tessellate more coarsely — sound for
+the argmax, but it changes the captured field.  Skipping the
+certificate keeps one instance's heat map a pure function of
+``(nlcs, space, nx, ny)``, which is what lets the serve-path result
+cache hand back cached tiles bit-identical to a fresh solve.
+
+Painting is max-combine per tile, so overlapping capture entries (a
+refinement-requeued quadrant terminates twice) are benign, and the
+soundness argument is local: ``m̂in`` holds *everywhere* in its
+quadrant, so any tile the quadrant touches attains it; ``m̂ax`` bounds
+everything in the quadrant, and since finished quadrants tile the
+space, the max over a tile's overlapping quadrants bounds every
+location in the tile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.maxfirst import MaxFirst
+from repro.geometry.rect import Rect
+from repro.index.circleset import CircleSet
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span
+
+__all__ = ["InfluenceHeatmap", "build_heatmap", "empty_heatmap",
+           "paint_tessellation"]
+
+_tiles_filled = _obs_metrics.counter("heatmap_tiles_filled")
+
+
+@dataclass(frozen=True)
+class InfluenceHeatmap:
+    """A bracketing of the influence surface on a regular tile grid.
+
+    ``lower[j, i]`` / ``upper[j, i]`` are the tile in column ``i``
+    (from ``space.xmin``) and row ``j`` (from ``space.ymin``), both
+    ``(ny, nx)`` float64 arrays with ``lower <= upper`` everywhere.
+    """
+
+    space: Rect
+    nx: int
+    ny: int
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the gridded space."""
+        s = self.space
+        return (s.xmin, s.ymin, s.xmax, s.ymax)
+
+
+def empty_heatmap(space: Rect, nx: int, ny: int) -> InfluenceHeatmap:
+    """The all-zero heat map (degenerate instances: no NLCs, no score)."""
+    return InfluenceHeatmap(
+        space=space, nx=nx, ny=ny,
+        lower=np.zeros((ny, nx), dtype=np.float64),
+        upper=np.zeros((ny, nx), dtype=np.float64))
+
+
+def paint_tessellation(space: Rect, nx: int, ny: int,
+                       tessellation: Sequence[tuple[Rect, float, float]]
+                       ) -> InfluenceHeatmap:
+    """Rasterise captured ``(rect, m̂in, m̂ax)`` quadrants onto a grid.
+
+    Max-combine per tile; entries outside ``space`` clip away.  Counts
+    every painted tile-cell in ``heatmap_tiles_filled`` (deterministic:
+    the tessellation is a pure function of the instance).
+    """
+    lower = np.zeros((ny, nx), dtype=np.float64)
+    upper = np.zeros((ny, nx), dtype=np.float64)
+    cell_w = space.width / nx
+    cell_h = space.height / ny
+    filled = 0
+    for rect, min_hat, max_hat in tessellation:
+        i0 = _clip(math.floor((rect.xmin - space.xmin) / cell_w), nx)
+        i1 = _clip(math.ceil((rect.xmax - space.xmin) / cell_w), nx)
+        j0 = _clip(math.floor((rect.ymin - space.ymin) / cell_h), ny)
+        j1 = _clip(math.ceil((rect.ymax - space.ymin) / cell_h), ny)
+        if i1 <= i0 or j1 <= j0:
+            continue
+        window_l = lower[j0:j1, i0:i1]
+        np.maximum(window_l, min_hat, out=window_l)
+        window_u = upper[j0:j1, i0:i1]
+        np.maximum(window_u, max_hat, out=window_u)
+        filled += (i1 - i0) * (j1 - j0)
+    _tiles_filled.add(filled)
+    return InfluenceHeatmap(space=space, nx=nx, ny=ny,
+                            lower=lower, upper=upper)
+
+
+def build_heatmap(nlcs: CircleSet, space: Rect, nx: int = 32,
+                  ny: int = 32, *,
+                  solver: MaxFirst | None = None) -> InfluenceHeatmap:
+    """Run a fresh Phase I over ``nlcs`` and rasterise its tessellation.
+
+    Deliberately ignores any cross-request certificate (see module
+    docstring); ``solver`` exists so callers can pin non-default solver
+    knobs (backend, resolution) — it must be an unseeded ``top_t == 1``
+    configuration.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError(f"heatmap grid must be >= 1x1, got {nx}x{ny}")
+    if len(nlcs) == 0:
+        return empty_heatmap(space, nx, ny)
+    if solver is None:
+        solver = MaxFirst()
+    sink: list[tuple[Rect, float, float]] = []
+    with span("heatmap/phase1", nlcs=len(nlcs), nx=nx, ny=ny):
+        solver.run_phase1(nlcs, space, tessellation=sink)
+    with span("heatmap/paint", quads=len(sink)):
+        return paint_tessellation(space, nx, ny, sink)
+
+
+def _clip(index: int, edge: int) -> int:
+    return 0 if index < 0 else (edge if index > edge else index)

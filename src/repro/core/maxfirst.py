@@ -502,7 +502,9 @@ class MaxFirst:
                    sync_interval: int = 0,
                    seed_covers: Iterable[tuple[tuple[int, ...], float]]
                    | None = None,
-                   roots: "Sequence[tuple[Rect, np.ndarray]] | None" = None
+                   roots: "Sequence[tuple[Rect, np.ndarray]] | None" = None,
+                   tessellation: "list[tuple[Rect, float, float]] | None"
+                   = None
                    ) -> tuple[list[Quadrant], float, MaxFirstStats]:
         """Public staged entry to Phase I (the engine layer's hook).
 
@@ -549,13 +551,26 @@ class MaxFirst:
             coverage) and each candidate set must contain every NLC that
             can influence classification inside its rect (the planner's
             halo invariant).  Only sound with ``top_t == 1``.
+        tessellation:
+            Optional sink list.  When given, every quadrant the search
+            *finishes* — accepted, Theorem-2/3-pruned,
+            refinement-pruned, resolution-closed, or still enqueued at
+            an anytime stop — is appended as ``(rect, m̂in, m̂ax)``.
+            Finished quadrants tile the searched space, so the sink is a
+            complete bracketing of the influence surface: ``m̂in`` holds
+            everywhere inside the rect, ``m̂ax`` bounds everything
+            inside it.  :mod:`repro.core.heatmap` rasterises this onto a
+            tile grid.  Entries may overlap (a refinement-requeued
+            quadrant terminates twice); consumers must combine by max.
+            Capture changes no search decision — results and stats are
+            bit-identical with or without a sink.
         """
         with span("phase1/search", nlcs=len(nlcs)):
             accepted, max_min, stats = self._phase1(
                 nlcs, space, backend=backend, resolution=resolution,
                 initial_bound=initial_bound, bound_sync=bound_sync,
                 sync_interval=sync_interval, seed_covers=seed_covers,
-                roots=roots)
+                roots=roots, tessellation=tessellation)
         return accepted, max_min, stats.freeze()
 
     def _phase1(self, nlcs: CircleSet, space: Rect, *,
@@ -566,7 +581,9 @@ class MaxFirst:
                 sync_interval: int = 0,
                 seed_covers: Iterable[tuple[tuple[int, ...], float]]
                 | None = None,
-                roots: "Sequence[tuple[Rect, np.ndarray]] | None" = None
+                roots: "Sequence[tuple[Rect, np.ndarray]] | None" = None,
+                tessellation: "list[tuple[Rect, float, float]] | None"
+                = None
                 ) -> tuple[list[Quadrant], float, _MutableStats]:
         stats = _MutableStats()
         if resolution is None:
@@ -591,6 +608,7 @@ class MaxFirst:
 
         counter = itertools.count()  # heap tie-breaker
         heap: list[tuple[float, int, Quadrant]] = []
+        sink = tessellation  # terminal-quadrant capture (None = off)
         max_min = float(initial_bound)
         # For top_t > 1 the Theorem 2 threshold is the t-th best consistent
         # score (tracked as a min-heap of the best t); for top_t == 1 it is
@@ -689,11 +707,22 @@ class MaxFirst:
                                         for q in accepted)):
                         self._accept(incumbent, accepted, found_covers,
                                      frontier, stats)
+                    if sink is not None:
+                        # Everything unexplored is terminal at an
+                        # anytime stop: the popped quadrant plus the
+                        # whole remaining frontier.
+                        sink.append((quad.rect, quad.min_hat,
+                                     quad.max_hat))
+                        for _, _, rest in heap:
+                            sink.append((rest.rect, rest.min_hat,
+                                         rest.max_hat))
                     self.last_upper_bound = quad.max_hat
                     return accepted, max_min, stats
 
             if quad.max_hat < max_min - tol:
                 stats.pruned_theorem2 += 1  # Theorem 2
+                if sink is not None:
+                    sink.append((quad.rect, quad.min_hat, quad.max_hat))
                 continue
 
             if quad.max_hat <= max_min + tol:
@@ -709,10 +738,16 @@ class MaxFirst:
                 # force equal covers).
                 if self._theorem3_prunes(quad, found_covers):
                     stats.pruned_theorem3 += 1
+                    if sink is not None:
+                        sink.append((quad.rect, quad.min_hat,
+                                     quad.max_hat))
                     continue
                 if quad.min_hat >= quad.max_hat - tol:
                     self._accept(quad, accepted, found_covers, frontier,
                                  stats)
+                    if sink is not None:
+                        sink.append((quad.rect, quad.min_hat,
+                                     quad.max_hat))
                     if self.top_t > 1:
                         max_min = self._top_t_threshold(frontier)
                     continue
@@ -724,10 +759,16 @@ class MaxFirst:
                 # to machine precision.
                 if self._theorem3_prunes(quad, found_covers):
                     stats.pruned_theorem3 += 1
+                    if sink is not None:
+                        sink.append((quad.rect, quad.min_hat,
+                                     quad.max_hat))
                     continue
                 if quad.min_hat >= quad.max_hat - tol:
                     self._accept(quad, accepted, found_covers, frontier,
                                  stats)
+                    if sink is not None:
+                        sink.append((quad.rect, quad.min_hat,
+                                     quad.max_hat))
                     max_min = self._top_t_threshold(frontier)
                     continue
 
@@ -744,6 +785,8 @@ class MaxFirst:
                 # resolution_closed counter flags the imprecision.
                 self._accept(quad, accepted, found_covers, frontier,
                              stats)
+                if sink is not None:
+                    sink.append((quad.rect, quad.min_hat, quad.max_hat))
                 if self.top_t > 1:
                     max_min = self._top_t_threshold(frontier)
                 continue
@@ -773,6 +816,9 @@ class MaxFirst:
                         found_covers, stats)
                     if action == "prune":
                         prev_split = quad
+                        if sink is not None:
+                            sink.append((quad.rect, quad.min_hat,
+                                         quad.max_hat))
                         continue
                     if action == "requeue":
                         prev_split = quad

@@ -250,9 +250,14 @@ def serve_query_batch(job: tuple) -> tuple:
     store zero-copy (``shm``/``memmap``); every later batch is a pure
     cache hit.  Requests are executed by the same
     :func:`repro.serve.service.execute_requests` the in-process path
-    uses, so pooled responses are bit-identical to in-process ones.
-    Returns ``(response_docs, new_certificate, obs_counters,
-    obs_gauges, spans)``.
+    uses — including ``heatmap`` tile fills, whose Phase I tessellation
+    capture and rasterisation run worker-side against the mapped store
+    (the ``heatmap_tiles_filled`` counter rides home in
+    ``obs_counters``) — so pooled responses are bit-identical to
+    in-process ones.  The parent's result cache sits *above* this entry
+    point: only cache misses are ever shipped to a worker.  Returns
+    ``(response_docs, new_certificate, obs_counters, obs_gauges,
+    spans)``.
     """
     (instance_key, payload, handle, space_tuple, request_docs,
      certificate, trace_enabled) = job

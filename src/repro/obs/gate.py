@@ -71,11 +71,19 @@ GATED_COUNTERS: tuple[str, ...] = (
 #: (:mod:`repro.serve.workload`) has a fixed number of requests and
 #: batches, and pool submissions are counted parent-side per instance
 #: group — independent of worker count — so the arm is exactly as
-#: deterministic as the solver arms.
+#: deterministic as the solver arms.  The cache counters pin the
+#: workload's repeat structure (its repeated-request phase hits, its
+#: distinct requests miss, nothing evicts under the default budget),
+#: and ``heatmap_tiles_filled`` pins the tessellation rasterised by the
+#: heat-map phase.
 SERVE_GATED_COUNTERS: tuple[str, ...] = (
     "serve_requests",
     "serve_batches",
     "serve_pool_submissions",
+    "serve_cache_hits",
+    "serve_cache_misses",
+    "serve_cache_evictions",
+    "heatmap_tiles_filled",
 )
 
 DEFAULT_BAND = 0.10

@@ -69,6 +69,10 @@ COUNTER_KEYS: tuple[str, ...] = (
     "serve_requests",
     "serve_batches",
     "serve_pool_submissions",
+    "serve_cache_hits",
+    "serve_cache_misses",
+    "serve_cache_evictions",
+    "heatmap_tiles_filled",
 ) + TRANSPORT_COUNTER_KEYS
 
 #: Every registry gauge key.  Gauges are observational (non-deterministic
@@ -79,6 +83,7 @@ GAUGE_KEYS: tuple[str, ...] = (
     "nlc_store_bytes_mapped",
     "nlc_build_chunk_rss_peak",
     "store_sanitize_violations",
+    "serve_cache_bytes",
 )
 
 

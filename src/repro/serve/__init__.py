@@ -5,34 +5,41 @@ backend, site kd-tree, customer→site rank matrix, Theorem-2/3
 certificate registry — then serve batched requests against the mapped
 store with zero NLC copies per request.  Layers, bottom up:
 
-* :mod:`~repro.serve.protocol` — request/response dataclasses and the
+* :mod:`~repro.serve.protocol` — request/response dataclasses, the
   lossless JSON codecs (``REQUEST_KINDS`` is the drift-checked
-  registry);
+  registry), and :func:`request_key` canonical keys;
+* :mod:`~repro.serve.cache` — :class:`ResultCache`, the epoch-stamped
+  per-instance LRU the service answers repeat reads from;
 * :mod:`~repro.serve.instance` — :class:`InstanceRegistry` /
   :class:`ServedInstance`, the publish step and per-instance shared
   state;
 * :mod:`~repro.serve.service` — :class:`QueryService`, batch execution
-  in-process or through ``serve_query_batch`` pool workers;
+  in-process or through ``serve_query_batch`` pool workers, fronted by
+  the result cache;
 * :mod:`~repro.serve.batching` — :class:`BatchScheduler`, request
-  coalescing for concurrent front-end callers;
+  coalescing (single-flight per canonical key) for concurrent
+  front-end callers;
 * :mod:`~repro.serve.daemon` / :mod:`~repro.serve.client` — the stdlib
-  HTTP socket front end (``repro serve`` / ``repro query``).
+  HTTP/1.1 keep-alive socket front end (``repro serve`` /
+  ``repro query``).
 """
 
 from repro.serve.batching import BatchScheduler, Ticket
+from repro.serve.cache import ResultCache
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import ServeDaemon, problem_from_doc
 from repro.serve.instance import (InstanceRegistry, ServedInstance,
                                   problem_from_payload)
 from repro.serve.protocol import (REQUEST_KINDS, AnytimeSolveRequest,
                                   BrknnRequest, BrknnResponse,
-                                  ErrorResponse, ImpactRequest,
+                                  ErrorResponse, HeatmapRequest,
+                                  HeatmapResponse, ImpactRequest,
                                   ImpactResponse, RegionSummary,
                                   SiteInfluenceRequest,
                                   SiteInfluenceResponse, SolveRequest,
                                   SolveResponse, decode_request,
                                   decode_response, encode_request,
-                                  encode_response)
+                                  encode_response, request_key)
 from repro.serve.service import QueryService, execute_requests
 
 __all__ = [
@@ -42,11 +49,14 @@ __all__ = [
     "BrknnRequest",
     "BrknnResponse",
     "ErrorResponse",
+    "HeatmapRequest",
+    "HeatmapResponse",
     "ImpactRequest",
     "ImpactResponse",
     "InstanceRegistry",
     "QueryService",
     "RegionSummary",
+    "ResultCache",
     "ServeClient",
     "ServeDaemon",
     "ServeError",
@@ -63,4 +73,5 @@ __all__ = [
     "execute_requests",
     "problem_from_doc",
     "problem_from_payload",
+    "request_key",
 ]

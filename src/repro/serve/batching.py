@@ -13,6 +13,14 @@ tests use for determinism) or driven by the dispatcher thread
 (:meth:`~BatchScheduler.start`), which wakes on the first queued
 request, then sleeps ``linger`` seconds so near-simultaneous requests
 coalesce before the batch goes out.
+
+Flushes are additionally **single-flight**: requests in one drained
+batch with the same canonical key (:func:`repro.serve.protocol
+.request_key`) collapse to one entry of the executed batch, and the
+single computed response fans out to every waiting ticket.  Under a
+thundering herd of identical reads the solver runs once per flush, not
+once per caller — and since the service's result cache stores that one
+response, every later flush answers from cache.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ import threading
 import time
 from typing import Any
 
-from repro.serve.protocol import ErrorResponse
+from repro.serve.protocol import ErrorResponse, request_key
 from repro.serve.service import QueryService
 
 __all__ = ["BatchScheduler", "Ticket"]
@@ -77,16 +85,35 @@ class BatchScheduler:
     def flush(self) -> int:
         """Drain the queue into one batch; returns the batch size.
 
-        Tickets are always fulfilled — a batch-level failure (anything
-        ``execute`` raises) turns into an :class:`ErrorResponse` per
-        ticket rather than deadlocking waiters.
+        Identical requests collapse single-flight: the executed batch
+        holds one entry per distinct canonical key, in first-submission
+        order, and its response fans out to every ticket that submitted
+        that key.  Tickets are always fulfilled — a batch-level failure
+        (anything ``execute`` raises) turns into an
+        :class:`ErrorResponse` per ticket rather than deadlocking
+        waiters.
         """
         with self._lock:
             batch, self._pending = self._pending, []
         if not batch:
             return 0
-        requests = [request for request, _ticket in batch]
         try:
+            slot_of: dict[str, int] = {}
+            requests: list[Any] = []
+            slots: list[int] = []
+            for index, (request, _ticket) in enumerate(batch):
+                try:
+                    key = request_key(request)
+                # repro: fallback(an unkeyable object — not a protocol
+                # request, e.g. a test stand-in — passes through without
+                # coalescing; the service decides what it means)
+                except Exception:
+                    key = f"\x00unkeyed:{index}"
+                slot = slot_of.get(key)
+                if slot is None:
+                    slot = slot_of[key] = len(requests)
+                    requests.append(request)
+                slots.append(slot)
             responses = self.service.execute(requests)
         # repro: fallback(a batch-level failure resolves every waiting
         # ticket with an ErrorResponse instead of deadlocking the
@@ -95,8 +122,8 @@ class BatchScheduler:
             for _request, ticket in batch:
                 ticket._fulfil(ErrorResponse(message=repr(exc)))
             return len(batch)
-        for (_request, ticket), response in zip(batch, responses):
-            ticket._fulfil(response)
+        for (_request, ticket), slot in zip(batch, slots):
+            ticket._fulfil(responses[slot])
         return len(batch)
 
     # -- dispatcher thread --------------------------------------------- #

@@ -10,6 +10,7 @@ The benchmark, the smoke job, and ``repro query`` are all built on it.
 from __future__ import annotations
 
 import json
+import socket
 from http.client import HTTPConnection
 from typing import Any, Sequence
 
@@ -26,9 +27,10 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Client for one daemon at ``host:port``.
 
-    Keeps a single persistent connection (reconnecting transparently if
-    the daemon dropped it); not thread-safe — use one client per
-    thread.
+    Keeps a single persistent connection — the daemon speaks HTTP/1.1,
+    so every request after the first rides the same TCP stream
+    (reconnecting transparently if the daemon dropped it); not
+    thread-safe — use one client per thread.
     """
 
     def __init__(self, host: str, port: int, *,
@@ -51,6 +53,15 @@ class ServeClient:
                 self._conn = HTTPConnection(self.host, self.port,
                                             timeout=self.timeout)
             try:
+                if self._conn.sock is None:
+                    # Connect eagerly so TCP_NODELAY covers the very
+                    # first request: the header and body writes are
+                    # separate small sends, and on a keep-alive stream
+                    # Nagle would stall the second one ~40ms per
+                    # round trip waiting on a delayed ACK.
+                    self._conn.connect()
+                    self._conn.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 self._conn.request(method, path, body=payload,
                                    headers=headers)
                 response = self._conn.getresponse()
@@ -61,6 +72,12 @@ class ServeClient:
                 if attempt:
                     raise
         doc = json.loads(response.read().decode("utf-8"))
+        if response.will_close:
+            # The server opted out of keep-alive for this exchange
+            # (e.g. a proxy downgraded to HTTP/1.0): drop the
+            # connection now so the next request reconnects cleanly
+            # instead of tripping the stale-socket retry.
+            self.close()
         if response.status != 200:
             raise ServeError(
                 doc.get("error", f"HTTP {response.status}"))

@@ -41,6 +41,7 @@ from repro.core.probability import ProbabilityModel
 from repro.core.problem import MaxBRkNNProblem
 from repro.obs import metrics as _obs_metrics
 from repro.serve.batching import BatchScheduler
+from repro.serve.cache import DEFAULT_CACHE_BYTES
 from repro.serve.protocol import decode_request, encode_response
 from repro.serve.service import QueryService
 
@@ -88,6 +89,19 @@ def problem_from_doc(doc: dict[str, Any]) -> MaxBRkNNProblem:
 
 class _Handler(BaseHTTPRequestHandler):
     """Request handler; the daemon installs itself as ``server.daemon``."""
+
+    # HTTP/1.1 keeps the connection alive between requests (every
+    # response already carries Content-Length), so a persistent
+    # ServeClient pays TCP setup once instead of once per POST — the
+    # bulk of the former socket-vs-in-process overhead.
+    protocol_version = "HTTP/1.1"
+
+    # On a persistent connection the headers and the JSON body go out
+    # as separate small writes; without TCP_NODELAY, Nagle holds the
+    # second write until the first is ACKed and a ~40ms delayed-ACK
+    # stall lands on every response.  (HTTP/1.0 never saw this — the
+    # per-request close flushed the stream.)
+    disable_nagle_algorithm = True
 
     # Quiet by default — the smoke/CI logs only want the daemon's own
     # lines, not one access-log line per request.
@@ -174,8 +188,10 @@ class ServeDaemon:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  store: str | None = None, workers: int | None = None,
                  linger: float = 0.005,
-                 request_timeout: float = 300.0) -> None:
-        self.service = QueryService(store=store, workers=workers)
+                 request_timeout: float = 300.0,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.service = QueryService(store=store, workers=workers,
+                                    cache_bytes=cache_bytes)
         self.scheduler = BatchScheduler(self.service, linger=linger)
         self.request_timeout = float(request_timeout)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)

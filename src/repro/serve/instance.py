@@ -82,6 +82,26 @@ class ServedInstance:
         self._lock = threading.Lock()
         self.certified_bound: float | None = None
         self.seed_entries: tuple[SeedEntry, ...] = ()
+        # Cache epoch: the result cache stamps every stored entry with
+        # the epoch current at solve time, so bumping it (future
+        # dynamics — site churn, customer updates) atomically hides
+        # every cached answer for this instance without touching the
+        # cache itself.
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Current cache epoch (monotonic; see :meth:`bump_epoch`)."""
+        with self._lock:
+            return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Invalidate every cached result of this instance by moving to
+        a fresh epoch; returns the new epoch.  The hook dynamic updates
+        (ROADMAP item 3) will call after mutating the instance."""
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
 
     @property
     def handle(self) -> Any:

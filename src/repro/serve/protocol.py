@@ -14,7 +14,21 @@ docs, CLI, and tests):
   store;
 * ``solve_anytime`` — the epsilon-bounded anytime solve: stops at a
   certified ``1/(1+epsilon)`` approximation and reports the engine's
-  upper bound alongside the score.
+  upper bound alongside the score;
+* ``heatmap`` — the influence heat map: the Phase I quadrant
+  tessellation rasterised onto an ``nx`` × ``ny`` tile grid
+  (:mod:`repro.core.heatmap`), lower and upper influence bounds per
+  tile.
+
+Canonical request keys
+----------------------
+:func:`request_key` renders a request as its encoded JSON document with
+sorted keys and no whitespace.  Because the codec already canonicalises
+every field (``int()``/``float()``) and ``json`` emits shortest-
+round-trip float reprs, two requests get the same key exactly when they
+are field-for-field bit-identical — the property the serve-path result
+cache (:mod:`repro.serve.cache`) and the batch scheduler's
+single-flight coalescing both rely on.
 
 The wire format is deliberately dumb JSON: every request/response is a
 flat object with a ``kind`` tag, encoded by :func:`encode_request` /
@@ -27,34 +41,47 @@ in-process :mod:`repro.core.queries` calls even across the socket.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 __all__ = [
+    "MAX_HEATMAP_EDGE",
     "REQUEST_KINDS",
     "BrknnRequest",
     "SiteInfluenceRequest",
     "ImpactRequest",
     "SolveRequest",
     "AnytimeSolveRequest",
+    "HeatmapRequest",
     "BrknnResponse",
     "SiteInfluenceResponse",
     "ImpactResponse",
     "RegionSummary",
     "SolveResponse",
+    "HeatmapResponse",
     "ErrorResponse",
     "decode_request",
     "decode_response",
     "encode_request",
     "encode_response",
+    "request_key",
 ]
 
 #: Every request kind the service understands, in documentation order.
 #: The serve drift check (``repro.analysis.project_rules
 #: .check_serve_drift``) holds this tuple, the ``docs/api.md`` request
-#: table, the CLI ``--kind`` choices, and ``tests/serve/`` in sync.
+#: table, the CLI ``--kind`` choices, the scripted workload
+#: (``repro.serve.workload``), and ``tests/serve/`` in sync.
 REQUEST_KINDS: tuple[str, ...] = (
-    "brknn", "site_influence", "impact", "solve", "solve_anytime")
+    "brknn", "site_influence", "impact", "solve", "solve_anytime",
+    "heatmap")
+
+#: Largest tile-grid edge a ``heatmap`` request may ask for.  A
+#: 512 × 512 float64 pair of fields is ~4 MB on the wire — plenty for a
+#: display surface, small enough that one request cannot balloon the
+#: daemon or the result cache.
+MAX_HEATMAP_EDGE = 512
 
 
 # ---------------------------------------------------------------------- #
@@ -107,8 +134,18 @@ class AnytimeSolveRequest:
     kind: str = field(default="solve_anytime", init=False)
 
 
+@dataclass(frozen=True)
+class HeatmapRequest:
+    """Influence heat map of ``instance`` on an ``nx`` × ``ny`` grid."""
+
+    instance: str
+    nx: int = 32
+    ny: int = 32
+    kind: str = field(default="heatmap", init=False)
+
+
 Request = (BrknnRequest | SiteInfluenceRequest | ImpactRequest
-           | SolveRequest | AnytimeSolveRequest)
+           | SolveRequest | AnytimeSolveRequest | HeatmapRequest)
 
 _REQUEST_TYPES: dict[str, type] = {
     "brknn": BrknnRequest,
@@ -116,6 +153,7 @@ _REQUEST_TYPES: dict[str, type] = {
     "impact": ImpactRequest,
     "solve": SolveRequest,
     "solve_anytime": AnytimeSolveRequest,
+    "heatmap": HeatmapRequest,
 }
 
 
@@ -188,6 +226,27 @@ class SolveResponse:
 
 
 @dataclass(frozen=True)
+class HeatmapResponse:
+    """The influence field as two row-major tile grids.
+
+    ``lower[j * nx + i]`` is a *proven* influence score attained
+    somewhere in tile ``(i, j)`` (column ``i`` from ``xmin``, row ``j``
+    from ``ymin``); ``upper`` bounds the influence of every location in
+    the tile.  ``bounds`` is the solved space ``(xmin, ymin, xmax,
+    ymax)`` the grid tessellates.  The two fields bracket the exact
+    influence surface: where the Phase I tessellation resolved a tile
+    to a consistent quadrant, ``lower == upper``.
+    """
+
+    nx: int
+    ny: int
+    bounds: tuple[float, float, float, float]
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+    kind: str = field(default="heatmap", init=False)
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """Per-request failure (bad arguments, unknown instance)."""
 
@@ -196,7 +255,7 @@ class ErrorResponse:
 
 
 Response = (BrknnResponse | SiteInfluenceResponse | ImpactResponse
-            | SolveResponse | ErrorResponse)
+            | SolveResponse | HeatmapResponse | ErrorResponse)
 
 
 # ---------------------------------------------------------------------- #
@@ -220,7 +279,23 @@ def encode_request(request: Request) -> dict[str, Any]:
     if isinstance(request, AnytimeSolveRequest):
         return {"kind": "solve_anytime", "instance": request.instance,
                 "epsilon": float(request.epsilon)}
+    if isinstance(request, HeatmapRequest):
+        return {"kind": "heatmap", "instance": request.instance,
+                "nx": int(request.nx), "ny": int(request.ny)}
     raise TypeError(f"not a serve request: {request!r}")
+
+
+def request_key(request: Request) -> str:
+    """Canonical cache/coalescing key: the encoded request, serialised
+    with sorted keys and no whitespace.
+
+    Every field passes through the codec's ``int()``/``float()``
+    canonicalisation and ``json``'s shortest-round-trip float repr, so
+    the key is deterministic and two requests collide exactly when they
+    are bit-identical field for field.
+    """
+    return json.dumps(encode_request(request), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def decode_request(doc: Mapping[str, Any]) -> Request:
@@ -245,6 +320,15 @@ def decode_request(doc: Mapping[str, Any]) -> Request:
         if cls is SolveRequest:
             return SolveRequest(instance=instance,
                                 top_t=int(doc.get("top_t", 1)))
+        if cls is HeatmapRequest:
+            nx = int(doc.get("nx", 32))
+            ny = int(doc.get("ny", 32))
+            if not (1 <= nx <= MAX_HEATMAP_EDGE
+                    and 1 <= ny <= MAX_HEATMAP_EDGE):
+                raise ValueError(
+                    f"heatmap grid {nx}x{ny} outside "
+                    f"[1, {MAX_HEATMAP_EDGE}]^2")
+            return HeatmapRequest(instance=instance, nx=nx, ny=ny)
         return AnytimeSolveRequest(instance=instance,
                                    epsilon=float(doc["epsilon"]))
     except KeyError as exc:
@@ -283,6 +367,11 @@ def encode_response(response: Response) -> dict[str, Any]:
                     {"score": r.score, "area": r.area, "x": r.x,
                      "y": r.y, "cover": list(r.cover)}
                     for r in response.regions]}
+    if isinstance(response, HeatmapResponse):
+        return {"kind": "heatmap", "nx": response.nx, "ny": response.ny,
+                "bounds": list(response.bounds),
+                "lower": list(response.lower),
+                "upper": list(response.upper)}
     if isinstance(response, ErrorResponse):
         return {"kind": "error", "message": response.message}
     raise TypeError(f"not a serve response: {response!r}")
@@ -318,6 +407,13 @@ def decode_response(doc: Mapping[str, Any]) -> Response:
                               x=float(r["x"]), y=float(r["y"]),
                               cover=tuple(int(i) for i in r["cover"]))
                 for r in doc["regions"]))
+    if kind == "heatmap":
+        xmin, ymin, xmax, ymax = (float(v) for v in doc["bounds"])
+        return HeatmapResponse(
+            nx=int(doc["nx"]), ny=int(doc["ny"]),
+            bounds=(xmin, ymin, xmax, ymax),
+            lower=tuple(float(v) for v in doc["lower"]),
+            upper=tuple(float(v) for v in doc["upper"]))
     if kind == "error":
         return ErrorResponse(message=str(doc["message"]))
     raise ValueError(f"unknown response kind {kind!r}")

@@ -28,6 +28,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.heatmap import build_heatmap, empty_heatmap
 from repro.core.maxfirst import MaxFirst
 from repro.core.problem import MaxBRkNNProblem
 from repro.core.queries import (brknn_of_site, impact_of_new_site,
@@ -36,14 +37,17 @@ from repro.core.region import compute_optimal_region
 from repro.geometry.rect import Rect
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import TRACER, span
+from repro.serve.cache import DEFAULT_CACHE_BYTES, ResultCache
 from repro.serve.instance import (InstanceRegistry, SeedEntry,
                                   ServedInstance)
-from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
-                                  BrknnResponse, ErrorResponse,
-                                  ImpactRequest, ImpactResponse,
-                                  RegionSummary, SiteInfluenceRequest,
+from repro.serve.protocol import (MAX_HEATMAP_EDGE, AnytimeSolveRequest,
+                                  BrknnRequest, BrknnResponse,
+                                  ErrorResponse, HeatmapRequest,
+                                  HeatmapResponse, ImpactRequest,
+                                  ImpactResponse, RegionSummary,
+                                  SiteInfluenceRequest,
                                   SiteInfluenceResponse, SolveRequest,
-                                  SolveResponse)
+                                  SolveResponse, request_key)
 
 __all__ = ["QueryService", "execute_requests"]
 
@@ -182,6 +186,29 @@ def execute_requests(problem: MaxBRkNNProblem, ranks: np.ndarray,
                         x=impact.x, y=impact.y, gain=impact.gain,
                         customer_ranks=dict(impact.customer_ranks),
                         incumbent_losses=dict(impact.incumbent_losses)))
+                elif isinstance(request, HeatmapRequest):
+                    nx, ny = int(request.nx), int(request.ny)
+                    if not (1 <= nx <= MAX_HEATMAP_EDGE
+                            and 1 <= ny <= MAX_HEATMAP_EDGE):
+                        raise ValueError(
+                            f"heatmap grid {nx}x{ny} outside "
+                            f"[1, {MAX_HEATMAP_EDGE}]^2")
+                    # Always a fresh unseeded Phase I — certificate
+                    # seeding coarsens the captured tessellation (see
+                    # repro.core.heatmap), and the heat map must be a
+                    # pure function of the instance for the result
+                    # cache's bit-identity guarantee.
+                    with span("serve/heatmap", nx=nx, ny=ny):
+                        if nlcs is None or len(nlcs) == 0:
+                            hm = empty_heatmap(space, nx, ny)
+                        else:
+                            hm = build_heatmap(nlcs, space, nx, ny)
+                    responses.append(HeatmapResponse(
+                        nx=hm.nx, ny=hm.ny, bounds=hm.bounds,
+                        lower=tuple(float(v)
+                                    for v in hm.lower.ravel()),
+                        upper=tuple(float(v)
+                                    for v in hm.upper.ravel())))
                 elif isinstance(request, (SolveRequest,
                                           AnytimeSolveRequest)):
                     top_t = getattr(request, "top_t", 1)
@@ -221,17 +248,29 @@ class QueryService:
         worker pool of that size as single jobs
         (:func:`repro.engine.pool.serve_query_batch`); a broken pool
         degrades to the in-process path with a ``RuntimeWarning``.
+    cache_bytes:
+        Byte budget for the per-instance result cache
+        (:class:`repro.serve.cache.ResultCache`; default 64 MiB).
+        Before a request reaches the solver it is looked up under its
+        canonical key (:func:`repro.serve.protocol.request_key`) and
+        the instance's current epoch; hits return the stored response
+        object — bit-identical to a fresh solve because every solver
+        is deterministic.  Identical requests *within* one batch
+        collapse to one computation the same way.  ``0`` disables
+        caching (the benchmark's cold arm).
     """
 
     def __init__(self, registry: InstanceRegistry | None = None, *,
                  store: str | None = None, workers: int | None = None,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive (or None)")
         self.registry = (InstanceRegistry(store=store)
                          if registry is None else registry)
         self.workers = workers
         self.start_method = start_method
+        self.cache = ResultCache(max_bytes=cache_bytes)
         self._pool: Any = None
 
     # -- lifecycle ----------------------------------------------------- #
@@ -258,7 +297,15 @@ class QueryService:
     # -- execution ----------------------------------------------------- #
 
     def execute(self, requests: Sequence[Any]) -> list[Any]:
-        """Execute one batch; responses align with ``requests``."""
+        """Execute one batch; responses align with ``requests``.
+
+        Each request is first looked up in the result cache under its
+        canonical key and the instance's current epoch; only cache
+        misses reach the solver, with identical misses *within* the
+        batch collapsed to one execution.  Stored responses are frozen
+        dataclasses, so a hit is the original computed object —
+        bit-identity with a fresh solve is structural.
+        """
         _SERVE_BATCHES.add(1)
         _SERVE_REQUESTS.add(len(requests))
         responses: list[Any] = [None] * len(requests)
@@ -273,10 +320,34 @@ class QueryService:
                     for i in positions:
                         responses[i] = ErrorResponse(message=str(exc))
                     continue
-                group = [requests[i] for i in positions]
-                answers = self._execute_group(instance, group)
-                for i, answer in zip(positions, answers):
-                    responses[i] = answer
+                # The epoch is read once per group: a concurrent bump
+                # makes this group's stores land under the old epoch,
+                # where the next lookup treats them as stale — never
+                # served across an invalidation.
+                epoch = instance.epoch
+                miss_keys: list[str] = []
+                targets: dict[str, list[int]] = {}
+                for i in positions:
+                    key = request_key(requests[i])
+                    if key in targets:
+                        targets[key].append(i)  # in-batch duplicate
+                        continue
+                    cached = self.cache.get(instance_id, key, epoch)
+                    if cached is not None:
+                        responses[i] = cached
+                        continue
+                    targets[key] = [i]
+                    miss_keys.append(key)
+                if miss_keys:
+                    group = [requests[targets[key][0]]
+                             for key in miss_keys]
+                    answers = self._execute_group(instance, group)
+                    for key, answer in zip(miss_keys, answers):
+                        if not isinstance(answer, ErrorResponse):
+                            self.cache.put(instance_id, key, epoch,
+                                           answer)
+                        for i in targets[key]:
+                            responses[i] = answer
         return responses
 
     def _execute_group(self, instance: ServedInstance,

@@ -5,10 +5,14 @@ subprocess on an ephemeral port, publishes the scripted workload
 instance over the socket, replays the scripted batches through
 :class:`~repro.serve.client.ServeClient`, and asserts every served
 answer is **bit-identical** to a direct in-process
-:mod:`repro.core.queries` / :class:`~repro.core.maxfirst.MaxFirst`
-computation on the same problem.  A graceful ``/shutdown`` then makes
-the daemon write its Chrome trace and metrics.json into ``DIR`` (the
-CI serve-smoke job uploads both).
+:mod:`repro.core.queries` / :class:`~repro.core.maxfirst.MaxFirst` /
+:mod:`repro.core.heatmap` computation on the same problem.  The whole
+script is then replayed a second time — the warm pass — and every
+response must come back byte-identical, with the daemon's
+``serve_cache_hits`` counter proving the repeats answered from the
+result cache.  A graceful ``/shutdown`` then makes the daemon write
+its Chrome trace and metrics.json into ``DIR`` (the CI serve-smoke job
+uploads both).
 
 Exit status 0 means every assertion held and the daemon exited cleanly.
 """
@@ -26,14 +30,17 @@ from repro.core.queries import (brknn_of_site, impact_of_new_site,
                                 knn_sites, site_influence)
 from repro.serve.client import ServeClient
 from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
-                                  BrknnResponse, ImpactRequest,
+                                  BrknnResponse, HeatmapRequest,
+                                  HeatmapResponse, ImpactRequest,
                                   ImpactResponse, SiteInfluenceRequest,
                                   SiteInfluenceResponse, SolveRequest,
-                                  SolveResponse)
+                                  SolveResponse, encode_response,
+                                  request_key)
 from repro.serve.workload import publish_doc, scripted_batches, tiny_problem
 
 
-def _boot_daemon(out_dir: str, store: str, workers: int | None
+def _boot_daemon(out_dir: str, store: str, workers: int | None,
+                 cache_bytes: int | None = None
                  ) -> tuple[subprocess.Popen, str, int]:
     """Start ``repro serve`` on an ephemeral port; return (proc, host,
     port) once the bound-address line appears."""
@@ -43,6 +50,8 @@ def _boot_daemon(out_dir: str, store: str, workers: int | None
            "--metrics", os.path.join(out_dir, "metrics.json")]
     if workers is not None:
         cmd += ["--workers", str(workers)]
+    if cache_bytes is not None:
+        cmd += ["--cache-bytes", str(cache_bytes)]
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "..")
     env["PYTHONPATH"] = os.pathsep.join(
@@ -64,8 +73,14 @@ def _boot_daemon(out_dir: str, store: str, workers: int | None
     return proc, host, int(port)
 
 
-def _check_batch(requests, responses, problem, ranks, solve_reference
-                 ) -> int:
+def _canonical(response) -> str:
+    """Byte-stable response encoding for warm/cold identity checks."""
+    return json.dumps(encode_response(response), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _check_batch(requests, responses, problem, ranks, solve_reference,
+                 heatmap_reference) -> int:
     """Assert served answers equal direct in-process computation."""
     checked = 0
     for request, response in zip(requests, responses):
@@ -97,6 +112,13 @@ def _check_batch(requests, responses, problem, ranks, solve_reference
             assert (response.score * (1.0 + request.epsilon) + 1e-9
                     >= response.upper_bound)
             assert response.score <= solve_reference.score + 1e-9
+        elif isinstance(request, HeatmapRequest):
+            assert isinstance(response, HeatmapResponse)
+            direct = heatmap_reference[(request.nx, request.ny)]
+            assert (response.nx, response.ny) == (direct.nx, direct.ny)
+            assert response.bounds == direct.bounds
+            assert list(response.lower) == direct.lower.ravel().tolist()
+            assert list(response.upper) == direct.upper.ravel().tolist()
         else:  # pragma: no cover - script only uses the kinds above
             raise AssertionError(f"unchecked request {request!r}")
         checked += 1
@@ -124,6 +146,16 @@ def main(argv: list[str] | None = None) -> int:
     (solve_reference,), _cert = execute_requests(
         local.problem, local.ranks, local.nlcs, local.space,
         [SolveRequest(local.instance_id)], local.certificate())
+    # In-process exact reference for the heat-map requests: one fresh
+    # (unseeded) build per grid size the script asks for.
+    from repro.core.heatmap import build_heatmap
+
+    grids = {(request.nx, request.ny)
+             for batch in scripted_batches("grid-probe")
+             for request in batch if isinstance(request, HeatmapRequest)}
+    heatmap_reference = {
+        grid: build_heatmap(local.nlcs, local.space, *grid)
+        for grid in sorted(grids)}
     registry.close()
 
     proc, host, port = _boot_daemon(args.out, args.store, args.workers)
@@ -134,13 +166,29 @@ def main(argv: list[str] | None = None) -> int:
             assert health["status"] == "ok", health
             instance_id = client.publish(publish_doc(args.store))
             print(f"published {instance_id} on {host}:{port}")
-            for batch in scripted_batches(instance_id):
+            batches = scripted_batches(instance_id)
+            first_pass: list[list[str]] = []
+            for batch in batches:
                 responses = client.query(batch)
                 checked += _check_batch(batch, responses, problem,
-                                        ranks, solve_reference)
+                                        ranks, solve_reference,
+                                        heatmap_reference)
+                first_pass.append([_canonical(r) for r in responses])
+            # Warm repeat: the same script again, byte-identical answers
+            # this time served from the daemon's result cache.
+            for batch, blessed in zip(batches, first_pass):
+                warm = [_canonical(r) for r in client.query(batch)]
+                assert warm == blessed, "warm repeat diverged"
             metrics = client.metrics()
-            served = metrics["counters"].get("serve_requests", 0)
-            assert served >= checked, (served, checked)
+            counters = metrics["counters"]
+            served = counters.get("serve_requests", 0)
+            # The scheduler single-flights duplicate keys inside a
+            # flush, so the daemon logs at least the unique keys of
+            # each pass (and at most every submitted request).
+            unique = sum(len({request_key(r) for r in batch})
+                         for batch in batches)
+            assert served >= 2 * unique, (served, unique)
+            assert counters.get("serve_cache_hits", 0) > 0, counters
             client.shutdown()
         returncode = proc.wait(timeout=30)
     finally:
@@ -160,7 +208,8 @@ def main(argv: list[str] | None = None) -> int:
         with open(path, "r", encoding="utf-8") as fh:
             json.load(fh)  # must be valid JSON
     print(f"serve smoke OK: {checked} served answers bit-identical to "
-          f"in-process computation; artifacts in {args.out}")
+          f"in-process computation, warm repeat byte-identical from "
+          f"cache; artifacts in {args.out}")
     return 0
 
 

@@ -22,8 +22,9 @@ from typing import Any
 from repro.core.problem import MaxBRkNNProblem
 from repro.datasets.synthetic import synthetic_instance
 from repro.serve.protocol import (AnytimeSolveRequest, BrknnRequest,
-                                  ImpactRequest, Request,
-                                  SiteInfluenceRequest, SolveRequest)
+                                  HeatmapRequest, ImpactRequest,
+                                  Request, SiteInfluenceRequest,
+                                  SolveRequest)
 
 __all__ = ["tiny_problem", "scripted_batches", "publish_doc"]
 
@@ -44,10 +45,17 @@ def tiny_problem() -> MaxBRkNNProblem:
 def scripted_batches(instance_id: str) -> list[list[Request]]:
     """The fixed request script against a published instance.
 
-    Four batches: a BRkNN sweep, a what-if grid, the mixed batch with
-    the exact solve (which installs the instance's certificate), and a
-    post-certificate batch whose solves are seeded.
+    Six batches: a BRkNN sweep, a what-if grid, the mixed batch with
+    the exact solve (which installs the instance's certificate), a
+    post-certificate batch (its repeated solve is the script's first
+    cache hit; the new epsilon keeps a certificate-seeded solve
+    executing), the heat-map phase, and the repeated-request phase —
+    exact repeats of earlier requests plus an in-batch duplicate pair,
+    so replaying the script pins deterministic ``serve_cache_hits`` /
+    ``serve_cache_misses`` / ``heatmap_tiles_filled`` counts for the
+    perf gate.
     """
+    heat = HeatmapRequest(instance_id, nx=24, ny=24)
     return [
         [BrknnRequest(instance_id, j) for j in range(0, _N_SITES, 5)],
         [ImpactRequest(instance_id, 10.0 * i, 10.0 * j)
@@ -56,8 +64,14 @@ def scripted_batches(instance_id: str) -> list[list[Request]]:
          SolveRequest(instance_id),
          AnytimeSolveRequest(instance_id, epsilon=0.25)],
         [SolveRequest(instance_id),
+         AnytimeSolveRequest(instance_id, epsilon=0.1),
          BrknnRequest(instance_id, 7),
          ImpactRequest(instance_id, 55.0, 45.0)],
+        [heat, HeatmapRequest(instance_id, nx=8, ny=8)],
+        [BrknnRequest(instance_id, 0), BrknnRequest(instance_id, 0),
+         ImpactRequest(instance_id, 10.0, 10.0),
+         SiteInfluenceRequest(instance_id),
+         heat],
     ]
 
 

@@ -2,9 +2,13 @@
 
 The library has no plotting dependency; :mod:`repro.viz.svg` writes
 self-contained SVG files good enough to inspect an instance, the circles
-driving it, MaxFirst's quadrant trace and the returned regions.
+driving it, MaxFirst's quadrant trace and the returned regions, and
+:mod:`repro.viz.heatmap` shades influence heat-map tiles
+(:mod:`repro.core.heatmap`) the same way.
 """
 
+from repro.viz.heatmap import heat_color, render_heatmap
 from repro.viz.svg import SvgCanvas, render_instance, render_result
 
-__all__ = ["SvgCanvas", "render_instance", "render_result"]
+__all__ = ["SvgCanvas", "heat_color", "render_heatmap",
+           "render_instance", "render_result"]

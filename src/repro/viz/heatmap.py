@@ -1,0 +1,70 @@
+"""SVG rendering of influence heat maps.
+
+:func:`render_heatmap` paints an :class:`repro.core.heatmap
+.InfluenceHeatmap` as a colored tile grid on an :class:`SvgCanvas` —
+one ``<rect>`` per tile, shaded by its proven lower influence on a
+white→gold→crimson ramp — with optional site/customer overlays so the
+field can be read against the instance that produced it.  Pure stdlib
+string assembly like the rest of :mod:`repro.viz`; no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.heatmap import InfluenceHeatmap
+from repro.geometry.rect import Rect
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["heat_color", "render_heatmap"]
+
+#: White → gold → crimson control points of the influence ramp.
+_RAMP = ((1.0, 1.0, 1.0), (1.0, 0.84, 0.25), (0.86, 0.08, 0.24))
+
+
+def heat_color(value: float, vmax: float) -> str:
+    """Hex color for ``value`` on the ``[0, vmax]`` influence ramp."""
+    t = 0.0 if vmax <= 0.0 else min(max(value / vmax, 0.0), 1.0)
+    if t <= 0.5:
+        lo, hi, u = _RAMP[0], _RAMP[1], t * 2.0
+    else:
+        lo, hi, u = _RAMP[1], _RAMP[2], (t - 0.5) * 2.0
+    channels = (int(round(255 * (a + (b - a) * u)))
+                for a, b in zip(lo, hi))
+    return "#" + "".join(f"{c:02x}" for c in channels)
+
+
+def render_heatmap(heatmap: InfluenceHeatmap, *, width: int = 800,
+                   problem: object | None = None,
+                   show_upper_outline: bool = True) -> SvgCanvas:
+    """Canvas with the heat map's lower-bound field as shaded tiles.
+
+    Tiles whose certified upper bound ties the global maximum get an
+    outline (``show_upper_outline``) — the candidate set any optimal
+    location must fall in.  Passing the source ``problem`` overlays its
+    sites (black) and customers (faint blue).
+    """
+    space = heatmap.space
+    canvas = SvgCanvas(space, width=width)
+    vmax = float(heatmap.upper.max()) if heatmap.upper.size else 0.0
+    cell_w = space.width / heatmap.nx
+    cell_h = space.height / heatmap.ny
+    outline_floor = vmax * (1.0 - 1e-9)
+    for j in range(heatmap.ny):
+        for i in range(heatmap.nx):
+            tile = Rect(space.xmin + i * cell_w,
+                        space.ymin + j * cell_h,
+                        space.xmin + (i + 1) * cell_w,
+                        space.ymin + (j + 1) * cell_h)
+            color = heat_color(float(heatmap.lower[j, i]), vmax)
+            canvas.add_rect(tile, stroke="none", stroke_width=0.0,
+                            fill=color, fill_opacity=0.9)
+            if (show_upper_outline and vmax > 0.0
+                    and float(heatmap.upper[j, i]) >= outline_floor):
+                canvas.add_rect(tile, stroke="#b00020",
+                                stroke_width=1.2, fill="none")
+    if problem is not None:
+        canvas.add_points(problem.customers,  # type: ignore[attr-defined]
+                          radius=1.5, color="#1f4e79", opacity=0.35)
+        canvas.add_points(problem.sites,  # type: ignore[attr-defined]
+                          radius=3.0, color="#111111")
+    return canvas

@@ -1,4 +1,5 @@
-"""RPR005 (serve extension): request kinds ↔ docs/api.md ↔ CLI ↔ tests/serve/."""
+"""RPR005 (serve extension): request kinds ↔ docs/api.md ↔ CLI ↔
+tests/serve/ ↔ the scripted workload."""
 
 from repro.analysis.project_rules import (SERVE_PROTOCOL_REL,
                                           check_serve_drift)
@@ -13,7 +14,8 @@ class TestCurrentRepoIsInSync:
 
     def test_all_kinds_registered(self):
         assert set(REQUEST_KINDS) >= {"brknn", "site_influence",
-                                      "impact", "solve", "solve_anytime"}
+                                      "impact", "solve",
+                                      "solve_anytime", "heatmap"}
 
 
 class TestSyntheticDrift:
@@ -39,6 +41,17 @@ class TestSyntheticDrift:
         findings = list(check_serve_drift(REPO_ROOT, tests_dir=empty))
         assert any("never named in tests/serve/" in f.message
                    for f in findings)
+
+    def test_unreplayed_kind_flagged(self, tmp_path):
+        """Gut the scripted workload: every kind's request class is
+        reported as never replayed."""
+        findings = list(check_serve_drift(
+            REPO_ROOT, workload_path=tmp_path / "workload.py"))
+        flagged = {kind for kind in REQUEST_KINDS
+                   if any(f"'{kind}'" in f.message
+                          and "scripted workload" in f.message
+                          for f in findings)}
+        assert flagged == set(REQUEST_KINDS)
 
     def test_findings_anchor_to_serve_protocol(self, tmp_path):
         findings = list(check_serve_drift(

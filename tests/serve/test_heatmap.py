@@ -1,0 +1,167 @@
+"""Influence heat-map tiles: bracket soundness, determinism, the serve
+``heatmap`` request kind end to end, and SVG rendering.
+
+The heat map materialises MaxFirst's Phase I tessellation: each tile
+carries a proven lower bound (an influence value attained somewhere in
+the tile) and a certified upper bound.  These tests pin that bracket
+against the exact solver score, the row-major wire layout, and the
+codec round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import (InfluenceHeatmap, build_heatmap,
+                                empty_heatmap, paint_tessellation)
+from repro.core.maxfirst import MaxFirst
+from repro.core.nlc import build_nlcs, nlc_space
+from repro.geometry.rect import Rect
+from repro.obs import metrics as _obs_metrics
+from repro.serve.protocol import (ErrorResponse, HeatmapRequest,
+                                  HeatmapResponse, decode_request,
+                                  decode_response, encode_request,
+                                  encode_response)
+from repro.serve.service import QueryService
+from repro.viz.heatmap import heat_color, render_heatmap
+
+
+@pytest.fixture(scope="module")
+def nlcs_and_space(serve_problem):
+    nlcs = build_nlcs(serve_problem)
+    return nlcs, nlc_space(nlcs)
+
+
+class TestBuildHeatmap:
+    def test_shape_and_bounds(self, nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        hm = build_heatmap(nlcs, space, 16, 9)
+        assert (hm.nx, hm.ny) == (16, 9)
+        assert hm.lower.shape == (9, 16)
+        assert hm.upper.shape == (9, 16)
+        assert hm.bounds == (space.xmin, space.ymin,
+                             space.xmax, space.ymax)
+
+    def test_bracket_is_sound_against_exact_solve(self,
+                                                  nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        hm = build_heatmap(nlcs, space, 32, 32)
+        assert np.all(hm.lower <= hm.upper)
+        assert np.all(hm.lower >= 0.0)
+        _accepted, score, _stats = MaxFirst().run_phase1(nlcs, space)
+        # The best proven tile never beats the optimum; the best
+        # certified ceiling never undercuts it.
+        assert float(hm.lower.max()) <= score
+        assert float(hm.upper.max()) >= score
+
+    def test_deterministic_across_builds(self, nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        first = build_heatmap(nlcs, space, 12, 12)
+        second = build_heatmap(nlcs, space, 12, 12)
+        assert np.array_equal(first.lower, second.lower)
+        assert np.array_equal(first.upper, second.upper)
+
+    def test_empty_instance_yields_zero_field(self, nlcs_and_space):
+        _nlcs, space = nlcs_and_space
+        hm = build_heatmap((), space, 4, 4)
+        assert not hm.lower.any()
+        assert not hm.upper.any()
+        blank = empty_heatmap(space, 4, 4)
+        assert np.array_equal(hm.lower, blank.lower)
+
+    def test_rejects_degenerate_grid(self, nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        with pytest.raises(ValueError):
+            build_heatmap(nlcs, space, 0, 4)
+        with pytest.raises(ValueError):
+            build_heatmap(nlcs, space, 4, -1)
+
+    def test_tiles_filled_counter_moves(self, nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        with _obs_metrics.REGISTRY.isolated() as box:
+            build_heatmap(nlcs, space, 8, 8)
+        assert box["counters"]["heatmap_tiles_filled"] > 0
+
+
+class TestPaintTessellation:
+    def test_overlapping_quads_max_combine(self):
+        space = Rect(0.0, 0.0, 4.0, 4.0)
+        hm = paint_tessellation(space, 4, 4, [
+            (Rect(0.0, 0.0, 4.0, 4.0), 1.0, 2.0),
+            (Rect(0.0, 0.0, 2.0, 2.0), 3.0, 5.0),
+        ])
+        assert hm.lower[0, 0] == 3.0     # overlap keeps the max
+        assert hm.lower[3, 3] == 1.0
+        assert hm.upper[0, 0] == 5.0
+        assert hm.upper[3, 3] == 2.0
+
+    def test_quad_outside_space_is_clipped(self):
+        space = Rect(0.0, 0.0, 4.0, 4.0)
+        hm = paint_tessellation(space, 2, 2, [
+            (Rect(-10.0, -10.0, -5.0, -5.0), 9.0, 9.0),
+        ])
+        assert not hm.lower.any()
+
+
+class TestServeHeatmap:
+    def test_served_tiles_match_direct_build(self, serve_problem,
+                                             nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        direct = build_heatmap(nlcs, space, 10, 6)
+        with QueryService(store="ram") as service:
+            instance_id = service.publish(serve_problem).instance_id
+            (response,) = service.execute(
+                [HeatmapRequest(instance_id, nx=10, ny=6)])
+        assert isinstance(response, HeatmapResponse)
+        assert (response.nx, response.ny) == (10, 6)
+        assert response.bounds == direct.bounds
+        assert list(response.lower) == direct.lower.ravel().tolist()
+        assert list(response.upper) == direct.upper.ravel().tolist()
+        # Row-major layout: tile (i, j) lives at lower[j * nx + i].
+        j, i = 3, 7
+        assert response.lower[j * 10 + i] == direct.lower[j, i]
+
+    def test_codec_round_trip(self, serve_problem):
+        request = HeatmapRequest("inst-1", nx=5, ny=3)
+        assert decode_request(encode_request(request)) == request
+        response = HeatmapResponse(
+            nx=2, ny=1, bounds=(0.0, 0.0, 1.0, 1.0),
+            lower=(0.5, 1.25), upper=(2.0, 2.0))
+        assert decode_response(encode_response(response)) == response
+
+    def test_degenerate_grid_gets_error_response(self, serve_problem):
+        with QueryService(store="ram") as service:
+            instance_id = service.publish(serve_problem).instance_id
+            (response,) = service.execute(
+                [HeatmapRequest(instance_id, nx=0, ny=4)])
+        assert isinstance(response, ErrorResponse)
+
+    def test_decode_rejects_oversized_grid(self):
+        doc = {"kind": "heatmap", "instance": "x",
+               "nx": 100000, "ny": 4}
+        with pytest.raises(ValueError):
+            decode_request(doc)
+
+
+class TestRenderHeatmap:
+    def test_ramp_endpoints(self):
+        assert heat_color(0.0, 1.0) == "#ffffff"
+        assert heat_color(1.0, 1.0) == "#db143d"
+        assert heat_color(5.0, 0.0) == "#ffffff"  # degenerate vmax
+
+    def test_svg_contains_one_rect_per_tile(self, serve_problem,
+                                            nlcs_and_space):
+        nlcs, space = nlcs_and_space
+        hm = build_heatmap(nlcs, space, 6, 6)
+        svg = render_heatmap(hm, problem=serve_problem).render()
+        assert svg.startswith("<svg") or "<svg" in svg
+        assert svg.count("<rect") >= 36
+
+    def test_renders_synthetic_field(self):
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        hm = InfluenceHeatmap(
+            space=space, nx=2, ny=2,
+            lower=np.array([[0.0, 1.0], [2.0, 3.0]]),
+            upper=np.array([[1.0, 2.0], [3.0, 4.0]]))
+        svg = render_heatmap(hm, show_upper_outline=False).render()
+        # One shaded rect per tile (plus the canvas background rect).
+        assert svg.count('fill-opacity="0.9"') == 4

@@ -31,11 +31,15 @@ def _scripted(instance_id):
 @pytest.fixture(scope="module")
 def pooled_vs_inprocess(serve_problem):
     """The same scripted batches through both execution paths."""
-    with QueryService(store="ram") as reference:
+    # The result cache is disabled on both services so the repeated
+    # batch really travels to the pool again — the point here is the
+    # worker's *attach* cache, not the parent's result cache (which
+    # tests/serve/test_cache.py covers).
+    with QueryService(store="ram", cache_bytes=0) as reference:
         instance_id = reference.publish(serve_problem).instance_id
         expected = [reference.execute(_scripted(instance_id)),
                     reference.execute(_scripted(instance_id))]
-    with QueryService(store="ram", workers=1) as service:
+    with QueryService(store="ram", workers=1, cache_bytes=0) as service:
         instance_id = service.publish(serve_problem).instance_id
         with warnings.catch_warnings(), \
                 _obs_metrics.REGISTRY.isolated() as box:

@@ -6,7 +6,8 @@ import pytest
 
 from repro.serve.protocol import (REQUEST_KINDS, AnytimeSolveRequest,
                                   BrknnRequest, BrknnResponse,
-                                  ErrorResponse, ImpactRequest,
+                                  ErrorResponse, HeatmapRequest,
+                                  HeatmapResponse, ImpactRequest,
                                   ImpactResponse, RegionSummary,
                                   SiteInfluenceRequest,
                                   SiteInfluenceResponse, SolveRequest,
@@ -24,6 +25,7 @@ REQUESTS = [
     ImpactRequest(instance="i1", x=UGLY[0], y=UGLY[1]),
     SolveRequest(instance="i1", top_t=4),
     AnytimeSolveRequest(instance="i1", epsilon=0.25),
+    HeatmapRequest(instance="i1", nx=16, ny=9),
 ]
 
 RESPONSES = [
@@ -34,6 +36,8 @@ RESPONSES = [
     SolveResponse(score=UGLY[1], upper_bound=UGLY[2], regions=(
         RegionSummary(score=UGLY[1], area=UGLY[3], x=0.5, y=0.25,
                       cover=(4, 9, 11)),)),
+    HeatmapResponse(nx=2, ny=1, bounds=(0.0, 0.0, UGLY[2], UGLY[0]),
+                    lower=(0.0, UGLY[3]), upper=(UGLY[1], UGLY[3])),
     ErrorResponse(message="boom"),
 ]
 
